@@ -1,0 +1,63 @@
+"""Ablation: the confidence hint (paper Section 3).
+
+"Setting low confidence values will make the algorithm behave more
+similarly to the baseline GA, while setting high confidence values ...
+will cause the algorithm to perform very directed optimization."
+
+Sweeps confidence from 0 to ~1 on the Figure 4 query and checks:
+* confidence 0 behaves like the baseline (same convergence cost band);
+* higher confidence buys faster convergence to the 1% bar;
+* even at maximal confidence the search still converges (stochasticity is
+  preserved — hints are probabilistic, footnote 1).
+"""
+
+from repro.core import DatasetEvaluator, GAConfig, GeneticSearch, maximize
+from repro.experiments import run_many
+from repro.noc import frequency_hints
+
+RUNS = 24
+GENERATIONS = 80
+CONFIDENCES = (0.0, 0.25, 0.5, 0.8, 0.97)
+
+
+def _sweep(dataset):
+    objective = maximize("fmax_mhz")
+    threshold = 0.99 * dataset.best_value(objective)
+
+    def factory(confidence):
+        hints = frequency_hints(confidence) if confidence is not None else None
+
+        def build(seed):
+            return GeneticSearch(
+                dataset.space,
+                DatasetEvaluator(dataset),
+                objective,
+                GAConfig(generations=GENERATIONS, seed=seed),
+                hints=hints,
+            )
+
+        return build
+
+    rows = {"baseline": run_many(factory(None), RUNS).curve_cross(threshold)}
+    for confidence in CONFIDENCES:
+        rows[f"conf={confidence}"] = run_many(
+            factory(confidence), RUNS
+        ).curve_cross(threshold)
+    return rows
+
+
+def test_ablation_confidence(benchmark, noc_dataset):
+    rows = benchmark.pedantic(lambda: _sweep(noc_dataset), rounds=1, iterations=1)
+    print()
+    for label, cross in rows.items():
+        print(f"  {label:12s} mean-curve crosses 1% bar at {cross} evals")
+
+    baseline = rows["baseline"]
+    zero_conf = rows["conf=0.0"]
+    assert baseline is not None and zero_conf is not None
+    # Confidence 0 == baseline behaviour (same cost band).
+    assert abs(zero_conf - baseline) / baseline < 0.35
+    # Guided confidence levels beat the baseline...
+    assert rows["conf=0.8"] < baseline
+    # ...and even near-total trust still converges.
+    assert rows["conf=0.97"] is not None

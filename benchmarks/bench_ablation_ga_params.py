@@ -1,0 +1,81 @@
+"""Ablation: GA hyper-parameters (paper Section 2, "Evaluating GAs").
+
+The paper discusses how population size and mutation rate trade exploration
+against exploitation. This bench sweeps both around the paper's operating
+point (population 10, mutation 0.1) on the Figure 6 query and reports the
+landscape — checking the operating point is a sensible choice (no swept
+alternative dominates it by a large margin) and that extreme settings
+behave as the theory predicts (tiny mutation under-explores).
+"""
+
+from repro.core import DatasetEvaluator, GAConfig, GeneticSearch, minimize
+from repro.experiments import run_many
+from repro.fft import lut_hints
+
+RUNS = 16
+GENERATIONS = 40
+
+
+def _run(dataset, population, mutation):
+    objective = minimize("luts")
+
+    def build(seed):
+        return GeneticSearch(
+            dataset.space,
+            DatasetEvaluator(dataset),
+            objective,
+            GAConfig(
+                population_size=population,
+                mutation_rate=mutation,
+                generations=GENERATIONS,
+                seed=seed,
+            ),
+            hints=lut_hints(),
+        )
+
+    return run_many(build, RUNS)
+
+
+def _sweep(dataset):
+    rows = {}
+    for population in (4, 10, 30):
+        rows[f"pop={population}, mut=0.1"] = _run(dataset, population, 0.1)
+    for mutation in (0.02, 0.3):
+        rows[f"pop=10, mut={mutation}"] = _run(dataset, 10, mutation)
+    return rows
+
+
+def test_ablation_ga_params(benchmark, fft_ds):
+    results = benchmark.pedantic(lambda: _sweep(fft_ds), rounds=1, iterations=1)
+    best = fft_ds.best_value(minimize("luts"))
+    threshold = 1.05 * best
+    print()
+    crossings = {}
+    for label, result in results.items():
+        crossings[label] = result.curve_cross(threshold)
+        print(
+            f"  {label:20s} final={result.mean_best():7.1f} LUTs "
+            f"cross-5%bar={crossings[label]} "
+            f"total={result.mean_distinct_evaluations():.0f}"
+        )
+
+    paper_point = crossings["pop=10, mut=0.1"]
+    assert paper_point is not None
+    # The paper's operating point is competitive: nothing in the sweep
+    # reaches the bar at less than half its cost.
+    for label, cross in crossings.items():
+        if cross is not None:
+            assert cross > 0.45 * paper_point, label
+    # Big populations pay more evaluations per unit progress.
+    assert (
+        results["pop=30, mut=0.1"].mean_distinct_evaluations()
+        > results["pop=10, mut=0.1"].mean_distinct_evaluations()
+    )
+    # Starved mutation under-explores: worse final quality than the paper
+    # point or later crossing.
+    starved = results["pop=10, mut=0.02"]
+    paper = results["pop=10, mut=0.1"]
+    assert (
+        starved.mean_best() >= paper.mean_best()
+        or (crossings["pop=10, mut=0.02"] or 10**9) >= paper_point
+    )

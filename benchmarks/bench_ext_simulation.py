@@ -1,0 +1,107 @@
+"""Extension: latency/throughput characterization via cycle-level simulation.
+
+The paper's datasets include simulation-derived metrics ("we run FPGA
+synthesis and/or simulations for each design instance"). This bench
+produces the classic interconnection-networks figure those simulations
+feed: offered load vs latency per topology family, plus saturation
+throughput, under uniform traffic — and checks the textbook orderings
+(Dally & Towles ch. 19) that validate the simulator:
+
+* zero-load latency ordering follows hop count: fat tree < torus < mesh < ring;
+* saturation throughput ordering follows bisection: ring lowest, fat tree
+  highest (mesh/torus unordered under single-path oblivious routing);
+* latency rises monotonically with offered load for every family
+  (pre-saturation region).
+"""
+
+from repro.analysis import FigureSeries
+from repro.noc import (
+    NetworkSimulator,
+    build_topology,
+    default_router_config,
+    saturation_throughput,
+)
+
+ENDPOINTS = 64
+FAMILIES = ("ring", "mesh", "torus", "fat_tree")
+RATES = (0.02, 0.05, 0.1, 0.2, 0.3, 0.45)
+CYCLES = 1200
+
+
+def _characterize():
+    curves = {}
+    saturations = {}
+    diverse_saturations = {}
+    for family in FAMILIES:
+        topology = build_topology(family, ENDPOINTS)
+        simulator = NetworkSimulator(
+            topology, default_router_config(topology.router_radix)
+        )
+        points = []
+        for rate in RATES:
+            report = simulator.run(rate, cycles=CYCLES, seed=3)
+            points.append(
+                (
+                    report.delivered_rate,
+                    report.avg_latency_cycles,
+                    report.blocked_fraction,
+                )
+            )
+        curves[family] = points
+        saturations[family] = saturation_throughput(simulator, cycles=600, seed=3)
+        diverse = NetworkSimulator(
+            topology,
+            default_router_config(topology.router_radix),
+            routing="diverse",
+        )
+        diverse_saturations[family] = saturation_throughput(
+            diverse, cycles=600, seed=3
+        )
+    return curves, saturations, diverse_saturations
+
+
+def test_ext_simulation_curves(benchmark, publish):
+    curves, saturations, diverse = benchmark.pedantic(
+        _characterize, rounds=1, iterations=1
+    )
+
+    figure = FigureSeries(
+        "figE2",
+        "NoC (extension): Latency vs Offered Load",
+        "Delivered load (flits/endpoint/cycle)",
+        "Average latency (cycles)",
+    )
+    for family, points in curves.items():
+        figure.add(family, [(x, y) for x, y, __ in points])
+    for family, saturation in saturations.items():
+        figure.note(f"saturation[{family}]", round(saturation, 3))
+    for family, saturation in diverse.items():
+        figure.note(f"saturation_diverse[{family}]", round(saturation, 3))
+    publish(figure)
+
+    zero_load = {family: curves[family][0][1] for family in FAMILIES}
+    # Hop-count ordering at low load.
+    assert zero_load["fat_tree"] < zero_load["torus"]
+    assert zero_load["torus"] < zero_load["mesh"]
+    assert zero_load["mesh"] < zero_load["ring"]
+
+    # Bisection ordering of saturation throughput. Under deterministic
+    # single-path routing the torus cannot exploit its path diversity (the
+    # classic oblivious-routing caveat, Dally & Towles ch. 9), so mesh vs
+    # torus is only asserted under the path-diverse router.
+    assert saturations["ring"] < saturations["mesh"]
+    assert saturations["ring"] < saturations["torus"]
+    assert saturations["fat_tree"] == max(saturations.values())
+    assert diverse["torus"] > diverse["mesh"]  # 2x bisection pays off
+    assert diverse["torus"] > saturations["torus"]  # diversity helps
+
+    # Latency monotone in load over the *pre-saturation* region. Past
+    # saturation, delivered-packet statistics suffer survivorship bias
+    # (long-haul packets stall and never complete within the window), so
+    # only points with <5% injection blocking participate.
+    for family, points in curves.items():
+        latencies = [
+            latency for __, latency, blocked in points if blocked < 0.05
+        ]
+        for earlier, later in zip(latencies, latencies[1:]):
+            assert later >= earlier - 1.0, family

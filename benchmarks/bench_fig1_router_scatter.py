@@ -1,0 +1,26 @@
+"""Figure 1: frequency vs area over ~30k VC router variants.
+
+Paper: "LUT usage and maximum frequency for approximately 30,000 router
+design points based on FPGA synthesis results" — a cloud spanning a wide
+frequency band (60-200 MHz there) and ~20k LUTs of area, all functionally
+interchangeable. The claim reproduced: the space is huge and the metrics
+spread over a large multiplicative range, motivating automated search.
+"""
+
+from repro.experiments import figure1
+
+
+def test_fig1_router_scatter(benchmark, noc_dataset, publish):
+    figure = benchmark.pedantic(
+        lambda: figure1(noc_dataset), rounds=1, iterations=1
+    )
+    publish(figure)
+
+    assert figure.notes["design_points"] == 30_240
+    lut_lo, lut_hi = figure.notes["lut_range"]
+    fmax_lo, fmax_hi = figure.notes["fmax_range_mhz"]
+    # Paper band: tens of LUTs x 100 spread, 60-200 MHz. Ours: the same
+    # qualitative spread (orders of magnitude in area, >3x in frequency).
+    assert lut_hi / lut_lo > 20
+    assert fmax_hi / fmax_lo > 3
+    assert 100 <= fmax_hi <= 300  # paper's Virtex-6 plateau is ~200 MHz

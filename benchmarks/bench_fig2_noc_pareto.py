@@ -1,0 +1,42 @@
+"""Figure 2: area/power vs peak bisection bandwidth for 64-endpoint NoCs.
+
+Paper: eight topology families on a commercial 65nm node, with "2-3 orders
+of magnitude of variation across all presented metrics (power, area,
+performance)". Claims reproduced: all eight families build; richer
+topologies (fat tree) buy more bisection bandwidth at more area/power than
+rings; the clouds span multiple orders of magnitude.
+"""
+
+from repro.experiments import figure2
+
+
+def test_fig2_noc_pareto(benchmark, publish):
+    area_fig, power_fig = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    publish(area_fig, logx=True, logy=True)
+    publish(power_fig, logx=True, logy=True)
+
+    assert set(area_fig.series) == {
+        "ring",
+        "double_ring",
+        "concentrated_ring",
+        "concentrated_double_ring",
+        "mesh",
+        "torus",
+        "fat_tree",
+        "butterfly",
+    }
+    # 2-3 orders of magnitude of variation (paper Section 1).
+    assert area_fig.notes["bw_span_orders"] >= 2.0
+    assert power_fig.notes["bw_span_orders"] >= 2.0
+    assert area_fig.notes["x_span_orders"] >= 1.5
+
+    def peak_bw(figure, family):
+        return max(y for _, y in figure.series[family])
+
+    # Topology-richness ordering of achievable bisection bandwidth.
+    assert (
+        peak_bw(area_fig, "ring")
+        < peak_bw(area_fig, "mesh")
+        < peak_bw(area_fig, "torus")
+        < peak_bw(area_fig, "fat_tree")
+    )

@@ -1,0 +1,50 @@
+"""Figure 7: maximize throughput per LUT in the FFT design space.
+
+Paper (40-run averages): strongly guided Nautilus reaches 1.45 MSPS/LUT
+(~93% of the ~1.55 space maximum) using ~61.6 synthesis runs, vs >8x
+(501.4) for the baseline; only Nautilus ever reaches the >1.5 MSPS/LUT
+elite region even though the baseline explores >5x more of the space.
+Claims reproduced: a large strong-vs-baseline speedup at the 93% bar, and
+an elite region (97% of max) that the guided variants reach far more
+reliably than the baseline.
+"""
+
+from repro.experiments import figure7
+
+RUNS = 40
+GENERATIONS = 80
+
+
+def test_fig7_fft_tput_per_lut(benchmark, fft_ds, publish):
+    figure = benchmark.pedantic(
+        lambda: figure7(fft_ds, runs=RUNS, generations=GENERATIONS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(figure)
+
+    best = figure.notes["space_best"]
+    # Paper tops out around 1.5-1.7 MSPS/LUT; same band here.
+    assert 0.8 <= best <= 2.0
+
+    # The 93%-of-max bar (paper's 1.45 on a 1.55 max): strong guidance is
+    # severalfold cheaper (paper: >8x).
+    strong = figure.notes["evals_to_threshold[strong]"]
+    baseline = figure.notes["evals_to_threshold[baseline]"]
+    assert strong is not None
+    if baseline is not None:
+        assert baseline / strong > 2.5
+
+    # Elite region (97% of max): Nautilus reaches it consistently, the
+    # baseline only sometimes ("the baseline is never able to approach"
+    # the top region in the paper).
+    assert figure.notes["elite_success_rate[strong]"] >= 0.9
+    assert (
+        figure.notes["elite_success_rate[strong]"]
+        > figure.notes["elite_success_rate[baseline]"]
+    )
+
+    # Guided runs synthesize fewer designs over the same generations.
+    assert (
+        figure.notes["total_evals[strong]"] < figure.notes["total_evals[baseline]"]
+    )

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures: cached datasets and a results directory.
+
+Every benchmark regenerates one paper figure at paper scale (40 runs of 80
+generations, Section 4.1; Figure 3 uses 20 runs), writes the series to
+``results/<fig>.csv``, an ASCII rendering to ``results/<fig>.txt``, and
+asserts the paper's qualitative claims (who wins, by roughly what factor).
+
+Because every search is seeded and the synthesis flow is deterministic, the
+numbers are exactly reproducible run to run; the assertions use generous
+bands only to tolerate future model recalibration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import FigureSeries, ascii_plot
+
+
+@pytest.fixture(scope="session")
+def noc_dataset():
+    from repro.dataset import router_dataset
+
+    return router_dataset()
+
+
+@pytest.fixture(scope="session")
+def fft_ds():
+    from repro.dataset import fft_dataset
+
+    return fft_dataset()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Write a figure's CSV + ASCII chart and echo the headline numbers."""
+
+    def _publish(figure: FigureSeries, logx: bool = False, logy: bool = False):
+        figure.to_csv(results_dir / f"{figure.name}.csv")
+        rendering = ascii_plot(figure, logx=logx, logy=logy)
+        summary = "\n".join(figure.summary_rows())
+        (results_dir / f"{figure.name}.txt").write_text(
+            rendering + "\n\n" + summary + "\n"
+        )
+        print()
+        print(rendering)
+        print(summary)
+        return figure
+
+    return _publish

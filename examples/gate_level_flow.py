@@ -1,0 +1,107 @@
+"""The gate-level synthesis path end to end — a mini EDA flow in Python.
+
+The fast analytical flow prices RTL blocks with closed-form rules; this
+example shows the ground-truth path underneath it on a real design: a
+moving-average peak detector written in the word-level RTL DSL, elaborated
+to a structurally-hashed gate network, simulated cycle by cycle against a
+Python reference, technology-mapped onto LUT6s with the FlowMap-style
+mapper, reported vendor-style, emitted as synthesizable Verilog — and then
+swept by the guided GA over its implementation parameters.
+
+Run with:  python examples/gate_level_flow.py
+"""
+
+import random
+
+from repro.core import (
+    CallableEvaluator,
+    DesignSpace,
+    GAConfig,
+    GeneticSearch,
+    HintSet,
+    IntParam,
+    ParamHints,
+    minimize,
+)
+from repro.synth import Rtl, render_report
+
+
+def build_peak_detector(width, window_log2):
+    """Running mean over 2**window_log2 samples plus a peak-hold register."""
+    m = Rtl(f"peak_detect_w{width}_a{window_log2}")
+    sample = m.input("sample", width)
+    acc_width = width + window_log2
+    accumulator = m.reg("accumulator", acc_width)
+    peak = m.reg("peak", width)
+    # Leaky accumulator: acc += sample - acc/2^window  (classic 1-pole IIR).
+    leak = accumulator >> window_log2
+    grown = (accumulator + sample.resize(acc_width))[0:acc_width]
+    m.next(accumulator, (grown - leak.resize(acc_width))[0:acc_width])
+    mean = (accumulator >> window_log2).resize(width)
+    is_peak = sample.ge(peak)
+    m.next(peak, m.mux(is_peak, sample, peak))
+    m.output("mean", mean)
+    m.output("peak", peak)
+    m.output("above_mean", sample.ge(mean))
+    return m
+
+
+# --- 1. elaborate and inspect ---------------------------------------------------
+
+design = build_peak_detector(width=10, window_log2=4)
+print(
+    f"elaborated: {design.network.gate_count()} gates, "
+    f"{len(design.network.dffs())} flip-flops, depth {design.network.depth()}"
+)
+
+# --- 2. verify by simulation against a Python reference --------------------------
+
+simulator = design.simulator()
+rng = random.Random(7)
+reference_acc = reference_peak = 0
+mismatches = 0
+for _ in range(300):
+    value = rng.randrange(1 << 10)
+    out = simulator.step(
+        {f"sample[{i}]": (value >> i) & 1 for i in range(10)}
+    )
+    got_peak = sum(out[f"peak[{i}]"] << i for i in range(10))
+    mismatches += got_peak != reference_peak
+    if value >= reference_peak:
+        reference_peak = value
+print(f"300-cycle simulation vs reference: {mismatches} mismatches")
+
+# --- 3. map, report, emit ---------------------------------------------------------
+
+report = design.synthesize()
+print()
+print(render_report(report))
+verilog = design.verilog()
+print(f"gate-level Verilog: {len(verilog.splitlines())} lines "
+      f"(head: {verilog.splitlines()[0]!r})")
+
+# --- 4. let the guided GA pick the implementation parameters ----------------------
+
+space = DesignSpace(
+    "peak_detector",
+    [IntParam("width", 8, 16), IntParam("window_log2", 2, 6)],
+)
+evaluator = CallableEvaluator(
+    lambda g: build_peak_detector(g["width"], g["window_log2"])
+    .synthesize()
+    .metrics()
+)
+hints = HintSet(
+    {
+        "width": ParamHints(importance=80, bias=1.0),
+        "window_log2": ParamHints(importance=50, bias=1.0),
+    },
+    confidence=0.7,
+)
+result = GeneticSearch(
+    space, evaluator, minimize("luts"), GAConfig(seed=3, generations=15), hints=hints
+).run()
+print(
+    f"\nGA over the gate-level generator: {result.best_raw:.0f} LUTs minimum "
+    f"at {result.best_config} ({result.distinct_evaluations} mapped designs)"
+)

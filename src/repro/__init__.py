@@ -1,0 +1,19 @@
+"""Nautilus reproduction: fast automated IP design space search using guided
+genetic algorithms (Papamichael, Milder, Hoe — DAC 2015).
+
+Subpackages:
+
+* :mod:`repro.core` — the guided GA engine (the paper's contribution).
+* :mod:`repro.synth` — miniature FPGA synthesis flow (fitness substrate).
+* :mod:`repro.noc` — VC router generator + CONNECT-style network generator.
+* :mod:`repro.fft` — Spiral-style streaming FFT generator.
+* :mod:`repro.dataset` — offline characterization datasets.
+* :mod:`repro.experiments` — multi-run harness and per-figure builders.
+* :mod:`repro.analysis` — figure series containers and terminal plotting.
+"""
+
+from . import core, synth
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "synth", "__version__"]

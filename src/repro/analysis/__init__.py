@@ -1,0 +1,14 @@
+"""Analysis helpers: figure series, terminal plotting, statistics."""
+
+from .series import FigureSeries
+from .plotting import ascii_plot
+from .stats import EngineComparison, bootstrap_ci, compare_engines, mann_whitney_u
+
+__all__ = [
+    "FigureSeries",
+    "ascii_plot",
+    "bootstrap_ci",
+    "mann_whitney_u",
+    "compare_engines",
+    "EngineComparison",
+]

@@ -1,0 +1,74 @@
+"""Terminal plotting for figure series.
+
+The reproduction has no plotting dependency; :func:`ascii_plot` renders any
+:class:`~repro.analysis.series.FigureSeries` as a text chart so bench output
+and examples can show the figure shapes directly in a terminal or log.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .series import FigureSeries
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, round(pos * (size - 1))))
+
+
+def ascii_plot(
+    figure: FigureSeries,
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render a figure as an ASCII chart with a legend."""
+    points = [
+        (x, y)
+        for series in figure.series.values()
+        for x, y in series
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points:
+        return f"{figure.title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if logx and min(xs) <= 0:
+        logx = False
+    if logy and min(ys) <= 0:
+        logy = False
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, series) in enumerate(figure.series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} {label}")
+        for x, y in series:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = _scale(x, xlo, xhi, width, logx)
+            row = height - 1 - _scale(y, ylo, yhi, height, logy)
+            grid[row][col] = marker
+    lines = [figure.title]
+    lines.append(f"{yhi:.4g} ({figure.ylabel})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append(f"{ylo:.4g} +" + "-" * (width - 1))
+    lines.append(
+        f"   {xlo:.4g} .. {xhi:.4g} ({figure.xlabel})"
+        + ("  [log x]" if logx else "")
+        + ("  [log y]" if logy else "")
+    )
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Figure series containers — the data behind each reproduced figure."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["FigureSeries"]
+
+
+@dataclass
+class FigureSeries:
+    """The plottable content of one paper figure.
+
+    Attributes:
+        name: Figure identifier (e.g. ``"fig4"``).
+        title: Figure caption.
+        xlabel / ylabel: Axis labels.
+        series: Mapping of curve label to (x, y) points.
+        notes: Headline numbers (speedups, eval counts, thresholds) used by
+            EXPERIMENTS.md and bench output.
+    """
+
+    name: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def add(self, label: str, points: Sequence[tuple[float, float]]) -> None:
+        """Add one named curve."""
+        self.series[label] = [(float(x), float(y)) for x, y in points]
+
+    def note(self, key: str, value: Any) -> None:
+        """Record a headline number."""
+        self.notes[key] = value
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write all curves as long-format CSV (series, x, y)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["series", "x", "y"])
+            for label, points in self.series.items():
+                for x, y in points:
+                    writer.writerow([label, x, y])
+
+    def summary_rows(self) -> list[str]:
+        """Human-readable per-series summary lines."""
+        rows = [f"{self.name}: {self.title}"]
+        for label, points in self.series.items():
+            if not points:
+                continue
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            rows.append(
+                f"  {label:34s} n={len(points):5d}  "
+                f"x:[{min(xs):.5g}, {max(xs):.5g}]  "
+                f"y:[{min(ys):.5g}, {max(ys):.5g}]  final y={ys[-1]:.5g}"
+            )
+        for key, value in self.notes.items():
+            rows.append(f"  note {key} = {value}")
+        return rows

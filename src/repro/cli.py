@@ -1,0 +1,289 @@
+"""Command-line interface: ``nautilus`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``characterize`` — build (or refresh) the offline datasets (Section 4.1's
+  cluster step).
+* ``optimize`` — run a baseline or guided search on one of the bundled IP
+  spaces and print the result.
+* ``figure`` — regenerate a paper figure and render it as an ASCII chart
+  (optionally dumping the series to CSV).
+* ``estimate`` — run the 80-design sweep and print the derived hints.
+* ``simulate`` — run the flit-level NoC simulator on a topology and print
+  the latency/throughput curve.
+* ``report`` — compile the benchmark artifacts in ``results/`` into
+  RESULTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import ascii_plot
+from .core import (
+    DatasetEvaluator,
+    GAConfig,
+    GeneticSearch,
+    RandomSearch,
+    estimate_hints,
+    maximize,
+    minimize,
+)
+
+__all__ = ["main"]
+
+_FIGURES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7")
+
+_QUERIES = {
+    # name: (space, metric, direction, hints factory)
+    "noc-frequency": ("noc", "fmax_mhz", "max", "frequency"),
+    "noc-area-delay": ("noc", "area_delay", "min", "area_delay"),
+    "fft-luts": ("fft", "luts", "min", "lut"),
+    "fft-throughput-per-lut": ("fft", "msps_per_lut", "max", "tput"),
+    "fir-area": ("fir", "luts", "min", "fir_area"),
+}
+
+
+def _load(space_name: str):
+    from .dataset import fft_dataset, fir_dataset, router_dataset
+
+    if space_name == "noc":
+        return router_dataset()
+    if space_name == "fir":
+        return fir_dataset()
+    return fft_dataset()
+
+
+def _hints(kind: str, confidence: float | None):
+    from .dsp import fir_area_hints
+    from .fft import lut_hints, throughput_per_lut_hints
+    from .noc import area_delay_hints, frequency_hints
+
+    factory = {
+        "frequency": frequency_hints,
+        "area_delay": area_delay_hints,
+        "lut": lut_hints,
+        "tput": throughput_per_lut_hints,
+        "fir_area": fir_area_hints,
+    }[kind]
+    return factory(confidence) if confidence is not None else factory()
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .dataset import data_dir, fft_dataset, fir_dataset, router_dataset
+
+    targets = {"noc": router_dataset, "fft": fft_dataset, "fir": fir_dataset}
+    names = [args.space] if args.space != "all" else list(targets)
+    for name in names:
+        dataset = targets[name](refresh=args.refresh)
+        print(
+            f"{name}: {len(dataset)} designs characterized "
+            f"({dataset.feasible_count} feasible) -> {data_dir()}"
+        )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    space_name, metric, direction, hint_kind = _QUERIES[args.query]
+    dataset = _load(space_name)
+    if args.metric:
+        from .core import objective_from_expression
+
+        objective = objective_from_expression(
+            args.metric, args.direction or direction
+        )
+        hint_kind = None
+    else:
+        objective = (
+            maximize(metric) if direction == "max" else minimize(metric)
+        )
+    evaluator = DatasetEvaluator(dataset)
+    if args.engine == "random":
+        search = RandomSearch(
+            dataset.space, evaluator, objective, budget=args.budget, seed=args.seed
+        )
+    else:
+        hints = None
+        if args.engine == "nautilus" and hint_kind is not None:
+            hints = _hints(hint_kind, args.confidence)
+        search = GeneticSearch(
+            dataset.space,
+            evaluator,
+            objective,
+            GAConfig(generations=args.generations, seed=args.seed),
+            hints=hints,
+        )
+    result = search.run()
+    best = dataset.best_value(objective)
+    print(
+        f"query      : {args.query} "
+        f"({objective.direction} {objective.name})"
+    )
+    print(f"engine     : {args.engine}")
+    print(f"best found : {result.best_raw:.4g} (space optimum {best:.4g})")
+    print(f"evaluated  : {result.distinct_evaluations} distinct designs")
+    print(f"score      : {dataset.score_percent(objective, result.best_raw):.2f}% percentile")
+    print("configuration:")
+    for key, value in result.best_config.items():
+        print(f"  {key} = {value}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    kwargs = {}
+    if args.name not in ("fig1", "fig2"):
+        kwargs = {"runs": args.runs, "generations": args.generations}
+        if args.name == "fig5":
+            kwargs["generations"] = min(args.generations, 20)
+    builder = getattr(experiments, args.name.replace("fig", "figure"))
+    built = builder(**kwargs)
+    figures = built if isinstance(built, tuple) else (built,)
+    for figure in figures:
+        print(ascii_plot(figure, logx=figure.name.startswith("fig2"),
+                         logy=figure.name.startswith("fig2")))
+        for line in figure.summary_rows():
+            print(line)
+        if args.csv:
+            path = f"{figure.name}.csv"
+            figure.to_csv(path)
+            print(f"series written to {path}")
+        print()
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    space_name, metric, direction, __ = _QUERIES[args.query]
+    dataset = _load(space_name)
+    objective = maximize(metric) if direction == "max" else minimize(metric)
+    hints, used = estimate_hints(
+        dataset.space,
+        DatasetEvaluator(dataset),
+        objective,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    print(f"estimated hints for {args.query} using {used} designs:")
+    for name in dataset.space.param_names:
+        if name in hints.params:
+            h = hints.params[name]
+            print(f"  {name:18s} importance={h.importance:3d} bias={h.bias:+.2f}")
+        else:
+            print(f"  {name:18s} (no signal)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .noc import (
+        NetworkSimulator,
+        build_topology,
+        default_router_config,
+        make_pattern,
+        saturation_throughput,
+    )
+
+    topology = build_topology(args.topology, args.endpoints)
+    config = default_router_config(
+        topology.router_radix,
+        num_vcs=args.vcs,
+        buffer_depth=args.buffer_depth,
+    )
+    simulator = NetworkSimulator(topology, config, routing=args.routing)
+    pattern = make_pattern(args.pattern)
+    print(
+        f"{args.topology} x{args.endpoints} endpoints, "
+        f"{topology.num_routers} routers radix {topology.router_radix}, "
+        f"{args.vcs} VCs x depth {args.buffer_depth}, {args.pattern} traffic"
+    )
+    print(f"{'offered':>8s} {'delivered':>10s} {'latency cy':>11s} {'blocked':>8s}")
+    for rate in (0.02, 0.05, 0.1, 0.2, 0.35, 0.5):
+        report = simulator.run(rate, cycles=args.cycles, pattern=pattern)
+        print(
+            f"{report.offered_rate:8.2f} {report.delivered_rate:10.3f} "
+            f"{report.avg_latency_cycles:11.1f} {report.blocked_fraction:8.2%}"
+        )
+    saturation = saturation_throughput(simulator, cycles=args.cycles)
+    print(f"saturation throughput: {saturation:.3f} flits/endpoint/cycle")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import generate_report
+
+    path = generate_report(args.results_dir, args.output)
+    print(f"report written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nautilus",
+        description="Nautilus (DAC 2015) reproduction: guided-GA IP design space search.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="build the offline datasets")
+    p.add_argument("space", choices=("noc", "fft", "fir", "all"))
+    p.add_argument("--refresh", action="store_true", help="recharacterize even if cached")
+    p.set_defaults(fn=_cmd_characterize)
+
+    p = sub.add_parser("optimize", help="run one optimization query")
+    p.add_argument("query", choices=sorted(_QUERIES))
+    p.add_argument("--engine", choices=("baseline", "nautilus", "random"), default="nautilus")
+    p.add_argument(
+        "--metric",
+        default=None,
+        help="composite metric expression overriding the query's default, "
+        "e.g. 'fmax_mhz / (luts + 8 * brams)'",
+    )
+    p.add_argument("--direction", choices=("max", "min"), default=None)
+    p.add_argument("--confidence", type=float, default=None)
+    p.add_argument("--generations", type=int, default=80)
+    p.add_argument("--budget", type=int, default=400, help="random-search budget")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name", choices=_FIGURES)
+    p.add_argument("--runs", type=int, default=10)
+    p.add_argument("--generations", type=int, default=80)
+    p.add_argument("--csv", action="store_true", help="write series CSV")
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("estimate", help="derive hints from a parameter sweep")
+    p.add_argument("query", choices=sorted(_QUERIES))
+    p.add_argument("--budget", type=int, default=80)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_estimate)
+
+    p = sub.add_parser("simulate", help="flit-level NoC simulation")
+    from .noc.topology import TOPOLOGY_FAMILIES
+    from .noc.traffic import TRAFFIC_PATTERNS
+
+    p.add_argument("topology", choices=sorted(TOPOLOGY_FAMILIES))
+    p.add_argument("--endpoints", type=int, default=64)
+    p.add_argument("--vcs", type=int, default=2)
+    p.add_argument("--buffer-depth", type=int, default=8)
+    p.add_argument("--pattern", choices=sorted(TRAFFIC_PATTERNS), default="uniform")
+    p.add_argument(
+        "--routing", choices=("deterministic", "diverse"), default="deterministic"
+    )
+    p.add_argument("--cycles", type=int, default=1500)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("report", help="compile results/ into RESULTS.md")
+    p.add_argument("--results-dir", default=None)
+    p.add_argument("--output", default=None)
+    p.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

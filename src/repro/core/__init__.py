@@ -1,0 +1,165 @@
+"""Nautilus core: guided genetic algorithm for IP design space search.
+
+This subpackage is the paper's primary contribution — a generational GA
+extended with IP-author hints (importance, importance decay, bias, target,
+confidence, plus ordering/stepping auxiliaries) that steer the search toward
+profitable regions of an IP generator's parameter space while staying
+stochastic enough to recover from imperfect guidance.
+
+Typical usage::
+
+    from repro.core import (
+        DesignSpace, PowOfTwoParam, ChoiceParam, GAConfig,
+        GeneticSearch, HintSet, ParamHints, maximize,
+    )
+
+    space = DesignSpace("my_ip", [...])
+    hints = HintSet({"buffer_depth": ParamHints(importance=90, bias=-0.8)},
+                    confidence=0.7)
+    search = GeneticSearch(space, my_evaluator, maximize("fmax_mhz"),
+                           GAConfig(seed=1), hints=hints)
+    result = search.run()
+    print(result.best_raw, result.best_config)
+"""
+
+from .errors import (
+    DatasetError,
+    EvaluationError,
+    GenomeError,
+    HintError,
+    InfeasibleDesignError,
+    NautilusError,
+    ParameterError,
+    SpaceError,
+    SynthesisError,
+)
+from .params import (
+    BoolParam,
+    ChoiceParam,
+    IntParam,
+    OrderedParam,
+    Param,
+    PowOfTwoParam,
+)
+from .genome import Genome
+from .space import DesignSpace
+from .hints import DEFAULT_IMPORTANCE, HintSet, ParamHints
+from .operators import (
+    GeneticOperators,
+    single_point_crossover,
+    two_point_crossover,
+    uniform_crossover,
+)
+from .selection import (
+    Individual,
+    rank_selection,
+    roulette_selection,
+    tournament_selection,
+)
+from .fitness import Metrics, Objective, maximize, minimize
+from .evaluator import (
+    CallableEvaluator,
+    CountingEvaluator,
+    DatasetEvaluator,
+    Evaluator,
+)
+from .engine import (
+    GAConfig,
+    GenerationRecord,
+    GeneticSearch,
+    RandomSearch,
+    SearchResult,
+    exhaustive_best,
+)
+from .estimation import SweepObservation, estimate_hints
+from .expressions import (
+    ExpressionError,
+    objective_from_expression,
+    parse_expression,
+)
+from .adaptive import AdaptiveSearch
+from .checkpoint import CheckpointedSearch, SearchCheckpoint
+from .parallel import BatchEvaluator, ParallelEvaluator, evaluate_batch
+from .pareto import (
+    ParetoIndividual,
+    ParetoResult,
+    ParetoSearch,
+    crowding_distances,
+    dominates,
+    hypervolume_2d,
+    non_dominated_sort,
+)
+
+__all__ = [
+    # errors
+    "NautilusError",
+    "ParameterError",
+    "GenomeError",
+    "HintError",
+    "SpaceError",
+    "InfeasibleDesignError",
+    "EvaluationError",
+    "DatasetError",
+    "SynthesisError",
+    # parameters / genomes / spaces
+    "Param",
+    "IntParam",
+    "PowOfTwoParam",
+    "OrderedParam",
+    "ChoiceParam",
+    "BoolParam",
+    "Genome",
+    "DesignSpace",
+    # hints
+    "ParamHints",
+    "HintSet",
+    "DEFAULT_IMPORTANCE",
+    # operators / selection
+    "GeneticOperators",
+    "uniform_crossover",
+    "single_point_crossover",
+    "two_point_crossover",
+    "Individual",
+    "rank_selection",
+    "tournament_selection",
+    "roulette_selection",
+    # fitness / evaluation
+    "Objective",
+    "Metrics",
+    "maximize",
+    "minimize",
+    "Evaluator",
+    "CallableEvaluator",
+    "CountingEvaluator",
+    "DatasetEvaluator",
+    # engines
+    "GAConfig",
+    "GenerationRecord",
+    "SearchResult",
+    "GeneticSearch",
+    "RandomSearch",
+    "exhaustive_best",
+    # estimation
+    "estimate_hints",
+    "SweepObservation",
+    # composite-metric expressions
+    "parse_expression",
+    "objective_from_expression",
+    "ExpressionError",
+    # adaptive-confidence extension
+    "AdaptiveSearch",
+    "CheckpointedSearch",
+    "SearchCheckpoint",
+    # parallel evaluation
+    "BatchEvaluator",
+    "ParallelEvaluator",
+    "evaluate_batch",
+    # multi-objective extension
+    "ParetoIndividual",
+    "ParetoResult",
+    "ParetoSearch",
+    "dominates",
+    "non_dominated_sort",
+    "crowding_distances",
+    "hypervolume_2d",
+]

@@ -1,0 +1,105 @@
+"""Adaptive confidence — an extension beyond the paper.
+
+Section 3 calls balancing "the strength of the author's guidance (which will
+be imperfect) and the stochastic nature of the underlying GA" a particularly
+important issue, and leaves the confidence knob to the author. This module
+closes that loop: :class:`AdaptiveSearch` adjusts the confidence *during*
+the run from observed progress.
+
+Policy (deliberately simple and conservative):
+
+* while the best-so-far keeps improving, confidence relaxes back toward the
+  author's setting (the hints are earning their trust);
+* after ``patience`` generations without improvement, confidence is cut by
+  ``backoff`` — the search is likely stuck where the hints point, so it
+  hands control back to the baseline GA's unbiased exploration;
+* confidence never leaves ``[min_confidence, initial]``.
+
+With good hints the schedule stays near the author's confidence and matches
+plain Nautilus; with adversarially wrong hints it decays toward baseline
+behaviour instead of staying trapped — see
+``benchmarks/bench_ablation_adaptive.py``.
+"""
+
+from __future__ import annotations
+
+from .engine import GAConfig, GeneticSearch
+from .errors import NautilusError
+from .evaluator import Evaluator
+from .fitness import Objective
+from .hints import HintSet
+from .operators import GeneticOperators
+from .space import DesignSpace
+
+__all__ = ["AdaptiveSearch"]
+
+
+class AdaptiveSearch(GeneticSearch):
+    """A Nautilus engine whose confidence reacts to search progress.
+
+    Args:
+        patience: Generations without best-so-far improvement before the
+            confidence is reduced.
+        backoff: Multiplicative confidence reduction on each stall.
+        recovery: Multiplicative step back toward the author's confidence
+            on each improving generation.
+        min_confidence: Floor; 0 turns the engine into the baseline GA when
+            fully backed off.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        objective: Objective,
+        config: GAConfig | None = None,
+        hints: HintSet | None = None,
+        label: str = "",
+        patience: int = 6,
+        backoff: float = 0.6,
+        recovery: float = 1.15,
+        min_confidence: float = 0.05,
+    ):
+        if hints is None:
+            raise NautilusError("AdaptiveSearch requires hints to adapt")
+        if patience < 1:
+            raise NautilusError("patience must be >= 1")
+        if not 0.0 < backoff < 1.0:
+            raise NautilusError("backoff must be in (0, 1)")
+        if recovery < 1.0:
+            raise NautilusError("recovery must be >= 1")
+        super().__init__(
+            space, evaluator, objective, config, hints, label or "nautilus-adaptive"
+        )
+        self.patience = patience
+        self.backoff = backoff
+        self.recovery = recovery
+        self.min_confidence = min_confidence
+        self._author_confidence = self.hints.confidence
+        self._stall = 0
+        self._last_best = float("-inf")
+        #: (generation, confidence) trace for analysis/plots.
+        self.confidence_trace: list[tuple[int, float]] = []
+
+    def _set_confidence(self, confidence: float) -> None:
+        clamped = min(max(confidence, self.min_confidence), self._author_confidence)
+        self.hints = self.hints.with_confidence(clamped)
+        self.operators = GeneticOperators(
+            self.space, self.config.mutation_rate, self.hints
+        )
+
+    def _breed(self, population, generation, rng):
+        # Adapt once per generation, on its first breeding call.
+        if not self.confidence_trace or self.confidence_trace[-1][0] != generation:
+            best = max(ind.score for ind in population)
+            if best > self._last_best:
+                self._last_best = best
+                self._stall = 0
+                self._set_confidence(self.hints.confidence * self.recovery)
+            else:
+                self._stall += 1
+                if self._stall >= self.patience:
+                    self._stall = 0
+                    self._set_confidence(self.hints.confidence * self.backoff)
+            self.confidence_trace.append((generation, self.hints.confidence))
+        return super()._breed(population, generation, rng)

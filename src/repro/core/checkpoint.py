@@ -1,0 +1,252 @@
+"""Checkpoint/resume for long search campaigns.
+
+Against real CAD tools a Nautilus run is hours-to-days of synthesis jobs;
+losing the evaluation cache to a crash wastes all of it. A
+:class:`SearchCheckpoint` snapshots everything a generational search needs
+to continue — the current population, the RNG state, the per-generation
+records, and (crucially) the evaluation cache, so resumed runs never re-pay
+for a synthesized design.
+
+Snapshots are plain JSON: portable, inspectable, and independent of Python
+pickling across versions.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Any
+
+from .engine import GAConfig, GenerationRecord, GeneticSearch, SearchResult
+from .errors import NautilusError
+from .evaluator import Evaluator
+from .fitness import Objective
+from .hints import HintSet
+from .selection import Individual
+from .space import DesignSpace
+
+__all__ = ["SearchCheckpoint", "CheckpointedSearch"]
+
+_FORMAT_VERSION = 1
+
+
+def _rng_state_to_json(state) -> list:
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def _rng_state_from_json(payload) -> tuple:
+    version, internal, gauss = payload
+    return (version, tuple(internal), gauss)
+
+
+class SearchCheckpoint:
+    """Serializable snapshot of an in-flight generational search."""
+
+    def __init__(
+        self,
+        space_name: str,
+        generation: int,
+        population: list[dict[str, Any]],
+        rng_state: tuple,
+        records: list[dict[str, Any]],
+        cache: list[dict[str, Any]],
+    ):
+        self.space_name = space_name
+        self.generation = generation
+        self.population = population
+        self.rng_state = rng_state
+        self.records = records
+        self.cache = cache
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "format": _FORMAT_VERSION,
+            "space": self.space_name,
+            "generation": self.generation,
+            "population": self.population,
+            "rng_state": _rng_state_to_json(self.rng_state),
+            "records": self.records,
+            "cache": self.cache,
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)  # atomic: a crash never leaves a torn checkpoint
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SearchCheckpoint":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != _FORMAT_VERSION:
+            raise NautilusError(
+                f"unsupported checkpoint format {payload.get('format')!r}"
+            )
+        return cls(
+            space_name=payload["space"],
+            generation=payload["generation"],
+            population=payload["population"],
+            rng_state=_rng_state_from_json(payload["rng_state"]),
+            records=payload["records"],
+            cache=payload["cache"],
+        )
+
+
+class CheckpointedSearch(GeneticSearch):
+    """A :class:`GeneticSearch` that snapshots every N generations.
+
+    Args:
+        checkpoint_path: Where snapshots are written (atomically).
+        checkpoint_every: Generations between snapshots.
+
+    Use :meth:`resume` to continue from a snapshot: the population, RNG
+    stream, history and — most importantly — the cache of already-paid-for
+    evaluations are all restored, so the continued run is exactly the run
+    that would have happened without the interruption.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        objective: Objective,
+        config: GAConfig | None = None,
+        hints: HintSet | None = None,
+        label: str = "",
+        checkpoint_path: str | Path = "nautilus.ckpt.json",
+        checkpoint_every: int = 5,
+    ):
+        if checkpoint_every < 1:
+            raise NautilusError("checkpoint_every must be >= 1")
+        super().__init__(space, evaluator, objective, config, hints, label)
+        self.checkpoint_path = Path(checkpoint_path)
+        self.checkpoint_every = checkpoint_every
+        self._resume_from: SearchCheckpoint | None = None
+
+    # -- snapshotting -----------------------------------------------------------
+
+    def _snapshot(
+        self,
+        generation: int,
+        population: list[Individual],
+        rng: random.Random,
+        records: list[GenerationRecord],
+    ) -> None:
+        cache_rows = []
+        for key, value in self._counter._cache.items():
+            __, values = key
+            config = dict(zip(self.space.param_names, values))
+            if isinstance(value, Exception):
+                cache_rows.append({"config": config, "metrics": None})
+            else:
+                cache_rows.append({"config": config, "metrics": dict(value)})
+        SearchCheckpoint(
+            space_name=self.space.name,
+            generation=generation,
+            population=[ind.genome.as_dict() for ind in population],
+            rng_state=rng.getstate(),
+            records=[
+                {
+                    "generation": r.generation,
+                    "best_raw": r.best_raw,
+                    "best_score": r.best_score,
+                    "mean_score": r.mean_score,
+                    "distinct_evaluations": r.distinct_evaluations,
+                    "best_config": r.best_config,
+                }
+                for r in records
+            ],
+            cache=cache_rows,
+        ).save(self.checkpoint_path)
+
+    def resume(self, path: str | Path | None = None) -> "CheckpointedSearch":
+        """Load a snapshot; the next :meth:`run` continues from it.
+
+        The evaluation cache is restored immediately (so even pre-run
+        lookups are free); population, RNG stream and history are restored
+        when :meth:`run` starts.
+        """
+        checkpoint = SearchCheckpoint.load(path or self.checkpoint_path)
+        if checkpoint.space_name != self.space.name:
+            raise NautilusError(
+                f"checkpoint is for space {checkpoint.space_name!r}, "
+                f"not {self.space.name!r}"
+            )
+        from .errors import InfeasibleDesignError
+
+        for row in checkpoint.cache:
+            genome = self.space.genome(row["config"])
+            if row["metrics"] is None:
+                self._counter._cache[genome.key] = InfeasibleDesignError(
+                    "restored from checkpoint"
+                )
+            else:
+                self._counter._cache[genome.key] = row["metrics"]
+        self._counter._distinct = len(checkpoint.cache)
+        self._resume_from = checkpoint
+        return self
+
+    # -- the loop (mirrors GeneticSearch.run with snapshot/restore hooks) --------
+
+    def run(self) -> SearchResult:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        records: list[GenerationRecord] = []
+        if self._resume_from is not None:
+            checkpoint = self._resume_from
+            self._resume_from = None
+            rng.setstate(checkpoint.rng_state)
+            population = [
+                self._assess(self.space.genome(config))
+                for config in checkpoint.population
+            ]
+            records = [
+                GenerationRecord(
+                    generation=r["generation"],
+                    best_raw=r["best_raw"],
+                    best_score=r["best_score"],
+                    mean_score=r["mean_score"],
+                    distinct_evaluations=r["distinct_evaluations"],
+                    best_config=r["best_config"],
+                )
+                for r in checkpoint.records
+            ]
+            start_generation = checkpoint.generation + 1
+            best = max(population, key=lambda ind: ind.score)
+            for record in records:
+                if record.best_score > best.score:
+                    best = self._assess(self.space.genome(record.best_config))
+        else:
+            population = self._assess_all(
+                self.space.random_population(cfg.population_size, rng)
+            )
+            best = max(population, key=lambda ind: ind.score)
+            records.append(self._record(0, population, best))
+            start_generation = 1
+
+        for generation in range(start_generation, cfg.generations + 1):
+            if (
+                cfg.max_evaluations is not None
+                and self._counter.distinct_evaluations >= cfg.max_evaluations
+            ):
+                break
+            elites = sorted(population, key=lambda i: i.score, reverse=True)
+            next_genomes = [e.genome for e in elites[: cfg.elitism]]
+            while len(next_genomes) < cfg.population_size:
+                next_genomes.append(self._breed(population, generation, rng))
+            population = self._assess_all(next_genomes)
+            gen_best = max(population, key=lambda ind: ind.score)
+            if gen_best.score > best.score:
+                best = gen_best
+            records.append(self._record(generation, population, best))
+            if generation % self.checkpoint_every == 0:
+                self._snapshot(generation, population, rng, records)
+        self._snapshot(records[-1].generation, population, rng, records)
+        return SearchResult(
+            self.objective,
+            records,
+            best,
+            self._counter.distinct_evaluations,
+            label=self.label,
+        )

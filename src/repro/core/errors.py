@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Nautilus core engine.
+
+All library-specific errors derive from :class:`NautilusError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class NautilusError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(NautilusError):
+    """A parameter specification is malformed or a value is out of domain."""
+
+
+class GenomeError(NautilusError):
+    """A genome is inconsistent with the design space that owns it."""
+
+
+class HintError(NautilusError):
+    """An IP-author hint is malformed (range, unknown parameter, conflicts)."""
+
+
+class SpaceError(NautilusError):
+    """A design space is malformed (duplicate names, empty, no feasible point)."""
+
+
+class InfeasibleDesignError(NautilusError):
+    """Raised by an evaluator when a design point cannot be built.
+
+    The paper (Section 3, auxiliary settings) calls out "sparsely populated
+    design spaces that include infeasible points or regions"; evaluators
+    signal such points with this exception and the engine assigns them a
+    fitness of minus infinity.
+    """
+
+
+class EvaluationError(NautilusError):
+    """An evaluator failed for a reason other than design infeasibility."""
+
+
+class DatasetError(NautilusError):
+    """A characterized dataset is missing, malformed, or incomplete."""
+
+
+class SynthesisError(NautilusError):
+    """The miniature synthesis flow rejected a netlist."""

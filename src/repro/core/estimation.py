@@ -1,0 +1,217 @@
+"""Empirical hint estimation — the paper's non-expert methodology.
+
+Section 3 closes with: "an IP user could try sweeping each IP parameter
+independently and then observe how the various metrics of interest respond
+to estimate approximate hint values", and Section 4.1 applies exactly that
+for the NoC experiments: "we estimated hints by synthesizing 80 designs
+(less than 0.3% of the design space) and observing trends".
+
+:func:`estimate_hints` implements the recipe: starting from a base
+configuration it sweeps each parameter independently on a small budget,
+then derives
+
+* **bias** from the rank correlation (Spearman) between the parameter's
+  ordinal index and the observed metric, and
+* **importance** from the relative span of the metric over the sweep,
+  scaled into the paper's 1..100 range.
+
+Parameters whose sweep shows no signal keep default hints.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from .errors import InfeasibleDesignError
+from .evaluator import CountingEvaluator, Evaluator
+from .fitness import Objective
+from .genome import Genome
+from .hints import HintSet, ParamHints, IMPORTANCE_MAX, IMPORTANCE_MIN
+from .space import DesignSpace
+
+__all__ = ["estimate_hints", "SweepObservation"]
+
+
+class SweepObservation:
+    """Raw result of sweeping one parameter: (value, raw metric) pairs."""
+
+    def __init__(self, param_name: str, points: list[tuple[int, float]]):
+        self.param_name = param_name
+        #: (ordinal index, raw metric) pairs, sorted by index.
+        self.points = sorted(points)
+
+    def span(self) -> float:
+        """Absolute metric variation over the sweep."""
+        values = [m for _, m in self.points]
+        return max(values) - min(values) if values else 0.0
+
+    def spearman(self) -> float:
+        """Spearman rank correlation of ordinal index vs metric (-1..1)."""
+        n = len(self.points)
+        if n < 2:
+            return 0.0
+        metrics = [m for _, m in self.points]
+        if len(set(metrics)) == 1:
+            return 0.0
+        index_ranks = _ranks([i for i, _ in self.points])
+        metric_ranks = _ranks(metrics)
+        return _pearson(index_ranks, metric_ranks)
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Fractional ranks (ties get the mean of their positions)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx <= 0.0 or vy <= 0.0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)
+
+
+def _sweep_indices(cardinality: int, budget: int) -> list[int]:
+    """Evenly spaced ordinal indices covering a domain within a budget."""
+    if cardinality <= budget:
+        return list(range(cardinality))
+    step = (cardinality - 1) / (budget - 1)
+    indices = sorted({round(i * step) for i in range(budget)})
+    return indices
+
+
+def estimate_hints(
+    space: DesignSpace,
+    evaluator: Evaluator,
+    objective: Objective,
+    budget: int = 80,
+    base: Genome | None = None,
+    confidence: float = 0.5,
+    seed: int | None = None,
+    min_bias: float = 0.2,
+    refine: bool = True,
+) -> tuple[HintSet, int]:
+    """Estimate a hint set from independent per-parameter sweeps.
+
+    Args:
+        space: The design space.
+        evaluator: Metric source (evaluations are counted; the budget refers
+            to distinct design points, matching the paper's "80 designs").
+        objective: Metric being optimized; biases are derived with respect to
+            its *raw* value (the engine reorients them for minimization).
+        budget: Total distinct evaluations allowed for the estimate.
+        base: Configuration to hold non-swept parameters at; a random
+            feasible point when omitted.
+        confidence: Confidence attached to the resulting hint set. Estimated
+            hints are the paper's "limited empirical knowledge", so moderate
+            values are appropriate.
+        seed: RNG seed for the base configuration draw.
+        min_bias: Correlations weaker than this are treated as noise and
+            left unhinted.
+        refine: After the first sweep, re-sweep around the best
+            configuration observed so far. Parameters whose effect only
+            shows near good regions (e.g. an allocator that is only ever on
+            the critical path of deeply pipelined routers) are invisible to
+            sweeps around random bases; refining captures them, which is
+            what a diligent IP user sweeping by hand would do too.
+
+    Returns:
+        The estimated :class:`HintSet` and the number of distinct designs
+        actually evaluated.
+    """
+    rng = random.Random(seed)
+    counter = CountingEvaluator(evaluator)
+    per_param = max(2, budget // max(len(space.params), 1))
+
+    best_seen: tuple[float, Genome] | None = None
+
+    def sweep_from(base_genome: Genome) -> list[SweepObservation]:
+        nonlocal best_seen
+        observations = []
+        for param in space.params:
+            points: list[tuple[int, float]] = []
+            for index in _sweep_indices(param.cardinality, per_param):
+                candidate = base_genome.replace(
+                    **{param.name: param.value_at(index)}
+                )
+                if not space.is_feasible(candidate):
+                    continue
+                if counter.distinct_evaluations >= budget and not counter.seen(
+                    candidate
+                ):
+                    continue
+                try:
+                    metrics = counter.evaluate(candidate)
+                except InfeasibleDesignError:
+                    continue
+                raw = objective.raw(metrics)
+                score = objective.score(metrics)
+                if best_seen is None or score > best_seen[0]:
+                    best_seen = (score, candidate)
+                points.append((index, raw))
+            observations.append(SweepObservation(param.name, points))
+        return observations
+
+    # Sweep around as many base configurations as the budget allows; each
+    # base contributes an independent per-parameter trend observation, and
+    # the trends are averaged. One sweep touches roughly the sum of domain
+    # cardinalities, so an 80-design budget typically buys 2-4 bases.
+    all_sweeps: list[list[SweepObservation]] = []
+    all_sweeps.append(sweep_from(base if base is not None else space.random_genome(rng)))
+    while counter.distinct_evaluations < budget:
+        before = counter.distinct_evaluations
+        if refine and best_seen is not None:
+            next_base = best_seen[1]
+        else:
+            next_base = space.random_genome(rng)
+        all_sweeps.append(sweep_from(next_base))
+        if counter.distinct_evaluations == before:
+            break  # budget exhausted mid-sweep; no new information
+
+    hints: dict[str, ParamHints] = {}
+    # Average per-base span and correlation per parameter.
+    param_names = [p.name for p in space.params]
+    mean_span: dict[str, float] = {}
+    mean_corr: dict[str, float] = {}
+    for position, name in enumerate(param_names):
+        spans = []
+        corrs = []
+        for sweep in all_sweeps:
+            obs = sweep[position]
+            if len(obs.points) >= 2:
+                spans.append(obs.span())
+                corrs.append(obs.spearman())
+        mean_span[name] = sum(spans) / len(spans) if spans else 0.0
+        mean_corr[name] = sum(corrs) / len(corrs) if corrs else 0.0
+    max_span = max(mean_span.values(), default=0.0)
+    for name in param_names:
+        if max_span <= 0.0 or mean_span[name] <= 0.0:
+            continue
+        correlation = mean_corr[name]
+        importance = IMPORTANCE_MIN + round(
+            (IMPORTANCE_MAX - IMPORTANCE_MIN) * (mean_span[name] / max_span)
+        )
+        bias = correlation if abs(correlation) >= min_bias else 0.0
+        if not space.param(name).ordered:
+            bias = 0.0  # no ordering information to act on
+        if importance == ParamHints().importance and bias == 0.0:
+            continue
+        hints[name] = ParamHints(importance=importance, bias=bias)
+    return HintSet(hints, confidence=confidence), counter.distinct_evaluations

@@ -1,0 +1,166 @@
+"""Evaluators — the bridge between genomes and design metrics.
+
+In the paper every fitness evaluation "requires running computationally
+expensive CAD tools ... and/or simulations", so the cost of a search is the
+number of *distinct* design points evaluated; revisiting an
+already-synthesized design is free. :class:`CountingEvaluator` implements
+exactly that accounting and is what every engine run wraps around the
+underlying evaluator.
+
+Three base evaluators are provided:
+
+* :class:`CallableEvaluator` — wraps any ``genome -> metrics`` function
+  (e.g. the miniature synthesis flow driven by an IP generator).
+* :class:`DatasetEvaluator` — replays an offline-characterized dataset,
+  mirroring the paper's methodology (Section 4.1: spaces were synthesized
+  offline on a cluster, then searches ran against the datasets).
+* :class:`InfeasibleAwareEvaluator` semantics are shared: evaluators raise
+  :class:`~repro.core.errors.InfeasibleDesignError` for unbuildable points
+  and the engine turns that into ``-inf`` fitness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, TYPE_CHECKING
+
+from .errors import DatasetError
+from .fitness import Metrics
+from .genome import Genome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dataset.dataset import Dataset
+
+__all__ = [
+    "Evaluator",
+    "CallableEvaluator",
+    "CountingEvaluator",
+    "DatasetEvaluator",
+]
+
+
+class Evaluator(Protocol):
+    """Anything that can turn a genome into a metrics dict."""
+
+    def evaluate(self, genome: Genome) -> Metrics:
+        """Return the metrics for a design point.
+
+        Raises:
+            InfeasibleDesignError: The point cannot be built.
+        """
+        ...  # pragma: no cover
+
+
+class CallableEvaluator:
+    """Adapt a plain function into an :class:`Evaluator`."""
+
+    def __init__(self, fn: Callable[[Genome], Metrics]):
+        self._fn = fn
+
+    def evaluate(self, genome: Genome) -> Metrics:
+        return self._fn(genome)
+
+
+class CountingEvaluator:
+    """Memoizing wrapper that counts distinct design evaluations.
+
+    This is the paper's cost model: the x-axes of Figures 4-7 are
+    "# Designs Evaluated", i.e. the number of synthesis jobs, and "the GA
+    revisits previously-synthesized results as it converges" without paying
+    again (Section 4.2). Infeasible results are cached too — a failed
+    synthesis attempt still consumed a job.
+    """
+
+    def __init__(self, inner: Evaluator):
+        self._inner = inner
+        self._cache: dict[tuple, Metrics | Exception] = {}
+        self._distinct = 0
+        self._total_requests = 0
+
+    @property
+    def distinct_evaluations(self) -> int:
+        """Number of unique design points evaluated so far (synthesis jobs)."""
+        return self._distinct
+
+    @property
+    def total_requests(self) -> int:
+        """Number of evaluation requests, including cache hits."""
+        return self._total_requests
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests served from the cache."""
+        return self._total_requests - self._distinct
+
+    def evaluate(self, genome: Genome) -> Metrics:
+        self._total_requests += 1
+        key = genome.key
+        if key in self._cache:
+            cached = self._cache[key]
+            if isinstance(cached, Exception):
+                raise cached
+            return cached
+        self._distinct += 1
+        try:
+            metrics = self._inner.evaluate(genome)
+        except Exception as exc:
+            self._cache[key] = exc
+            raise
+        self._cache[key] = metrics
+        return metrics
+
+    def seen(self, genome: Genome) -> bool:
+        """Whether this design point has already been evaluated."""
+        return genome.key in self._cache
+
+    def evaluate_many(self, genomes) -> list:
+        """Evaluate a batch, exploiting the inner evaluator's parallelism.
+
+        Duplicates within the batch and already-cached designs are served
+        from the cache; only genuinely new designs reach the inner
+        evaluator — all at once via its ``evaluate_many`` when it has one
+        (see :class:`repro.core.parallel.ParallelEvaluator`). Returns one
+        metrics dict or exception per genome, in order.
+        """
+        from .parallel import evaluate_batch
+
+        fresh: list[Genome] = []
+        fresh_keys: set[tuple] = set()
+        for genome in genomes:
+            if genome.key not in self._cache and genome.key not in fresh_keys:
+                fresh.append(genome)
+                fresh_keys.add(genome.key)
+        if fresh:
+            self._distinct += len(fresh)
+            for genome, outcome in zip(fresh, evaluate_batch(self._inner, fresh)):
+                self._cache[genome.key] = outcome
+        results = []
+        for genome in genomes:
+            self._total_requests += 1
+            results.append(self._cache[genome.key])
+        return results
+
+
+class DatasetEvaluator:
+    """Serve metrics from an offline-characterized :class:`Dataset`.
+
+    Args:
+        dataset: The characterized dataset (see ``repro.dataset``).
+        strict: When True (default) a lookup miss raises
+            :class:`DatasetError`; a miss means the search space and dataset
+            disagree, which is always a setup bug.
+    """
+
+    def __init__(self, dataset: "Dataset", strict: bool = True):
+        self._dataset = dataset
+        self._strict = strict
+
+    def evaluate(self, genome: Genome) -> Metrics:
+        metrics = self._dataset.lookup(genome)
+        if metrics is None:
+            if self._strict:
+                raise DatasetError(
+                    f"design point {genome.as_dict()!r} not present in "
+                    f"dataset {self._dataset.name!r}"
+                )
+            raise DatasetError("dataset miss in non-strict mode")
+        return metrics

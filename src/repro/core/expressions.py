@@ -1,0 +1,176 @@
+"""Composite-metric expressions: ``"throughput_msps / luts"`` as a fitness.
+
+The paper stresses that fitness can be "a custom-defined composite function
+that can combine these metrics in arbitrary ways" (Section 2). This module
+gives that power to CLI users and config files through a tiny, safe
+arithmetic language over metric names:
+
+* numbers, metric identifiers, ``+ - * /``, unary minus, parentheses;
+* no function calls, no attribute access, no Python evaluation — a
+  hand-rolled recursive-descent parser over a strict token set, so a hint
+  file can never smuggle code;
+* unknown metrics fail at *evaluation* time with the metric name in the
+  error (evaluators differ in what they produce).
+
+Example::
+
+    objective = objective_from_expression("fmax_mhz / (luts + 2 * dsps)", "max")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from .errors import EvaluationError
+from .fitness import Metrics, Objective
+
+__all__ = ["parse_expression", "objective_from_expression", "ExpressionError"]
+
+
+class ExpressionError(EvaluationError):
+    """The expression text is malformed."""
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<number>\d+(?:\.\d+)?)|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>[-+*/()]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None or match.end() == position:
+            raise ExpressionError(
+                f"unexpected character {text[position]!r} at column {position}"
+            )
+        position = match.end()
+        for kind in ("number", "name", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+@dataclass(frozen=True)
+class _Node:
+    kind: str  # "num" | "name" | "binop" | "neg"
+    value: float | str = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+class _Parser:
+    """Recursive descent: expr := term (('+'|'-') term)*; term := factor
+    (('*'|'/') factor)*; factor := number | name | '-' factor | '(' expr ')'."""
+
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        self.position += 1
+        return token
+
+    def parse(self) -> _Node:
+        node = self.expr()
+        if self.peek() is not None:
+            raise ExpressionError(
+                f"unexpected trailing token {self.peek()[1]!r}"
+            )
+        return node
+
+    def expr(self) -> _Node:
+        node = self.term()
+        while self.peek() and self.peek()[1] in ("+", "-"):
+            op = self.take()[1]
+            node = _Node("binop", op, node, self.term())
+        return node
+
+    def term(self) -> _Node:
+        node = self.factor()
+        while self.peek() and self.peek()[1] in ("*", "/"):
+            op = self.take()[1]
+            node = _Node("binop", op, node, self.factor())
+        return node
+
+    def factor(self) -> _Node:
+        kind, value = self.take()
+        if kind == "number":
+            return _Node("num", float(value))
+        if kind == "name":
+            return _Node("name", value)
+        if value == "-":
+            return _Node("neg", left=self.factor())
+        if value == "(":
+            node = self.expr()
+            closing = self.take()
+            if closing[1] != ")":
+                raise ExpressionError(f"expected ')', got {closing[1]!r}")
+            return node
+        raise ExpressionError(f"unexpected token {value!r}")
+
+
+def _evaluate(node: _Node, metrics: Metrics) -> float:
+    if node.kind == "num":
+        return float(node.value)
+    if node.kind == "name":
+        try:
+            return float(metrics[node.value])
+        except KeyError:
+            raise EvaluationError(
+                f"expression refers to unknown metric {node.value!r}; "
+                f"available: {sorted(metrics)}"
+            ) from None
+    if node.kind == "neg":
+        return -_evaluate(node.left, metrics)
+    left = _evaluate(node.left, metrics)
+    right = _evaluate(node.right, metrics)
+    if node.value == "+":
+        return left + right
+    if node.value == "-":
+        return left - right
+    if node.value == "*":
+        return left * right
+    if right == 0.0:
+        raise EvaluationError(
+            "composite expression divided by zero (metric value was 0)"
+        )
+    return left / right
+
+
+def parse_expression(text: str) -> Callable[[Metrics], float]:
+    """Compile an expression into a ``metrics -> float`` callable."""
+    if not text or not text.strip():
+        raise ExpressionError("empty expression")
+    tree = _Parser(_tokenize(text)).parse()
+    return lambda metrics: _evaluate(tree, metrics)
+
+
+def objective_from_expression(
+    text: str, direction: str = "max", name: str | None = None
+) -> Objective:
+    """Build an :class:`Objective` from an expression string.
+
+    Plain metric names pass straight through (cheap lookup path); anything
+    with operators compiles through the parser.
+    """
+    stripped = text.strip()
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", stripped):
+        return Objective(stripped, direction, name=name)
+    return Objective(
+        parse_expression(stripped), direction, name=name or stripped
+    )

@@ -1,0 +1,105 @@
+"""Genomes — concrete design points in an IP design space.
+
+A :class:`Genome` is an immutable assignment of one domain value per
+parameter of a :class:`~repro.core.space.DesignSpace`. Genomes are hashable
+so evaluation caches can count *distinct* design points — the cost metric
+the paper reports on every x-axis ("# designs evaluated").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, TYPE_CHECKING
+
+from .errors import GenomeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .space import DesignSpace
+
+__all__ = ["Genome"]
+
+
+class Genome(Mapping[str, Any]):
+    """An immutable mapping of parameter name to value, bound to a space."""
+
+    __slots__ = ("_space", "_values", "_key")
+
+    def __init__(self, space: "DesignSpace", values: Mapping[str, Any]):
+        extra = set(values) - set(space.param_names)
+        if extra:
+            raise GenomeError(f"unknown parameters in genome: {sorted(extra)}")
+        missing = set(space.param_names) - set(values)
+        if missing:
+            raise GenomeError(f"genome missing parameters: {sorted(missing)}")
+        frozen = []
+        for param in space.params:
+            value = values[param.name]
+            if not param.contains(value):
+                raise GenomeError(
+                    f"value {value!r} not in domain of parameter {param.name!r}"
+                )
+            frozen.append(value)
+        self._space = space
+        self._values = tuple(frozen)
+        self._key = (space.name, self._values_key())
+
+    def _values_key(self) -> tuple:
+        return tuple(
+            tuple(v) if isinstance(v, list) else v for v in self._values
+        )
+
+    # -- Mapping interface ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[self._space.param_index(name)]
+        except KeyError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._space.param_names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def space(self) -> "DesignSpace":
+        """The design space this genome belongs to."""
+        return self._space
+
+    @property
+    def key(self) -> tuple:
+        """A hashable identity usable as a cache key across equal spaces."""
+        return self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Genome):
+            return NotImplemented
+        return self._key == other._key
+
+    # -- derivation ----------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "Genome":
+        """Return a new genome with some parameter values changed."""
+        values = dict(self.as_dict())
+        values.update(changes)
+        return Genome(self._space, values)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return the genome as a plain ``{name: value}`` dict."""
+        return dict(zip(self._space.param_names, self._values))
+
+    def index_vector(self) -> tuple[int, ...]:
+        """Return the genome as ordinal indices into each parameter domain."""
+        return tuple(
+            param.index_of(value)
+            for param, value in zip(self._space.params, self._values)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        assigns = ", ".join(f"{k}={v!r}" for k, v in self.as_dict().items())
+        return f"Genome({assigns})"

@@ -1,0 +1,115 @@
+"""Parallel fitness evaluation.
+
+Section 2 of the paper: "the population size effectively caps the available
+parallelism during the evaluation phase of the algorithm that calculates the
+fitness scores" — in production, each fitness evaluation is an independent
+CAD job that farms out to a cluster. This module provides that evaluation
+layer:
+
+* :class:`BatchEvaluator` — the protocol: anything with ``evaluate_many``.
+* :class:`ParallelEvaluator` — runs a batch of evaluations on a thread or
+  process pool. Results are returned in submission order and exceptions are
+  propagated per-design (an infeasible design doesn't poison its batch).
+
+The engines call ``evaluate_many`` when the evaluator provides it, falling
+back to sequential ``evaluate`` otherwise, so parallelism is purely opt-in
+and never changes results: a generation's designs are independent by
+construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Protocol, Sequence
+
+from .errors import NautilusError
+from .evaluator import Evaluator
+from .fitness import Metrics
+from .genome import Genome
+
+__all__ = ["BatchEvaluator", "ParallelEvaluator", "evaluate_batch"]
+
+
+class BatchEvaluator(Protocol):
+    """An evaluator that can process many designs at once."""
+
+    def evaluate(self, genome: Genome) -> Metrics: ...  # pragma: no cover
+
+    def evaluate_many(
+        self, genomes: Sequence[Genome]
+    ) -> list[Metrics | Exception]: ...  # pragma: no cover
+
+
+def evaluate_batch(
+    evaluator: Evaluator, genomes: Sequence[Genome]
+) -> list[Metrics | Exception]:
+    """Evaluate a batch, using ``evaluate_many`` when available.
+
+    Returns one entry per genome in order: the metrics dict, or the
+    exception the evaluation raised (callers re-raise or score as
+    infeasible as appropriate).
+    """
+    many = getattr(evaluator, "evaluate_many", None)
+    if many is not None:
+        return many(genomes)
+    results: list[Metrics | Exception] = []
+    for genome in genomes:
+        try:
+            results.append(evaluator.evaluate(genome))
+        except Exception as exc:
+            results.append(exc)
+    return results
+
+
+class ParallelEvaluator:
+    """Fan evaluation of a batch out to a worker pool.
+
+    Args:
+        inner: The underlying evaluator. For ``kind="process"`` it must be
+            picklable (module-level classes like
+            :class:`repro.noc.space.RouterEvaluator` are).
+        workers: Pool size. The useful maximum is the GA population size —
+            the paper's parallelism cap.
+        kind: ``"thread"`` (default; right for evaluators that release the
+            GIL or wrap external tools) or ``"process"`` (right for pure-
+            Python compute-bound evaluators).
+    """
+
+    def __init__(self, inner: Evaluator, workers: int = 4, kind: str = "thread"):
+        if workers < 1:
+            raise NautilusError("workers must be >= 1")
+        if kind not in ("thread", "process"):
+            raise NautilusError(f"kind must be 'thread' or 'process', got {kind!r}")
+        self.inner = inner
+        self.workers = workers
+        self.kind = kind
+
+    def _executor(self) -> Executor:
+        if self.kind == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def evaluate(self, genome: Genome) -> Metrics:
+        """Single-design evaluation passes straight through."""
+        return self.inner.evaluate(genome)
+
+    def evaluate_many(
+        self, genomes: Sequence[Genome]
+    ) -> list[Metrics | Exception]:
+        """Evaluate a batch concurrently, preserving order.
+
+        Per-design exceptions (e.g. ``InfeasibleDesignError``) are captured
+        and returned in place rather than aborting the batch — exactly how
+        a cluster of synthesis jobs behaves when one run fails.
+        """
+        if not genomes:
+            return []
+        with self._executor() as pool:
+            futures = [pool.submit(self.inner.evaluate, g) for g in genomes]
+            results: list[Metrics | Exception] = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    results.append(exc)
+            return results

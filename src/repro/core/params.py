@@ -1,0 +1,222 @@
+"""Parameter specifications — the "genes" of an IP design space.
+
+An IP generator exposes a set of named parameters. Each parameter has a
+finite domain. Nautilus operates on *ordinal indices* into that domain so a
+single guided-mutation implementation can serve integers, powers of two and
+categorical options alike:
+
+* :class:`IntParam` — integer range with a step, naturally ordered.
+* :class:`PowOfTwoParam` — powers of two (buffer depths, flit widths, ...).
+* :class:`OrderedParam` — explicit ordered list of arbitrary values. The
+  ordering is meaningful to the metric (the paper's auxiliary "ordering
+  relationships among values", Section 3).
+* :class:`ChoiceParam` — unordered categorical values. Bias/target hints do
+  not apply unless an ordering hint is supplied, which re-ranks the values.
+* :class:`BoolParam` — convenience two-valued parameter.
+
+All parameters are immutable value objects; randomness is injected through an
+explicit ``random.Random`` instance so every search is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+import random
+
+from .errors import ParameterError
+
+__all__ = [
+    "Param",
+    "IntParam",
+    "PowOfTwoParam",
+    "OrderedParam",
+    "ChoiceParam",
+    "BoolParam",
+]
+
+
+class Param:
+    """Base class for all parameter kinds.
+
+    Subclasses must populate ``self._values`` (the ordered domain) before
+    calling ``super().__init__`` finishes, or override the accessors.
+
+    Attributes:
+        name: Unique parameter name within a design space.
+        ordered: Whether the domain order is meaningful to metrics. Guided
+            value assignment (bias/target hints) only applies to ordered
+            parameters, or to unordered ones re-ranked by an ordering hint.
+    """
+
+    ordered: bool = True
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        if not name or not isinstance(name, str):
+            raise ParameterError(f"parameter name must be a non-empty string, got {name!r}")
+        if len(values) == 0:
+            raise ParameterError(f"parameter {name!r} has an empty domain")
+        seen = set()
+        for v in values:
+            key = self._freeze(v)
+            if key in seen:
+                raise ParameterError(f"parameter {name!r} has duplicate value {v!r}")
+            seen.add(key)
+        self.name = name
+        self._values = tuple(values)
+        self._index = {self._freeze(v): i for i, v in enumerate(self._values)}
+
+    @staticmethod
+    def _freeze(value: Any) -> Any:
+        """Return a hashable key for a domain value."""
+        if isinstance(value, list):
+            return tuple(value)
+        return value
+
+    # -- domain accessors ---------------------------------------------------
+
+    @property
+    def values(self) -> tuple:
+        """The ordered domain of the parameter."""
+        return self._values
+
+    @property
+    def cardinality(self) -> int:
+        """Number of values in the domain."""
+        return len(self._values)
+
+    def value_at(self, index: int) -> Any:
+        """Return the domain value at ordinal ``index``."""
+        if not 0 <= index < len(self._values):
+            raise ParameterError(
+                f"index {index} out of range for parameter {self.name!r} "
+                f"(cardinality {self.cardinality})"
+            )
+        return self._values[index]
+
+    def index_of(self, value: Any) -> int:
+        """Return the ordinal index of ``value`` in the domain."""
+        try:
+            return self._index[self._freeze(value)]
+        except KeyError:
+            raise ParameterError(
+                f"value {value!r} is not in the domain of parameter {self.name!r}"
+            ) from None
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` belongs to the domain."""
+        return self._freeze(value) in self._index
+
+    # -- sampling -----------------------------------------------------------
+
+    def random_value(self, rng: random.Random) -> Any:
+        """Draw a value uniformly at random from the domain."""
+        return self._values[rng.randrange(len(self._values))]
+
+    def random_other_value(self, current: Any, rng: random.Random) -> Any:
+        """Draw a uniform random value different from ``current`` if possible."""
+        if self.cardinality == 1:
+            return current
+        cur = self.index_of(current)
+        idx = rng.randrange(len(self._values) - 1)
+        if idx >= cur:
+            idx += 1
+        return self._values[idx]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self).__name__
+        if self.cardinality <= 8:
+            dom = ", ".join(repr(v) for v in self._values)
+        else:
+            dom = f"{self._values[0]!r}..{self._values[-1]!r} ({self.cardinality} values)"
+        return f"{kind}({self.name!r}, [{dom}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Param):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self.name == other.name
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name, self._values))
+
+
+class IntParam(Param):
+    """An integer range parameter ``low .. high`` inclusive, with a step."""
+
+    def __init__(self, name: str, low: int, high: int, step: int = 1):
+        if step <= 0:
+            raise ParameterError(f"parameter {name!r}: step must be positive, got {step}")
+        if high < low:
+            raise ParameterError(f"parameter {name!r}: high ({high}) < low ({low})")
+        super().__init__(name, tuple(range(low, high + 1, step)))
+        self.low = low
+        self.high = high
+        self.step = step
+
+
+class PowOfTwoParam(Param):
+    """Powers of two between ``low`` and ``high`` inclusive.
+
+    Hardware parameters such as buffer depths, FIFO sizes and flit widths are
+    almost always powers of two; the ordinal index is then the exponent
+    offset, which makes guided stepping geometric in the raw value — matching
+    how such parameters actually affect cost.
+    """
+
+    def __init__(self, name: str, low: int, high: int):
+        if low <= 0 or high <= 0:
+            raise ParameterError(f"parameter {name!r}: bounds must be positive")
+        if low & (low - 1) or high & (high - 1):
+            raise ParameterError(f"parameter {name!r}: bounds must be powers of two")
+        if high < low:
+            raise ParameterError(f"parameter {name!r}: high ({high}) < low ({low})")
+        values = []
+        v = low
+        while v <= high:
+            values.append(v)
+            v *= 2
+        super().__init__(name, tuple(values))
+        self.low = low
+        self.high = high
+
+
+class OrderedParam(Param):
+    """An explicitly ordered categorical parameter.
+
+    The order of ``values`` is meaningful: the IP author asserts that moving
+    "up" the list moves a metric consistently (e.g. allocator architectures
+    ordered from smallest/slowest to largest/fastest).
+    """
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        super().__init__(name, values)
+
+
+class ChoiceParam(Param):
+    """An unordered categorical parameter.
+
+    Bias and target hints have no meaning for a :class:`ChoiceParam` unless
+    the hint set supplies an ordering (see ``repro.core.hints.ParamHints``),
+    which provides the ordinal view used for guided assignment.
+    """
+
+    ordered = False
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        super().__init__(name, values)
+
+
+class BoolParam(Param):
+    """A two-valued parameter (False, True), ordered False < True."""
+
+    def __init__(self, name: str):
+        super().__init__(name, (False, True))

@@ -1,0 +1,301 @@
+"""Multi-objective (Pareto) search — an extension beyond the paper's queries.
+
+The paper's related-work section contrasts Nautilus with active-learning
+approaches that "model the entire Pareto-optimal set of design points across
+a multi-objective space" and argues query-based search scales better. Still,
+IP users often want to *see* a trade-off front (Figure 2 is one), so this
+module extends the engine with an NSGA-II-style multi-objective GA that
+reuses the whole Nautilus substrate:
+
+* the same genomes/spaces/evaluators (and distinct-evaluation accounting);
+* the same hint-guided mutation operators — importance, decay, orderings and
+  steps apply unchanged; bias/target hints, which are inherently directional,
+  are taken as authored (pointing at the region of interest);
+* classic fast non-dominated sorting plus crowding-distance selection
+  (Deb et al., 2002).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from .engine import GAConfig, _CROSSOVERS
+from .errors import InfeasibleDesignError, NautilusError
+from .evaluator import CountingEvaluator, Evaluator
+from .fitness import Objective
+from .genome import Genome
+from .hints import HintSet
+from .operators import GeneticOperators
+from .space import DesignSpace
+
+__all__ = [
+    "ParetoIndividual",
+    "ParetoResult",
+    "ParetoSearch",
+    "dominates",
+    "non_dominated_sort",
+    "crowding_distances",
+    "hypervolume_2d",
+]
+
+
+class ParetoIndividual:
+    """A genome scored against several objectives."""
+
+    __slots__ = ("genome", "raws", "scores", "rank", "crowding")
+
+    def __init__(self, genome: Genome, raws: tuple[float, ...], scores: tuple[float, ...]):
+        self.genome = genome
+        #: Raw metric values in objective order (natural signs).
+        self.raws = raws
+        #: Internal scores, each higher-is-better.
+        self.scores = scores
+        self.rank = 0
+        self.crowding = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParetoIndividual(raws={self.raws}, rank={self.rank})"
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether score vector ``a`` Pareto-dominates ``b`` (higher is better)."""
+    at_least_as_good = all(x >= y for x, y in zip(a, b))
+    strictly_better = any(x > y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def non_dominated_sort(
+    population: Sequence[ParetoIndividual],
+) -> list[list[ParetoIndividual]]:
+    """Fast non-dominated sorting into fronts (front 0 = non-dominated)."""
+    dominated_by: list[list[int]] = [[] for _ in population]
+    domination_count = [0] * len(population)
+    fronts: list[list[int]] = [[]]
+    for i, a in enumerate(population):
+        for j, b in enumerate(population):
+            if i == j:
+                continue
+            if dominates(a.scores, b.scores):
+                dominated_by[i].append(j)
+            elif dominates(b.scores, a.scores):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            population[i].rank = 0
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    population[j].rank = current + 1
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [
+        [population[i] for i in front] for front in fronts if front
+    ]
+
+
+def crowding_distances(front: Sequence[ParetoIndividual]) -> None:
+    """Assign crowding distances in place (extremes get infinity)."""
+    n = len(front)
+    for individual in front:
+        individual.crowding = 0.0
+    if n <= 2:
+        for individual in front:
+            individual.crowding = float("inf")
+        return
+    num_objectives = len(front[0].scores)
+    for m in range(num_objectives):
+        ordered = sorted(front, key=lambda ind: ind.scores[m])
+        ordered[0].crowding = float("inf")
+        ordered[-1].crowding = float("inf")
+        span = ordered[-1].scores[m] - ordered[0].scores[m]
+        if span <= 0.0:
+            continue
+        for k in range(1, n - 1):
+            ordered[k].crowding += (
+                ordered[k + 1].scores[m] - ordered[k - 1].scores[m]
+            ) / span
+
+
+def hypervolume_2d(
+    front: Sequence[tuple[float, float]], reference: tuple[float, float]
+) -> float:
+    """2-D hypervolume (higher-is-better scores) w.r.t. a reference point."""
+    points = sorted(
+        (p for p in front if p[0] > reference[0] and p[1] > reference[1]),
+        key=lambda p: p[0],
+    )
+    # Keep only the non-dominated staircase.
+    volume = 0.0
+    best_y = reference[1]
+    for x, y in sorted(points, key=lambda p: -p[0]):
+        if y > best_y:
+            volume += (x - reference[0]) * (y - best_y)
+            best_y = y
+    return volume
+
+
+class ParetoResult:
+    """Outcome of a multi-objective search."""
+
+    def __init__(
+        self,
+        objectives: Sequence[Objective],
+        front: list[ParetoIndividual],
+        distinct_evaluations: int,
+    ):
+        self.objectives = list(objectives)
+        self.front = front
+        self.distinct_evaluations = distinct_evaluations
+
+    def front_raws(self) -> list[tuple[float, ...]]:
+        """Raw metric tuples of the non-dominated set, sorted by the first."""
+        return sorted(ind.raws for ind in self.front)
+
+    def front_configs(self) -> list[dict[str, Any]]:
+        """Parameter assignments of the non-dominated set."""
+        return [ind.genome.as_dict() for ind in self.front]
+
+    def hypervolume(self, reference_raws: tuple[float, float]) -> float:
+        """2-objective hypervolume against a reference point in raw units."""
+        if len(self.objectives) != 2:
+            raise NautilusError("hypervolume() supports exactly 2 objectives")
+        ref = tuple(
+            raw if obj.maximizing else -raw
+            for obj, raw in zip(self.objectives, reference_raws)
+        )
+        points = [
+            tuple(
+                raw if obj.maximizing else -raw
+                for obj, raw in zip(self.objectives, ind.raws)
+            )
+            for ind in self.front
+        ]
+        return hypervolume_2d(points, ref)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParetoResult({len(self.front)} non-dominated designs, "
+            f"{self.distinct_evaluations} evals)"
+        )
+
+
+class ParetoSearch:
+    """NSGA-II-style multi-objective search over a design space.
+
+    Args:
+        space: Design space.
+        evaluator: Metric source (wrapped in a counting cache).
+        objectives: Two or more objectives; each may be a metric name
+            wrapped by :func:`~repro.core.fitness.maximize` /
+            :func:`~repro.core.fitness.minimize` or a composite.
+        config: Reuses :class:`~repro.core.engine.GAConfig`; multi-objective
+            runs usually want a larger population than single-query runs.
+        hints: Optional author hints; see the module docstring for how the
+            directional hints are interpreted.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        objectives: Sequence[Objective],
+        config: GAConfig | None = None,
+        hints: HintSet | None = None,
+    ):
+        if len(objectives) < 2:
+            raise NautilusError("ParetoSearch needs at least 2 objectives")
+        self.space = space
+        self.objectives = list(objectives)
+        self.config = config or GAConfig(population_size=24, elitism=1)
+        self._counter = CountingEvaluator(evaluator)
+        self.hints = hints
+        self.operators = GeneticOperators(space, self.config.mutation_rate, hints)
+        self._crossover = _CROSSOVERS[self.config.crossover]
+
+    def _assess(self, genome: Genome) -> ParetoIndividual:
+        try:
+            metrics = self._counter.evaluate(genome)
+        except InfeasibleDesignError:
+            worst = tuple(float("-inf") for _ in self.objectives)
+            nan = tuple(float("nan") for _ in self.objectives)
+            return ParetoIndividual(genome, nan, worst)
+        raws = tuple(obj.raw(metrics) for obj in self.objectives)
+        scores = tuple(obj.score(metrics) for obj in self.objectives)
+        return ParetoIndividual(genome, raws, scores)
+
+    @staticmethod
+    def _tournament(
+        population: Sequence[ParetoIndividual], rng: random.Random
+    ) -> ParetoIndividual:
+        a = population[rng.randrange(len(population))]
+        b = population[rng.randrange(len(population))]
+        if a.rank != b.rank:
+            return a if a.rank < b.rank else b
+        return a if a.crowding >= b.crowding else b
+
+    def run(self) -> ParetoResult:
+        """Evolve the population and return the final non-dominated set."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        population = [
+            self._assess(g)
+            for g in self.space.random_population(cfg.population_size, rng)
+        ]
+        self._rank(population)
+        for generation in range(1, cfg.generations + 1):
+            offspring: list[ParetoIndividual] = []
+            while len(offspring) < cfg.population_size:
+                parent = self._tournament(population, rng)
+                genome = parent.genome
+                if rng.random() < cfg.crossover_rate:
+                    other = self._tournament(population, rng)
+                    for _ in range(8):
+                        child = self._crossover(parent.genome, other.genome, rng)
+                        if self.space.is_feasible(child):
+                            genome = child
+                            break
+                genome = self.operators.mutate_feasible(genome, generation, rng)
+                offspring.append(self._assess(genome))
+            # Environmental selection over the combined pool.
+            pool = population + offspring
+            fronts = non_dominated_sort(pool)
+            survivors: list[ParetoIndividual] = []
+            for front in fronts:
+                crowding_distances(front)
+                if len(survivors) + len(front) <= cfg.population_size:
+                    survivors.extend(front)
+                else:
+                    remaining = cfg.population_size - len(survivors)
+                    survivors.extend(
+                        sorted(front, key=lambda ind: -ind.crowding)[:remaining]
+                    )
+                    break
+            population = survivors
+            self._rank(population)
+        finite = [
+            ind
+            for ind in population
+            if all(score != float("-inf") for score in ind.scores)
+        ]
+        fronts = non_dominated_sort(finite) if finite else [[]]
+        # Deduplicate identical genomes in the final front.
+        seen: set[tuple] = set()
+        front = []
+        for ind in fronts[0]:
+            if ind.genome.key not in seen:
+                seen.add(ind.genome.key)
+                front.append(ind)
+        return ParetoResult(
+            self.objectives, front, self._counter.distinct_evaluations
+        )
+
+    @staticmethod
+    def _rank(population: list[ParetoIndividual]) -> None:
+        for front in non_dominated_sort(population):
+            crowding_distances(front)

@@ -1,0 +1,111 @@
+"""Parent selection strategies for the generational GA.
+
+The paper (Section 2) describes a classic generational GA where fitness
+scores "are used during the ranking and selection process"; we provide the
+standard strategies, all operating on *already-scored* individuals so the
+selection layer never touches the evaluator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from .genome import Genome
+
+__all__ = [
+    "Individual",
+    "rank_selection",
+    "tournament_selection",
+    "roulette_selection",
+    "SELECTION_STRATEGIES",
+]
+
+
+class Individual:
+    """A genome together with its fitness score and raw metric value."""
+
+    __slots__ = ("genome", "score", "raw")
+
+    def __init__(self, genome: Genome, score: float, raw: float):
+        self.genome = genome
+        #: Internal fitness: always maximized by the engine.
+        self.score = score
+        #: Raw metric value as reported by the evaluator (for plotting).
+        self.raw = raw
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Individual(score={self.score:.4g}, raw={self.raw:.4g})"
+
+
+def rank_selection(
+    population: Sequence[Individual], rng: random.Random
+) -> Individual:
+    """Linear rank selection.
+
+    Individuals are weighted by their rank (best gets weight N, worst gets
+    1), which is robust to wildly different fitness scales — important here
+    because raw metrics span orders of magnitude (LUTs vs MHz vs MSPS/LUT).
+    """
+    ranked = sorted(population, key=lambda ind: ind.score)
+    n = len(ranked)
+    total = n * (n + 1) // 2
+    pick = rng.random() * total
+    acc = 0.0
+    for rank, individual in enumerate(ranked, start=1):
+        acc += rank
+        if pick <= acc:
+            return individual
+    return ranked[-1]
+
+
+def tournament_selection(
+    population: Sequence[Individual], rng: random.Random, size: int = 3
+) -> Individual:
+    """Pick the best of ``size`` uniformly drawn contestants.
+
+    Contestants are drawn with replacement, so sizes larger than the
+    population are meaningful (they sharpen selection pressure).
+    """
+    best = None
+    for _ in range(max(size, 1)):
+        contender = population[rng.randrange(len(population))]
+        if best is None or contender.score > best.score:
+            best = contender
+    return best
+
+
+def roulette_selection(
+    population: Sequence[Individual], rng: random.Random
+) -> Individual:
+    """Fitness-proportional selection with a shift to non-negative scores.
+
+    Infeasible individuals (score ``-inf``) get zero weight. If every score
+    is identical (or everything is infeasible) the draw is uniform.
+    """
+    finite = [ind.score for ind in population if ind.score != float("-inf")]
+    if not finite:
+        return population[rng.randrange(len(population))]
+    floor = min(finite)
+    weights = [
+        (ind.score - floor) if ind.score != float("-inf") else 0.0
+        for ind in population
+    ]
+    total = sum(weights)
+    if total <= 0.0:
+        return population[rng.randrange(len(population))]
+    pick = rng.random() * total
+    acc = 0.0
+    for individual, weight in zip(population, weights):
+        acc += weight
+        if pick <= acc:
+            return individual
+    return population[-1]
+
+
+#: Registry used by GAConfig to resolve a strategy by name.
+SELECTION_STRATEGIES: dict[str, Callable[[Sequence[Individual], random.Random], Individual]] = {
+    "rank": rank_selection,
+    "tournament": tournament_selection,
+    "roulette": roulette_selection,
+}

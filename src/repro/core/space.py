@@ -1,0 +1,164 @@
+"""Design spaces — the cartesian product of an IP generator's parameters.
+
+A :class:`DesignSpace` owns an ordered list of :class:`~repro.core.params.Param`
+objects plus optional *structural constraints* (predicates over a config dict)
+that carve infeasible combinations out of the product space. The paper's
+Section 3 notes Nautilus must stay robust under "sparsely populated design
+spaces that include infeasible points or regions"; constraints here model the
+statically-known part of that sparsity, while evaluators may still raise
+:class:`~repro.core.errors.InfeasibleDesignError` for points only discovered
+to be unbuildable at generation time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .errors import SpaceError
+from .genome import Genome
+from .params import Param
+
+__all__ = ["DesignSpace", "Constraint"]
+
+#: A structural constraint: returns True when the configuration is feasible.
+Constraint = Callable[[Mapping[str, Any]], bool]
+
+_MAX_SAMPLING_ATTEMPTS = 10_000
+
+
+class DesignSpace:
+    """An ordered collection of parameters with optional constraints.
+
+    Args:
+        name: A short identifier used in genome cache keys and datasets.
+        params: The parameters, in a stable order.
+        constraints: Structural feasibility predicates. A genome is feasible
+            only if *all* predicates return True on its config dict.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Param],
+        constraints: Iterable[Constraint] = (),
+    ):
+        if not params:
+            raise SpaceError(f"design space {name!r} has no parameters")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SpaceError(f"design space {name!r} has duplicate parameters: {dupes}")
+        self.name = name
+        self.params: tuple[Param, ...] = tuple(params)
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+        self._name_to_pos = {p.name: i for i, p in enumerate(self.params)}
+
+    # -- parameter lookup -----------------------------------------------------
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        """Parameter names in declaration order."""
+        return tuple(p.name for p in self.params)
+
+    def param(self, name: str) -> Param:
+        """Return the parameter named ``name``."""
+        try:
+            return self.params[self._name_to_pos[name]]
+        except KeyError:
+            raise SpaceError(f"no parameter {name!r} in design space {self.name!r}") from None
+
+    def param_index(self, name: str) -> int:
+        """Return the declaration position of parameter ``name``."""
+        try:
+            return self._name_to_pos[name]
+        except KeyError:
+            raise KeyError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._name_to_pos
+
+    # -- size -------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Total number of points in the *unconstrained* product space."""
+        total = 1
+        for p in self.params:
+            total *= p.cardinality
+        return total
+
+    def feasible_size(self) -> int:
+        """Number of structurally feasible points (enumerates the space)."""
+        if not self.constraints:
+            return self.size()
+        return sum(1 for _ in self.iter_genomes())
+
+    # -- construction of genomes -------------------------------------------------
+
+    def genome(self, values: Mapping[str, Any] | None = None, **kwargs: Any) -> Genome:
+        """Build a genome from a mapping and/or keyword arguments."""
+        merged: dict[str, Any] = dict(values or {})
+        merged.update(kwargs)
+        return Genome(self, merged)
+
+    def genome_from_indices(self, indices: Sequence[int]) -> Genome:
+        """Build a genome from ordinal indices into each parameter domain."""
+        if len(indices) != len(self.params):
+            raise SpaceError(
+                f"expected {len(self.params)} indices, got {len(indices)}"
+            )
+        values = {
+            p.name: p.value_at(i) for p, i in zip(self.params, indices)
+        }
+        return Genome(self, values)
+
+    def is_feasible(self, genome: Genome | Mapping[str, Any]) -> bool:
+        """Whether a config satisfies all structural constraints."""
+        config = genome.as_dict() if isinstance(genome, Genome) else dict(genome)
+        return all(constraint(config) for constraint in self.constraints)
+
+    def random_genome(self, rng: random.Random) -> Genome:
+        """Draw a uniform random *feasible* genome by rejection sampling."""
+        for _ in range(_MAX_SAMPLING_ATTEMPTS):
+            values = {p.name: p.random_value(rng) for p in self.params}
+            if self.is_feasible(values):
+                return Genome(self, values)
+        raise SpaceError(
+            f"could not sample a feasible point from {self.name!r} after "
+            f"{_MAX_SAMPLING_ATTEMPTS} attempts; the space may be empty"
+        )
+
+    def random_population(self, count: int, rng: random.Random) -> list[Genome]:
+        """Draw ``count`` feasible genomes, distinct when the space allows it."""
+        population: list[Genome] = []
+        seen: set[tuple] = set()
+        attempts = 0
+        while len(population) < count and attempts < _MAX_SAMPLING_ATTEMPTS:
+            attempts += 1
+            genome = self.random_genome(rng)
+            if genome.key in seen:
+                continue
+            seen.add(genome.key)
+            population.append(genome)
+        while len(population) < count:
+            # The space is smaller than the population; allow duplicates.
+            population.append(self.random_genome(rng))
+        return population
+
+    # -- enumeration -------------------------------------------------------------
+
+    def iter_genomes(self) -> Iterator[Genome]:
+        """Yield every structurally feasible genome (in lexicographic order)."""
+        domains = [p.values for p in self.params]
+        names = self.param_names
+        for combo in itertools.product(*domains):
+            values = dict(zip(names, combo))
+            if self.is_feasible(values):
+                yield Genome(self, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DesignSpace({self.name!r}, {len(self.params)} params, "
+            f"{self.size()} points)"
+        )

@@ -1,0 +1,19 @@
+"""Offline characterization datasets (the paper's Section 4.1 methodology)."""
+
+from .dataset import Dataset
+from .cache import (
+    data_dir,
+    fft_dataset,
+    fir_dataset,
+    load_or_characterize,
+    router_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "data_dir",
+    "load_or_characterize",
+    "router_dataset",
+    "fft_dataset",
+    "fir_dataset",
+]

@@ -1,0 +1,214 @@
+"""Characterized-design datasets.
+
+The paper's methodology (Section 4.1) characterizes each IP's design space
+*offline* ("a dedicated cluster with 200+ cores running non-stop for about 2
+weeks") and runs every search against the resulting dataset. A
+:class:`Dataset` is that artifact: one metrics dict per feasible design
+point, with JSON/CSV persistence and the summary statistics the evaluation
+needs (reference optimum, percentile thresholds, quality-of-results
+scoring).
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..core.errors import DatasetError, InfeasibleDesignError
+from ..core.fitness import Objective
+from ..core.genome import Genome
+from ..core.space import DesignSpace
+
+__all__ = ["Dataset"]
+
+
+def _freeze_config(space: DesignSpace, config: Mapping[str, Any]) -> tuple:
+    genome = config if isinstance(config, Genome) else Genome(space, config)
+    return genome.key
+
+
+class Dataset:
+    """All characterized design points of one space.
+
+    Rows map genome keys to metric dicts. Infeasible points (evaluator
+    raised :class:`InfeasibleDesignError`) are recorded with ``None`` so a
+    replayed search sees the same failures the characterization run did.
+    """
+
+    def __init__(self, name: str, space: DesignSpace):
+        self.name = name
+        self.space = space
+        self._rows: dict[tuple, dict[str, float] | None] = {}
+
+    # -- population ----------------------------------------------------------------
+
+    def record(
+        self, config: Genome | Mapping[str, Any], metrics: Mapping[str, float] | None
+    ) -> None:
+        """Store the metrics (or infeasibility marker) for one point."""
+        key = _freeze_config(self.space, config)
+        self._rows[key] = dict(metrics) if metrics is not None else None
+
+    @classmethod
+    def characterize(
+        cls,
+        space: DesignSpace,
+        evaluator,
+        name: str | None = None,
+        progress_every: int = 0,
+    ) -> "Dataset":
+        """Evaluate every structurally feasible point of a space.
+
+        This is the reproduction's stand-in for the paper's two-week cluster
+        run; the miniature flow makes it a seconds-to-minutes job.
+        """
+        dataset = cls(name or space.name, space)
+        for count, genome in enumerate(space.iter_genomes(), start=1):
+            try:
+                metrics = evaluator.evaluate(genome)
+            except InfeasibleDesignError:
+                metrics = None
+            dataset.record(genome, metrics)
+            if progress_every and count % progress_every == 0:
+                print(f"[characterize {dataset.name}] {count} designs done")
+        if not dataset._rows:
+            raise DatasetError(f"space {space.name!r} produced no rows")
+        return dataset
+
+    # -- access --------------------------------------------------------------------
+
+    def lookup(self, config: Genome | Mapping[str, Any]) -> dict[str, float] | None:
+        """Metrics for a point; None marks a characterized-infeasible point.
+
+        Raises:
+            DatasetError: The point was never characterized.
+        """
+        key = _freeze_config(self.space, config)
+        try:
+            row = self._rows[key]
+        except KeyError:
+            raise DatasetError(
+                f"design point not characterized in dataset {self.name!r}"
+            ) from None
+        if row is None:
+            raise InfeasibleDesignError(
+                f"design point recorded as infeasible in dataset {self.name!r}"
+            )
+        return row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def feasible_count(self) -> int:
+        return sum(1 for row in self._rows.values() if row is not None)
+
+    def iter_metrics(self) -> Iterator[dict[str, float]]:
+        """Yield the metric dicts of all feasible rows."""
+        return (row for row in self._rows.values() if row is not None)
+
+    def metric_values(self, objective: Objective) -> list[float]:
+        """All raw objective values over feasible rows."""
+        return [objective.raw(row) for row in self.iter_metrics()]
+
+    # -- statistics -----------------------------------------------------------------
+
+    def best_value(self, objective: Objective) -> float:
+        """The reference optimum of the space for an objective."""
+        values = self.metric_values(objective)
+        if not values:
+            raise DatasetError(f"dataset {self.name!r} has no feasible rows")
+        return max(values) if objective.maximizing else min(values)
+
+    def percentile_value(self, objective: Objective, top_percent: float) -> float:
+        """Raw value at the boundary of the top ``top_percent`` of designs.
+
+        ``top_percent=1.0`` returns the threshold a design must beat to be
+        "within the top 1%" — the paper's Figure 3/4 quality bar.
+        """
+        values = sorted(self.metric_values(objective), reverse=objective.maximizing)
+        if not values:
+            raise DatasetError(f"dataset {self.name!r} has no feasible rows")
+        index = max(0, math.ceil(len(values) * top_percent / 100.0) - 1)
+        return values[index]
+
+    def score_percent(self, objective: Objective, raw_value: float) -> float:
+        """Percentile rank of a raw value among all designs (100 = best).
+
+        This is the "Design Solution Score (in %)" of the paper's Figure 3.
+        """
+        values = self.metric_values(objective)
+        if not values:
+            raise DatasetError(f"dataset {self.name!r} has no feasible rows")
+        if objective.maximizing:
+            beaten = sum(1 for v in values if v <= raw_value)
+        else:
+            beaten = sum(1 for v in values if v >= raw_value)
+        return 100.0 * beaten / len(values)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the dataset as gzipped JSON (config values + metrics)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        names = self.space.param_names
+        rows = []
+        for key, metrics in self._rows.items():
+            __, values = key
+            rows.append({"config": dict(zip(names, values)), "metrics": metrics})
+        payload = {
+            "name": self.name,
+            "space": self.space.name,
+            "params": list(names),
+            "rows": rows,
+        }
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+
+    @classmethod
+    def load(cls, path: str | Path, space: DesignSpace) -> "Dataset":
+        """Load a dataset saved by :meth:`save`, validated against a space."""
+        path = Path(path)
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("space") != space.name:
+            raise DatasetError(
+                f"dataset {path} was characterized for space "
+                f"{payload.get('space')!r}, not {space.name!r}"
+            )
+        if tuple(payload.get("params", ())) != space.param_names:
+            raise DatasetError(f"dataset {path} has mismatched parameter names")
+        dataset = cls(payload.get("name", space.name), space)
+        for row in payload["rows"]:
+            dataset.record(row["config"], row["metrics"])
+        return dataset
+
+    def write_csv(self, path: str | Path) -> None:
+        """Export feasible rows as CSV (one column per param and metric)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        metric_names = sorted(
+            {name for row in self.iter_metrics() for name in row}
+        )
+        names = self.space.param_names
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(list(names) + metric_names)
+            for key, metrics in self._rows.items():
+                if metrics is None:
+                    continue
+                __, values = key
+                writer.writerow(
+                    list(values) + [metrics.get(m, "") for m in metric_names]
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset({self.name!r}, {len(self)} rows, "
+            f"{self.feasible_count} feasible)"
+        )

@@ -1,0 +1,42 @@
+"""DSP substrate: a parameterized FIR filter IP generator.
+
+A third IP domain beyond the paper's NoC and FFT generators, demonstrating
+that the hint taxonomy and search machinery transfer: a fixed 63-tap
+low-pass specification with five implementation parameters (word lengths,
+structure, multiplier style, folding factor) whose stopband attenuation is
+computed from the quantized coefficients' actual frequency response.
+"""
+
+from .fir import (
+    FirConfig,
+    MULTIPLIERS,
+    STRUCTURES,
+    build_fir,
+    fir_throughput_msps,
+    ideal_lowpass_taps,
+    quantize_taps,
+    stopband_attenuation_db,
+)
+from .space import (
+    FIR_TAPS,
+    FirEvaluator,
+    fir_area_hints,
+    fir_evaluator,
+    fir_space,
+)
+
+__all__ = [
+    "FirConfig",
+    "STRUCTURES",
+    "MULTIPLIERS",
+    "build_fir",
+    "fir_throughput_msps",
+    "ideal_lowpass_taps",
+    "quantize_taps",
+    "stopband_attenuation_db",
+    "FIR_TAPS",
+    "fir_space",
+    "FirEvaluator",
+    "fir_evaluator",
+    "fir_area_hints",
+]

@@ -1,0 +1,102 @@
+"""The FIR design space, evaluator and expert hints.
+
+All design points implement the same 63-tap low-pass specification (the
+functional-interchangeability requirement); the five implementation
+parameters span ~1.6k configurations — a third IP domain demonstrating that
+the hint taxonomy transfers beyond the paper's two generators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..core.evaluator import CallableEvaluator
+from ..core.genome import Genome
+from ..core.hints import HintSet, ParamHints
+from ..core.params import ChoiceParam, IntParam, OrderedParam
+from ..core.space import DesignSpace
+from ..synth.flow import SynthesisFlow
+from .fir import (
+    MULTIPLIERS,
+    STRUCTURES,
+    build_fir,
+    fir_throughput_msps,
+    stopband_attenuation_db,
+)
+
+__all__ = ["FIR_TAPS", "fir_space", "FirEvaluator", "fir_evaluator", "fir_area_hints"]
+
+#: Tap count of the reference specification.
+FIR_TAPS = 63
+
+#: Serialization factors offered by the generator (1 = fully parallel).
+_SERIALIZATIONS = (1, 2, 4, 8, 16, 32)
+
+
+def _symmetric_fold_limit(config: Mapping[str, Any]) -> bool:
+    if config["structure"] != "symmetric":
+        return True
+    return config["serialization"] <= (FIR_TAPS + 1) // 2
+
+
+def fir_space() -> DesignSpace:
+    """The 5-parameter FIR implementation space (~1.6k points)."""
+    return DesignSpace(
+        f"fir{FIR_TAPS}_lowpass",
+        [
+            IntParam("coeff_width", 8, 20),
+            IntParam("data_width", 8, 18, step=2),
+            ChoiceParam("structure", STRUCTURES),
+            OrderedParam("multiplier", MULTIPLIERS),
+            OrderedParam("serialization", _SERIALIZATIONS),
+        ],
+        constraints=[_symmetric_fold_limit],
+    )
+
+
+class FirEvaluator:
+    """Synthesize the filter and compute its numerical quality."""
+
+    def __init__(self, flow: SynthesisFlow | None = None):
+        self.flow = flow or SynthesisFlow()
+
+    def evaluate(self, genome: Genome | Mapping[str, Any]) -> dict[str, float]:
+        config = genome.as_dict() if isinstance(genome, Genome) else dict(genome)
+        config.setdefault("taps", FIR_TAPS)
+        report = self.flow.run(build_fir(config))
+        metrics = report.metrics()
+        msps = fir_throughput_msps(config, report.fmax_mhz)
+        metrics["throughput_msps"] = msps
+        metrics["msps_per_lut"] = msps / max(report.luts, 1)
+        metrics["stopband_db"] = stopband_attenuation_db(config["coeff_width"])
+        return metrics
+
+
+def fir_evaluator(flow: SynthesisFlow | None = None) -> CallableEvaluator:
+    """Convenience: a core-API evaluator over the FIR generator."""
+    evaluator = FirEvaluator(flow)
+    return CallableEvaluator(evaluator.evaluate)
+
+
+def fir_area_hints(confidence: float = 0.8) -> HintSet:
+    """Expert hints for minimizing LUTs under the fixed spec.
+
+    Filter-designer knowledge: fold as hard as possible (serialization is
+    by far the dominant area lever), exploit symmetry, keep DSP multipliers
+    (fabric multipliers explode LUT count), and trim word lengths.
+    """
+    return HintSet(
+        {
+            "serialization": ParamHints(importance=95, bias=-1.0),
+            "multiplier": ParamHints(importance=80, bias=1.0),
+            "structure": ParamHints(
+                importance=60,
+                bias=-0.8,
+                ordering=("symmetric", "transposed", "direct"),
+            ),
+            "data_width": ParamHints(importance=40, bias=0.8),
+            "coeff_width": ParamHints(importance=35, bias=0.8),
+        },
+        confidence=confidence,
+        importance_decay=0.04,
+    )

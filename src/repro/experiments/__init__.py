@@ -1,0 +1,31 @@
+"""Experiment harness: multi-run averaging and per-figure reproductions."""
+
+from .runner import MultiRunResult, ReachStats, run_many
+from .report import generate_report
+from .figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    ga_config,
+    search_variants,
+)
+
+__all__ = [
+    "MultiRunResult",
+    "ReachStats",
+    "run_many",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "ga_config",
+    "search_variants",
+    "generate_report",
+]

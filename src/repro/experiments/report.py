@@ -1,0 +1,108 @@
+"""Results report generation: compile bench artifacts into one markdown file.
+
+``nautilus report`` gathers everything the benchmark suite wrote under
+``results/`` — figure summaries, headline notes, ASCII charts — plus the
+dataset statistics, and renders a single ``RESULTS.md``. Useful for diffing
+reproduction runs (every number is deterministic) and for readers who want
+the outcome without re-running the suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..dataset.cache import data_dir
+
+__all__ = ["generate_report"]
+
+_FIGURE_ORDER = (
+    "fig1",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "figE1",
+    "figE2",
+)
+
+
+def _dataset_section() -> list[str]:
+    lines = ["## Datasets", ""]
+    try:
+        from ..dataset import fft_dataset, fir_dataset, router_dataset
+        from ..core import maximize, minimize
+
+        rows = [
+            ("NoC router", router_dataset(), maximize("fmax_mhz"), "fmax_mhz"),
+            ("Spiral FFT", fft_dataset(), minimize("luts"), "luts"),
+            ("FIR low-pass", fir_dataset(), minimize("luts"), "luts"),
+        ]
+        lines.append("| Space | Designs | Feasible | Reference optimum |")
+        lines.append("|---|---|---|---|")
+        for name, dataset, objective, metric in rows:
+            best = dataset.best_value(objective)
+            lines.append(
+                f"| {name} | {len(dataset)} | {dataset.feasible_count} "
+                f"| {objective.direction} {metric} = {best:.4g} |"
+            )
+    except Exception as exc:  # datasets missing: report what we can
+        lines.append(f"(datasets unavailable: {exc})")
+    lines.append("")
+    return lines
+
+
+def generate_report(
+    results_dir: str | Path | None = None,
+    output: str | Path | None = None,
+) -> Path:
+    """Render RESULTS.md from the artifacts in ``results/``.
+
+    Returns the path written. Figures that have not been benchmarked yet are
+    listed as missing rather than silently skipped.
+    """
+    results = Path(results_dir) if results_dir else (
+        Path(__file__).resolve().parents[3] / "results"
+    )
+    output_path = Path(output) if output else results.parent / "RESULTS.md"
+
+    lines = [
+        "# RESULTS — regenerated figures",
+        "",
+        "Compiled by `nautilus report` from the benchmark artifacts in "
+        f"`{results.name}/`. See EXPERIMENTS.md for paper-vs-measured "
+        "commentary.",
+        "",
+    ]
+    lines += _dataset_section()
+    lines.append("## Figures")
+    lines.append("")
+    found_any = False
+    for name in _FIGURE_ORDER:
+        text_path = results / f"{name}.txt"
+        if not text_path.exists():
+            lines.append(f"### {name}")
+            lines.append("")
+            lines.append(
+                f"*(not yet benchmarked — run `pytest benchmarks/ "
+                f"--benchmark-only` to generate)*"
+            )
+            lines.append("")
+            continue
+        found_any = True
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(text_path.read_text().rstrip())
+        lines.append("```")
+        csv_path = results / f"{name}.csv"
+        if csv_path.exists():
+            lines.append("")
+            lines.append(f"Series data: `{results.name}/{csv_path.name}`")
+        lines.append("")
+    if not found_any:
+        lines.append("*(no artifacts found)*")
+    output_path.write_text("\n".join(lines) + "\n")
+    return output_path

@@ -1,0 +1,47 @@
+"""FFT substrate: a Spiral-style streaming FFT IP generator.
+
+Implements the paper's second evaluation target: a generator of 1024-point
+FFT datapaths whose six implementation parameters (streaming width, radix,
+bit width, twiddle storage, scaling policy, architecture) span the ~12k
+design points of Section 4.1. Hardware metrics come from the miniature
+synthesis flow; the SNR metric is computed by actually simulating the
+fixed-point datapath (:mod:`repro.fft.fixedpoint`).
+"""
+
+from .fixedpoint import SCALING_MODES, fixed_point_fft, snr_db
+from .generator import (
+    ARCHITECTURES,
+    FFT_N,
+    FftConfig,
+    TWIDDLE_STORAGE,
+    build_fft,
+    fft_stages,
+    throughput_msps,
+)
+from .space import FftEvaluator, fft_evaluator, fft_space
+from .hints import (
+    STRONG_CONFIDENCE,
+    WEAK_CONFIDENCE,
+    lut_hints,
+    throughput_per_lut_hints,
+)
+
+__all__ = [
+    "FFT_N",
+    "FftConfig",
+    "build_fft",
+    "fft_stages",
+    "throughput_msps",
+    "ARCHITECTURES",
+    "TWIDDLE_STORAGE",
+    "SCALING_MODES",
+    "fixed_point_fft",
+    "snr_db",
+    "fft_space",
+    "FftEvaluator",
+    "fft_evaluator",
+    "lut_hints",
+    "throughput_per_lut_hints",
+    "WEAK_CONFIDENCE",
+    "STRONG_CONFIDENCE",
+]

@@ -1,0 +1,151 @@
+"""Fixed-point FFT arithmetic simulation — the SNR metric is *computed*.
+
+The paper lists "metrics specific to the IP domain (e.g., SNR values for the
+FFT IP)" among the characterized quantities. Rather than modeling SNR with a
+formula, this module actually runs the generated datapath's arithmetic: a
+decimation-in-time FFT over ``bit_width``-bit two's-complement values with
+the configured scaling policy, compared against double-precision
+``numpy.fft`` on random inputs.
+
+Scaling policies (the generator's ``scaling`` parameter):
+
+* ``"unscaled"`` — inputs are pre-scaled by 1/N so no stage can overflow;
+  cheap hardware, but log2(N) bits of headroom are wasted.
+* ``"per_stage"`` — divide by two after every radix-2 stage (rounding);
+  the classic fixed-scaling FFT.
+* ``"block_fp"`` — block floating point: each stage shifts only when the
+  block actually grew, tracking a shared exponent; best SNR, most control
+  logic.
+
+The radix matters too: a radix-r butterfly computes log2(r) levels in full
+precision internally and rounds once at its output, so higher radices
+quantize fewer times.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+import numpy as np
+
+__all__ = ["SCALING_MODES", "fixed_point_fft", "snr_db"]
+
+SCALING_MODES = ("unscaled", "per_stage", "block_fp")
+
+
+def _quantize(values: np.ndarray, bit_width: int, frac_bits: int) -> np.ndarray:
+    """Round to ``frac_bits`` fractional bits and saturate to ``bit_width``."""
+    scale = float(1 << frac_bits)
+    ints = np.round(values * scale)
+    limit = float(1 << (bit_width - 1))
+    ints = np.clip(ints, -limit, limit - 1)
+    return ints / scale
+
+
+def _quantize_complex(values: np.ndarray, bit_width: int, frac_bits: int) -> np.ndarray:
+    return (
+        _quantize(values.real, bit_width, frac_bits)
+        + 1j * _quantize(values.imag, bit_width, frac_bits)
+    )
+
+
+def fixed_point_fft(
+    x: np.ndarray,
+    bit_width: int,
+    scaling: str = "per_stage",
+    radix: int = 2,
+) -> tuple[np.ndarray, int]:
+    """Compute an N-point FFT in simulated fixed-point arithmetic.
+
+    Args:
+        x: Complex input vector, |Re|,|Im| < 1, length a power of two.
+        bit_width: Two's-complement word length of the datapath.
+        scaling: One of :data:`SCALING_MODES`.
+        radix: Butterfly radix (2, 4 or 8); controls how often intermediate
+            results are rounded back to ``bit_width`` bits.
+
+    Returns:
+        (spectrum, block_exponent): the fixed-point spectrum and the number
+        of power-of-two scalings applied (so the reference is
+        ``fft(x) / 2**block_exponent``).
+    """
+    if scaling not in SCALING_MODES:
+        raise ValueError(f"unknown scaling mode {scaling!r}")
+    n = len(x)
+    if n & (n - 1) or n < 2:
+        raise ValueError(f"FFT length must be a power of two >= 2, got {n}")
+    stages = int(math.log2(n))
+    frac_bits = bit_width - 1
+    quantize_every = max(1, int(math.log2(radix)))
+
+    data = np.asarray(x, dtype=np.complex128)
+    exponent = 0
+    if scaling == "unscaled":
+        data = data / n
+        exponent = stages
+    data = _quantize_complex(data, bit_width, frac_bits)
+    # Bit-reversal permutation (decimation in time).
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for bit in range(stages):
+        reversed_indices |= ((indices >> bit) & 1) << (stages - 1 - bit)
+    data = data[reversed_indices]
+
+    for stage in range(stages):
+        half = 1 << stage
+        span = half * 2
+        twiddle = np.exp(-2j * np.pi * np.arange(half) / span)
+        twiddle = _quantize_complex(twiddle, bit_width, frac_bits)
+        blocks = data.reshape(n // span, span)
+        top = blocks[:, :half].copy()
+        bottom = blocks[:, half:] * twiddle
+        blocks[:, :half] = top + bottom
+        blocks[:, half:] = top - bottom
+        data = blocks.reshape(n)
+
+        if scaling == "per_stage":
+            data = data / 2.0
+            exponent += 1
+        elif scaling == "block_fp":
+            peak = max(
+                float(np.max(np.abs(data.real))),
+                float(np.max(np.abs(data.imag))),
+                1e-30,
+            )
+            if peak >= 1.0:
+                shift = int(math.ceil(math.log2(peak + 1e-12))) or 1
+                data = data / (1 << shift)
+                exponent += shift
+        is_rounding_stage = (stage + 1) % quantize_every == 0 or stage == stages - 1
+        if is_rounding_stage:
+            data = _quantize_complex(data, bit_width, frac_bits)
+    return data, exponent
+
+
+@functools.lru_cache(maxsize=512)
+def snr_db(
+    bit_width: int,
+    scaling: str = "per_stage",
+    radix: int = 2,
+    n: int = 1024,
+    trials: int = 3,
+    seed: int = 1234,
+) -> float:
+    """Average output SNR (dB) of the fixed-point FFT vs numpy.fft.
+
+    Deterministic for a given argument tuple (seeded RNG + LRU cache), which
+    the offline characterization step relies on.
+    """
+    rng = np.random.default_rng(seed)
+    signal_power = 0.0
+    error_power = 0.0
+    for _ in range(trials):
+        x = (rng.uniform(-0.5, 0.5, n) + 1j * rng.uniform(-0.5, 0.5, n))
+        fixed, exponent = fixed_point_fft(x, bit_width, scaling, radix)
+        reference = np.fft.fft(x) / (2.0**exponent)
+        signal_power += float(np.sum(np.abs(reference) ** 2))
+        error_power += float(np.sum(np.abs(reference - fixed) ** 2))
+    if error_power <= 0.0:
+        return 200.0  # effectively exact
+    return 10.0 * math.log10(signal_power / error_power)

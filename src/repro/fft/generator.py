@@ -1,0 +1,339 @@
+"""Streaming/iterative FFT datapath generator (Spiral-style substrate).
+
+Stands in for the Spiral FFT IP generator [11] the paper evaluates on. A
+configuration selects the implementation of a fixed 1024-point transform —
+every design point is functionally interchangeable from the IP user's
+perspective, exactly as the paper requires — and :func:`build_fft` elaborates
+it into a structural module for the synthesis flow:
+
+* ``architecture``: ``"streaming"`` instantiates every stage (one column of
+  butterflies per log_radix(N) stage); ``"iterative"`` instantiates one
+  column and recirculates through a working memory.
+* ``streaming_width`` (w): complex samples accepted per cycle. Throughput is
+  ``w x Fmax`` for streaming designs and ``w x Fmax / stages`` for
+  iterative ones.
+* ``radix``: butterfly radix; bigger radices need fewer stages (fewer
+  memories, fewer rounding points) but each butterfly is larger.
+* ``bit_width``: datapath word length; drives every adder/multiplier size
+  and the computed SNR (:mod:`repro.fft.fixedpoint`).
+* ``twiddle_storage``: BRAM ROMs (cheap LUTs), LUT ROMs, or a CORDIC
+  rotator (no memory, lots of logic).
+* ``scaling``: overflow policy; block floating point adds detection and
+  normalization logic on top of the per-stage path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from ..synth.netlist import Module
+from ..synth.primitives import (
+    Adder,
+    BlockRam,
+    Counter,
+    LogicCloud,
+    LutRam,
+    Mux,
+    Register,
+    Rom,
+    ComplexMultiplier,
+    StreamingPermuter,
+)
+
+__all__ = ["FFT_N", "FftConfig", "build_fft", "fft_stages", "throughput_msps"]
+
+#: Transform size: all design points implement the same 1024-point FFT.
+FFT_N = 1024
+
+ARCHITECTURES = ("iterative", "streaming")
+#: Twiddle sources, ordered cheapest-LUTs first ("lut_rom_shared" is a single
+#: ROM time-multiplexed across lanes; "cordic" computes rotations in logic).
+TWIDDLE_STORAGE = ("bram_rom", "lut_rom_shared", "lut_rom", "cordic")
+
+#: RAM below this many bits maps to distributed RAM, above it to block RAM.
+_LUTRAM_LIMIT_BITS = 4096
+
+
+class FftConfig:
+    """A validated FFT generator configuration."""
+
+    __slots__ = (
+        "streaming_width",
+        "radix",
+        "bit_width",
+        "twiddle_storage",
+        "scaling",
+        "architecture",
+        "n",
+    )
+
+    def __init__(
+        self,
+        streaming_width: int,
+        radix: int,
+        bit_width: int,
+        twiddle_storage: str,
+        scaling: str,
+        architecture: str,
+        n: int = FFT_N,
+    ):
+        if architecture not in ARCHITECTURES:
+            raise ValueError(f"unknown architecture {architecture!r}")
+        if twiddle_storage not in TWIDDLE_STORAGE:
+            raise ValueError(f"unknown twiddle_storage {twiddle_storage!r}")
+        if radix not in (2, 4, 8):
+            raise ValueError(f"radix must be 2, 4 or 8, got {radix}")
+        if architecture == "streaming" and streaming_width < radix:
+            raise ValueError(
+                "streaming architectures need streaming_width >= radix "
+                f"(got w={streaming_width}, r={radix})"
+            )
+        if streaming_width & (streaming_width - 1):
+            raise ValueError("streaming_width must be a power of two")
+        self.streaming_width = streaming_width
+        self.radix = radix
+        self.bit_width = bit_width
+        self.twiddle_storage = twiddle_storage
+        self.scaling = scaling
+        self.architecture = architecture
+        self.n = n
+
+    @classmethod
+    def from_mapping(cls, config: Mapping[str, Any]) -> "FftConfig":
+        return cls(
+            streaming_width=config["streaming_width"],
+            radix=config["radix"],
+            bit_width=config["bit_width"],
+            twiddle_storage=config["twiddle_storage"],
+            scaling=config["scaling"],
+            architecture=config["architecture"],
+            n=config.get("n", FFT_N),
+        )
+
+    def name(self) -> str:
+        return (
+            f"fft{self.n}_{self.architecture}_w{self.streaming_width}"
+            f"r{self.radix}b{self.bit_width}_{self.twiddle_storage}"
+            f"_{self.scaling}"
+        )
+
+
+def fft_stages(config: FftConfig | Mapping[str, Any]) -> int:
+    """Number of radix-r stages for the transform (mixed-radix tail)."""
+    cfg = config if isinstance(config, FftConfig) else FftConfig.from_mapping(config)
+    return math.ceil(math.log2(cfg.n) / math.log2(cfg.radix))
+
+
+def _butterfly_adders(radix: int) -> int:
+    """Real adders in one radix-r butterfly (2 per complex addition)."""
+    complex_adds = radix * int(math.log2(radix))
+    return 2 * max(complex_adds, 2)
+
+
+def _add_memory(module: Module, name: str, depth: int, width: int, copies: int) -> None:
+    """Pick LUTRAM or BRAM by capacity, mirroring how XST infers RAM style."""
+    if depth * width <= _LUTRAM_LIMIT_BITS:
+        module.add(name, LutRam(depth, width), replicate=copies)
+    else:
+        module.add(name, BlockRam(depth, width), replicate=copies)
+
+
+def _add_twiddles(
+    module: Module, cfg: FftConfig, name: str, units: int, points_per_unit: int
+) -> str | None:
+    """Twiddle factor source for one column; returns the rotator node name
+    when the twiddle source *replaces* the complex multipliers (CORDIC)."""
+    width = 2 * cfg.bit_width
+    if cfg.twiddle_storage == "bram_rom":
+        module.add(name, BlockRam(max(points_per_unit, 32), width), replicate=units)
+        return None
+    if cfg.twiddle_storage == "lut_rom":
+        module.add(name, Rom(max(points_per_unit, 16), width), replicate=units)
+        return None
+    if cfg.twiddle_storage == "lut_rom_shared":
+        # One ROM feeds all lanes through a distribution mux.
+        module.add(name, Rom(max(points_per_unit, 16), width))
+        module.add(f"{name}_dist", Mux(width, max(units, 2)))
+        module.connect(name, f"{name}_dist")
+        return None
+    # CORDIC rotator: pipelined shift-add stages replace the multipliers.
+    module.add(
+        name,
+        LogicCloud(
+            luts=6 * cfg.bit_width,
+            levels=2,
+            ffs=8 * cfg.bit_width,
+        ),
+        replicate=units,
+    )
+    return name
+
+
+def build_fft(config: FftConfig | Mapping[str, Any]) -> Module:
+    """Elaborate an FFT configuration into a synthesizable module.
+
+    The module contains one or ``stages`` butterfly columns; each column is
+    a chain of butterfly adder levels -> twiddle rotation (pipelined complex
+    multipliers, or CORDIC rotators) -> inter-stage stride permutation
+    (switch network + lane memories) with a pipeline register per column, so
+    the critical path is one column's arithmetic regardless of transform
+    size — matching streaming FFT practice.
+    """
+    cfg = config if isinstance(config, FftConfig) else FftConfig.from_mapping(config)
+    module = Module(cfg.name())
+    w = cfg.streaming_width
+    module.add_port("sample_in", 2 * cfg.bit_width * w, "in")
+    module.add_port("sample_out", 2 * cfg.bit_width * w, "out")
+
+    stages = fft_stages(cfg)
+    columns = stages if cfg.architecture == "streaming" else 1
+    butterflies_per_column = max(1, w // cfg.radix)
+    lanes_with_twiddle = max(1, w - butterflies_per_column)
+    adder_levels = max(1, int(math.log2(cfg.radix)))
+    adders_per_level = _butterfly_adders(cfg.radix) * butterflies_per_column // adder_levels
+
+    module.add("input_reg", Register(2 * cfg.bit_width), replicate=w)
+    previous = "input_reg"
+    for col in range(columns):
+        # Butterfly: log2(radix) chained adder levels (the real arithmetic
+        # depth of a radix-r dragonfly of complex additions).
+        level_names = []
+        for level in range(adder_levels):
+            bfly = f"stage{col}_bfly_l{level}"
+            module.add(bfly, Adder(cfg.bit_width), replicate=max(adders_per_level, 2))
+            level_names.append(bfly)
+        module.chain(previous, *level_names)
+        bfly_out = level_names[-1]
+        # Per-output rounding/saturation after the butterfly.
+        sat = f"stage{col}_round_sat"
+        module.add(
+            sat,
+            LogicCloud(luts=cfg.bit_width // 4 + 1, levels=1),
+            replicate=w,
+        )
+        module.connect(bfly_out, sat)
+
+        twiddle = f"stage{col}_twiddle"
+        rotator = _add_twiddles(
+            module, cfg, twiddle, lanes_with_twiddle, cfg.n // max(w, 1)
+        )
+        if rotator is None:
+            cmult = f"stage{col}_twiddle_mult"
+            use_dsp = cfg.bit_width <= 2 * 18  # DSP cascades cover the space
+            module.add(
+                cmult,
+                ComplexMultiplier(cfg.bit_width, use_dsp=use_dsp),
+                replicate=lanes_with_twiddle,
+            )
+            if cfg.twiddle_storage == "lut_rom_shared":
+                module.connect(f"{twiddle}_dist", cmult)
+            else:
+                module.connect(twiddle, cmult)
+            rotation_out = cmult
+        else:
+            rotation_out = rotator
+        module.connect(sat, rotation_out)
+
+        switch = f"stage{col}_permute"
+        module.add(switch, StreamingPermuter(w, 2 * cfg.bit_width))
+        mem = f"stage{col}_perm_mem"
+        # Stride-permutation delay lines average N/(2w) samples per lane.
+        lane_depth = max(cfg.n // max(2 * w, 1), 4)
+        _add_memory(module, mem, lane_depth, 2 * cfg.bit_width, w)
+        agu = f"stage{col}_agu"
+        module.add(
+            agu,
+            LogicCloud(
+                luts=10 + 2 * max(cfg.n - 1, 2).bit_length(), levels=2, ffs=8
+            ),
+        )
+        pipe = f"stage{col}_reg"
+        module.add(pipe, Register(2 * cfg.bit_width), replicate=w)
+
+        module.connect(rotation_out, switch)
+        module.connect(switch, pipe)
+        module.connect(switch, mem)
+        module.connect(mem, pipe)
+        module.connect(agu, mem)
+        previous = pipe
+
+    if cfg.architecture == "iterative":
+        # Recirculation: working memory ping-pong plus the return path mux.
+        work_depth = max(2 * cfg.n // max(w, 1), 4)
+        _add_memory(module, "work_mem", work_depth, 2 * cfg.bit_width, 2 * w)
+        module.add("recirc_mux", Mux(2 * cfg.bit_width, 2), replicate=w)
+        module.connect(previous, "work_mem")
+        module.connect("work_mem", "recirc_mux")
+        module.connect("recirc_mux", "stage0_bfly_l0")
+
+    if cfg.scaling == "block_fp":
+        # Block exponent detection + barrel-shift normalization per lane.
+        module.add(
+            "bfp_detect",
+            LogicCloud(luts=3 * cfg.bit_width, levels=2, ffs=6),
+            replicate=w,
+        )
+        module.add(
+            "bfp_shift",
+            LogicCloud(
+                luts=cfg.bit_width * math.ceil(math.log2(cfg.bit_width)) // 2,
+                levels=2,
+            ),
+            replicate=w,
+        )
+        module.connect(previous, "bfp_detect")
+        module.connect("bfp_detect", "bfp_shift")
+        previous = "bfp_shift"
+    elif cfg.scaling == "per_stage":
+        module.add("scale_round", LogicCloud(luts=cfg.bit_width // 2, levels=1), replicate=w)
+        module.connect(previous, "scale_round")
+        previous = "scale_round"
+
+    module.add(
+        "control_fsm",
+        LogicCloud(luts=110 + 6 * stages, levels=2, ffs=60),
+    )
+    # Stream interface, handshaking and configuration/status registers —
+    # the fixed cost every generated core pays regardless of datapath size.
+    module.add("io_interface", LogicCloud(luts=72, levels=2, ffs=96))
+    module.add(
+        "twiddle_agu",
+        LogicCloud(luts=28 + cfg.bit_width, levels=2, ffs=16),
+        replicate=columns,
+    )
+    module.connect("io_interface", "input_reg")
+    module.connect("twiddle_agu", "control_fsm")
+    # Input/output reorder buffering (natural <-> bit-reversed order).
+    _add_memory(module, "reorder_mem", max(2 * cfg.n // max(w, 1), 4), 2 * cfg.bit_width, w)
+    module.add("reorder_agu", LogicCloud(luts=24 + 2 * max(cfg.n - 1, 2).bit_length(), levels=2, ffs=12))
+    module.connect("reorder_agu", "reorder_mem")
+
+    module.add("addr_counters", Counter(max(cfg.n - 1, 2).bit_length()), replicate=2)
+    module.connect("addr_counters", "control_fsm")
+    module.connect("control_fsm", "stage0_bfly_l0")
+
+    module.add("output_reg", Register(2 * cfg.bit_width), replicate=w)
+    if cfg.architecture == "iterative":
+        module.connect(previous, "reorder_mem")
+        module.connect("reorder_mem", "output_reg")
+    module.connect(previous, "output_reg")
+    return module
+
+
+def throughput_msps(
+    config: FftConfig | Mapping[str, Any], fmax_mhz: float
+) -> float:
+    """Sustained throughput in million samples per second.
+
+    Counts real samples (I and Q each), i.e. two per complex point per
+    cycle-lane — the convention that makes a streaming width-16 design at
+    ~250 MHz land in the multi-GSPS regime the Spiral generator reports.
+    Streaming designs accept ``w`` complex samples per cycle continuously;
+    iterative designs reuse one column for all stages, dividing throughput.
+    """
+    cfg = config if isinstance(config, FftConfig) else FftConfig.from_mapping(config)
+    per_cycle = 2 * cfg.streaming_width
+    if cfg.architecture == "iterative":
+        return fmax_mhz * per_cycle / fft_stages(cfg)
+    return fmax_mhz * per_cycle

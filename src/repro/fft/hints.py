@@ -1,0 +1,90 @@
+"""Expert hint sets for the FFT experiments.
+
+In the paper the FFT hints are *expert-provided*: "a developer of the FFT IP
+generator set the hints" (Section 4.1/4.2). The vectors below encode what a
+streaming-FFT architect knows about how implementation parameters move each
+metric:
+
+* LUT count is dominated by streaming width (linear in parallel arithmetic),
+  then by bit width (linear in every adder/multiplier), with the iterative
+  architecture far cheaper than fully streaming; BRAM twiddles are nearly
+  free in LUTs while CORDIC burns logic.
+* Throughput-per-LUT favors wide streaming datapaths (fixed control
+  overhead amortizes), narrow words, and memory-based twiddles; radix 4 is
+  the classic arithmetic sweet spot, expressed as a *target* hint.
+
+Figure 3's "Nautilus w/ 1 or 2 bias hints" variants are obtained by
+truncating these vectors with :meth:`HintSet.restricted_to`.
+"""
+
+from __future__ import annotations
+
+from ..core.hints import HintSet, ParamHints
+
+__all__ = [
+    "lut_hints",
+    "throughput_per_lut_hints",
+    "WEAK_CONFIDENCE",
+    "STRONG_CONFIDENCE",
+]
+
+#: Confidence levels for the weakly/strongly guided variants (footnote 2:
+#: the two variants "differ only in the confidence hint").
+WEAK_CONFIDENCE = 0.35
+STRONG_CONFIDENCE = 0.85
+
+#: Scaling modes ordered by the logic they add (unscaled adds none, block
+#: floating point adds detection + normalization).
+_SCALING_BY_LOGIC = ("unscaled", "per_stage", "block_fp")
+#: Architectures ordered by size (iterative reuses one butterfly column).
+_ARCH_BY_SIZE = ("iterative", "streaming")
+
+
+def lut_hints(confidence: float = STRONG_CONFIDENCE) -> HintSet:
+    """Expert hints for minimizing LUT count (Figure 6 / Figure 3).
+
+    Biases are stated with respect to the raw metric (LUTs): increasing
+    streaming width or bit width increases LUTs, and so on. The engine
+    flips them for the minimization objective.
+    """
+    return HintSet(
+        {
+            "streaming_width": ParamHints(importance=95, bias=1.0),
+            "bit_width": ParamHints(importance=85, bias=0.9, step=3),
+            "architecture": ParamHints(
+                importance=80, bias=1.0, ordering=_ARCH_BY_SIZE
+            ),
+            "twiddle_storage": ParamHints(importance=60, bias=0.9),
+            "radix": ParamHints(importance=45, bias=0.4),
+            "scaling": ParamHints(
+                importance=25, bias=0.5, ordering=_SCALING_BY_LOGIC
+            ),
+        },
+        confidence=confidence,
+        importance_decay=0.02,
+    )
+
+
+def throughput_per_lut_hints(confidence: float = STRONG_CONFIDENCE) -> HintSet:
+    """Expert hints for maximizing throughput per LUT (Figure 7).
+
+    Wide streaming designs amortize control and memory overhead, so the
+    ratio improves with width; narrow datapaths improve it further; radix 4
+    is the known arithmetic sweet spot, captured as a target hint.
+    """
+    return HintSet(
+        {
+            "streaming_width": ParamHints(importance=95, bias=0.9),
+            "architecture": ParamHints(
+                importance=90, bias=1.0, ordering=_ARCH_BY_SIZE
+            ),
+            "bit_width": ParamHints(importance=85, bias=-0.9, step=3),
+            "radix": ParamHints(importance=55, target=4),
+            "twiddle_storage": ParamHints(importance=50, bias=-0.8),
+            "scaling": ParamHints(
+                importance=25, bias=-0.5, ordering=_SCALING_BY_LOGIC
+            ),
+        },
+        confidence=confidence,
+        importance_decay=0.02,
+    )

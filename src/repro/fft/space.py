@@ -1,0 +1,102 @@
+"""The FFT design space used in the paper's evaluation.
+
+Section 4.1: "approximately 12,000 design instances for the FFT IP (varying
+6 parameters)". Six implementation parameters of a fixed 1024-point
+transform give 12,600 product points; the streaming-width >= radix
+constraint leaves 10,800 structurally feasible designs — sparse, as the
+paper's auxiliary-settings discussion anticipates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..core.evaluator import CallableEvaluator
+from ..core.genome import Genome
+from ..core.params import ChoiceParam, IntParam, OrderedParam, PowOfTwoParam
+from ..core.space import DesignSpace
+from ..synth.flow import SynthesisFlow
+from .fixedpoint import SCALING_MODES, snr_db
+from .generator import (
+    ARCHITECTURES,
+    TWIDDLE_STORAGE,
+    build_fft,
+    fft_stages,
+    throughput_msps,
+)
+
+__all__ = ["fft_space", "FftEvaluator", "fft_evaluator"]
+
+
+def _width_covers_radix(config: Mapping[str, Any]) -> bool:
+    if config["architecture"] != "streaming":
+        return True
+    return config["streaming_width"] >= config["radix"]
+
+
+def fft_space(n: int = 1024) -> DesignSpace:
+    """Build the 6-parameter FFT design space (~12k points at n=1024).
+
+    Other power-of-two transform sizes reuse the same parameterization;
+    the evaluator picks up ``n`` from the space name.
+    """
+    if n & (n - 1) or n < 64:
+        raise ValueError(f"transform size must be a power of two >= 64, got {n}")
+    return DesignSpace(
+        f"spiral_fft{n}",
+        [
+            PowOfTwoParam("streaming_width", 1, 64),
+            OrderedParam("radix", (2, 4, 8)),
+            IntParam("bit_width", 8, 32),
+            OrderedParam("twiddle_storage", TWIDDLE_STORAGE),
+            ChoiceParam("scaling", SCALING_MODES),
+            ChoiceParam("architecture", ARCHITECTURES),
+        ],
+        constraints=[_width_covers_radix],
+    )
+
+
+class FftEvaluator:
+    """Evaluator: elaborate, synthesize and simulate one FFT design point.
+
+    Metrics include hardware implementation quantities (``luts``,
+    ``fmax_mhz``...), the domain-specific computed ``snr_db``, and the
+    composites the paper optimizes (``throughput_msps``,
+    ``msps_per_lut`` — Figure 7's objective).
+    """
+
+    def __init__(
+        self,
+        flow: SynthesisFlow | None = None,
+        snr_trials: int = 3,
+        n: int = 1024,
+    ):
+        self.flow = flow or SynthesisFlow()
+        self.snr_trials = snr_trials
+        self.n = n
+
+    def evaluate(self, genome: Genome | Mapping[str, Any]) -> dict[str, float]:
+        config = genome.as_dict() if isinstance(genome, Genome) else dict(genome)
+        config.setdefault("n", self.n)
+        report = self.flow.run(build_fft(config))
+        metrics = report.metrics()
+        msps = throughput_msps(config, report.fmax_mhz)
+        metrics["throughput_msps"] = msps
+        metrics["msps_per_lut"] = msps / max(report.luts, 1)
+        metrics["stages"] = float(fft_stages(config))
+        metrics["snr_db"] = snr_db(
+            config["bit_width"],
+            config["scaling"],
+            config["radix"],
+            n=self.n,
+            trials=self.snr_trials,
+        )
+        return metrics
+
+
+def fft_evaluator(
+    flow: SynthesisFlow | None = None, n: int = 1024
+) -> CallableEvaluator:
+    """Convenience: a core-API evaluator over the FFT generator."""
+    evaluator = FftEvaluator(flow, n=n)
+    return CallableEvaluator(evaluator.evaluate)

@@ -1,0 +1,121 @@
+"""NoC substrate: VC router generator and CONNECT-style network generator.
+
+Implements the two NoC systems the paper evaluates on:
+
+* a highly-parameterized virtual-channel router (standing in for the
+  Stanford open-source router), with the 9-parameter, ~30k-point design
+  space of Section 4.1 (:mod:`repro.noc.router`, :mod:`repro.noc.space`);
+* a network generator in the style of CONNECT — topology families, 65nm
+  ASIC area/power, peak bisection bandwidth — behind the paper's Figure 2
+  (:mod:`repro.noc.topology`, :mod:`repro.noc.network`,
+  :mod:`repro.noc.asic`);
+* the non-expert hint sets used by the Figure 4/5 experiments
+  (:mod:`repro.noc.hints`).
+"""
+
+from .router import (
+    BUFFER_ORGS,
+    CROSSBARS,
+    RouterConfig,
+    SW_ALLOCATORS,
+    VC_ALLOCATORS,
+    build_router,
+    router_latency_cycles,
+)
+from .space import RouterEvaluator, router_evaluator, router_space
+from .topology import (
+    Channel,
+    TOPOLOGY_FAMILIES,
+    Topology,
+    build_topology,
+    butterfly,
+    concentrated_double_ring,
+    concentrated_ring,
+    double_ring,
+    fat_tree,
+    mesh,
+    ring,
+    torus,
+)
+from .network import NetworkGenerator, NetworkReport, default_router_config
+from .asic import AsicEstimate, asic_estimate, wire_area_mm2, wire_power_mw
+from .netspace import (
+    NetworkEvaluator,
+    bandwidth_density_hints,
+    network_evaluator,
+    network_space,
+)
+from .traffic import (
+    TRAFFIC_PATTERNS,
+    BitComplement,
+    Hotspot,
+    TrafficPattern,
+    Transpose,
+    UniformRandom,
+    make_pattern,
+)
+from .simulation import (
+    NetworkSimulator,
+    SimulationReport,
+    saturation_throughput,
+    simulate_network,
+)
+from .hints import (
+    STRONG_CONFIDENCE,
+    WEAK_CONFIDENCE,
+    area_delay_hints,
+    estimate_router_hints,
+    frequency_hints,
+)
+
+__all__ = [
+    "RouterConfig",
+    "build_router",
+    "router_latency_cycles",
+    "VC_ALLOCATORS",
+    "SW_ALLOCATORS",
+    "CROSSBARS",
+    "BUFFER_ORGS",
+    "router_space",
+    "RouterEvaluator",
+    "router_evaluator",
+    "Topology",
+    "Channel",
+    "TOPOLOGY_FAMILIES",
+    "build_topology",
+    "ring",
+    "double_ring",
+    "concentrated_ring",
+    "concentrated_double_ring",
+    "mesh",
+    "torus",
+    "fat_tree",
+    "butterfly",
+    "NetworkGenerator",
+    "NetworkReport",
+    "default_router_config",
+    "AsicEstimate",
+    "asic_estimate",
+    "wire_area_mm2",
+    "wire_power_mw",
+    "network_space",
+    "NetworkEvaluator",
+    "network_evaluator",
+    "bandwidth_density_hints",
+    "TrafficPattern",
+    "UniformRandom",
+    "BitComplement",
+    "Transpose",
+    "Hotspot",
+    "TRAFFIC_PATTERNS",
+    "make_pattern",
+    "NetworkSimulator",
+    "SimulationReport",
+    "simulate_network",
+    "saturation_throughput",
+    "frequency_hints",
+    "area_delay_hints",
+    "estimate_router_hints",
+    "WEAK_CONFIDENCE",
+    "STRONG_CONFIDENCE",
+]

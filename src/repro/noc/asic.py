@@ -1,0 +1,58 @@
+"""FPGA-report to 65nm-ASIC conversion for the network experiments.
+
+The paper's Figure 2 characterizes CONNECT networks "targeting a commercial
+65nm technology" in mm^2 and mW. Our synthesis flow reports FPGA resources;
+this module converts a :class:`~repro.synth.flow.SynthesisReport` into ASIC
+area/power using NAND2-equivalent bookkeeping (see
+:class:`~repro.synth.library.AsicLibrary`), and prices wires by bit-length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..synth.flow import SynthesisReport
+from ..synth.library import ASIC65, AsicLibrary
+
+__all__ = ["AsicEstimate", "asic_estimate", "wire_area_mm2", "wire_power_mw"]
+
+
+@dataclass(frozen=True)
+class AsicEstimate:
+    """ASIC view of one synthesized block."""
+
+    area_mm2: float
+    power_mw: float
+    fmax_mhz: float
+    gates: float
+
+
+def asic_estimate(
+    report: SynthesisReport, lib: AsicLibrary = ASIC65
+) -> AsicEstimate:
+    """Convert an FPGA synthesis report to 65nm area/power/frequency."""
+    gates = report.luts * lib.gates_per_lut + report.ffs * lib.gates_per_ff
+    area_um2 = gates * lib.gate_area_um2 + report.brams * lib.bram_area_um2
+    fmax = report.fmax_mhz * lib.asic_speedup
+    dynamic_nw = gates * lib.dynamic_nw_per_gate_mhz * fmax
+    leakage_nw = gates * lib.leakage_nw_per_gate
+    return AsicEstimate(
+        area_mm2=area_um2 / 1e6,
+        power_mw=(dynamic_nw + leakage_nw) / 1e6,
+        fmax_mhz=fmax,
+        gates=gates,
+    )
+
+
+def wire_area_mm2(
+    bits: int, length_mm: float, lib: AsicLibrary = ASIC65
+) -> float:
+    """Routing-track area of one channel of ``bits`` wires."""
+    return bits * length_mm * lib.wire_area_um2_per_bit_mm / 1e6
+
+
+def wire_power_mw(
+    bits: int, length_mm: float, freq_mhz: float, lib: AsicLibrary = ASIC65
+) -> float:
+    """Dynamic power of one channel toggling at ``freq_mhz``."""
+    return bits * length_mm * freq_mhz * lib.wire_power_nw_per_bit_mhz_mm / 1e6

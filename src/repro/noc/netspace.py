@@ -1,0 +1,113 @@
+"""Network-level design space: topology family x router configuration.
+
+The paper's introduction motivates Nautilus with exactly this problem: "an
+IP user could pick any of these [64-endpoint NoC configurations] to satisfy
+the functional-level connectivity requirements of his or her application" —
+thousands of interchangeable networks spanning orders of magnitude in area,
+power and performance (Figure 2). This module makes that outer space
+searchable: topology family plus the router knobs that matter at network
+scale, evaluated through the CONNECT-style generator (and optionally the
+cycle-level simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..core.evaluator import CallableEvaluator
+from ..core.genome import Genome
+from ..core.hints import HintSet, ParamHints
+from ..core.params import ChoiceParam, IntParam, PowOfTwoParam
+from ..core.space import DesignSpace
+from ..synth.flow import SynthesisFlow
+from .network import NetworkGenerator
+from .topology import TOPOLOGY_FAMILIES
+
+__all__ = [
+    "network_space",
+    "NetworkEvaluator",
+    "network_evaluator",
+    "bandwidth_density_hints",
+]
+
+#: Topology families ordered by bisection richness (rings -> fat tree); the
+#: ordering auxiliary hint below relies on this.
+_FAMILIES_BY_BISECTION = (
+    "concentrated_ring",
+    "ring",
+    "concentrated_double_ring",
+    "double_ring",
+    "mesh",
+    "butterfly",
+    "torus",
+    "fat_tree",
+)
+
+
+def network_space(endpoints: int = 64) -> DesignSpace:
+    """The 64-endpoint network configuration space (~1.4k points)."""
+    if endpoints != 64:
+        # All families support 64; other counts need per-family validation.
+        for family in TOPOLOGY_FAMILIES:
+            TOPOLOGY_FAMILIES[family](endpoints)  # raises if unsupported
+    return DesignSpace(
+        f"connect_noc_{endpoints}",
+        [
+            ChoiceParam("topology", tuple(TOPOLOGY_FAMILIES)),
+            PowOfTwoParam("flit_width", 16, 256),
+            PowOfTwoParam("num_vcs", 2, 8),
+            PowOfTwoParam("buffer_depth", 2, 16),
+            IntParam("pipeline_stages", 1, 4),
+        ],
+    )
+
+
+class NetworkEvaluator:
+    """Evaluator: generate the network and report ASIC-level metrics.
+
+    Metrics include ``area_mm2``, ``power_mw``, ``bisection_gbps``,
+    ``avg_latency_ns`` and the densities ``bw_per_mm2`` / ``bw_per_mw`` that
+    network architects actually optimize.
+    """
+
+    def __init__(self, endpoints: int = 64, flow: SynthesisFlow | None = None):
+        self.endpoints = endpoints
+        self.generator = NetworkGenerator(flow)
+
+    def evaluate(self, genome: Genome | Mapping[str, Any]) -> dict[str, float]:
+        config = genome.as_dict() if isinstance(genome, Genome) else dict(genome)
+        family = config.pop("topology")
+        report = self.generator.generate(family, self.endpoints, config)
+        return report.metrics()
+
+
+def network_evaluator(
+    endpoints: int = 64, flow: SynthesisFlow | None = None
+) -> CallableEvaluator:
+    """Convenience: a core-API evaluator over the network generator."""
+    evaluator = NetworkEvaluator(endpoints, flow)
+    return CallableEvaluator(evaluator.evaluate)
+
+
+def bandwidth_density_hints(confidence: float = 0.7) -> HintSet:
+    """Author hints for maximizing bisection bandwidth per mm^2.
+
+    Network-architect knowledge: bandwidth density is won by topologies with
+    rich bisections (the ordering auxiliary ranks the families), wide flits
+    (wires are cheaper than router area), few VCs and shallow buffers
+    (router area without bandwidth), and enough pipeline depth to keep the
+    clock high.
+    """
+    return HintSet(
+        {
+            "topology": ParamHints(
+                importance=90, bias=0.9, ordering=_FAMILIES_BY_BISECTION
+            ),
+            "num_vcs": ParamHints(importance=60, bias=-0.8),
+            "buffer_depth": ParamHints(importance=45, bias=-0.6),
+            "pipeline_stages": ParamHints(importance=45, bias=0.7),
+            "flit_width": ParamHints(importance=35, bias=0.6),
+        },
+        confidence=confidence,
+        importance_decay=0.04,
+    )

@@ -1,0 +1,147 @@
+"""CONNECT-style network generator: topology + router config -> full NoC.
+
+Reproduces the paper's Figure 2 pipeline: pick a topology family and a
+router configuration, synthesize the (per-family radix) router, replicate it
+over the topology, add channel wiring, and report network-level metrics
+targeting a commercial-65nm-like node:
+
+* ``area_mm2`` — routers plus wire tracks;
+* ``power_mw`` — router logic plus channel switching power;
+* ``bisection_gbps`` — peak bisection bandwidth: channels crossing the
+  bisection x flit width x achieved clock rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..synth.flow import SynthesisFlow
+from .asic import AsicEstimate, asic_estimate, wire_area_mm2, wire_power_mw
+from .router import RouterConfig, build_router, router_latency_cycles
+from .topology import Topology, build_topology
+
+__all__ = ["NetworkReport", "NetworkGenerator", "default_router_config"]
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """Network-level metrics for one (topology, router config) pair."""
+
+    topology: str
+    endpoints: int
+    num_routers: int
+    router_radix: int
+    flit_width: int
+    fmax_mhz: float
+    area_mm2: float
+    power_mw: float
+    bisection_gbps: float
+    avg_latency_ns: float
+    router_area_mm2: float
+    wire_area_mm2: float
+
+    def metrics(self) -> dict[str, float]:
+        """Metrics dict for Nautilus objectives over network spaces."""
+        return {
+            "fmax_mhz": self.fmax_mhz,
+            "area_mm2": self.area_mm2,
+            "power_mw": self.power_mw,
+            "bisection_gbps": self.bisection_gbps,
+            "avg_latency_ns": self.avg_latency_ns,
+            "bw_per_mm2": self.bisection_gbps / self.area_mm2,
+            "bw_per_mw": self.bisection_gbps / self.power_mw,
+        }
+
+
+def default_router_config(
+    radix: int, flit_width: int = 64, num_vcs: int = 2, buffer_depth: int = 8
+) -> RouterConfig:
+    """A sensible router instantiation for a given topology radix."""
+    return RouterConfig(
+        num_vcs=num_vcs,
+        buffer_depth=buffer_depth,
+        flit_width=flit_width,
+        vc_allocator="separable_input_first",
+        sw_allocator="round_robin",
+        pipeline_stages=2,
+        crossbar_type="mux",
+        speculative=False,
+        buffer_org="private",
+        num_ports=radix,
+    )
+
+
+class NetworkGenerator:
+    """Elaborate and characterize whole networks.
+
+    Args:
+        flow: Synthesis flow for the per-router characterization.
+        activity: Average channel switching activity factor used in the wire
+            power model (0..1).
+    """
+
+    def __init__(self, flow: SynthesisFlow | None = None, activity: float = 0.3):
+        self.flow = flow or SynthesisFlow()
+        self.activity = activity
+
+    def generate(
+        self,
+        family: str,
+        endpoints: int = 64,
+        router_overrides: Mapping[str, Any] | None = None,
+    ) -> NetworkReport:
+        """Build one network and report its area/power/performance."""
+        topology = build_topology(family, endpoints)
+        base = default_router_config(topology.router_radix)
+        kwargs = {
+            slot: getattr(base, slot)
+            for slot in RouterConfig.__slots__
+        }
+        kwargs.update(router_overrides or {})
+        kwargs["num_ports"] = topology.router_radix
+        return self._characterize(topology, RouterConfig(**kwargs))
+
+    def _characterize(
+        self, topology: Topology, config: RouterConfig
+    ) -> NetworkReport:
+        report = self.flow.run(build_router(config))
+        router = asic_estimate(report)
+        return self._assemble(topology, config, router)
+
+    def _assemble(
+        self, topology: Topology, config: RouterConfig, router: AsicEstimate
+    ) -> NetworkReport:
+        n = topology.num_routers
+        router_area = router.area_mm2 * n
+        wires_area = sum(
+            wire_area_mm2(config.flit_width, ch.length_mm)
+            for ch in topology.channels
+        )
+        freq = router.fmax_mhz
+        wire_power = self.activity * sum(
+            wire_power_mw(config.flit_width, ch.length_mm, freq)
+            for ch in topology.channels
+        )
+        power = router.power_mw * n + wire_power
+        # Peak bisection bandwidth: each crossing channel moves one flit per
+        # cycle in each direction.
+        bisection_gbps = (
+            topology.bisection_channels * config.flit_width * freq * 2 / 1000.0
+        )
+        hop_cycles = router_latency_cycles(config)
+        latency_ns = topology.avg_hops * hop_cycles * 1000.0 / freq
+        return NetworkReport(
+            topology=topology.name,
+            endpoints=topology.endpoints,
+            num_routers=n,
+            router_radix=topology.router_radix,
+            flit_width=config.flit_width,
+            fmax_mhz=freq,
+            area_mm2=router_area + wires_area,
+            power_mw=power,
+            bisection_gbps=bisection_gbps,
+            avg_latency_ns=latency_ns,
+            router_area_mm2=router_area,
+            wire_area_mm2=wires_area,
+        )

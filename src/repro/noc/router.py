@@ -1,0 +1,349 @@
+"""Parameterized virtual-channel router generator.
+
+Stands in for the Stanford Open Source NoC Router [4] used in the paper's
+NoC experiments: a state-of-the-art input-queued VC router whose
+microarchitecture knobs form the search space. :func:`build_router` turns a
+configuration into a structural module for the miniature synthesis flow.
+
+Microarchitecture (classic 5-stage VC router, following Becker's thesis and
+Dally & Towles):
+
+* per-input-port, per-VC flit buffers (private) or a per-port shared pool
+  with linked-list free management;
+* route computation per input port;
+* VC allocation across ``ports*vcs`` requesters (separable input-first,
+  separable output-first, or wavefront);
+* switch allocation per output (round-robin, matrix, or wavefront), with
+  optional speculative allocation overlapping VA;
+* a mux crossbar, either port-granularity or replicated per-VC inputs;
+* 1-4 pipeline stages that repartition the same logic, trading FF area and
+  per-hop latency for clock frequency.
+
+Every knob changes both the resource vector and the static-timing graph, so
+the parameters interact the way the paper's Figure 1 cloud suggests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..synth.netlist import Module
+from ..synth.primitives import (
+    Counter,
+    Crossbar,
+    LogicCloud,
+    LutRam,
+    MatrixArbiter,
+    Mux,
+    Register,
+    RoundRobinArbiter,
+    SeparableAllocator,
+    WavefrontAllocator,
+)
+
+__all__ = ["RouterConfig", "build_router", "router_latency_cycles"]
+
+#: VC allocator architectures, ordered small/slow-matching to big/good-matching.
+VC_ALLOCATORS = ("separable_input_first", "separable_output_first", "wavefront")
+#: Switch allocator styles, ordered by matching quality (and size).
+SW_ALLOCATORS = ("round_robin", "matrix", "wavefront")
+#: Crossbar organizations.
+CROSSBARS = ("mux", "replicated_mux")
+#: Buffer organizations.
+BUFFER_ORGS = ("private", "shared")
+
+
+class RouterConfig:
+    """A validated router configuration (one point of the design space)."""
+
+    __slots__ = (
+        "num_ports",
+        "num_vcs",
+        "buffer_depth",
+        "flit_width",
+        "vc_allocator",
+        "sw_allocator",
+        "pipeline_stages",
+        "crossbar_type",
+        "speculative",
+        "buffer_org",
+    )
+
+    def __init__(
+        self,
+        num_vcs: int,
+        buffer_depth: int,
+        flit_width: int,
+        vc_allocator: str,
+        sw_allocator: str,
+        pipeline_stages: int,
+        crossbar_type: str,
+        speculative: bool,
+        buffer_org: str,
+        num_ports: int = 5,
+    ):
+        if vc_allocator not in VC_ALLOCATORS:
+            raise ValueError(f"unknown vc_allocator {vc_allocator!r}")
+        if sw_allocator not in SW_ALLOCATORS:
+            raise ValueError(f"unknown sw_allocator {sw_allocator!r}")
+        if crossbar_type not in CROSSBARS:
+            raise ValueError(f"unknown crossbar_type {crossbar_type!r}")
+        if buffer_org not in BUFFER_ORGS:
+            raise ValueError(f"unknown buffer_org {buffer_org!r}")
+        if buffer_org == "shared" and num_vcs < 2:
+            raise ValueError("shared buffering requires at least 2 VCs")
+        if not 1 <= pipeline_stages <= 4:
+            raise ValueError("pipeline_stages must be 1..4")
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.flit_width = flit_width
+        self.vc_allocator = vc_allocator
+        self.sw_allocator = sw_allocator
+        self.pipeline_stages = pipeline_stages
+        self.crossbar_type = crossbar_type
+        self.speculative = speculative
+        self.buffer_org = buffer_org
+
+    @classmethod
+    def from_mapping(cls, config: Mapping[str, Any]) -> "RouterConfig":
+        """Build from a genome/config dict (extra keys rejected by name)."""
+        return cls(
+            num_vcs=config["num_vcs"],
+            buffer_depth=config["buffer_depth"],
+            flit_width=config["flit_width"],
+            vc_allocator=config["vc_allocator"],
+            sw_allocator=config["sw_allocator"],
+            pipeline_stages=config["pipeline_stages"],
+            crossbar_type=config["crossbar_type"],
+            speculative=config["speculative"],
+            buffer_org=config["buffer_org"],
+            num_ports=config.get("num_ports", 5),
+        )
+
+    def name(self) -> str:
+        """A stable module name encoding the configuration."""
+        return (
+            f"vc_router_p{self.num_ports}v{self.num_vcs}d{self.buffer_depth}"
+            f"w{self.flit_width}_{self.vc_allocator}_{self.sw_allocator}"
+            f"_s{self.pipeline_stages}_{self.crossbar_type}"
+            f"{'_spec' if self.speculative else ''}_{self.buffer_org}"
+        )
+
+
+def _add_buffers(module: Module, cfg: RouterConfig) -> str:
+    """Input buffering; returns the name of the buffer-read timing node."""
+    ports, vcs = cfg.num_ports, cfg.num_vcs
+    if cfg.buffer_org == "private":
+        module.add(
+            "flit_buffers",
+            LutRam(cfg.buffer_depth, cfg.flit_width),
+            replicate=ports * vcs,
+        )
+    else:
+        # One shared pool per port plus linked-list next-pointer storage and
+        # free-list management logic.
+        pool_depth = cfg.buffer_depth * vcs
+        module.add(
+            "flit_buffers", LutRam(pool_depth, cfg.flit_width), replicate=ports
+        )
+        pointer_bits = max(pool_depth - 1, 1).bit_length()
+        module.add(
+            "buffer_pointers", LutRam(pool_depth, pointer_bits), replicate=ports
+        )
+        module.add(
+            "freelist_mgmt",
+            LogicCloud(luts=14 + 3 * vcs, levels=3, ffs=2 * pointer_bits),
+            replicate=ports,
+        )
+        module.connect("buffer_pointers", "freelist_mgmt")
+        module.connect("freelist_mgmt", "flit_buffers")
+    # Per-VC input state (G/R/O/P/C FSM, credits, route field).
+    state_bits = 12 + cfg.num_ports
+    module.add("vc_state", Register(state_bits), replicate=ports * vcs)
+    module.connect("vc_state", "flit_buffers")
+    return "flit_buffers"
+
+
+def _add_vc_allocator(module: Module, cfg: RouterConfig) -> str:
+    """VC allocation stage; returns its timing node name."""
+    n = cfg.num_ports * cfg.num_vcs
+    if cfg.num_vcs == 1:
+        # Degenerates to a bypass: a VC is implicitly granted.
+        module.add("vc_alloc", LogicCloud(luts=cfg.num_ports * 2, levels=1))
+        return "vc_alloc"
+    if cfg.vc_allocator == "wavefront":
+        module.add("vc_alloc", WavefrontAllocator(n, n))
+    elif cfg.vc_allocator == "separable_input_first":
+        module.add("vc_alloc", SeparableAllocator(n, n))
+    else:  # separable_output_first: same arbiters, extra request reshuffle.
+        module.add("vc_alloc", SeparableAllocator(n, n))
+        module.add("vc_alloc_reshuffle", LogicCloud(luts=n, levels=1))
+        module.connect("vc_alloc_reshuffle", "vc_alloc")
+    return "vc_alloc"
+
+
+def _add_sw_allocator(module: Module, cfg: RouterConfig) -> str:
+    """Switch allocation stage; returns its timing node name."""
+    ports, vcs = cfg.num_ports, cfg.num_vcs
+    if cfg.sw_allocator == "wavefront":
+        module.add("sw_alloc", WavefrontAllocator(ports, ports))
+    elif cfg.sw_allocator == "matrix":
+        module.add("sw_alloc", MatrixArbiter(ports), replicate=ports)
+    else:
+        module.add("sw_alloc", RoundRobinArbiter(ports), replicate=ports)
+    if vcs > 1:
+        # Per-input VC selection feeding the port-level allocation.
+        module.add("sw_vc_sel", RoundRobinArbiter(vcs), replicate=ports)
+        module.connect("sw_vc_sel", "sw_alloc")
+    if cfg.speculative:
+        # Speculative switch requests raced against VA, plus kill logic.
+        module.add(
+            "spec_sw_alloc", RoundRobinArbiter(ports), replicate=ports
+        )
+        module.add(
+            "spec_resolve",
+            LogicCloud(luts=3 * ports + vcs, levels=2),
+        )
+        module.connect("spec_sw_alloc", "spec_resolve")
+        module.connect("spec_resolve", "sw_alloc")
+    return "sw_alloc"
+
+
+def _add_crossbar(module: Module, cfg: RouterConfig) -> str:
+    """Switch traversal; returns its timing node name."""
+    ports = cfg.num_ports
+    if cfg.crossbar_type == "replicated_mux":
+        inputs = ports * cfg.num_vcs
+    else:
+        inputs = ports
+        if cfg.num_vcs > 1:
+            # Port-granularity crossbar needs a VC mux in front of each input.
+            module.add("xbar_vc_mux", Mux(cfg.flit_width, cfg.num_vcs), replicate=ports)
+    module.add("crossbar", Crossbar(inputs, ports, cfg.flit_width))
+    if cfg.crossbar_type == "mux" and cfg.num_vcs > 1:
+        module.connect("xbar_vc_mux", "crossbar")
+    return "crossbar"
+
+
+def build_router(config: RouterConfig | Mapping[str, Any]) -> Module:
+    """Elaborate a router configuration into a synthesizable module.
+
+    The pipeline_stages parameter repartitions the canonical
+    BW -> RC -> VA -> SA -> ST stage sequence into 1..4 physical stages by
+    inserting pipeline registers between groups; deeper pipelines pay
+    register area (and per-hop latency) for a shorter critical path.
+    """
+    cfg = (
+        config
+        if isinstance(config, RouterConfig)
+        else RouterConfig.from_mapping(config)
+    )
+    module = Module(cfg.name())
+    module.add_port("flit_in", cfg.flit_width * cfg.num_ports, "in")
+    module.add_port("flit_out", cfg.flit_width * cfg.num_ports, "out")
+    module.add_port("credits", cfg.num_ports * cfg.num_vcs, "out")
+
+    module.add("input_reg", Register(cfg.flit_width), replicate=cfg.num_ports)
+    buffers = _add_buffers(module, cfg)
+    module.connect("input_reg", buffers)
+
+    module.add(
+        "route_compute",
+        LogicCloud(luts=6 + 2 * cfg.num_ports, levels=3),
+        replicate=cfg.num_ports,
+    )
+    module.connect("input_reg", "route_compute")
+
+    va = _add_vc_allocator(module, cfg)
+    sa = _add_sw_allocator(module, cfg)
+    xbar = _add_crossbar(module, cfg)
+
+    module.add("output_reg", Register(cfg.flit_width), replicate=cfg.num_ports)
+    module.add(
+        "credit_counters",
+        Counter(max(cfg.buffer_depth.bit_length(), 2)),
+        replicate=cfg.num_ports * cfg.num_vcs,
+    )
+    module.connect(sa, "credit_counters")
+
+    # Canonical logic groups in pipeline order. Each entry is the chain of
+    # timing nodes inside that group.
+    if "xbar_vc_mux" in _names(module):
+        traversal_group = ["xbar_vc_mux", xbar]
+    else:
+        traversal_group = [xbar]
+    groups: list[list[str]] = [
+        ["route_compute", buffers],
+        [va],
+        [sa],
+        traversal_group,
+    ]
+    # Wire logic inside each group sequentially.
+    for group in groups:
+        for a, b in zip(group, group[1:]):
+            module.connect(a, b)
+
+    # Partition the 4 canonical groups into the requested physical stages.
+    boundaries = _stage_partition(len(groups), cfg.pipeline_stages)
+    previous_tail = "input_reg"
+    for stage_index, group_slice in enumerate(boundaries):
+        head = groups[group_slice[0]][0]
+        tail = groups[group_slice[-1]][-1]
+        module.connect(previous_tail, head)
+        # Link consecutive groups inside this physical stage combinationally.
+        for gi, gj in zip(group_slice, group_slice[1:]):
+            module.connect(groups[gi][-1], groups[gj][0])
+        # Flow-control/state-update logic closes out every physical stage
+        # (credit checks, VC state writeback) before the stage boundary.
+        fc_name = f"stage_fc_{stage_index}"
+        module.add(
+            fc_name,
+            LogicCloud(luts=4 + cfg.num_vcs + cfg.num_ports, levels=2),
+            replicate=cfg.num_ports,
+        )
+        module.connect(tail, fc_name)
+        if stage_index < len(boundaries) - 1:
+            reg_name = f"pipe_reg_{stage_index}"
+            pipe_width = cfg.flit_width + 4 * cfg.num_vcs + 8
+            module.add(reg_name, Register(pipe_width), replicate=cfg.num_ports)
+            module.connect(fc_name, reg_name)
+            previous_tail = reg_name
+        else:
+            module.connect(fc_name, "output_reg")
+    return module
+
+
+def _names(module: Module) -> set[str]:
+    return {inst.name for inst in module.instances}
+
+
+def _stage_partition(num_groups: int, stages: int) -> list[list[int]]:
+    """Split group indices 0..num_groups-1 into ``stages`` contiguous runs."""
+    stages = min(stages, num_groups)
+    base = num_groups // stages
+    extra = num_groups % stages
+    partition: list[list[int]] = []
+    start = 0
+    for s in range(stages):
+        length = base + (1 if s < extra else 0)
+        partition.append(list(range(start, start + length)))
+        start += length
+    return partition
+
+
+def router_latency_cycles(config: RouterConfig | Mapping[str, Any]) -> int:
+    """Zero-load per-hop latency in cycles.
+
+    Speculative allocation overlaps VA and SA, saving a cycle in routers
+    with more than one physical stage.
+    """
+    cfg = (
+        config
+        if isinstance(config, RouterConfig)
+        else RouterConfig.from_mapping(config)
+    )
+    latency = cfg.pipeline_stages + 1  # +1 for link traversal
+    if cfg.speculative and cfg.pipeline_stages > 1:
+        latency -= 1
+    return latency

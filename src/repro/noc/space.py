@@ -1,0 +1,67 @@
+"""The NoC router design space used in the paper's evaluation.
+
+Section 4.1: "approximately 30,000 design instances for the router IP
+(varying 9 parameters)". This space varies the same nine microarchitecture
+knobs of a virtual-channel router (at least two VCs, as the protocol
+requires), for 30,240 design points — matching the paper's "approximately
+30,000".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..core.evaluator import CallableEvaluator
+from ..core.genome import Genome
+from ..core.params import BoolParam, ChoiceParam, IntParam, OrderedParam, PowOfTwoParam
+from ..core.space import DesignSpace
+from ..synth.flow import SynthesisFlow
+from .router import SW_ALLOCATORS, VC_ALLOCATORS, build_router
+
+__all__ = ["router_space", "RouterEvaluator", "router_evaluator"]
+
+
+def _shared_needs_vcs(config: Mapping[str, Any]) -> bool:
+    return config["buffer_org"] != "shared" or config["num_vcs"] >= 2
+
+
+def router_space() -> DesignSpace:
+    """Build the 9-parameter, ~30k-point router design space."""
+    return DesignSpace(
+        "noc_router",
+        [
+            PowOfTwoParam("num_vcs", 2, 8),
+            PowOfTwoParam("buffer_depth", 1, 64),
+            PowOfTwoParam("flit_width", 16, 256),
+            OrderedParam("vc_allocator", VC_ALLOCATORS),
+            OrderedParam("sw_allocator", SW_ALLOCATORS),
+            IntParam("pipeline_stages", 1, 4),
+            OrderedParam("crossbar_type", ("mux", "replicated_mux")),
+            BoolParam("speculative"),
+            ChoiceParam("buffer_org", ("private", "shared")),
+        ],
+        constraints=[_shared_needs_vcs],
+    )
+
+
+class RouterEvaluator:
+    """Evaluator: elaborate the router and synthesize it.
+
+    Produces the metric dict the NoC experiments optimize over —
+    ``fmax_mhz``, ``luts``, ``area_delay`` (clock period x LUTs, the Figure 5
+    objective) and friends.
+    """
+
+    def __init__(self, flow: SynthesisFlow | None = None):
+        self.flow = flow or SynthesisFlow()
+
+    def evaluate(self, genome: Genome | Mapping[str, Any]) -> dict[str, float]:
+        config = genome.as_dict() if isinstance(genome, Genome) else dict(genome)
+        module = build_router(config)
+        return self.flow.run(module).metrics()
+
+
+def router_evaluator(flow: SynthesisFlow | None = None) -> CallableEvaluator:
+    """Convenience: a core-API evaluator over the router generator."""
+    evaluator = RouterEvaluator(flow)
+    return CallableEvaluator(evaluator.evaluate)

@@ -1,0 +1,113 @@
+"""Synthetic traffic patterns for the NoC simulator.
+
+The standard kernel set from the interconnection-networks literature
+(Dally & Towles ch. 3): each pattern maps a source endpoint to a
+destination endpoint, possibly randomized per packet. Patterns stress
+different aspects of a topology — uniform random spreads load evenly,
+bit-complement crosses the bisection on every packet, transpose loads the
+diagonal, hotspot concentrates on one victim endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Protocol
+
+from ..core.errors import NautilusError
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "BitComplement",
+    "Transpose",
+    "Hotspot",
+    "TRAFFIC_PATTERNS",
+    "make_pattern",
+]
+
+
+class TrafficPattern(Protocol):
+    """Maps a source endpoint to this packet's destination endpoint."""
+
+    def destination(
+        self, source: int, endpoints: int, rng: random.Random
+    ) -> int: ...  # pragma: no cover
+
+
+class UniformRandom:
+    """Every packet picks a uniform random destination (not itself)."""
+
+    name = "uniform"
+
+    def destination(self, source: int, endpoints: int, rng: random.Random) -> int:
+        destination = rng.randrange(endpoints - 1)
+        return destination + 1 if destination >= source else destination
+
+
+class BitComplement:
+    """d = ~s: every packet crosses the network bisection.
+
+    The canonical worst case for rings and meshes, the showcase for fat
+    trees.
+    """
+
+    name = "bit_complement"
+
+    def destination(self, source: int, endpoints: int, rng: random.Random) -> int:
+        bits = max((endpoints - 1).bit_length(), 1)
+        destination = (~source) & ((1 << bits) - 1)
+        return destination % endpoints
+
+
+class Transpose:
+    """(x, y) -> (y, x) on the sqrt(N) x sqrt(N) endpoint grid."""
+
+    name = "transpose"
+
+    def destination(self, source: int, endpoints: int, rng: random.Random) -> int:
+        side = int(math.isqrt(endpoints))
+        if side * side != endpoints:
+            raise NautilusError(
+                f"transpose traffic needs a square endpoint count, got {endpoints}"
+            )
+        row, col = divmod(source, side)
+        return col * side + row
+
+
+class Hotspot:
+    """A fraction of traffic targets one hot endpoint, the rest uniform."""
+
+    name = "hotspot"
+
+    def __init__(self, hot_endpoint: int = 0, fraction: float = 0.2):
+        if not 0.0 < fraction <= 1.0:
+            raise NautilusError("hotspot fraction must be in (0, 1]")
+        self.hot_endpoint = hot_endpoint
+        self.fraction = fraction
+        self._uniform = UniformRandom()
+
+    def destination(self, source: int, endpoints: int, rng: random.Random) -> int:
+        if rng.random() < self.fraction and source != self.hot_endpoint:
+            return self.hot_endpoint % endpoints
+        return self._uniform.destination(source, endpoints, rng)
+
+
+#: Registry of pattern factories by name.
+TRAFFIC_PATTERNS: dict[str, Callable[[], TrafficPattern]] = {
+    "uniform": UniformRandom,
+    "bit_complement": BitComplement,
+    "transpose": Transpose,
+    "hotspot": Hotspot,
+}
+
+
+def make_pattern(name: str) -> TrafficPattern:
+    """Instantiate a pattern by registry name."""
+    try:
+        return TRAFFIC_PATTERNS[name]()
+    except KeyError:
+        raise NautilusError(
+            f"unknown traffic pattern {name!r}; choose from "
+            f"{sorted(TRAFFIC_PATTERNS)}"
+        ) from None

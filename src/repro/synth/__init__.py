@@ -1,0 +1,98 @@
+"""Miniature FPGA synthesis flow — the fitness-evaluation substrate.
+
+Replaces the paper's Xilinx XST 14.7 / Virtex-6 LX760T characterization
+tooling with a fast, deterministic flow: RTL primitives
+(:mod:`repro.synth.primitives`) are assembled into structural modules
+(:mod:`repro.synth.netlist`), technology-mapped and statically timed
+(:mod:`repro.synth.timing`), and summarized into LUT/FF/BRAM/DSP/Fmax
+reports (:mod:`repro.synth.flow`). Verilog emission
+(:mod:`repro.synth.verilog`) produces the RTL artifact of each design point.
+"""
+
+from .area import Resources
+from .library import ASIC65, VIRTEX6, AsicLibrary, TechLibrary
+from .netlist import Instance, Module, Port
+from .primitives import (
+    Adder,
+    BlockRam,
+    Comparator,
+    ComplexMultiplier,
+    Counter,
+    Crossbar,
+    Decoder,
+    LogicCloud,
+    LutRam,
+    MatrixArbiter,
+    Multiplier,
+    Mux,
+    PriorityEncoder,
+    Primitive,
+    Register,
+    Rom,
+    RoundRobinArbiter,
+    StreamingPermuter,
+    SeparableAllocator,
+    ShiftRegister,
+    WavefrontAllocator,
+)
+from .timing import TimingReport, analyze_timing
+from .flow import SynthesisFlow, SynthesisReport
+from .verilog import emit_gate_verilog, emit_verilog
+from .report_text import render_report
+from .gates import Gate, GateNetwork, SequentialSimulator
+from .rtl import Rtl, Signal
+from .place import Placement, anneal_placement, placed_delay_report, wirelength
+from .lutmap import Cut, MappedLut, MappingResult, map_to_luts, synthesize_gates
+
+__all__ = [
+    "Resources",
+    "TechLibrary",
+    "AsicLibrary",
+    "VIRTEX6",
+    "ASIC65",
+    "Module",
+    "Instance",
+    "Port",
+    "Primitive",
+    "Register",
+    "Adder",
+    "Comparator",
+    "Mux",
+    "Decoder",
+    "PriorityEncoder",
+    "RoundRobinArbiter",
+    "MatrixArbiter",
+    "WavefrontAllocator",
+    "SeparableAllocator",
+    "Crossbar",
+    "LutRam",
+    "BlockRam",
+    "ShiftRegister",
+    "Rom",
+    "StreamingPermuter",
+    "Multiplier",
+    "ComplexMultiplier",
+    "Counter",
+    "LogicCloud",
+    "TimingReport",
+    "analyze_timing",
+    "SynthesisFlow",
+    "SynthesisReport",
+    "emit_verilog",
+    "emit_gate_verilog",
+    "render_report",
+    "Gate",
+    "GateNetwork",
+    "Cut",
+    "MappedLut",
+    "MappingResult",
+    "map_to_luts",
+    "synthesize_gates",
+    "SequentialSimulator",
+    "Rtl",
+    "Signal",
+    "Placement",
+    "anneal_placement",
+    "wirelength",
+    "placed_delay_report",
+]

@@ -1,0 +1,102 @@
+"""Technology library for the miniature synthesis flow.
+
+Models a Xilinx Virtex-6 speed-grade-2 style FPGA fabric — the paper's
+characterization target (XST 14.7, xc6vlx760) — plus a commercial-65nm-like
+ASIC view used by the CONNECT network experiments (Figure 2).
+
+The constants are calibrated so that the generated router and FFT netlists
+land in the metric ranges the paper reports (router Fmax 60-200 MHz band and
+up to ~20k LUTs in Figure 1; FFT minimum ~540 LUTs in Figure 6). The *shape*
+of the fitness landscape comes from the microarchitectural formulas in
+``repro.synth.primitives``, not from these scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechLibrary", "AsicLibrary", "VIRTEX6", "ASIC65"]
+
+
+@dataclass(frozen=True)
+class TechLibrary:
+    """Delay/capacity constants of an FPGA fabric.
+
+    Attributes:
+        name: Library identifier (appears in synthesis reports).
+        lut_delay_ns: Logic delay through one LUT6.
+        routing_delay_ns: Average net routing delay per logic level.
+        ff_setup_ns: Flip-flop setup time.
+        ff_clk_to_q_ns: Flip-flop clock-to-output delay.
+        carry_per_bit_ns: Incremental carry-chain delay per bit.
+        lutram_read_ns: Asynchronous distributed-RAM read delay.
+        bram_clk_to_out_ns: Block-RAM synchronous read latency.
+        dsp_delay_ns: Unpipelined DSP-slice multiply delay.
+        clock_floor_ns: Minimum achievable period (clock distribution limit).
+        lutram_bits_per_lut: Distributed-RAM bits stored per LUT used.
+        srl_bits_per_lut: Shift-register bits per LUT (SRL32).
+        bram_bits: Capacity of one block RAM (36 Kb on Virtex-6).
+        dsp_max_width: Widest multiplier operand a single DSP accepts.
+        packing_overhead: Area factor for imperfect LUT packing/control sets.
+    """
+
+    name: str = "virtex6"
+    lut_delay_ns: float = 0.22
+    routing_delay_ns: float = 0.35
+    ff_setup_ns: float = 0.25
+    ff_clk_to_q_ns: float = 0.35
+    carry_per_bit_ns: float = 0.02
+    lutram_read_ns: float = 0.40
+    bram_clk_to_out_ns: float = 1.80
+    dsp_delay_ns: float = 2.20
+    clock_floor_ns: float = 1.20
+    lutram_bits_per_lut: int = 64
+    srl_bits_per_lut: int = 32
+    bram_bits: int = 36 * 1024
+    dsp_max_width: int = 18
+    packing_overhead: float = 1.06
+
+    def level_delay_ns(self) -> float:
+        """Delay of one LUT logic level including average routing."""
+        return self.lut_delay_ns + self.routing_delay_ns
+
+
+@dataclass(frozen=True)
+class AsicLibrary:
+    """Area/power constants of a commercial-65nm-like ASIC node.
+
+    Used to re-express synthesis results in mm^2 and mW for the Figure 2
+    CONNECT experiments. The conversion treats one LUT6 as a bundle of
+    NAND2-equivalent gates — the standard back-of-envelope FPGA-to-ASIC
+    mapping (Kuon & Rose report ~20-35x area gap; gate bundle and gate area
+    below land in that regime).
+
+    Attributes:
+        gate_area_um2: NAND2-equivalent gate area.
+        gates_per_lut: NAND2-equivalents represented by one LUT6 of logic.
+        gates_per_ff: NAND2-equivalents per flip-flop.
+        bram_area_um2: Area of one 36Kb SRAM macro.
+        dynamic_nw_per_gate_mhz: Dynamic power per gate per MHz (nW).
+        leakage_nw_per_gate: Static leakage per gate (nW).
+        wire_area_um2_per_bit_mm: Wire area per signal bit per mm of link.
+        wire_power_nw_per_bit_mhz_mm: Wire dynamic power per bit-MHz-mm.
+        asic_speedup: Fmax multiplier for ASIC vs FPGA implementation.
+    """
+
+    name: str = "asic65"
+    gate_area_um2: float = 1.44
+    gates_per_lut: float = 10.0
+    gates_per_ff: float = 6.0
+    bram_area_um2: float = 28_000.0
+    dynamic_nw_per_gate_mhz: float = 2.4
+    leakage_nw_per_gate: float = 1.1
+    wire_area_um2_per_bit_mm: float = 6.0
+    wire_power_nw_per_bit_mhz_mm: float = 8.0
+    asic_speedup: float = 3.5
+
+
+#: Default FPGA target, matching the paper's Virtex-6 LX760T runs.
+VIRTEX6 = TechLibrary()
+
+#: Default ASIC view for the CONNECT Figure 2 experiments.
+ASIC65 = AsicLibrary()

@@ -1,0 +1,216 @@
+"""Cut-based LUT technology mapping (FlowMap-style) for gate networks.
+
+The depth-optimal LUT mapping problem is solved exactly by FlowMap for
+k-bounded networks; production mappers use priority-cut enumeration with
+depth-then-area cost. This module implements the practical variant:
+
+1. enumerate k-feasible cuts per node (bounded cross-products of fanin cut
+   sets, pruned to the best ``cut_limit`` by (depth, size));
+2. label nodes with their optimal mapping depth (min over cuts of
+   1 + max leaf label);
+3. cover the network from the outputs backward, instantiating one LUT per
+   selected cut.
+
+The result exposes LUT count and mapped depth — the gate-level ground truth
+for the closed-form per-primitive formulas in :mod:`repro.synth.primitives`
+(see ``tests/synth/test_lutmap.py`` for the cross-validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import SynthesisError
+from .gates import Gate, GateNetwork
+
+__all__ = ["Cut", "MappedLut", "MappingResult", "map_to_luts", "synthesize_gates"]
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A k-feasible cut: the node is computable from these leaves."""
+
+    leaves: frozenset[int]
+    depth: int
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+
+@dataclass(frozen=True)
+class MappedLut:
+    """One LUT of the mapped network."""
+
+    root: int
+    leaves: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """LUT cover of a gate network."""
+
+    luts: tuple[MappedLut, ...]
+    depth: int
+    k: int
+
+    @property
+    def lut_count(self) -> int:
+        return len(self.luts)
+
+
+def _merge_cuts(
+    fanin_cuts: list[list[Cut]], k: int, cut_limit: int
+) -> list[frozenset[int]]:
+    """Cross-product fanin cut leaf-sets, keeping k-feasible unions."""
+    merged: list[frozenset[int]] = [frozenset()]
+    for cuts in fanin_cuts:
+        next_merged: list[frozenset[int]] = []
+        seen: set[frozenset[int]] = set()
+        for base in merged:
+            for cut in cuts:
+                union = base | cut.leaves
+                if len(union) <= k and union not in seen:
+                    seen.add(union)
+                    next_merged.append(union)
+        # Prune aggressively to keep enumeration polynomial.
+        next_merged.sort(key=len)
+        merged = next_merged[: cut_limit * 4]
+        if not merged:
+            return []
+    return merged
+
+
+def map_to_luts(
+    network: GateNetwork, k: int = 6, cut_limit: int = 8
+) -> MappingResult:
+    """Map a combinational gate network onto k-input LUTs.
+
+    Args:
+        network: The gate network (only live logic is mapped).
+        k: LUT input count (6 for the Virtex-6-style target).
+        cut_limit: Priority cuts kept per node; larger explores more area
+            trade-offs at more runtime. Depth optimality is preserved
+            because the trivial cut and the best-depth cut are always kept.
+
+    Raises:
+        SynthesisError: If the network has no outputs.
+    """
+    if not network.outputs:
+        raise SynthesisError("cannot map a network with no outputs")
+    if k < 2:
+        raise SynthesisError("k must be >= 2")
+
+    order = network.live_nodes()
+    cuts: dict[int, list[Cut]] = {}
+    label: dict[int, int] = {}
+    node_by_uid: dict[int, Gate] = {g.uid: g for g in order}
+
+    for gate in order:
+        if gate.op in ("PI", "CONST", "DFF"):
+            # DFF outputs launch paths like primary inputs.
+            cuts[gate.uid] = [Cut(frozenset((gate.uid,)), 0)]
+            label[gate.uid] = 0
+            continue
+        fanin_cut_sets = [cuts[f.uid] for f in gate.fanins]
+        candidate_leafsets = _merge_cuts(fanin_cut_sets, k, cut_limit)
+        candidates: list[Cut] = []
+        for leaves in candidate_leafsets:
+            depth = 1 + max(
+                (label[leaf] for leaf in leaves), default=0
+            )
+            candidates.append(Cut(leaves, depth))
+        # The trivial cut (the node's own fanins) is always feasible for
+        # arity <= k and guarantees progress.
+        trivial_leaves = frozenset(f.uid for f in gate.fanins)
+        if len(trivial_leaves) <= k:
+            depth = 1 + max(label[f.uid] for f in gate.fanins)
+            candidates.append(Cut(trivial_leaves, depth))
+        if not candidates:
+            raise SynthesisError(
+                f"no k-feasible cut for node {gate!r}; increase k"
+            )
+        candidates.sort(key=lambda c: (c.depth, c.size))
+        # Deduplicate, keep the priority list.
+        kept: list[Cut] = []
+        seen_leaves: set[frozenset[int]] = set()
+        for cut in candidates:
+            if cut.leaves not in seen_leaves:
+                seen_leaves.add(cut.leaves)
+                kept.append(cut)
+            if len(kept) >= cut_limit:
+                break
+        cuts[gate.uid] = kept
+        label[gate.uid] = kept[0].depth
+
+    # Cover from the outputs (and register inputs) backward.
+    required: list[int] = []
+    visible: set[int] = set()
+    roots = [gate for __, gate in network.outputs]
+    roots += [
+        fanin
+        for gate in order
+        if gate.op == "DFF"
+        for fanin in gate.fanins
+    ]
+    for gate in roots:
+        if gate.op not in ("PI", "CONST", "DFF") and gate.uid not in visible:
+            visible.add(gate.uid)
+            required.append(gate.uid)
+    luts: list[MappedLut] = []
+    index = 0
+    while index < len(required):
+        uid = required[index]
+        index += 1
+        best = cuts[uid][0]
+        luts.append(MappedLut(uid, tuple(sorted(best.leaves))))
+        for leaf in best.leaves:
+            leaf_gate = node_by_uid[leaf]
+            if leaf_gate.op in ("PI", "CONST", "DFF"):
+                continue
+            if leaf not in visible:
+                visible.add(leaf)
+                required.append(leaf)
+
+    endpoints = [
+        label[gate.uid]
+        for gate in roots
+        if gate.op not in ("PI", "CONST", "DFF")
+    ]
+    mapped_depth = max(endpoints, default=0)
+    return MappingResult(tuple(luts), mapped_depth, k)
+
+
+def synthesize_gates(network: GateNetwork, lib=None, k: int = 6):
+    """Synthesize a gate network into a standard synthesis report.
+
+    The gate-level analog of :meth:`SynthesisFlow.run`: map to LUT-k, count
+    registers, and derive the clock from the mapped register-to-register
+    depth — so gate-level IP generators plug into the exact same search
+    machinery as the primitive-level ones.
+    """
+    from .flow import SynthesisReport
+    from .library import VIRTEX6
+
+    lib = lib or VIRTEX6
+    result = map_to_luts(network, k=k)
+    ffs = sum(1 for g in network.live_nodes() if g.op == "DFF")
+    logic_ns = (
+        lib.lut_delay_ns + max(result.depth - 1, 0) * lib.level_delay_ns()
+        if result.depth
+        else 0.0
+    )
+    period = max(
+        lib.ff_clk_to_q_ns + logic_ns + lib.routing_delay_ns + lib.ff_setup_ns,
+        lib.clock_floor_ns,
+    )
+    return SynthesisReport(
+        module=network.name,
+        luts=result.lut_count,
+        ffs=ffs,
+        brams=0,
+        dsps=0,
+        critical_path_ns=period,
+        fmax_mhz=1000.0 / period,
+        levels=result.depth,
+    )

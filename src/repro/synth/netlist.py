@@ -1,0 +1,198 @@
+"""Structural netlists: modules, instances and connections.
+
+A :class:`Module` is a DAG of primitive instances. A connection
+``a -> b`` means some output bits of instance ``a`` feed inputs of
+instance ``b``; the timing pass walks these edges. Sequential primitives
+(registers, block RAMs, counters, SRLs) cut combinational paths.
+
+Ports model the module boundary; by convention (and as every generated IP in
+this repository does) inputs and outputs are registered at the boundary, so
+the critical path of a module is its worst register-to-register path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator
+
+from ..core.errors import SynthesisError
+from .area import Resources
+from .library import TechLibrary
+from .primitives import Primitive
+
+__all__ = ["Instance", "Port", "Module"]
+
+
+class Port:
+    """A module boundary port."""
+
+    __slots__ = ("name", "width", "direction")
+
+    def __init__(self, name: str, width: int, direction: str):
+        if direction not in ("in", "out"):
+            raise SynthesisError(f"port direction must be 'in' or 'out', got {direction!r}")
+        if width < 1:
+            raise SynthesisError(f"port {name!r} must have positive width")
+        self.name = name
+        self.width = width
+        self.direction = direction
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.name!r}, {self.width}, {self.direction!r})"
+
+
+class Instance:
+    """A named instantiation of a primitive inside a module."""
+
+    __slots__ = ("name", "primitive")
+
+    def __init__(self, name: str, primitive: Primitive):
+        self.name = name
+        self.primitive = primitive
+
+    @property
+    def sequential(self) -> bool:
+        return self.primitive.sequential
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance({self.name!r}, {self.primitive.kind()})"
+
+
+class Module:
+    """A flat netlist of primitive instances with dependency edges.
+
+    Generators build modules with :meth:`add`, wire them with
+    :meth:`connect`, and hand them to
+    :class:`~repro.synth.flow.SynthesisFlow`.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._instances: dict[str, Instance] = {}
+        self._edges: set[tuple[str, str]] = set()
+        self._ports: dict[str, Port] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add(self, name: str, primitive: Primitive, replicate: int = 1) -> Instance:
+        """Add an instance (``replicate`` collapses identical copies).
+
+        Replication multiplies resources without duplicating timing nodes —
+        e.g. "one FIFO per VC per port" adds one timing arc but N copies of
+        area, matching how identical parallel structures synthesize.
+        """
+        if name in self._instances:
+            raise SynthesisError(f"duplicate instance name {name!r} in module {self.name!r}")
+        if replicate < 1:
+            raise SynthesisError(f"replicate must be >= 1, got {replicate}")
+        primitive = primitive if replicate == 1 else _Replicated(primitive, replicate)
+        instance = Instance(name, primitive)
+        self._instances[name] = instance
+        return instance
+
+    def connect(self, src: str, dst: str) -> None:
+        """Declare that outputs of ``src`` feed inputs of ``dst``."""
+        for name in (src, dst):
+            if name not in self._instances:
+                raise SynthesisError(
+                    f"connect({src!r}, {dst!r}): unknown instance {name!r}"
+                )
+        if src == dst:
+            raise SynthesisError(f"self-loop on instance {src!r}")
+        self._edges.add((src, dst))
+
+    def chain(self, *names: str) -> None:
+        """Connect a pipeline of instances in order."""
+        for a, b in zip(names, names[1:]):
+            self.connect(a, b)
+
+    def add_port(self, name: str, width: int, direction: str) -> Port:
+        """Declare a boundary port."""
+        if name in self._ports:
+            raise SynthesisError(f"duplicate port {name!r} in module {self.name!r}")
+        port = Port(name, width, direction)
+        self._ports[name] = port
+        return port
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def instances(self) -> tuple[Instance, ...]:
+        return tuple(self._instances.values())
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return tuple(self._ports.values())
+
+    def instance(self, name: str) -> Instance:
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise SynthesisError(f"no instance {name!r} in module {self.name!r}") from None
+
+    @property
+    def edges(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self._edges)
+
+    def predecessors(self, name: str) -> Iterator[str]:
+        return (a for a, b in self._edges if b == name)
+
+    def successors(self, name: str) -> Iterator[str]:
+        return (b for a, b in self._edges if a == name)
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        """Sum of all instance resource vectors (pre-packing-overhead)."""
+        return Resources.total(
+            inst.primitive.resources(lib) for inst in self._instances.values()
+        )
+
+    def signature(self) -> str:
+        """Stable content hash used to seed deterministic CAD noise."""
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        for name in sorted(self._instances):
+            inst = self._instances[name]
+            digest.update(name.encode())
+            digest.update(inst.primitive.kind().encode())
+            digest.update(repr(sorted(inst.primitive.describe().items())).encode())
+        for edge in sorted(self._edges):
+            digest.update(repr(edge).encode())
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Module({self.name!r}, {len(self._instances)} instances, "
+            f"{len(self._edges)} edges)"
+        )
+
+
+class _Replicated(Primitive):
+    """N identical copies of a primitive sharing one timing node."""
+
+    def __init__(self, inner: Primitive, count: int):
+        object.__setattr__(self, "inner", inner)
+        object.__setattr__(self, "count", count)
+        object.__setattr__(self, "sequential", inner.sequential)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return self.inner.resources(lib).scaled(self.count)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return self.inner.comb_delay_ns(lib)
+
+    def clk_to_out_ns(self, lib: TechLibrary) -> float:
+        inner_clk = getattr(self.inner, "clk_to_out_ns", None)
+        return inner_clk(lib) if inner_clk else 0.0
+
+    def kind(self) -> str:
+        return f"{self.inner.kind()}x{self.count}"
+
+    def describe(self) -> dict:
+        desc = dict(self.inner.describe())
+        desc["replicate"] = self.count
+        return desc

@@ -1,0 +1,220 @@
+"""Simulated-annealing placement for primitive-level modules.
+
+The paper's related work notes that "simulated annealing has long been used
+in physical design automation problems" [2]. This module brings that slow
+path into the substrate: place a module's instances on a 2-D grid to
+minimize half-perimeter wirelength (HPWL), the standard placement
+objective, via the classic Kirkpatrick-style annealing schedule.
+
+The default synthesis flow keeps its fast statistical routing model (a
+placement per evaluation would make 30k-design characterization hours, not
+seconds); :func:`placed_delay_report` shows what the slow path buys — a
+placement-aware routing delay per edge derived from actual cell-to-cell
+distances — and the tests validate the annealer the way EDA folk would:
+it beats random placement by a wide margin, respects the schedule, and is
+deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.errors import SynthesisError
+from .library import TechLibrary, VIRTEX6
+from .netlist import Module
+
+__all__ = ["Placement", "anneal_placement", "wirelength", "placed_delay_report"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Instance name -> (row, col) grid coordinates."""
+
+    module: str
+    grid: int
+    cells: dict[str, tuple[int, int]]
+    wirelength: float
+
+    def location(self, name: str) -> tuple[int, int]:
+        return self.cells[name]
+
+
+def wirelength(module: Module, cells: dict[str, tuple[int, int]]) -> float:
+    """Total half-perimeter wirelength over all dependency edges.
+
+    With two-pin edges HPWL reduces to Manhattan distance; kept as a
+    separate function so tests can score arbitrary placements.
+    """
+    total = 0.0
+    for src, dst in module.edges:
+        (r1, c1), (r2, c2) = cells[src], cells[dst]
+        total += abs(r1 - r2) + abs(c1 - c2)
+    return total
+
+
+def _random_placement(
+    module: Module, grid: int, rng: random.Random
+) -> dict[str, tuple[int, int]]:
+    slots = [(r, c) for r in range(grid) for c in range(grid)]
+    rng.shuffle(slots)
+    return {
+        inst.name: slots[i] for i, inst in enumerate(module.instances)
+    }
+
+
+def anneal_placement(
+    module: Module,
+    grid: int | None = None,
+    seed: int = 1,
+    moves_per_temp: int | None = None,
+    start_acceptance: float = 0.8,
+    cooling: float = 0.92,
+    floor_temperature: float = 0.05,
+) -> Placement:
+    """Place a module's instances on a grid by simulated annealing.
+
+    Args:
+        module: The netlist to place (instances become grid cells).
+        grid: Grid side length; defaults to the smallest square that fits.
+        seed: Annealing RNG seed (placements are deterministic).
+        moves_per_temp: Swap attempts per temperature step; defaults to
+            ``10 * instances`` (the classic rule of thumb).
+        start_acceptance: Initial temperature is chosen so roughly this
+            fraction of uphill moves is accepted at the start.
+        cooling: Geometric cooling rate per temperature step.
+        floor_temperature: Anneal stops when temperature drops below this
+            fraction of the initial temperature.
+    """
+    instances = module.instances
+    if not instances:
+        raise SynthesisError(f"module {module.name!r} has nothing to place")
+    if grid is None:
+        grid = max(2, math.ceil(math.sqrt(len(instances))))
+    if grid * grid < len(instances):
+        raise SynthesisError(
+            f"grid {grid}x{grid} cannot hold {len(instances)} instances"
+        )
+    rng = random.Random(seed)
+    cells = _random_placement(module, grid, rng)
+    occupied: dict[tuple[int, int], str] = {
+        loc: name for name, loc in cells.items()
+    }
+    current = wirelength(module, cells)
+    names = [inst.name for inst in instances]
+    moves = moves_per_temp or max(10 * len(names), 50)
+
+    # Calibrate the initial temperature from the uphill-move distribution.
+    probes = []
+    for _ in range(min(40, moves)):
+        delta = _probe_swap_delta(module, cells, occupied, names, grid, rng)
+        if delta > 0:
+            probes.append(delta)
+    mean_uphill = sum(probes) / len(probes) if probes else 1.0
+    temperature = -mean_uphill / math.log(start_acceptance)
+    stop_at = temperature * floor_temperature
+
+    while temperature > stop_at:
+        for _ in range(moves):
+            name = names[rng.randrange(len(names))]
+            target = (rng.randrange(grid), rng.randrange(grid))
+            delta = _swap_delta(module, cells, occupied, name, target)
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                _apply_swap(cells, occupied, name, target)
+                current += delta
+        temperature *= cooling
+
+    return Placement(module.name, grid, dict(cells), wirelength(module, cells))
+
+
+def _edges_touching(module: Module, *names: str):
+    touched = set(names)
+    return [
+        (a, b) for (a, b) in module.edges if a in touched or b in touched
+    ]
+
+
+def _swap_delta(
+    module: Module,
+    cells: dict[str, tuple[int, int]],
+    occupied: dict[tuple[int, int], str],
+    name: str,
+    target: tuple[int, int],
+) -> float:
+    other = occupied.get(target)
+    involved = (name, other) if other else (name,)
+    edges = _edges_touching(module, *involved)
+
+    def score(assignment):
+        total = 0.0
+        for a, b in edges:
+            (r1, c1) = assignment.get(a, cells[a])
+            (r2, c2) = assignment.get(b, cells[b])
+            total += abs(r1 - r2) + abs(c1 - c2)
+        return total
+
+    before = score({})
+    after_map = {name: target}
+    if other:
+        after_map[other] = cells[name]
+    after = score(after_map)
+    return after - before
+
+
+def _probe_swap_delta(module, cells, occupied, names, grid, rng) -> float:
+    name = names[rng.randrange(len(names))]
+    target = (rng.randrange(grid), rng.randrange(grid))
+    return _swap_delta(module, cells, occupied, name, target)
+
+
+def _apply_swap(cells, occupied, name: str, target: tuple[int, int]) -> None:
+    source = cells[name]
+    other = occupied.get(target)
+    cells[name] = target
+    occupied[target] = name
+    if other:
+        cells[other] = source
+        occupied[source] = other
+    elif occupied.get(source) == name:
+        del occupied[source]
+
+
+def placed_delay_report(
+    module: Module,
+    placement: Placement,
+    lib: TechLibrary = VIRTEX6,
+    ns_per_hop: float = 0.12,
+) -> dict[str, float]:
+    """Placement-aware timing summary.
+
+    Replaces the flow's statistical per-edge routing delay with one derived
+    from actual placed distances (``ns_per_hop`` per grid Manhattan step),
+    then reruns the longest-path analysis. Returns a small metrics dict —
+    the slow-but-honest counterpart to ``SynthesisFlow.run``'s fast model.
+    """
+    from .timing import _routing_ns, analyze_timing
+
+    base = analyze_timing(module, lib)
+    # Worst placed edge stretches the critical path estimate.
+    worst_edge_ns = 0.0
+    total_edge_ns = 0.0
+    for src, dst in module.edges:
+        (r1, c1), (r2, c2) = placement.location(src), placement.location(dst)
+        hops = abs(r1 - r2) + abs(c1 - c2)
+        edge_ns = ns_per_hop * hops
+        worst_edge_ns = max(worst_edge_ns, edge_ns)
+        total_edge_ns += edge_ns
+    edge_count = max(len(module.edges), 1)
+    statistical = _routing_ns(lib, 1)
+    placed_period = base.critical_path_ns + max(
+        0.0, worst_edge_ns - statistical
+    )
+    return {
+        "hpwl": placement.wirelength,
+        "avg_edge_ns": total_edge_ns / edge_count,
+        "worst_edge_ns": worst_edge_ns,
+        "statistical_period_ns": base.critical_path_ns,
+        "placed_period_ns": placed_period,
+        "placed_fmax_mhz": 1000.0 / placed_period,
+    }

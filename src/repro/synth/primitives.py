@@ -1,0 +1,494 @@
+"""RTL primitives — the building blocks IP generators instantiate.
+
+Each primitive knows how a technology-mapping pass would implement it on the
+target fabric: its resource vector (:class:`~repro.synth.area.Resources`),
+its combinational delay (for the static timing pass) and whether its outputs
+are registered (sequential primitives start/stop timing paths).
+
+The formulas follow standard FPGA mapping folklore:
+
+* w-bit ripple/carry adder -> w LUTs on a carry chain, delay grows ~linearly
+  in w;
+* an n:1 mux maps to a tree of 4:1-per-LUT6 stages -> ~w*(n-1)/3 LUTs and
+  ceil(log4(n)) levels;
+* distributed RAM packs 32 bits per LUT (64 single-ported), SRLs 32 bits;
+* a round-robin arbiter is a priority encoder wrapped with a rotating
+  pointer -> O(n) LUTs, O(log n) levels, n pointer FFs;
+* block RAM and DSP slices are hard macros with fixed access delays.
+
+These per-primitive rules are where the *shape* of the design-space landscape
+comes from (monotone trends, interactions, diminishing returns); the flow
+merely aggregates them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from .area import Resources
+from .library import TechLibrary
+
+__all__ = [
+    "Primitive",
+    "Register",
+    "Adder",
+    "Comparator",
+    "Mux",
+    "Decoder",
+    "PriorityEncoder",
+    "RoundRobinArbiter",
+    "MatrixArbiter",
+    "WavefrontAllocator",
+    "SeparableAllocator",
+    "Crossbar",
+    "LutRam",
+    "BlockRam",
+    "ShiftRegister",
+    "Rom",
+    "Multiplier",
+    "ComplexMultiplier",
+    "StreamingPermuter",
+    "Counter",
+    "LogicCloud",
+]
+
+
+def _levels(n: int, inputs_per_level: int = 4) -> int:
+    """Logic levels of a tree reducing ``n`` inputs, >= 1."""
+    if n <= 1:
+        return 1
+    return max(1, math.ceil(math.log(n, inputs_per_level)))
+
+
+def _tree_delay(lib: TechLibrary, levels: int) -> float:
+    """Delay of a LUT tree: the first level is pure logic, the rest pay
+    internal routing too (the inter-primitive net is billed by the STA pass
+    per edge, so billing it again on level one would double count)."""
+    return lib.lut_delay_ns + max(levels - 1, 0) * lib.level_delay_ns()
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """Base class: a mappable RTL building block.
+
+    Attributes:
+        sequential: True when outputs are registered, which terminates
+            combinational timing paths at this primitive's inputs and starts
+            new ones at its outputs.
+    """
+
+    sequential: bool = field(default=False, init=False)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        """Mapped resource usage on the target fabric."""
+        raise NotImplementedError
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        """Input-to-output combinational delay (0 for pure registers)."""
+        raise NotImplementedError
+
+    def kind(self) -> str:
+        """Short type tag used in reports and Verilog emission."""
+        return type(self).__name__
+
+    def describe(self) -> dict[str, Any]:
+        """Parameter dict for reports/Verilog comments."""
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_")
+        }
+
+
+@dataclass(frozen=True)
+class Register(Primitive):
+    """A bank of flip-flops, optionally with clock enable."""
+
+    width: int
+    with_enable: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sequential", True)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return Resources(ffs=self.width)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Adder(Primitive):
+    """Carry-chain adder/subtractor."""
+
+    width: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return Resources(luts=self.width)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return lib.lut_delay_ns + self.width * lib.carry_per_bit_ns
+
+
+@dataclass(frozen=True)
+class Comparator(Primitive):
+    """Magnitude/equality comparator over two w-bit operands."""
+
+    width: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return Resources(luts=math.ceil(self.width / 2))
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return lib.lut_delay_ns + self.width * lib.carry_per_bit_ns / 2
+
+
+@dataclass(frozen=True)
+class Mux(Primitive):
+    """n:1 multiplexer, ``width`` bits wide."""
+
+    width: int
+    inputs: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        if self.inputs <= 1:
+            return Resources()
+        luts_per_bit = math.ceil((self.inputs - 1) / 3)
+        return Resources(luts=self.width * luts_per_bit)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        # Wide buses fan out across the die; add a width-driven wire term.
+        wire_ns = 0.004 * self.width
+        return _tree_delay(lib, _levels(self.inputs)) + wire_ns
+
+
+@dataclass(frozen=True)
+class Decoder(Primitive):
+    """Binary-to-onehot decoder with ``outputs`` lines."""
+
+    outputs: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return Resources(luts=math.ceil(self.outputs / 2))
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return _tree_delay(lib, _levels(self.outputs, 8))
+
+
+@dataclass(frozen=True)
+class PriorityEncoder(Primitive):
+    """Fixed-priority encoder over ``inputs`` request lines."""
+
+    inputs: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return Resources(luts=2 * self.inputs)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return _tree_delay(lib, _levels(self.inputs) + 1)
+
+
+@dataclass(frozen=True)
+class RoundRobinArbiter(Primitive):
+    """Rotating-priority arbiter over ``inputs`` requesters.
+
+    Implemented as a thermometer-masked double priority encoder plus a
+    rotating pointer register — the canonical FPGA round-robin circuit.
+    """
+
+    inputs: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        pointer_ffs = max(1, math.ceil(math.log2(max(self.inputs, 2))))
+        return Resources(luts=3 * self.inputs + 2, ffs=pointer_ffs)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return _tree_delay(lib, _levels(self.inputs) + 2)
+
+
+@dataclass(frozen=True)
+class MatrixArbiter(Primitive):
+    """Matrix arbiter: n^2/2 state bits, flat single-level grant logic.
+
+    Faster than round-robin for small n but its state grows quadratically —
+    the classic area/delay trade among arbiter styles, which is exactly the
+    kind of knob an IP author writes an ordering hint for.
+    """
+
+    inputs: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        state = self.inputs * (self.inputs - 1) // 2
+        return Resources(luts=2 * self.inputs + state, ffs=state)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return _tree_delay(lib, _levels(self.inputs) + 1)
+
+
+@dataclass(frozen=True)
+class WavefrontAllocator(Primitive):
+    """Wavefront allocator matching ``rows`` requesters to ``cols`` resources.
+
+    Produces high-quality matchings in one pass but the combinational
+    wavefront ripples across the whole grid — large and slow, great
+    matching quality.
+    """
+
+    rows: int
+    cols: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return Resources(luts=4 * self.rows * self.cols)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return (self.rows + self.cols - 1) * 0.5 * lib.level_delay_ns()
+
+
+@dataclass(frozen=True)
+class SeparableAllocator(Primitive):
+    """Separable (input-first) allocator built from two arbiter ranks."""
+
+    rows: int
+    cols: int
+
+    def _rank1(self) -> RoundRobinArbiter:
+        return RoundRobinArbiter(self.cols)
+
+    def _rank2(self) -> RoundRobinArbiter:
+        return RoundRobinArbiter(self.rows)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        rank1 = self._rank1().resources(lib).scaled(self.rows)
+        rank2 = self._rank2().resources(lib).scaled(self.cols)
+        return rank1 + rank2
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        # The second rank starts resolving while the first settles its
+        # low-order grants, overlapping part of the delay.
+        return (
+            self._rank1().comb_delay_ns(lib)
+            + 0.6 * self._rank2().comb_delay_ns(lib)
+        )
+
+
+@dataclass(frozen=True)
+class Crossbar(Primitive):
+    """Mux-based crossbar: one ``inputs``:1 mux per output port."""
+
+    inputs: int
+    outputs: int
+    width: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        per_output = Mux(self.width, self.inputs).resources(lib)
+        return per_output.scaled(self.outputs)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return Mux(self.width, self.inputs).comb_delay_ns(lib)
+
+
+@dataclass(frozen=True)
+class LutRam(Primitive):
+    """Distributed (LUT) RAM with asynchronous read.
+
+    ``read_ports`` > 1 replicates the storage, as XST does for multi-read
+    register files.
+    """
+
+    depth: int
+    width: int
+    read_ports: int = 1
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        bits = self.depth * self.width
+        luts = math.ceil(bits / lib.lutram_bits_per_lut) * self.read_ports
+        address_ffs = 0
+        return Resources(luts=luts, ffs=address_ffs)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        # Address decode and output muxing deepen with RAM depth: every
+        # quadrupling of entries adds roughly one mux level on the read path.
+        depth_levels = 0.5 * math.log2(max(self.depth, 1))
+        return lib.lutram_read_ns + depth_levels * 0.5 * lib.level_delay_ns()
+
+
+@dataclass(frozen=True)
+class BlockRam(Primitive):
+    """Block RAM macro with synchronous read (registered output)."""
+
+    depth: int
+    width: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sequential", True)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        bits = self.depth * self.width
+        return Resources(brams=max(1, math.ceil(bits / lib.bram_bits)))
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        # Modeled at the path start as clock-to-out (see timing pass).
+        return 0.0
+
+    def clk_to_out_ns(self, lib: TechLibrary) -> float:
+        """Synchronous read latency used as the path launch delay."""
+        return lib.bram_clk_to_out_ns
+
+
+@dataclass(frozen=True)
+class ShiftRegister(Primitive):
+    """SRL-based shift register (delay line)."""
+
+    depth: int
+    width: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sequential", True)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        luts = self.width * math.ceil(self.depth / lib.srl_bits_per_lut)
+        return Resources(luts=luts)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Rom(Primitive):
+    """Constant table in LUTs (e.g. twiddle factors)."""
+
+    depth: int
+    width: int
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        bits = self.depth * self.width
+        return Resources(luts=math.ceil(bits / 64))
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return _tree_delay(lib, _levels(max(self.depth // 64, 1), 4))
+
+
+@dataclass(frozen=True)
+class Multiplier(Primitive):
+    """w x w multiplier, on DSP slices or LUT fabric."""
+
+    width: int
+    use_dsp: bool = True
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        if self.use_dsp:
+            per_dim = math.ceil(self.width / lib.dsp_max_width)
+            glue = (per_dim - 1) * self.width  # partial-product stitching
+            return Resources(dsps=per_dim * per_dim, luts=glue)
+        return Resources(luts=self.width * self.width * 0.9)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        if self.use_dsp:
+            tiles = math.ceil(self.width / lib.dsp_max_width)
+            return lib.dsp_delay_ns + (tiles - 1) * lib.level_delay_ns()
+        return _tree_delay(lib, _levels(self.width) + math.ceil(self.width / 4))
+
+
+@dataclass(frozen=True)
+class ComplexMultiplier(Primitive):
+    """Complex multiplier: three real multipliers plus adders (Karatsuba).
+
+    ``pipelined=True`` (the default, and what every shipping FFT core does)
+    registers the product inside the DSP cascade, so the multiplier launches
+    a fresh timing path instead of extending its input path.
+    """
+
+    width: int
+    use_dsp: bool = True
+    pipelined: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sequential", self.pipelined)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        mult = Multiplier(self.width, self.use_dsp).resources(lib).scaled(3)
+        adders = Adder(self.width + 1).resources(lib).scaled(2)
+        regs = Resources(ffs=4 * self.width if self.pipelined else 0)
+        return mult + adders + regs
+
+    def _raw_delay_ns(self, lib: TechLibrary) -> float:
+        return (
+            Multiplier(self.width, self.use_dsp).comb_delay_ns(lib)
+            + Adder(self.width + 1).comb_delay_ns(lib)
+        )
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return 0.0 if self.pipelined else self._raw_delay_ns(lib)
+
+    def clk_to_out_ns(self, lib: TechLibrary) -> float:
+        """Registered-output launch delay (DSP output register)."""
+        return lib.ff_clk_to_q_ns + 0.3
+
+
+@dataclass(frozen=True)
+class StreamingPermuter(Primitive):
+    """Inter-stage streaming permutation network over ``lanes`` lanes.
+
+    Not a crossbar: streaming FFTs realize stride permutations with
+    Benes/Omega-style networks of 2:1 switches plus per-lane delay RAM, so
+    cost grows as ``lanes * log2(lanes)``. The network is internally
+    pipelined (as shipping streaming cores are), so it registers its outputs
+    and contributes one switch level to the launch path.
+    """
+
+    lanes: int
+    width: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sequential", self.lanes >= 2)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        if self.lanes < 2:
+            return Resources()
+        levels = max(1, math.ceil(math.log2(self.lanes)))
+        switches = self.lanes * levels / 2  # 2:1 switch pairs per level
+        luts = switches * self.width / 4.0  # F7/F8 muxes steer 4 bits/LUT
+        # Pipeline registers: one rank per two switch levels.
+        ranks = max(1, levels // 2)
+        return Resources(luts=luts, ffs=self.width * self.lanes * ranks)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return 0.0
+
+    def clk_to_out_ns(self, lib: TechLibrary) -> float:
+        """Registered outputs; the last switch level launches the path."""
+        return lib.ff_clk_to_q_ns + lib.lut_delay_ns
+
+
+@dataclass(frozen=True)
+class Counter(Primitive):
+    """Registered up-counter (credits, pointers, FSM timers)."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sequential", True)
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return Resources(luts=self.width, ffs=self.width)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class LogicCloud(Primitive):
+    """Generic random control logic: explicit LUT count and depth.
+
+    Used by generators for FSMs and glue that has no closed-form structure.
+    """
+
+    luts: float
+    levels: int = 2
+    ffs: float = 0.0
+
+    def resources(self, lib: TechLibrary) -> Resources:
+        return Resources(luts=self.luts, ffs=self.ffs)
+
+    def comb_delay_ns(self, lib: TechLibrary) -> float:
+        return _tree_delay(lib, self.levels)

@@ -1,0 +1,58 @@
+"""Vendor-style text rendering of synthesis reports.
+
+Real CAD flows end with a human-readable utilization/timing summary; IP
+users live in these files. :func:`render_report` produces the equivalent
+artifact for the miniature flow — useful in examples, CLI output and logs.
+"""
+
+from __future__ import annotations
+
+from .flow import SynthesisReport
+from .library import TechLibrary, VIRTEX6
+
+__all__ = ["render_report"]
+
+#: Device capacity used for utilization percentages (Virtex-6 LX760T-ish).
+_DEVICE_CAPACITY = {
+    "luts": 474_240,
+    "ffs": 948_480,
+    "brams": 720,
+    "dsps": 864,
+}
+
+_RULE = "-" * 64
+
+
+def _row(name: str, used: float, available: int) -> str:
+    percent = 100.0 * used / available if available else 0.0
+    return f"| {name:<28s} | {used:>10,.0f} | {available:>9,} | {percent:6.2f}% |"
+
+
+def render_report(report: SynthesisReport, lib: TechLibrary = VIRTEX6) -> str:
+    """Render a synthesis report as an XST-style text summary."""
+    lines = [
+        _RULE,
+        f"Design Summary: {report.module}",
+        f"Target       : {lib.name} (speed-calibrated model)",
+        _RULE,
+        "Resource utilization:",
+        "+------------------------------+------------+-----------+---------+",
+        "| Resource                     |       Used | Available |   Util  |",
+        "+------------------------------+------------+-----------+---------+",
+        _row("Slice LUTs", report.luts, _DEVICE_CAPACITY["luts"]),
+        _row("Slice Registers", report.ffs, _DEVICE_CAPACITY["ffs"]),
+        _row("Block RAM (36Kb)", report.brams, _DEVICE_CAPACITY["brams"]),
+        _row("DSP48E1 slices", report.dsps, _DEVICE_CAPACITY["dsps"]),
+        "+------------------------------+------------+-----------+---------+",
+        "",
+        "Timing summary:",
+        f"  Minimum period      : {report.critical_path_ns:8.3f} ns",
+        f"  Maximum frequency   : {report.fmax_mhz:8.2f} MHz",
+        f"  Logic levels        : {report.levels:8d}",
+    ]
+    if report.critical_path:
+        lines.append("  Critical path       :")
+        for hop in report.critical_path:
+            lines.append(f"      -> {hop}")
+    lines.append(_RULE)
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Static timing analysis over a module's instance graph.
+
+Classic longest-path STA on a DAG:
+
+* Sequential instances *launch* paths at their clock-to-out delay and
+  *capture* paths at their inputs (plus setup).
+* Combinational instances add their mapped delay; every traversed edge adds
+  one average routing hop with a fanout penalty (high-fanout nets route
+  worse — the usual reason big crossbars miss timing).
+* Combinational loops are a synthesis error, as in any real flow.
+
+The resulting worst register-to-register path, floored by the clock
+distribution limit, gives the achievable period and hence Fmax.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import SynthesisError
+from .library import TechLibrary
+from .netlist import Module
+
+__all__ = ["TimingReport", "analyze_timing"]
+
+#: Routing delay grows logarithmically with fanout beyond this knee.
+_FANOUT_KNEE = 4
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Outcome of the STA pass."""
+
+    critical_path_ns: float
+    #: Instance names along the critical path, launch to capture.
+    critical_path: tuple[str, ...]
+    #: Number of combinational levels on the critical path.
+    levels: int
+
+    def fmax_mhz(self) -> float:
+        """Maximum clock frequency implied by the critical path."""
+        return 1000.0 / self.critical_path_ns
+
+
+def _topological_order(module: Module) -> list[str]:
+    """Topological order over *combinational* edges; error on comb loops."""
+    comb_edges = [
+        (a, b)
+        for (a, b) in module.edges
+        if not module.instance(a).sequential or not module.instance(b).sequential
+    ]
+    indegree: dict[str, int] = {inst.name: 0 for inst in module.instances}
+    successors: dict[str, list[str]] = {inst.name: [] for inst in module.instances}
+    for a, b in comb_edges:
+        # Edges out of sequential instances still propagate arrival times
+        # (clock-to-out); only edges *into* sequential instances terminate.
+        if module.instance(b).sequential:
+            continue
+        indegree[b] += 1
+        successors[a].append(b)
+    ready = [name for name, deg in indegree.items() if deg == 0]
+    order: list[str] = []
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        for succ in successors[name]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(indegree):
+        stuck = sorted(name for name, deg in indegree.items() if deg > 0)
+        raise SynthesisError(
+            f"combinational loop in module {module.name!r} involving {stuck[:5]}"
+        )
+    return order
+
+
+def _routing_ns(lib: TechLibrary, fanout: int) -> float:
+    """Per-edge routing delay with a logarithmic fanout penalty."""
+    penalty = 1.0
+    if fanout > _FANOUT_KNEE:
+        penalty += 0.25 * math.log2(fanout / _FANOUT_KNEE)
+    return lib.routing_delay_ns * penalty
+
+
+def analyze_timing(module: Module, lib: TechLibrary) -> TimingReport:
+    """Compute the worst register-to-register path of a module.
+
+    A module with no sequential element and no combinational logic (or no
+    instances at all) reports the clock floor.
+    """
+    if len(module) == 0:
+        return TimingReport(lib.clock_floor_ns, (), 0)
+
+    fanout = {inst.name: 0 for inst in module.instances}
+    for a, _ in module.edges:
+        fanout[a] += 1
+
+    arrival: dict[str, float] = {}
+    trace: dict[str, tuple[str, ...]] = {}
+    levels: dict[str, int] = {}
+    order = _topological_order(module)
+
+    for name in order:
+        inst = module.instance(name)
+        if inst.sequential:
+            clk_to_out = getattr(inst.primitive, "clk_to_out_ns", None)
+            launch = clk_to_out(lib) if clk_to_out else lib.ff_clk_to_q_ns
+            arrival[name] = launch
+            trace[name] = (name,)
+            levels[name] = 0
+            continue
+        best = 0.0
+        best_trace: tuple[str, ...] = ()
+        best_levels = 0
+        for pred in module.predecessors(name):
+            if pred not in arrival:
+                continue
+            candidate = arrival[pred] + _routing_ns(lib, fanout[pred])
+            if candidate > best:
+                best = candidate
+                best_trace = trace[pred]
+                best_levels = levels[pred]
+        own = inst.primitive.comb_delay_ns(lib)
+        arrival[name] = best + own
+        trace[name] = best_trace + (name,)
+        levels[name] = best_levels + 1
+
+    worst = lib.clock_floor_ns
+    worst_trace: tuple[str, ...] = ()
+    worst_levels = 0
+    for a, b in module.edges:
+        if not module.instance(b).sequential:
+            continue
+        if a not in arrival:
+            continue
+        path = arrival[a] + _routing_ns(lib, fanout[a]) + lib.ff_setup_ns
+        if path > worst:
+            worst = path
+            worst_trace = trace[a] + (b,)
+            worst_levels = levels[a]
+    # Purely combinational modules (no capture register): worst arrival.
+    if not worst_trace and arrival:
+        peak = max(arrival, key=lambda n: arrival[n])
+        candidate = arrival[peak] + lib.ff_setup_ns
+        if candidate > worst:
+            worst = candidate
+            worst_trace = trace[peak]
+            worst_levels = levels[peak]
+    return TimingReport(worst, worst_trace, worst_levels)

@@ -1,0 +1,68 @@
+"""Tests for figure series containers and ASCII plotting."""
+
+from repro.analysis import FigureSeries, ascii_plot
+
+
+def make_figure():
+    fig = FigureSeries("figX", "Test Title", "cost", "quality")
+    fig.add("baseline", [(0, 1.0), (10, 2.0), (20, 3.0)])
+    fig.add("nautilus", [(0, 1.0), (5, 2.5), (10, 3.5)])
+    fig.note("speedup", 2.0)
+    return fig
+
+
+class TestFigureSeries:
+    def test_add_and_notes(self):
+        fig = make_figure()
+        assert len(fig.series) == 2
+        assert fig.notes["speedup"] == 2.0
+
+    def test_points_coerced_to_float(self):
+        fig = FigureSeries("f", "t", "x", "y")
+        fig.add("s", [(1, 2)])
+        assert fig.series["s"] == [(1.0, 2.0)]
+
+    def test_csv_export(self, tmp_path):
+        fig = make_figure()
+        path = tmp_path / "fig.csv"
+        fig.to_csv(path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "series,x,y"
+        assert len(lines) == 7  # header + 3 + 3 points
+
+    def test_summary_rows(self):
+        rows = make_figure().summary_rows()
+        assert rows[0].startswith("figX")
+        assert any("baseline" in row for row in rows)
+        assert any("speedup" in row for row in rows)
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        text = ascii_plot(make_figure())
+        assert "Test Title" in text
+        assert "baseline" in text and "nautilus" in text
+        assert "*" in text and "o" in text
+        assert "cost" in text and "quality" in text
+
+    def test_empty_figure(self):
+        fig = FigureSeries("f", "Empty", "x", "y")
+        assert "no data" in ascii_plot(fig)
+
+    def test_log_axes(self):
+        fig = FigureSeries("f", "Log", "x", "y")
+        fig.add("s", [(1, 1), (10, 10), (100, 100), (1000, 1000)])
+        text = ascii_plot(fig, logx=True, logy=True)
+        assert "[log x]" in text and "[log y]" in text
+
+    def test_log_disabled_for_nonpositive(self):
+        fig = FigureSeries("f", "Log", "x", "y")
+        fig.add("s", [(0, -1), (10, 10)])
+        text = ascii_plot(fig, logx=True, logy=True)
+        assert "[log x]" not in text
+
+    def test_dimensions(self):
+        text = ascii_plot(make_figure(), width=40, height=10)
+        plot_lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(plot_lines) == 10
+        assert all(len(l) <= 41 for l in plot_lines)

@@ -1,0 +1,136 @@
+"""Tests for the statistics toolkit."""
+
+import random
+
+import pytest
+
+from repro.analysis import bootstrap_ci, compare_engines, mann_whitney_u
+from repro.core import (
+    CallableEvaluator,
+    DesignSpace,
+    GAConfig,
+    GeneticSearch,
+    HintSet,
+    IntParam,
+    ParamHints,
+    maximize,
+)
+from repro.experiments import run_many
+
+
+class TestBootstrap:
+    def test_interval_contains_mean_for_tight_sample(self):
+        sample = [10.0, 10.1, 9.9, 10.05, 9.95, 10.0, 10.02, 9.98]
+        lo, hi = bootstrap_ci(sample)
+        assert lo <= 10.0 <= hi
+        assert hi - lo < 0.2
+
+    def test_wider_sample_wider_interval(self):
+        tight = bootstrap_ci([10.0, 10.1, 9.9, 10.0, 10.05, 9.95])
+        wide = bootstrap_ci([5.0, 15.0, 8.0, 12.0, 2.0, 18.0])
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_deterministic(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(sample) == bootstrap_ci(sample)
+
+    def test_custom_statistic(self):
+        sample = [1.0, 2.0, 100.0]
+        lo, hi = bootstrap_ci(sample, statistic=lambda xs: sorted(xs)[len(xs) // 2])
+        assert lo >= 1.0 and hi <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_coverage_property(self):
+        # ~95% of bootstrap CIs from a known distribution cover its mean.
+        rng = random.Random(3)
+        covered = 0
+        trials = 60
+        for t in range(trials):
+            sample = [rng.gauss(50.0, 10.0) for _ in range(25)]
+            lo, hi = bootstrap_ci(sample, seed=t)
+            covered += lo <= 50.0 <= hi
+        assert covered / trials > 0.8
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        __, p = mann_whitney_u(a, list(a))
+        assert p > 0.9
+
+    def test_clearly_shifted_samples_significant(self):
+        rng = random.Random(1)
+        a = [rng.gauss(10, 1) for _ in range(20)]
+        b = [rng.gauss(20, 1) for _ in range(20)]
+        __, p = mann_whitney_u(a, b)
+        assert p < 0.001
+
+    def test_symmetry(self):
+        a = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0]
+        b = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
+        __, p_ab = mann_whitney_u(a, b)
+        __, p_ba = mann_whitney_u(b, a)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_handles_ties(self):
+        a = [5.0] * 10
+        b = [5.0] * 9 + [6.0]
+        __, p = mann_whitney_u(a, b)
+        assert 0.0 < p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+
+class TestCompareEngines:
+    @pytest.fixture
+    def engines(self):
+        space = DesignSpace("cmp", [IntParam("a", 0, 63), IntParam("b", 0, 63)])
+        evaluator = CallableEvaluator(lambda g: {"m": float(g["a"] + g["b"])})
+        hints = HintSet(
+            {"a": ParamHints(bias=1.0), "b": ParamHints(bias=1.0)}, confidence=0.8
+        )
+
+        def factory(h, label):
+            def build(seed):
+                return GeneticSearch(
+                    space,
+                    evaluator,
+                    maximize("m"),
+                    GAConfig(seed=seed, generations=40),
+                    hints=h,
+                    label=label,
+                )
+
+            return build
+
+        baseline = run_many(factory(None, "baseline"), 16, label="baseline")
+        guided = run_many(factory(hints, "guided"), 16, label="guided")
+        return baseline, guided
+
+    def test_guided_significantly_faster(self, engines):
+        baseline, guided = engines
+        # Near-optimal bar (optimum is 126): guidance is decisive there.
+        comparison = compare_engines(guided, baseline, threshold=125.0)
+        assert comparison.median_a is not None
+        assert comparison.median_a < comparison.median_b
+        assert comparison.significant
+        assert "faster" in comparison.verdict()
+
+    def test_unreached_threshold_censored(self, engines):
+        baseline, guided = engines
+        comparison = compare_engines(guided, baseline, threshold=1e9)
+        assert comparison.median_a is None and comparison.median_b is None
+        assert comparison.success_a == 0.0
+
+    def test_verdict_mentions_sole_reacher(self, engines):
+        baseline, guided = engines
+        comparison = compare_engines(guided, baseline, threshold=1e9)
+        # Degenerate: nobody reached; verdict still renders.
+        assert isinstance(comparison.verdict(), str)

@@ -1,0 +1,151 @@
+"""Tests for search checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    CallableEvaluator,
+    CheckpointedSearch,
+    DesignSpace,
+    GAConfig,
+    InfeasibleDesignError,
+    IntParam,
+    NautilusError,
+    SearchCheckpoint,
+    maximize,
+)
+
+
+@pytest.fixture
+def space():
+    return DesignSpace("ck", [IntParam("a", 0, 63), IntParam("b", 0, 63)])
+
+
+@pytest.fixture
+def counting_evaluator():
+    calls = []
+
+    def fn(genome):
+        calls.append(1)
+        if genome["a"] == 13 and genome["b"] == 13:
+            raise InfeasibleDesignError("superstition hole")
+        return {"m": float(genome["a"] + genome["b"])}
+
+    return CallableEvaluator(fn), calls
+
+
+class TestCheckpointing:
+    def test_snapshot_written(self, space, counting_evaluator, tmp_path):
+        evaluator, __ = counting_evaluator
+        path = tmp_path / "run.ckpt.json"
+        CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=1, generations=8),
+            checkpoint_path=path, checkpoint_every=3,
+        ).run()
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["space"] == "ck"
+        assert payload["generation"] == 8
+        assert len(payload["population"]) == 10
+
+    def test_atomic_write_no_tmp_left(self, space, counting_evaluator, tmp_path):
+        evaluator, __ = counting_evaluator
+        path = tmp_path / "run.ckpt.json"
+        CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=1, generations=4),
+            checkpoint_path=path,
+        ).run()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_validation(self, space, counting_evaluator):
+        evaluator, __ = counting_evaluator
+        with pytest.raises(NautilusError):
+            CheckpointedSearch(
+                space, evaluator, maximize("m"), checkpoint_every=0
+            )
+
+
+class TestResume:
+    def test_resume_reproduces_uninterrupted_run(
+        self, space, counting_evaluator, tmp_path
+    ):
+        evaluator, __ = counting_evaluator
+        reference = CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=5, generations=24),
+            checkpoint_path=tmp_path / "ref.json", checkpoint_every=100,
+        ).run()
+        path = tmp_path / "interrupted.json"
+        CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=5, generations=9),
+            checkpoint_path=path, checkpoint_every=3,
+        ).run()
+        resumed = CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=5, generations=24),
+            checkpoint_path=path, checkpoint_every=3,
+        ).resume().run()
+        assert resumed.curve() == reference.curve()
+        assert resumed.best_config == reference.best_config
+
+    def test_cache_not_repaid(self, space, counting_evaluator, tmp_path):
+        evaluator, calls = counting_evaluator
+        path = tmp_path / "c.json"
+        CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=2, generations=10),
+            checkpoint_path=path,
+        ).run()
+        phase1 = len(calls)
+        calls.clear()
+        resumed = CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=2, generations=20),
+            checkpoint_path=path,
+        ).resume().run()
+        # Phase 2 pays only for genuinely new designs.
+        assert len(calls) < phase1
+        assert resumed.distinct_evaluations >= phase1
+
+    def test_infeasible_restored(self, space, counting_evaluator, tmp_path):
+        evaluator, calls = counting_evaluator
+        path = tmp_path / "inf.json"
+        # Force the hole into the cache.
+        search = CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=3, generations=2), checkpoint_path=path,
+        )
+        search._counter.evaluate_many([space.genome(a=13, b=13)])
+        search.run()
+        calls.clear()
+        resumed = CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=3, generations=2), checkpoint_path=path,
+        ).resume()
+        with pytest.raises(InfeasibleDesignError):
+            resumed._counter.evaluate(space.genome(a=13, b=13))
+        # Served from the restored cache: no fresh call.
+        assert not calls
+
+    def test_wrong_space_rejected(self, space, counting_evaluator, tmp_path):
+        evaluator, __ = counting_evaluator
+        path = tmp_path / "x.json"
+        CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=1, generations=2), checkpoint_path=path,
+        ).run()
+        other = DesignSpace("other", [IntParam("a", 0, 63), IntParam("b", 0, 63)])
+        with pytest.raises(NautilusError, match="space"):
+            CheckpointedSearch(
+                other, evaluator, maximize("m"), checkpoint_path=path
+            ).resume()
+
+    def test_corrupt_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99}))
+        with pytest.raises(NautilusError, match="format"):
+            SearchCheckpoint.load(path)

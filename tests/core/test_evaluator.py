@@ -1,0 +1,80 @@
+"""Tests for evaluation: caching, distinct-design accounting, datasets."""
+
+import pytest
+
+from repro.core import (
+    CallableEvaluator,
+    CountingEvaluator,
+    DatasetEvaluator,
+    DesignSpace,
+    InfeasibleDesignError,
+    IntParam,
+)
+from repro.core.errors import DatasetError
+from repro.dataset import Dataset
+
+
+@pytest.fixture
+def space():
+    return DesignSpace("ev", [IntParam("a", 0, 9)])
+
+
+class TestCountingEvaluator:
+    def test_distinct_vs_requests(self, space):
+        calls = []
+        inner = CallableEvaluator(lambda g: calls.append(1) or {"m": g["a"]})
+        counter = CountingEvaluator(inner)
+        g1, g2 = space.genome(a=1), space.genome(a=2)
+        counter.evaluate(g1)
+        counter.evaluate(g1)
+        counter.evaluate(g2)
+        counter.evaluate(space.genome(a=1))  # equal genome, new object
+        assert counter.distinct_evaluations == 2
+        assert counter.total_requests == 4
+        assert counter.cache_hits == 2
+        assert len(calls) == 2  # inner ran exactly once per distinct design
+
+    def test_infeasible_cached(self, space):
+        calls = []
+
+        def fn(genome):
+            calls.append(1)
+            raise InfeasibleDesignError("nope")
+
+        counter = CountingEvaluator(CallableEvaluator(fn))
+        g = space.genome(a=3)
+        with pytest.raises(InfeasibleDesignError):
+            counter.evaluate(g)
+        with pytest.raises(InfeasibleDesignError):
+            counter.evaluate(g)
+        # The failed synthesis job was paid for once and only once.
+        assert counter.distinct_evaluations == 1
+        assert len(calls) == 1
+
+    def test_seen(self, space):
+        counter = CountingEvaluator(CallableEvaluator(lambda g: {"m": 1.0}))
+        g = space.genome(a=0)
+        assert not counter.seen(g)
+        counter.evaluate(g)
+        assert counter.seen(g)
+
+
+class TestDatasetEvaluator:
+    def test_lookup(self, space):
+        dataset = Dataset("d", space)
+        dataset.record({"a": 1}, {"m": 10.0})
+        evaluator = DatasetEvaluator(dataset)
+        assert evaluator.evaluate(space.genome(a=1)) == {"m": 10.0}
+
+    def test_miss_raises(self, space):
+        dataset = Dataset("d", space)
+        evaluator = DatasetEvaluator(dataset)
+        with pytest.raises(DatasetError):
+            evaluator.evaluate(space.genome(a=5))
+
+    def test_infeasible_row(self, space):
+        dataset = Dataset("d", space)
+        dataset.record({"a": 2}, None)
+        evaluator = DatasetEvaluator(dataset)
+        with pytest.raises(InfeasibleDesignError):
+            evaluator.evaluate(space.genome(a=2))

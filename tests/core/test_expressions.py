@@ -1,0 +1,110 @@
+"""Tests for the composite-metric expression language."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EvaluationError,
+    ExpressionError,
+    objective_from_expression,
+    parse_expression,
+)
+
+METRICS = {"luts": 100.0, "fmax_mhz": 250.0, "brams": 4.0, "dsps": 0.0}
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("luts", 100.0),
+            ("3.5", 3.5),
+            ("luts + brams", 104.0),
+            ("luts - brams", 96.0),
+            ("2 * brams", 8.0),
+            ("fmax_mhz / luts", 2.5),
+            ("-brams", -4.0),
+            ("--brams", 4.0),
+            ("(luts + brams) * 2", 208.0),
+            ("fmax_mhz / (luts + 25 * brams)", 1.25),
+            ("1 + 2 * 3", 7.0),  # precedence
+            ("(1 + 2) * 3", 9.0),
+            ("luts / 2 / 5", 10.0),  # left associativity
+        ],
+    )
+    def test_evaluation(self, text, expected):
+        assert parse_expression(text)(METRICS) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "   ", "luts +", "* luts", "(luts", "luts)", "luts luts",
+         "luts # brams", "1..2", "foo(1)"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ExpressionError):
+            parse_expression(text)(METRICS)
+
+    def test_unknown_metric_at_eval_time(self):
+        fn = parse_expression("luts + watts")
+        with pytest.raises(EvaluationError, match="watts"):
+            fn(METRICS)
+
+    def test_division_by_zero_metric(self):
+        fn = parse_expression("luts / dsps")
+        with pytest.raises(EvaluationError, match="zero"):
+            fn(METRICS)
+
+    def test_no_code_injection_surface(self):
+        for text in ("__import__", "luts.__class__", "a;b", "x=1"):
+            with pytest.raises((ExpressionError, EvaluationError)):
+                parse_expression(text)(METRICS)
+
+
+class TestObjectiveFactory:
+    def test_plain_name_fast_path(self):
+        objective = objective_from_expression("luts", "min")
+        assert objective.name == "luts"
+        assert objective.score(METRICS) == -100.0
+
+    def test_composite(self):
+        objective = objective_from_expression("fmax_mhz / luts", "max")
+        assert objective.raw(METRICS) == pytest.approx(2.5)
+        assert objective.name == "fmax_mhz / luts"
+
+    def test_custom_name(self):
+        objective = objective_from_expression("luts + brams", "min", name="cost")
+        assert objective.name == "cost"
+
+    def test_usable_in_search(self):
+        from repro.core import (
+            CallableEvaluator,
+            DesignSpace,
+            GAConfig,
+            GeneticSearch,
+            IntParam,
+        )
+
+        space = DesignSpace("e", [IntParam("a", 1, 20), IntParam("b", 1, 20)])
+        evaluator = CallableEvaluator(
+            lambda g: {"x": float(g["a"]), "y": float(g["b"])}
+        )
+        objective = objective_from_expression("x / y", "max")
+        result = GeneticSearch(
+            space, evaluator, objective, GAConfig(seed=1, generations=25)
+        ).run()
+        # Near-optimal corner (optimum 20/1 = 20): the ratio objective
+        # drove the search to large a / smallest b.
+        assert result.best_config["b"] == 1
+        assert result.best_raw >= 15.0
+
+
+@settings(max_examples=40)
+@given(
+    a=st.floats(min_value=0.5, max_value=1e4),
+    b=st.floats(min_value=0.5, max_value=1e4),
+)
+def test_expression_matches_python_semantics_property(a, b):
+    metrics = {"a": a, "b": b}
+    fn = parse_expression("(a + 2 * b) / (a + b) - a / b")
+    expected = (a + 2 * b) / (a + b) - a / b
+    assert fn(metrics) == pytest.approx(expected)

@@ -1,0 +1,73 @@
+"""Tests for objectives and fitness scoring."""
+
+import pytest
+
+from repro.core import EvaluationError, Objective, maximize, minimize
+
+
+class TestLookupObjectives:
+    def test_maximize(self):
+        obj = maximize("fmax_mhz")
+        assert obj.maximizing
+        assert obj.raw({"fmax_mhz": 150.0}) == 150.0
+        assert obj.score({"fmax_mhz": 150.0}) == 150.0
+
+    def test_minimize_negates_score(self):
+        obj = minimize("luts")
+        assert not obj.maximizing
+        assert obj.raw({"luts": 500.0}) == 500.0
+        assert obj.score({"luts": 500.0}) == -500.0
+
+    def test_missing_metric(self):
+        obj = maximize("nope")
+        with pytest.raises(EvaluationError, match="no metric"):
+            obj.raw({"luts": 1.0})
+
+    def test_name_defaults_to_metric(self):
+        assert maximize("luts").name == "luts"
+        assert minimize("luts", name="area").name == "area"
+
+
+class TestCompositeObjectives:
+    def test_composite(self):
+        obj = maximize(
+            lambda m: m["throughput"] / m["luts"], name="tput_per_lut"
+        )
+        assert obj.raw({"throughput": 100.0, "luts": 50.0}) == 2.0
+        assert obj.name == "tput_per_lut"
+
+    def test_composite_needs_name(self):
+        with pytest.raises(EvaluationError, match="name"):
+            Objective(lambda m: 1.0)
+
+    def test_area_delay_style(self):
+        obj = minimize(
+            lambda m: m["luts"] * m["critical_path_ns"], name="area_delay"
+        )
+        assert obj.score({"luts": 10, "critical_path_ns": 2.0}) == -20.0
+
+
+class TestConstraints:
+    def test_violation_scores_minus_inf(self):
+        obj = maximize("fmax_mhz", constraint=lambda m: m["luts"] <= 1000)
+        good = {"fmax_mhz": 100.0, "luts": 500.0}
+        bad = {"fmax_mhz": 300.0, "luts": 5000.0}
+        assert obj.score(good) == 100.0
+        assert obj.score(bad) == float("-inf")
+        # Raw is still reported for transparency.
+        assert obj.raw(bad) == 300.0
+
+
+class TestComparison:
+    def test_better_max(self):
+        obj = maximize("m")
+        assert obj.better(2.0, 1.0)
+        assert not obj.better(1.0, 2.0)
+
+    def test_better_min(self):
+        obj = minimize("m")
+        assert obj.better(1.0, 2.0)
+
+    def test_invalid_direction(self):
+        with pytest.raises(EvaluationError):
+            Objective("m", direction="sideways")

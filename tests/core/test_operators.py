@@ -1,0 +1,229 @@
+"""Tests for the genetic operators, baseline and guided."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ChoiceParam,
+    DesignSpace,
+    GeneticOperators,
+    HintSet,
+    IntParam,
+    OrderedParam,
+    ParamHints,
+    single_point_crossover,
+    two_point_crossover,
+    uniform_crossover,
+)
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(
+        "ops",
+        [
+            IntParam("a", 0, 9),
+            IntParam("b", 0, 9),
+            OrderedParam("o", ("s", "m", "l")),
+            ChoiceParam("c", ("p", "q")),
+        ],
+    )
+
+
+class TestGeneRates:
+    def test_baseline_uniform(self, space):
+        ops = GeneticOperators(space, mutation_rate=0.1)
+        rates = ops.gene_mutation_rates(0)
+        assert all(abs(r - 0.1) < 1e-12 for r in rates.values())
+
+    def test_importance_preserves_expected_mutations(self, space):
+        hints = HintSet(
+            {"a": ParamHints(importance=100), "b": ParamHints(importance=1)},
+            confidence=1.0,
+        )
+        ops = GeneticOperators(space, mutation_rate=0.1, hints=hints)
+        rates = ops.gene_mutation_rates(0)
+        # Sum of rates == base rate * num params (expected mutations kept).
+        assert abs(sum(rates.values()) - 0.1 * 4) < 0.02
+        assert rates["a"] > rates["b"]
+
+    def test_zero_confidence_is_baseline(self, space):
+        hints = HintSet({"a": ParamHints(importance=100)}, confidence=0.0)
+        ops = GeneticOperators(space, 0.1, hints)
+        rates = ops.gene_mutation_rates(0)
+        assert all(abs(r - 0.1) < 1e-12 for r in rates.values())
+
+    def test_decay_flattens_rates_over_generations(self, space):
+        hints = HintSet(
+            {"a": ParamHints(importance=100)},
+            confidence=1.0,
+            importance_decay=0.1,
+        )
+        ops = GeneticOperators(space, 0.1, hints)
+        early = ops.gene_mutation_rates(0)["a"]
+        late = ops.gene_mutation_rates(60)["a"]
+        assert early > late
+        assert abs(late - 0.1) < 0.02
+
+    def test_invalid_mutation_rate(self, space):
+        with pytest.raises(ValueError):
+            GeneticOperators(space, mutation_rate=1.5)
+
+    def test_hints_validated_on_construction(self, space):
+        from repro.core import HintError
+
+        with pytest.raises(HintError):
+            GeneticOperators(space, 0.1, HintSet({"zz": ParamHints(bias=1)}))
+
+
+class TestValueMutation:
+    def test_baseline_changes_value(self, space):
+        ops = GeneticOperators(space, 0.1)
+        rng = random.Random(0)
+        param = space.param("a")
+        for _ in range(100):
+            assert ops.mutate_value(param, 5, 0, rng) != 5
+
+    def test_strong_positive_bias_moves_up(self, space):
+        hints = HintSet({"a": ParamHints(bias=1.0)}, confidence=1.0)
+        ops = GeneticOperators(space, 0.1, hints)
+        rng = random.Random(0)
+        param = space.param("a")
+        ups = sum(ops.mutate_value(param, 4, 0, rng) > 4 for _ in range(200))
+        assert ups == 200
+
+    def test_strong_negative_bias_moves_down(self, space):
+        hints = HintSet({"a": ParamHints(bias=-1.0)}, confidence=1.0)
+        ops = GeneticOperators(space, 0.1, hints)
+        rng = random.Random(0)
+        param = space.param("a")
+        downs = sum(ops.mutate_value(param, 4, 0, rng) < 4 for _ in range(200))
+        assert downs == 200
+
+    def test_bias_at_boundary_clamps_to_no_op(self, space):
+        # A converged gene re-proposes its value; the cached evaluator makes
+        # that free — the "Nautilus lines stop earlier" mechanism.
+        hints = HintSet({"a": ParamHints(bias=1.0)}, confidence=1.0)
+        ops = GeneticOperators(space, 0.1, hints)
+        rng = random.Random(0)
+        param = space.param("a")
+        results = {ops.mutate_value(param, 9, 0, rng) for _ in range(100)}
+        assert results == {9}
+
+    def test_target_pulls_samples(self, space):
+        hints = HintSet({"a": ParamHints(target=7)}, confidence=1.0)
+        ops = GeneticOperators(space, 0.1, hints)
+        rng = random.Random(0)
+        param = space.param("a")
+        samples = [ops.mutate_value(param, 0, 0, rng) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert 5.5 < mean <= 7.5
+        # Stochasticity preserved: not every sample is the target itself.
+        assert len(set(samples)) > 2
+
+    def test_half_confidence_mixes_guided_and_uniform(self, space):
+        hints = HintSet({"a": ParamHints(bias=1.0)}, confidence=0.5)
+        ops = GeneticOperators(space, 0.1, hints)
+        rng = random.Random(0)
+        param = space.param("a")
+        downs = sum(ops.mutate_value(param, 8, 0, rng) < 8 for _ in range(400))
+        assert 50 < downs < 300  # some uniform draws go down
+
+    def test_unordered_param_without_ordering_uniform(self, space):
+        hints = HintSet({"c": ParamHints(importance=90)}, confidence=1.0)
+        ops = GeneticOperators(space, 0.1, hints)
+        rng = random.Random(0)
+        param = space.param("c")
+        assert ops.mutate_value(param, "p", 0, rng) == "q"
+
+    def test_ordering_hint_gives_axis_to_choice_param(self, space):
+        hints = HintSet(
+            {"c": ParamHints(bias=1.0, ordering=("p", "q"))}, confidence=1.0
+        )
+        ops = GeneticOperators(space, 0.1, hints)
+        rng = random.Random(0)
+        param = space.param("c")
+        assert all(
+            ops.mutate_value(param, "p", 0, rng) == "q" for _ in range(50)
+        )
+
+    def test_single_value_param_unchanged(self):
+        space = DesignSpace("one", [IntParam("a", 5, 5), IntParam("b", 0, 1)])
+        ops = GeneticOperators(space, 0.1)
+        assert ops.mutate_value(space.param("a"), 5, 0, random.Random(0)) == 5
+
+
+class TestGenomeMutation:
+    def test_mutation_stays_in_domain(self, space, rng):
+        ops = GeneticOperators(space, 0.5)
+        genome = space.random_genome(rng)
+        for _ in range(50):
+            genome = ops.mutate(genome, 0, rng)
+            for param in space.params:
+                assert param.contains(genome[param.name])
+
+    def test_zero_rate_never_mutates(self, space, rng):
+        ops = GeneticOperators(space, 0.0)
+        genome = space.random_genome(rng)
+        assert ops.mutate(genome, 0, rng) == genome
+
+    def test_mutate_feasible_respects_constraints(self, rng):
+        space = DesignSpace(
+            "cons",
+            [IntParam("a", 0, 9), IntParam("b", 0, 9)],
+            constraints=[lambda c: c["a"] <= c["b"]],
+        )
+        ops = GeneticOperators(space, 0.9)
+        genome = space.genome(a=0, b=9)
+        for _ in range(100):
+            genome = ops.mutate_feasible(genome, 0, rng)
+            assert genome["a"] <= genome["b"]
+
+
+class TestCrossover:
+    def test_uniform_genes_from_parents(self, space, rng):
+        a = space.genome(a=0, b=0, o="s", c="p")
+        b = space.genome(a=9, b=9, o="l", c="q")
+        for _ in range(20):
+            child = uniform_crossover(a, b, rng)
+            for name in space.param_names:
+                assert child[name] in (a[name], b[name])
+
+    def test_single_point_prefix_suffix(self, space, rng):
+        a = space.genome(a=0, b=0, o="s", c="p")
+        b = space.genome(a=9, b=9, o="l", c="q")
+        for _ in range(20):
+            child = single_point_crossover(a, b, rng)
+            picks = [
+                0 if child[n] == a[n] else 1 for n in space.param_names
+            ]
+            # Once we switch to parent b we never switch back.
+            assert picks == sorted(picks)
+
+    def test_two_point_slice(self, space, rng):
+        a = space.genome(a=0, b=0, o="s", c="p")
+        b = space.genome(a=9, b=9, o="l", c="q")
+        for _ in range(20):
+            child = two_point_crossover(a, b, rng)
+            for name in space.param_names:
+                assert child[name] in (a[name], b[name])
+
+
+@settings(max_examples=50)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    bias=st.floats(-1, 1),
+    confidence=st.floats(0, 1),
+)
+def test_guided_mutation_always_in_domain_property(seed, bias, confidence):
+    space = DesignSpace("prop", [IntParam("a", 0, 6), IntParam("b", 0, 6)])
+    hints = HintSet({"a": ParamHints(bias=bias)}, confidence=confidence)
+    ops = GeneticOperators(space, 0.5, hints)
+    rng = random.Random(seed)
+    genome = space.random_genome(rng)
+    for generation in range(10):
+        genome = ops.mutate(genome, generation, rng)
+        assert 0 <= genome["a"] <= 6
+        assert 0 <= genome["b"] <= 6

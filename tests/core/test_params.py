@@ -1,0 +1,146 @@
+"""Unit and property tests for parameter specifications."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    BoolParam,
+    ChoiceParam,
+    IntParam,
+    OrderedParam,
+    ParameterError,
+    PowOfTwoParam,
+)
+
+
+class TestIntParam:
+    def test_domain(self):
+        p = IntParam("x", 2, 10, step=2)
+        assert p.values == (2, 4, 6, 8, 10)
+        assert p.cardinality == 5
+
+    def test_index_value_round_trip(self):
+        p = IntParam("x", 0, 9)
+        for i in range(10):
+            assert p.index_of(p.value_at(i)) == i
+
+    def test_contains(self):
+        p = IntParam("x", 0, 4)
+        assert p.contains(3)
+        assert not p.contains(5)
+        assert not p.contains("3")
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ParameterError):
+            IntParam("x", 5, 1)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ParameterError):
+            IntParam("x", 0, 5, step=0)
+
+    def test_value_out_of_range(self):
+        p = IntParam("x", 0, 3)
+        with pytest.raises(ParameterError):
+            p.value_at(4)
+        with pytest.raises(ParameterError):
+            p.index_of(99)
+
+
+class TestPowOfTwoParam:
+    def test_domain(self):
+        p = PowOfTwoParam("w", 2, 32)
+        assert p.values == (2, 4, 8, 16, 32)
+
+    def test_single_value(self):
+        p = PowOfTwoParam("w", 8, 8)
+        assert p.values == (8,)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ParameterError):
+            PowOfTwoParam("w", 3, 8)
+        with pytest.raises(ParameterError):
+            PowOfTwoParam("w", 2, 24)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            PowOfTwoParam("w", 0, 8)
+
+
+class TestChoiceAndOrdered:
+    def test_choice_is_unordered(self):
+        assert not ChoiceParam("c", ("a", "b")).ordered
+        assert OrderedParam("o", ("a", "b")).ordered
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ParameterError):
+            ChoiceParam("c", ("a", "a"))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ParameterError):
+            ChoiceParam("c", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            IntParam("", 0, 1)
+
+    def test_bool_param(self):
+        p = BoolParam("flag")
+        assert p.values == (False, True)
+        assert p.index_of(True) == 1
+
+
+class TestSampling:
+    def test_random_value_in_domain(self, rng):
+        p = IntParam("x", 0, 100)
+        for _ in range(50):
+            assert p.contains(p.random_value(rng))
+
+    def test_random_other_value_differs(self, rng):
+        p = ChoiceParam("c", ("a", "b", "c"))
+        for _ in range(50):
+            assert p.random_other_value("b", rng) != "b"
+
+    def test_random_other_value_single(self, rng):
+        p = IntParam("x", 7, 7)
+        assert p.random_other_value(7, rng) == 7
+
+    def test_random_other_value_uniform_over_rest(self):
+        p = IntParam("x", 0, 3)
+        rng = random.Random(0)
+        seen = {p.random_other_value(1, rng) for _ in range(200)}
+        assert seen == {0, 2, 3}
+
+
+class TestEquality:
+    def test_equal_params(self):
+        assert IntParam("x", 0, 3) == IntParam("x", 0, 3)
+        assert hash(IntParam("x", 0, 3)) == hash(IntParam("x", 0, 3))
+
+    def test_distinct_kinds_not_equal(self):
+        assert OrderedParam("x", (1, 2)) != ChoiceParam("x", (1, 2))
+
+    def test_iteration_and_len(self):
+        p = IntParam("x", 0, 2)
+        assert list(p) == [0, 1, 2]
+        assert len(p) == 3
+
+
+@given(low=st.integers(-50, 50), span=st.integers(0, 80), step=st.integers(1, 7))
+def test_int_param_roundtrip_property(low, span, step):
+    p = IntParam("x", low, low + span, step=step)
+    for index in range(p.cardinality):
+        value = p.value_at(index)
+        assert p.index_of(value) == index
+        assert p.contains(value)
+
+
+@given(exp_lo=st.integers(0, 6), exp_span=st.integers(0, 6))
+def test_pow2_domain_property(exp_lo, exp_span):
+    low = 2**exp_lo
+    high = 2 ** (exp_lo + exp_span)
+    p = PowOfTwoParam("w", low, high)
+    assert p.cardinality == exp_span + 1
+    for a, b in zip(p.values, p.values[1:]):
+        assert b == 2 * a

@@ -1,0 +1,209 @@
+"""Tests for the multi-objective (NSGA-II style) extension."""
+
+import pytest
+
+from repro.core import (
+    CallableEvaluator,
+    DesignSpace,
+    GAConfig,
+    GeneticSearch,
+    HintSet,
+    InfeasibleDesignError,
+    IntParam,
+    NautilusError,
+    ParamHints,
+    ParetoIndividual,
+    ParetoSearch,
+    crowding_distances,
+    dominates,
+    hypervolume_2d,
+    maximize,
+    minimize,
+    non_dominated_sort,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((2.0, 2.0), (1.0, 1.0))
+        assert dominates((2.0, 1.0), (1.0, 1.0))
+
+    def test_no_self_dominance(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable(self):
+        assert not dominates((2.0, 0.0), (0.0, 2.0))
+        assert not dominates((0.0, 2.0), (2.0, 0.0))
+
+
+def _individual(space, a, scores):
+    return ParetoIndividual(space.genome(a=a), tuple(scores), tuple(scores))
+
+
+@pytest.fixture
+def space():
+    return DesignSpace("p", [IntParam("a", 0, 99)])
+
+
+class TestSorting:
+    def test_fronts(self, space):
+        population = [
+            _individual(space, 0, (3.0, 3.0)),  # front 0
+            _individual(space, 1, (1.0, 1.0)),  # front 1 (dominated by all)
+            _individual(space, 2, (3.5, 1.5)),  # front 0 (incomparable w/ first)
+            _individual(space, 3, (2.0, 2.0)),  # front 1
+        ]
+        fronts = non_dominated_sort(population)
+        assert len(fronts) == 3
+        front0 = {ind.genome["a"] for ind in fronts[0]}
+        assert front0 == {0, 2}
+        assert {ind.genome["a"] for ind in fronts[1]} == {3}
+        assert {ind.genome["a"] for ind in fronts[2]} == {1}
+
+    def test_single_front_when_all_incomparable(self, space):
+        population = [
+            _individual(space, i, (float(i), float(10 - i))) for i in range(5)
+        ]
+        fronts = non_dominated_sort(population)
+        assert len(fronts) == 1 and len(fronts[0]) == 5
+
+
+class TestCrowding:
+    def test_extremes_infinite(self, space):
+        front = [
+            _individual(space, i, (float(i), float(10 - i))) for i in range(5)
+        ]
+        crowding_distances(front)
+        by_a = {ind.genome["a"]: ind.crowding for ind in front}
+        assert by_a[0] == float("inf") and by_a[4] == float("inf")
+        assert all(0 < by_a[i] < float("inf") for i in (1, 2, 3))
+
+    def test_tiny_front_all_infinite(self, space):
+        front = [_individual(space, 0, (1.0, 2.0)), _individual(space, 1, (2.0, 1.0))]
+        crowding_distances(front)
+        assert all(ind.crowding == float("inf") for ind in front)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([(2.0, 3.0)], (0.0, 0.0)) == 6.0
+
+    def test_staircase(self):
+        hv = hypervolume_2d([(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)], (0.0, 0.0))
+        assert hv == pytest.approx(3.0 + 2.0 + 1.0)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume_2d([(2.0, 2.0)], (0.0, 0.0))
+        with_dominated = hypervolume_2d([(2.0, 2.0), (1.0, 1.0)], (0.0, 0.0))
+        assert with_dominated == base
+
+    def test_points_below_reference_ignored(self):
+        assert hypervolume_2d([(-1.0, 5.0)], (0.0, 0.0)) == 0.0
+
+
+class TestParetoSearch:
+    @pytest.fixture
+    def biobjective(self):
+        space = DesignSpace("bi", [IntParam("a", 0, 30), IntParam("b", 0, 30)])
+        # x = a; y = 30 - a (conflict), with b pure overhead on y.
+        evaluator = CallableEvaluator(
+            lambda g: {"x": float(g["a"]), "y": float(30 - g["a"] - 0.2 * g["b"])}
+        )
+        return space, evaluator
+
+    def test_needs_two_objectives(self, biobjective):
+        space, evaluator = biobjective
+        with pytest.raises(NautilusError):
+            ParetoSearch(space, evaluator, [maximize("x")])
+
+    def test_recovers_known_front(self, biobjective):
+        space, evaluator = biobjective
+        result = ParetoSearch(
+            space,
+            evaluator,
+            [maximize("x"), maximize("y")],
+            GAConfig(population_size=24, generations=40, seed=2, elitism=1),
+        ).run()
+        # True front: b == 0, any a; y = 30 - a. Check found points are on
+        # or near it and cover both extremes.
+        raws = result.front_raws()
+        assert len(raws) >= 8
+        for x, y in raws:
+            assert y >= 30 - x - 1.0  # near the b=0 line
+        xs = [x for x, _ in raws]
+        assert min(xs) <= 3 and max(xs) >= 27  # extremes covered
+
+    def test_front_is_mutually_non_dominated(self, biobjective):
+        space, evaluator = biobjective
+        result = ParetoSearch(
+            space,
+            evaluator,
+            [maximize("x"), maximize("y")],
+            GAConfig(population_size=16, generations=15, seed=3, elitism=1),
+        ).run()
+        for a in result.front:
+            for b in result.front:
+                assert not dominates(a.scores, b.scores) or a is b
+
+    def test_min_max_mix(self, biobjective):
+        space, evaluator = biobjective
+        result = ParetoSearch(
+            space,
+            evaluator,
+            [maximize("x"), minimize("y")],
+            GAConfig(population_size=16, generations=20, seed=4, elitism=1),
+        ).run()
+        # max x and min y agree: the single best point dominates everything.
+        assert len(result.front) == 1
+        assert result.front[0].genome["a"] == 30
+
+    def test_infeasible_points_excluded(self, space):
+        def fn(genome):
+            if genome["a"] % 2 == 0:
+                raise InfeasibleDesignError("odd only")
+            return {"x": float(genome["a"]), "y": float(-genome["a"])}
+
+        result = ParetoSearch(
+            space,
+            CallableEvaluator(fn),
+            [maximize("x"), maximize("y")],
+            GAConfig(population_size=12, generations=15, seed=5, elitism=1),
+        ).run()
+        assert all(ind.genome["a"] % 2 == 1 for ind in result.front)
+
+    def test_hints_reduce_cost_at_equal_quality(self, biobjective):
+        # Guided mutation converges onto the b=0 front line and re-proposes
+        # cached designs, so the front costs fewer distinct evaluations for
+        # comparable hypervolume (aggregated over seeds to damp noise).
+        space, evaluator = biobjective
+        objectives = [maximize("x"), maximize("y")]
+        hints = HintSet({"b": ParamHints(importance=95, bias=-1.0)}, confidence=0.8)
+        reference = (0.0, -10.0)
+        plain_hv = guided_hv = 0.0
+        plain_cost = guided_cost = 0
+        for seed in range(6, 10):
+            config = GAConfig(
+                population_size=16, generations=25, seed=seed, elitism=1
+            )
+            plain = ParetoSearch(space, evaluator, objectives, config).run()
+            guided = ParetoSearch(
+                space, evaluator, objectives, config, hints=hints
+            ).run()
+            plain_hv += plain.hypervolume(reference)
+            guided_hv += guided.hypervolume(reference)
+            plain_cost += plain.distinct_evaluations
+            guided_cost += guided.distinct_evaluations
+        assert guided_hv >= 0.97 * plain_hv
+        assert guided_cost < 0.9 * plain_cost
+
+    def test_front_configs_and_dedup(self, biobjective):
+        space, evaluator = biobjective
+        result = ParetoSearch(
+            space,
+            evaluator,
+            [maximize("x"), maximize("y")],
+            GAConfig(population_size=16, generations=10, seed=7, elitism=1),
+        ).run()
+        configs = result.front_configs()
+        keys = [tuple(sorted(c.items())) for c in configs]
+        assert len(keys) == len(set(keys))

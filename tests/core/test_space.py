@@ -1,0 +1,122 @@
+"""Tests for design spaces: size, constraints, sampling, enumeration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BoolParam,
+    ChoiceParam,
+    DesignSpace,
+    IntParam,
+    PowOfTwoParam,
+    SpaceError,
+)
+
+
+def make_space(constraints=()):
+    return DesignSpace(
+        "s",
+        [IntParam("a", 0, 4), PowOfTwoParam("b", 1, 8), BoolParam("f")],
+        constraints=constraints,
+    )
+
+
+class TestStructure:
+    def test_size(self):
+        assert make_space().size() == 5 * 4 * 2
+
+    def test_feasible_size_equals_size_without_constraints(self):
+        space = make_space()
+        assert space.feasible_size() == space.size()
+
+    def test_feasible_size_with_constraint(self):
+        space = make_space([lambda c: c["a"] != 0])
+        assert space.feasible_size() == 4 * 4 * 2
+
+    def test_duplicate_param_names_rejected(self):
+        with pytest.raises(SpaceError, match="duplicate"):
+            DesignSpace("s", [IntParam("a", 0, 1), IntParam("a", 0, 1)])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(SpaceError):
+            DesignSpace("s", [])
+
+    def test_param_lookup(self):
+        space = make_space()
+        assert space.param("a").name == "a"
+        assert space.param_index("b") == 1
+        assert "a" in space and "zz" not in space
+        with pytest.raises(SpaceError):
+            space.param("zz")
+        with pytest.raises(KeyError):
+            space.param_index("zz")
+
+
+class TestEnumeration:
+    def test_iter_covers_space(self):
+        space = make_space()
+        genomes = list(space.iter_genomes())
+        assert len(genomes) == space.size()
+        assert len({g.key for g in genomes}) == space.size()
+
+    def test_iter_respects_constraints(self):
+        space = make_space([lambda c: c["f"]])
+        assert all(g["f"] for g in space.iter_genomes())
+
+    def test_genome_from_indices(self):
+        space = make_space()
+        g = space.genome_from_indices([2, 3, 1])
+        assert g.as_dict() == {"a": 2, "b": 8, "f": True}
+
+    def test_genome_from_indices_wrong_length(self):
+        with pytest.raises(SpaceError):
+            make_space().genome_from_indices([0])
+
+
+class TestSampling:
+    def test_random_genome_feasible(self):
+        space = make_space([lambda c: c["a"] >= 2])
+        rng = random.Random(0)
+        for _ in range(50):
+            assert space.random_genome(rng)["a"] >= 2
+
+    def test_random_genome_unsatisfiable(self):
+        space = make_space([lambda c: False])
+        with pytest.raises(SpaceError, match="feasible"):
+            space.random_genome(random.Random(0))
+
+    def test_random_population_distinct(self):
+        space = make_space()
+        population = space.random_population(10, random.Random(0))
+        assert len(population) == 10
+        assert len({g.key for g in population}) == 10
+
+    def test_random_population_larger_than_space(self):
+        space = DesignSpace("tiny", [BoolParam("x")])
+        population = space.random_population(5, random.Random(0))
+        assert len(population) == 5  # duplicates allowed when space < pop
+
+    def test_is_feasible_on_mapping_and_genome(self):
+        space = make_space([lambda c: c["a"] != 1])
+        assert space.is_feasible({"a": 0, "b": 1, "f": False})
+        assert not space.is_feasible({"a": 1, "b": 1, "f": False})
+        genome = space.genome(a=0, b=1, f=False)
+        assert space.is_feasible(genome)
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 2**31 - 1))
+def test_random_genome_always_in_domain(seed):
+    space = DesignSpace(
+        "p",
+        [
+            IntParam("a", -3, 3),
+            ChoiceParam("c", ("u", "v", "w")),
+            PowOfTwoParam("b", 2, 16),
+        ],
+    )
+    g = space.random_genome(random.Random(seed))
+    for param in space.params:
+        assert param.contains(g[param.name])

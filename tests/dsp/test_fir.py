@@ -1,0 +1,201 @@
+"""Tests for the FIR generator: spec quality, structure, cost trends."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    FIR_TAPS,
+    FirConfig,
+    FirEvaluator,
+    build_fir,
+    fir_area_hints,
+    fir_space,
+    fir_throughput_msps,
+    ideal_lowpass_taps,
+    quantize_taps,
+    stopband_attenuation_db,
+)
+from repro.synth import SynthesisFlow
+
+
+def config(**overrides):
+    base = dict(
+        taps=63,
+        coeff_width=12,
+        data_width=12,
+        structure="direct",
+        multiplier="dsp",
+        serialization=1,
+    )
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return SynthesisFlow(noise=0.0)
+
+
+def metrics(flow, **overrides):
+    return FirEvaluator(flow).evaluate(config(**overrides))
+
+
+class TestPrototype:
+    def test_linear_phase_symmetry(self):
+        taps = ideal_lowpass_taps(63)
+        assert len(taps) == 63
+        for i in range(31):
+            assert taps[i] == pytest.approx(taps[62 - i], abs=1e-12)
+
+    def test_unity_dc_gain(self):
+        assert sum(ideal_lowpass_taps(63)) == pytest.approx(1.0)
+
+    def test_quantization_error_bounded(self):
+        prototype = ideal_lowpass_taps(63)
+        quantized = quantize_taps(prototype, 12)
+        peak = max(abs(c) for c in prototype)
+        lsb = peak / (2**11 - 1)
+        assert np.max(np.abs(quantized - np.asarray(prototype))) <= lsb
+
+    def test_lowpass_response(self):
+        # Passband gain ~1, stopband heavily attenuated.
+        quantized = quantize_taps(ideal_lowpass_taps(63), 16)
+        spectrum = np.abs(np.fft.rfft(quantized, n=4096))
+        freqs = np.linspace(0, 1, len(spectrum))
+        assert spectrum[0] == pytest.approx(1.0, rel=0.01)
+        assert np.max(spectrum[freqs > 0.35]) < 0.01
+
+
+class TestStopbandMetric:
+    def test_more_coefficient_bits_better_until_window_limit(self):
+        assert stopband_attenuation_db(8) < stopband_attenuation_db(12)
+        # Beyond ~14 bits the Hamming-window design itself is the limit.
+        assert stopband_attenuation_db(16) == pytest.approx(
+            stopband_attenuation_db(20), abs=1.0
+        )
+
+    def test_values_in_physical_range(self):
+        for width in (8, 10, 14, 18):
+            att = stopband_attenuation_db(width)
+            assert 20.0 < att < 100.0
+
+    def test_deterministic(self):
+        assert stopband_attenuation_db(10) == stopband_attenuation_db(10)
+
+
+class TestConfigValidation:
+    def test_even_taps_rejected(self):
+        with pytest.raises(ValueError):
+            FirConfig(64, 12, 12, "direct", "dsp", 1)
+
+    def test_unknown_structure(self):
+        with pytest.raises(ValueError):
+            FirConfig.from_mapping(config(structure="quantum"))
+
+    def test_serialization_bounds(self):
+        with pytest.raises(ValueError):
+            FirConfig.from_mapping(config(serialization=0))
+        with pytest.raises(ValueError):
+            FirConfig.from_mapping(config(serialization=64))
+
+    def test_symmetric_fold_limit(self):
+        FirConfig.from_mapping(config(structure="symmetric", serialization=32))
+        with pytest.raises(ValueError):
+            FirConfig.from_mapping(config(structure="symmetric", serialization=33))
+
+    def test_physical_multipliers(self):
+        assert FirConfig.from_mapping(config()).physical_multipliers() == 63
+        assert (
+            FirConfig.from_mapping(config(structure="symmetric")).physical_multipliers()
+            == 32
+        )
+        assert (
+            FirConfig.from_mapping(config(serialization=8)).physical_multipliers()
+            == 8
+        )
+
+
+class TestCostTrends:
+    def test_folding_shrinks_area(self, flow):
+        parallel = metrics(flow, serialization=1)
+        folded = metrics(flow, serialization=16)
+        assert folded["dsps"] < parallel["dsps"] / 8
+        assert folded["luts"] < parallel["luts"]
+
+    def test_folding_costs_throughput(self, flow):
+        parallel = metrics(flow, serialization=1)
+        folded = metrics(flow, serialization=16)
+        assert folded["throughput_msps"] < parallel["throughput_msps"] / 8
+
+    def test_symmetry_halves_multipliers(self, flow):
+        direct = metrics(flow, structure="direct")
+        symmetric = metrics(flow, structure="symmetric")
+        assert symmetric["dsps"] == pytest.approx(direct["dsps"] / 2, rel=0.05)
+
+    def test_fabric_multipliers_burn_luts(self, flow):
+        dsp = metrics(flow, multiplier="dsp")
+        fabric = metrics(flow, multiplier="fabric")
+        assert fabric["luts"] > 3 * dsp["luts"]
+        assert fabric["dsps"] == 0
+
+    def test_transposed_registers_heavy(self, flow):
+        direct = metrics(flow, structure="direct")
+        transposed = metrics(flow, structure="transposed")
+        assert transposed["ffs"] > direct["ffs"]
+
+    def test_throughput_model(self):
+        assert fir_throughput_msps(config(serialization=4), 400.0) == 100.0
+
+
+class TestSpaceAndSearch:
+    def test_space_scale(self):
+        space = fir_space()
+        assert len(space.params) == 5
+        assert 1500 <= space.size() <= 4000
+
+    def test_hints_validate(self):
+        fir_area_hints().validate(fir_space())
+
+    def test_metric_keys(self, flow):
+        result = metrics(flow)
+        for key in ("luts", "fmax_mhz", "throughput_msps", "stopband_db"):
+            assert key in result
+
+    def test_guided_beats_baseline(self, flow):
+        from repro.core import GAConfig, GeneticSearch, minimize
+
+        space = fir_space()
+        evaluator = FirEvaluator(flow)
+        objective = minimize("luts")
+        totals = {"guided": 0, "baseline": 0}
+        for seed in range(4):
+            for label, hints in (("guided", fir_area_hints()), ("baseline", None)):
+                result = GeneticSearch(
+                    space,
+                    evaluator,
+                    objective,
+                    GAConfig(seed=seed, generations=40),
+                    hints=hints,
+                ).run()
+                totals[label] += result.evals_to_reach(1.1 * 275.0) or 500
+        assert totals["guided"] < totals["baseline"]
+
+    def test_quality_constrained_query(self, flow):
+        from repro.core import GAConfig, GeneticSearch, minimize
+
+        objective = minimize(
+            "luts",
+            name="luts_50db",
+            constraint=lambda m: m["stopband_db"] >= 50.0,
+        )
+        result = GeneticSearch(
+            fir_space(),
+            FirEvaluator(flow),
+            objective,
+            GAConfig(seed=2, generations=40),
+            hints=fir_area_hints(),
+        ).run()
+        winner = FirEvaluator(flow).evaluate(result.best.genome)
+        assert winner["stopband_db"] >= 50.0
+        assert winner["coeff_width"] if "coeff_width" in winner else True
+        assert result.best_config["coeff_width"] >= 10

@@ -1,0 +1,108 @@
+"""Scaled-down runs of every figure builder against the cached datasets.
+
+The benchmarks run these at paper scale (40 runs x 80 generations); here we
+run tiny versions to pin the structure of every figure: correct series,
+correct axes, headline notes present and sane.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+
+RUNS = 3
+GENS = 12
+
+
+class TestFigure1:
+    def test_scatter(self, noc_dataset):
+        fig = figure1(noc_dataset, max_points=500)
+        assert fig.name == "fig1"
+        points = fig.series["router variants"]
+        assert 400 <= len(points) <= 600
+        assert fig.notes["design_points"] == len(noc_dataset)
+        lut_lo, lut_hi = fig.notes["lut_range"]
+        assert lut_hi > 10 * lut_lo  # orders of magnitude of area spread
+
+
+class TestFigure2:
+    def test_eight_families_two_panels(self):
+        area_fig, power_fig = figure2(flit_widths=(32, 128), vcs=(2,), buffer_depths=(4,))
+        assert len(area_fig.series) == 8
+        assert len(power_fig.series) == 8
+        # The clouds span orders of magnitude, as in the paper.
+        assert area_fig.notes["bw_span_orders"] >= 1.0
+        for points in area_fig.series.values():
+            assert all(x > 0 and y > 0 for x, y in points)
+
+
+class TestFigure3:
+    def test_score_scale_and_improvement(self, fft_ds):
+        fig = figure3(fft_ds, runs=RUNS, generations=GENS)
+        assert set(fig.series) == {
+            "Baseline GA",
+            'Nautilus w/ 1 "Bias" Hint',
+            'Nautilus w/ 2 "Bias" Hints',
+        }
+        for points in fig.series.values():
+            assert all(0.0 <= y <= 100.0 for _, y in points)
+            xs = [x for x, _ in points]
+            assert xs == sorted(xs)
+        # Scores improve over generations for every variant.
+        for points in fig.series.values():
+            assert points[-1][1] >= points[0][1]
+
+
+@pytest.mark.parametrize(
+    "builder,name,dataset_fixture",
+    [
+        (figure4, "fig4", "noc_dataset"),
+        (figure5, "fig5", "noc_dataset"),
+        (figure6, "fig6", "fft_ds"),
+        (figure7, "fig7", "fft_ds"),
+    ],
+)
+class TestQueryFigures:
+    def test_structure(self, builder, name, dataset_fixture, request):
+        dataset = request.getfixturevalue(dataset_fixture)
+        fig = builder(dataset, runs=RUNS, generations=GENS)
+        assert fig.name == name
+        assert "Baseline" in fig.series
+        assert any("strongly guided" in label for label in fig.series)
+        assert fig.xlabel == "# Designs Evaluated"
+        assert "space_best" in fig.notes
+        assert "threshold" in fig.notes
+        for points in fig.series.values():
+            xs = [x for x, _ in points]
+            assert xs == sorted(xs)
+
+
+class TestFigure6Notes:
+    def test_random_sampling_expectation(self, fft_ds):
+        fig = figure6(fft_ds, runs=RUNS, generations=GENS)
+        assert fig.notes["relaxed_goal_luts"] == pytest.approx(
+            2.0 * fig.notes["space_best"]
+        )
+        assert fig.notes["random_sampling_expected_2x"] > 1
+        # The optimum is a needle: random sampling needs ~thousands of draws.
+        assert fig.notes["random_sampling_expected_min"] > 100
+
+
+class TestFigure7Notes:
+    def test_elite_threshold(self, fft_ds):
+        fig = figure7(fft_ds, runs=RUNS, generations=GENS)
+        assert fig.notes["elite_threshold"] == pytest.approx(
+            0.97 * fig.notes["space_best"]
+        )
+        for key in (
+            "elite_success_rate[baseline]",
+            "elite_success_rate[strong]",
+        ):
+            assert 0.0 <= fig.notes[key] <= 1.0

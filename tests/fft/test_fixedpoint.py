@@ -1,0 +1,88 @@
+"""Tests for the fixed-point FFT simulation behind the SNR metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fft import fixed_point_fft, snr_db
+
+
+class TestFixedPointFft:
+    def test_matches_reference_at_high_precision(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-0.4, 0.4, 256) + 1j * rng.uniform(-0.4, 0.4, 256)
+        fixed, exponent = fixed_point_fft(x, bit_width=32, scaling="per_stage")
+        reference = np.fft.fft(x) / 2.0**exponent
+        error = np.max(np.abs(fixed - reference)) / np.max(np.abs(reference))
+        assert error < 1e-4
+
+    def test_exponent_bookkeeping(self):
+        x = np.zeros(64, dtype=complex)
+        x[0] = 0.25
+        __, exp_ps = fixed_point_fft(x, 16, "per_stage")
+        assert exp_ps == 6  # one halving per radix-2 stage
+        __, exp_un = fixed_point_fft(x, 16, "unscaled")
+        assert exp_un == 6  # the 1/N prescale is worth log2(N)
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(64, dtype=complex)
+        x[0] = 0.5
+        fixed, exponent = fixed_point_fft(x, 24, "per_stage")
+        expected = 0.5 / 2.0**exponent
+        assert np.allclose(fixed, expected, atol=1e-4)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fixed_point_fft(np.zeros(48, dtype=complex), 16)
+
+    def test_rejects_unknown_scaling(self):
+        with pytest.raises(ValueError):
+            fixed_point_fft(np.zeros(64, dtype=complex), 16, scaling="magic")
+
+    def test_block_fp_tracks_growth(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-0.5, 0.5, 128) + 1j * rng.uniform(-0.5, 0.5, 128)
+        __, exponent = fixed_point_fft(x, 16, "block_fp")
+        assert 0 < exponent <= 8  # shifts only when the block grew
+
+
+class TestSnr:
+    def test_snr_monotone_in_bit_width(self):
+        values = [snr_db(bw, "per_stage") for bw in (8, 12, 16, 24)]
+        assert values == sorted(values)
+        # Roughly 6 dB per bit.
+        assert 4.0 < (values[-1] - values[0]) / 16 < 8.0
+
+    def test_scaling_policy_ordering(self):
+        unscaled = snr_db(12, "unscaled")
+        per_stage = snr_db(12, "per_stage")
+        block_fp = snr_db(12, "block_fp")
+        assert block_fp > per_stage > unscaled
+
+    def test_higher_radix_fewer_roundings(self):
+        # Radix 4/8 quantize less often, so SNR does not get worse.
+        assert snr_db(12, "per_stage", radix=4) >= snr_db(12, "per_stage", radix=2) - 0.5
+
+    def test_deterministic(self):
+        assert snr_db(10, "per_stage") == snr_db(10, "per_stage")
+
+    def test_low_precision_unscaled_collapses(self):
+        # 8-bit unscaled 1024-point: the 1/N prescale destroys the signal —
+        # the realistic "infeasible in practice" corner of the space.
+        assert snr_db(8, "unscaled") < 5.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    scaling=st.sampled_from(["per_stage", "block_fp"]),
+)
+def test_parseval_energy_preserved_property(seed, scaling):
+    """Output energy stays within quantization error of the reference."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-0.4, 0.4, 128) + 1j * rng.uniform(-0.4, 0.4, 128)
+    fixed, exponent = fixed_point_fft(x, 20, scaling)
+    reference = np.fft.fft(x) / 2.0**exponent
+    ref_energy = np.sum(np.abs(reference) ** 2)
+    fixed_energy = np.sum(np.abs(fixed) ** 2)
+    assert fixed_energy == pytest.approx(ref_energy, rel=0.01)

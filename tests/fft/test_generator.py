@@ -1,0 +1,151 @@
+"""Tests for the streaming FFT generator: constraints, structure, trends."""
+
+import pytest
+
+from repro.fft import (
+    FftConfig,
+    FftEvaluator,
+    build_fft,
+    fft_stages,
+    throughput_msps,
+)
+from repro.synth import SynthesisFlow
+
+
+def config(**overrides):
+    base = dict(
+        streaming_width=4,
+        radix=2,
+        bit_width=12,
+        twiddle_storage="bram_rom",
+        scaling="per_stage",
+        architecture="streaming",
+    )
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return SynthesisFlow(noise=0.0)
+
+
+def metrics(flow, **overrides):
+    return flow.run(build_fft(config(**overrides))).metrics()
+
+
+class TestValidation:
+    def test_streaming_width_covers_radix(self):
+        with pytest.raises(ValueError, match="streaming_width >= radix"):
+            FftConfig.from_mapping(config(streaming_width=2, radix=8))
+
+    def test_iterative_allows_narrow_width(self):
+        FftConfig.from_mapping(
+            config(streaming_width=2, radix=8, architecture="iterative")
+        )
+
+    def test_width_power_of_two(self):
+        with pytest.raises(ValueError):
+            FftConfig.from_mapping(config(streaming_width=3))
+
+    def test_radix_domain(self):
+        with pytest.raises(ValueError):
+            FftConfig.from_mapping(config(radix=5))
+
+    @pytest.mark.parametrize("field", ["architecture", "twiddle_storage"])
+    def test_enum_fields(self, field):
+        with pytest.raises(ValueError):
+            FftConfig.from_mapping(config(**{field: "bogus"}))
+
+
+class TestStages:
+    def test_stage_counts(self):
+        assert fft_stages(config(radix=2)) == 10  # log2(1024)
+        assert fft_stages(config(radix=4)) == 5
+        assert fft_stages(config(radix=8, streaming_width=8)) == 4  # mixed tail
+
+
+class TestStructure:
+    def test_streaming_instantiates_all_columns(self, flow):
+        streaming = build_fft(config(architecture="streaming"))
+        iterative = build_fft(config(architecture="iterative", streaming_width=4))
+        streaming_bflys = sum(
+            1 for i in streaming.instances if "bfly" in i.name
+        )
+        iterative_bflys = sum(
+            1 for i in iterative.instances if "bfly" in i.name
+        )
+        assert streaming_bflys == 10 * iterative_bflys
+
+    def test_cordic_needs_no_multipliers_or_roms(self, flow):
+        report_metrics = metrics(flow, twiddle_storage="cordic")
+        assert report_metrics["dsps"] == 0
+
+    def test_bram_rom_uses_brams(self, flow):
+        assert metrics(flow, twiddle_storage="bram_rom")["brams"] > 0
+
+    def test_lut_rom_cheaper_in_bram(self, flow):
+        assert (
+            metrics(flow, twiddle_storage="lut_rom")["brams"]
+            < metrics(flow, twiddle_storage="bram_rom")["brams"]
+        )
+
+    def test_shared_rom_fewer_luts_than_per_lane(self, flow):
+        shared = metrics(flow, twiddle_storage="lut_rom_shared", streaming_width=16)
+        per_lane = metrics(flow, twiddle_storage="lut_rom", streaming_width=16)
+        assert shared["luts"] < per_lane["luts"]
+
+
+class TestCostTrends:
+    def test_luts_grow_with_width(self, flow):
+        assert (
+            metrics(flow, streaming_width=32)["luts"]
+            > 4 * metrics(flow, streaming_width=2)["luts"]
+        )
+
+    def test_luts_grow_with_bit_width(self, flow):
+        assert (
+            metrics(flow, bit_width=32)["luts"] > metrics(flow, bit_width=8)["luts"]
+        )
+
+    def test_iterative_smaller_than_streaming(self, flow):
+        iterative = metrics(flow, architecture="iterative")["luts"]
+        streaming = metrics(flow, architecture="streaming")["luts"]
+        assert iterative < streaming / 2
+
+    def test_block_fp_adds_logic(self, flow):
+        assert (
+            metrics(flow, scaling="block_fp")["luts"]
+            > metrics(flow, scaling="unscaled")["luts"]
+        )
+
+    def test_wider_words_slower(self, flow):
+        assert (
+            metrics(flow, bit_width=32)["fmax_mhz"]
+            < metrics(flow, bit_width=8)["fmax_mhz"]
+        )
+
+
+class TestThroughput:
+    def test_streaming_scales_with_width(self):
+        fmax = 300.0
+        narrow = throughput_msps(config(streaming_width=2), fmax)
+        wide = throughput_msps(config(streaming_width=16), fmax)
+        assert wide == pytest.approx(8 * narrow)
+
+    def test_iterative_divided_by_stages(self):
+        fmax = 300.0
+        streaming = throughput_msps(config(streaming_width=4), fmax)
+        iterative = throughput_msps(
+            config(streaming_width=4, architecture="iterative"), fmax
+        )
+        assert iterative == pytest.approx(streaming / 10)
+
+    def test_evaluator_composite_metrics(self):
+        evaluator = FftEvaluator(SynthesisFlow(noise=0.0))
+        result = evaluator.evaluate(config())
+        assert result["msps_per_lut"] == pytest.approx(
+            result["throughput_msps"] / result["luts"]
+        )
+        assert result["stages"] == 10
+        assert "snr_db" in result

@@ -1,0 +1,62 @@
+"""Tests for the 65nm ASIC conversion model."""
+
+import pytest
+
+from repro.noc import asic_estimate, wire_area_mm2, wire_power_mw
+from repro.synth import ASIC65, AsicLibrary, SynthesisReport
+
+
+def report(luts=1000, ffs=500, brams=2, fmax=150.0):
+    return SynthesisReport(
+        module="m",
+        luts=luts,
+        ffs=ffs,
+        brams=brams,
+        dsps=0,
+        critical_path_ns=1000.0 / fmax,
+        fmax_mhz=fmax,
+        levels=3,
+    )
+
+
+class TestAsicEstimate:
+    def test_gates_accumulate_luts_and_ffs(self):
+        base = asic_estimate(report(luts=1000, ffs=0))
+        with_ffs = asic_estimate(report(luts=1000, ffs=1000))
+        assert with_ffs.gates > base.gates
+        assert with_ffs.area_mm2 > base.area_mm2
+
+    def test_brams_add_macro_area_not_gates(self):
+        without = asic_estimate(report(brams=0))
+        with_brams = asic_estimate(report(brams=4))
+        assert with_brams.area_mm2 > without.area_mm2
+        assert with_brams.gates == without.gates
+
+    def test_power_scales_with_frequency(self):
+        slow = asic_estimate(report(fmax=100.0))
+        fast = asic_estimate(report(fmax=300.0))
+        assert fast.power_mw > 2 * slow.power_mw  # dynamic dominates
+
+    def test_leakage_floor(self):
+        # Even a hypothetical 1-MHz block burns leakage.
+        idle = asic_estimate(report(fmax=1.0))
+        assert idle.power_mw > 0
+
+    def test_custom_library(self):
+        aggressive = AsicLibrary(gate_area_um2=0.7, asic_speedup=5.0)
+        default = asic_estimate(report())
+        scaled = asic_estimate(report(), aggressive)
+        assert scaled.area_mm2 < default.area_mm2
+        assert scaled.fmax_mhz > default.fmax_mhz
+
+    def test_wire_models_scale_with_length(self):
+        assert wire_area_mm2(64, 4.0) == pytest.approx(4 * wire_area_mm2(64, 1.0))
+        assert wire_power_mw(64, 4.0, 100.0) == pytest.approx(
+            4 * wire_power_mw(64, 1.0, 100.0)
+        )
+
+    def test_defaults_in_plausible_65nm_regime(self):
+        # A ~1000-LUT router block lands well under a mm^2 at 65nm.
+        estimate = asic_estimate(report())
+        assert 0.001 < estimate.area_mm2 < 1.0
+        assert 1.0 < estimate.power_mw < 1000.0

@@ -1,0 +1,69 @@
+"""Tests for the network-level design space."""
+
+import pytest
+
+from repro.core import (
+    GAConfig,
+    GeneticSearch,
+    exhaustive_best,
+    maximize,
+    minimize,
+)
+from repro.noc import (
+    TOPOLOGY_FAMILIES,
+    bandwidth_density_hints,
+    network_evaluator,
+    network_space,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return network_space()
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return network_evaluator()
+
+
+class TestSpace:
+    def test_structure(self, space):
+        assert space.param("topology").cardinality == len(TOPOLOGY_FAMILIES)
+        assert 1000 <= space.size() <= 4000
+
+    def test_hints_validate(self, space):
+        bandwidth_density_hints().validate(space)
+
+    def test_evaluator_metrics(self, space, evaluator):
+        import random
+
+        genome = space.random_genome(random.Random(0))
+        metrics = evaluator.evaluate(genome)
+        for key in ("area_mm2", "power_mw", "bisection_gbps", "bw_per_mm2"):
+            assert key in metrics and metrics[key] > 0
+
+
+class TestSearch:
+    def test_guided_search_finds_optimum_cheaply(self, space, evaluator):
+        objective = maximize("bw_per_mm2")
+        truth = exhaustive_best(space, evaluator, objective)
+        result = GeneticSearch(
+            space,
+            evaluator,
+            objective,
+            GAConfig(seed=2, generations=30),
+            hints=bandwidth_density_hints(),
+        ).run()
+        assert result.best_raw >= 0.97 * truth.raw
+        assert result.distinct_evaluations < 0.1 * space.size()
+
+    def test_latency_objective(self, space, evaluator):
+        result = GeneticSearch(
+            space,
+            evaluator,
+            minimize("avg_latency_ns"),
+            GAConfig(seed=3, generations=20),
+        ).run()
+        # Low-latency winners are low-hop topologies.
+        assert result.best_config["topology"] in ("fat_tree", "butterfly", "torus")

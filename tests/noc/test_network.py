@@ -1,0 +1,89 @@
+"""Tests for the network generator and the 65nm ASIC conversion."""
+
+import pytest
+
+from repro.noc import (
+    NetworkGenerator,
+    asic_estimate,
+    build_router,
+    default_router_config,
+    wire_area_mm2,
+    wire_power_mw,
+)
+from repro.synth import ASIC65, SynthesisFlow
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return NetworkGenerator(SynthesisFlow(noise=0.0))
+
+
+class TestAsicConversion:
+    def test_positive_and_scaled(self):
+        report = SynthesisFlow(noise=0.0).run(
+            build_router(default_router_config(5))
+        )
+        estimate = asic_estimate(report)
+        assert estimate.area_mm2 > 0
+        assert estimate.power_mw > 0
+        assert estimate.fmax_mhz == pytest.approx(
+            report.fmax_mhz * ASIC65.asic_speedup
+        )
+        assert estimate.gates > report.luts  # several gates per LUT
+
+    def test_wire_models_linear(self):
+        assert wire_area_mm2(64, 2.0) == pytest.approx(2 * wire_area_mm2(32, 2.0))
+        assert wire_power_mw(64, 1.0, 500.0) == pytest.approx(
+            2 * wire_power_mw(64, 1.0, 250.0)
+        )
+
+
+class TestNetworkGenerator:
+    def test_report_fields(self, generator):
+        report = generator.generate("mesh", 64, {"flit_width": 64})
+        assert report.topology == "mesh"
+        assert report.num_routers == 64
+        assert report.area_mm2 > 0 and report.power_mw > 0
+        assert report.bisection_gbps > 0
+        metrics = report.metrics()
+        for key in ("bisection_gbps", "area_mm2", "power_mw", "bw_per_mm2"):
+            assert key in metrics
+
+    def test_router_overrides_respected(self, generator):
+        narrow = generator.generate("mesh", 64, {"flit_width": 16})
+        wide = generator.generate("mesh", 64, {"flit_width": 128})
+        assert wide.area_mm2 > narrow.area_mm2
+        assert wide.bisection_gbps > narrow.bisection_gbps
+
+    def test_radix_follows_topology(self, generator):
+        assert generator.generate("ring", 64).router_radix == 3
+        assert generator.generate("fat_tree", 64).router_radix == 8
+
+    def test_bandwidth_ordering_across_families(self, generator):
+        overrides = {"flit_width": 64}
+        bw = {
+            family: generator.generate(family, 64, overrides).bisection_gbps
+            for family in ("ring", "mesh", "torus", "fat_tree")
+        }
+        # Richer topologies buy more bisection bandwidth (paper Figure 2).
+        assert bw["ring"] < bw["mesh"] < bw["torus"] < bw["fat_tree"]
+
+    def test_area_ordering_across_families(self, generator):
+        overrides = {"flit_width": 64}
+        area = {
+            family: generator.generate(family, 64, overrides).area_mm2
+            for family in ("concentrated_ring", "ring", "fat_tree")
+        }
+        assert area["concentrated_ring"] < area["ring"] < area["fat_tree"]
+
+    def test_latency_model(self, generator):
+        ring_report = generator.generate("ring", 64)
+        mesh_report = generator.generate("mesh", 64)
+        assert ring_report.avg_latency_ns > mesh_report.avg_latency_ns
+
+    def test_wire_area_included(self, generator):
+        report = generator.generate("torus", 64, {"flit_width": 256})
+        assert report.wire_area_mm2 > 0
+        assert report.area_mm2 == pytest.approx(
+            report.router_area_mm2 + report.wire_area_mm2
+        )

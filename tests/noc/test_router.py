@@ -1,0 +1,170 @@
+"""Tests for the VC router generator: validation, structure, cost trends."""
+
+import itertools
+
+import pytest
+
+from repro.noc import (
+    RouterConfig,
+    RouterEvaluator,
+    build_router,
+    router_latency_cycles,
+)
+from repro.synth import SynthesisFlow
+
+
+def config(**overrides):
+    base = dict(
+        num_vcs=2,
+        buffer_depth=4,
+        flit_width=32,
+        vc_allocator="separable_input_first",
+        sw_allocator="round_robin",
+        pipeline_stages=2,
+        crossbar_type="mux",
+        speculative=False,
+        buffer_org="private",
+    )
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return SynthesisFlow(noise=0.0)
+
+
+def metrics(flow, **overrides):
+    return flow.run(build_router(config(**overrides))).metrics()
+
+
+class TestValidation:
+    def test_shared_needs_two_vcs(self):
+        with pytest.raises(ValueError, match="shared"):
+            RouterConfig.from_mapping(config(buffer_org="shared", num_vcs=1))
+
+    def test_pipeline_range(self):
+        with pytest.raises(ValueError):
+            RouterConfig.from_mapping(config(pipeline_stages=5))
+        with pytest.raises(ValueError):
+            RouterConfig.from_mapping(config(pipeline_stages=0))
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("vc_allocator", "bogus"),
+            ("sw_allocator", "bogus"),
+            ("crossbar_type", "bogus"),
+            ("buffer_org", "bogus"),
+        ],
+    )
+    def test_enum_fields(self, field, value):
+        with pytest.raises(ValueError):
+            RouterConfig.from_mapping(config(**{field: value}))
+
+    def test_name_encodes_config(self):
+        cfg = RouterConfig.from_mapping(config(speculative=True))
+        assert "spec" in cfg.name()
+        assert "v2" in cfg.name()
+
+
+class TestElaboration:
+    @pytest.mark.parametrize("vc_alloc", ["separable_input_first", "separable_output_first", "wavefront"])
+    @pytest.mark.parametrize("sw_alloc", ["round_robin", "matrix", "wavefront"])
+    def test_all_allocator_combos_build(self, vc_alloc, sw_alloc, flow):
+        report = flow.run(
+            build_router(config(vc_allocator=vc_alloc, sw_allocator=sw_alloc))
+        )
+        assert report.luts > 0 and report.fmax_mhz > 0
+
+    @pytest.mark.parametrize("stages", [1, 2, 3, 4])
+    def test_all_pipeline_depths_build(self, stages, flow):
+        report = flow.run(build_router(config(pipeline_stages=stages)))
+        assert report.luts > 0
+
+    def test_corner_configs_build(self, flow):
+        corners = itertools.product(
+            (2, 8), (1, 64), (16, 256), (False, True), ("private", "shared")
+        )
+        for vcs, depth, width, spec, org in corners:
+            report = flow.run(
+                build_router(
+                    config(
+                        num_vcs=vcs,
+                        buffer_depth=depth,
+                        flit_width=width,
+                        speculative=spec,
+                        buffer_org=org,
+                    )
+                )
+            )
+            assert report.luts > 0
+
+
+class TestCostTrends:
+    def test_luts_increase_with_flit_width(self, flow):
+        narrow = metrics(flow, flit_width=16)["luts"]
+        wide = metrics(flow, flit_width=256)["luts"]
+        assert wide > 2 * narrow
+
+    def test_luts_increase_with_vcs(self, flow):
+        assert metrics(flow, num_vcs=8)["luts"] > metrics(flow, num_vcs=2)["luts"]
+
+    def test_luts_increase_with_buffer_depth(self, flow):
+        assert (
+            metrics(flow, buffer_depth=64)["luts"]
+            > metrics(flow, buffer_depth=1)["luts"]
+        )
+
+    def test_pipelining_raises_fmax(self, flow):
+        shallow = metrics(flow, pipeline_stages=1)["fmax_mhz"]
+        deep = metrics(flow, pipeline_stages=4)["fmax_mhz"]
+        assert deep > 1.3 * shallow
+
+    def test_pipelining_costs_ffs(self, flow):
+        assert (
+            metrics(flow, pipeline_stages=4)["ffs"]
+            > metrics(flow, pipeline_stages=1)["ffs"]
+        )
+
+    def test_wavefront_va_slower_than_separable(self, flow):
+        wavefront = metrics(flow, vc_allocator="wavefront", num_vcs=8, pipeline_stages=1)
+        separable = metrics(
+            flow, vc_allocator="separable_input_first", num_vcs=8, pipeline_stages=1
+        )
+        assert wavefront["fmax_mhz"] < separable["fmax_mhz"]
+
+    def test_speculative_adds_logic(self, flow):
+        assert (
+            metrics(flow, speculative=True)["luts"]
+            > metrics(flow, speculative=False)["luts"]
+        )
+
+    def test_shared_buffer_adds_management_logic(self, flow):
+        # Shared pools save RAM but pay pointer/freelist logic; at small
+        # depth x width the management logic dominates.
+        shared = metrics(flow, buffer_org="shared", buffer_depth=1, flit_width=16)
+        private = metrics(flow, buffer_org="private", buffer_depth=1, flit_width=16)
+        assert shared["luts"] != private["luts"]
+
+
+class TestLatencyModel:
+    def test_latency_tracks_pipeline(self):
+        assert router_latency_cycles(config(pipeline_stages=1)) == 2
+        assert router_latency_cycles(config(pipeline_stages=4)) == 5
+
+    def test_speculation_saves_a_cycle(self):
+        plain = router_latency_cycles(config(pipeline_stages=3))
+        spec = router_latency_cycles(config(pipeline_stages=3, speculative=True))
+        assert spec == plain - 1
+
+    def test_single_stage_speculation_no_negative(self):
+        assert router_latency_cycles(config(pipeline_stages=1, speculative=True)) == 2
+
+
+class TestEvaluator:
+    def test_metric_keys(self):
+        evaluator = RouterEvaluator(SynthesisFlow(noise=0.0))
+        result = evaluator.evaluate(config())
+        for key in ("luts", "fmax_mhz", "area_delay", "ffs"):
+            assert key in result

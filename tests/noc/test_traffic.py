@@ -1,0 +1,105 @@
+"""Tests for synthetic traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.core.errors import NautilusError
+from repro.noc import (
+    BitComplement,
+    Hotspot,
+    NetworkSimulator,
+    Transpose,
+    UniformRandom,
+    build_topology,
+    default_router_config,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(5)
+
+
+class TestPatterns:
+    def test_uniform_never_self(self, rng):
+        pattern = UniformRandom()
+        for source in range(8):
+            for _ in range(50):
+                assert pattern.destination(source, 8, rng) != source
+
+    def test_uniform_covers_all(self, rng):
+        pattern = UniformRandom()
+        seen = {pattern.destination(3, 8, rng) for _ in range(400)}
+        assert seen == {0, 1, 2, 4, 5, 6, 7}
+
+    def test_bit_complement(self, rng):
+        pattern = BitComplement()
+        assert pattern.destination(0, 16, rng) == 15
+        assert pattern.destination(5, 16, rng) == 10
+        assert pattern.destination(15, 16, rng) == 0
+
+    def test_bit_complement_deterministic(self, rng):
+        pattern = BitComplement()
+        a = pattern.destination(3, 64, rng)
+        b = pattern.destination(3, 64, rng)
+        assert a == b == 60
+
+    def test_transpose(self, rng):
+        pattern = Transpose()
+        # 4x4 grid: endpoint 1 = (0,1) -> (1,0) = endpoint 4.
+        assert pattern.destination(1, 16, rng) == 4
+        assert pattern.destination(4, 16, rng) == 1
+        assert pattern.destination(5, 16, rng) == 5  # diagonal fixed point
+
+    def test_transpose_needs_square(self, rng):
+        with pytest.raises(NautilusError):
+            Transpose().destination(0, 12, rng)
+
+    def test_hotspot_concentrates(self, rng):
+        pattern = Hotspot(hot_endpoint=2, fraction=0.5)
+        hits = sum(
+            pattern.destination(7, 16, rng) == 2 for _ in range(600)
+        )
+        assert 250 < hits < 400  # ~50% plus uniform share
+
+    def test_hotspot_fraction_validated(self):
+        with pytest.raises(NautilusError):
+            Hotspot(fraction=0.0)
+
+    def test_registry(self):
+        assert isinstance(make_pattern("uniform"), UniformRandom)
+        assert isinstance(make_pattern("bit_complement"), BitComplement)
+        with pytest.raises(NautilusError):
+            make_pattern("chaos_monkey")
+
+
+class TestPatternsInSimulation:
+    def test_bit_complement_stresses_mesh(self):
+        """Bit-complement sends every packet to the diagonally opposite
+        quadrant of a mesh (180-degree rotation on the grid), so the mean
+        hop count rises well above uniform-random's ~2/3 * side."""
+        topology = build_topology("mesh", 16)
+        simulator = NetworkSimulator(topology, default_router_config(5))
+        uniform = simulator.run(0.04, cycles=900, seed=2)
+        adversarial = simulator.run(
+            0.04, cycles=900, seed=2, pattern=BitComplement()
+        )
+        assert adversarial.avg_hops > uniform.avg_hops
+        assert adversarial.avg_latency_cycles > uniform.avg_latency_cycles
+
+    def test_hotspot_saturates_early(self):
+        topology = build_topology("mesh", 16)
+        simulator = NetworkSimulator(topology, default_router_config(5))
+        uniform = simulator.run(0.3, cycles=900, seed=2)
+        hotspot = simulator.run(
+            0.3, cycles=900, seed=2, pattern=Hotspot(fraction=0.5)
+        )
+        assert hotspot.blocked_fraction > uniform.blocked_fraction
+
+    def test_transpose_runs_on_square_network(self):
+        topology = build_topology("mesh", 16)
+        simulator = NetworkSimulator(topology, default_router_config(5))
+        report = simulator.run(0.05, cycles=600, seed=2, pattern=Transpose())
+        assert report.delivered > 0

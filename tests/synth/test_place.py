@@ -1,0 +1,113 @@
+"""Tests for the simulated-annealing placer."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SynthesisError
+from repro.synth import (
+    Adder,
+    LogicCloud,
+    Module,
+    Register,
+    anneal_placement,
+    placed_delay_report,
+    wirelength,
+)
+from repro.synth.place import _random_placement
+
+
+def chain_module(length=12):
+    """A pipeline chain: the optimal placement is a snake (HPWL = edges)."""
+    m = Module(f"chain{length}")
+    previous = None
+    for i in range(length):
+        m.add(f"s{i}", Register(8) if i % 2 else Adder(8))
+        if previous:
+            m.connect(previous, f"s{i}")
+        previous = f"s{i}"
+    return m
+
+
+def star_module(leaves=8):
+    """A hub-and-spoke module: the hub belongs in the middle."""
+    m = Module("star")
+    m.add("hub", LogicCloud(luts=10, levels=1))
+    for i in range(leaves):
+        m.add(f"leaf{i}", Register(4))
+        m.connect("hub", f"leaf{i}")
+    return m
+
+
+class TestAnnealing:
+    def test_beats_random_placement(self):
+        module = chain_module(16)
+        placed = anneal_placement(module, seed=1)
+        random_cells = _random_placement(module, placed.grid, random.Random(7))
+        assert placed.wirelength < 0.7 * wirelength(module, random_cells)
+
+    def test_chain_approaches_optimum(self):
+        # A 12-stage chain has 11 edges; optimal snake HPWL = 11.
+        module = chain_module(12)
+        placed = anneal_placement(module, seed=2)
+        assert placed.wirelength <= 1.6 * 11
+
+    def test_deterministic_under_seed(self):
+        module = chain_module(10)
+        a = anneal_placement(module, seed=5)
+        b = anneal_placement(module, seed=5)
+        assert a.cells == b.cells
+        assert a.wirelength == b.wirelength
+
+    def test_different_seeds_explore_differently(self):
+        module = star_module(10)
+        a = anneal_placement(module, seed=1)
+        b = anneal_placement(module, seed=2)
+        assert a.cells != b.cells
+
+    def test_all_instances_placed_uniquely(self):
+        module = star_module(12)
+        placed = anneal_placement(module, seed=3)
+        assert len(placed.cells) == len(module.instances)
+        assert len(set(placed.cells.values())) == len(module.instances)
+        for location in placed.cells.values():
+            assert 0 <= location[0] < placed.grid
+            assert 0 <= location[1] < placed.grid
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(SynthesisError, match="cannot hold"):
+            anneal_placement(chain_module(10), grid=2)
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(SynthesisError, match="nothing to place"):
+            anneal_placement(Module("empty"))
+
+
+class TestPlacedTiming:
+    def test_report_fields(self):
+        module = chain_module(8)
+        placement = anneal_placement(module, seed=1)
+        report = placed_delay_report(module, placement)
+        for key in (
+            "hpwl",
+            "avg_edge_ns",
+            "worst_edge_ns",
+            "placed_period_ns",
+            "placed_fmax_mhz",
+        ):
+            assert key in report
+        assert report["placed_period_ns"] >= report["statistical_period_ns"]
+
+    def test_bad_placement_slower(self):
+        module = chain_module(10)
+        good = anneal_placement(module, seed=1)
+        bad_cells = _random_placement(module, good.grid + 3, random.Random(0))
+        from repro.synth import Placement
+
+        bad = Placement(
+            module.name, good.grid + 3, bad_cells, wirelength(module, bad_cells)
+        )
+        good_report = placed_delay_report(module, good)
+        bad_report = placed_delay_report(module, bad)
+        assert bad_report["placed_period_ns"] >= good_report["placed_period_ns"]
+        assert bad_report["hpwl"] > good_report["hpwl"]

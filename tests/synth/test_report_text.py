@@ -1,0 +1,43 @@
+"""Tests for the vendor-style report renderer."""
+
+from repro.synth import (
+    Adder,
+    Module,
+    Register,
+    SynthesisFlow,
+    render_report,
+)
+
+
+def make_report():
+    m = Module("demo_block")
+    m.add("launch", Register(16))
+    m.add("add", Adder(16))
+    m.add("capture", Register(16))
+    m.chain("launch", "add", "capture")
+    return SynthesisFlow(noise=0.0).run(m)
+
+
+class TestRenderReport:
+    def test_contains_module_name(self):
+        assert "demo_block" in render_report(make_report())
+
+    def test_contains_resource_rows(self):
+        text = render_report(make_report())
+        for resource in ("Slice LUTs", "Slice Registers", "Block RAM", "DSP48E1"):
+            assert resource in text
+
+    def test_contains_timing(self):
+        text = render_report(make_report())
+        assert "Maximum frequency" in text
+        assert "Minimum period" in text
+
+    def test_critical_path_listed(self):
+        text = render_report(make_report())
+        assert "-> launch" in text
+        assert "-> add" in text
+
+    def test_utilization_percent_reasonable(self):
+        text = render_report(make_report())
+        # A 16-bit adder is a rounding error on an LX760T.
+        assert "0.00%" in text or "0.01%" in text

@@ -1,0 +1,169 @@
+"""Tests for sequential gate networks: DFFs, simulation, synthesis bridge."""
+
+import pytest
+
+from repro.core.errors import SynthesisError
+from repro.synth import (
+    GateNetwork,
+    SequentialSimulator,
+    map_to_luts,
+    synthesize_gates,
+)
+
+
+def build_counter(bits=4):
+    g = GateNetwork(f"counter{bits}")
+    dffs = [g.dff(f"q{i}") for i in range(bits)]
+    carry = g.const(True)
+    for dff in dffs:
+        g.drive(dff, g.XOR(dff, carry))
+        carry = g.AND(dff, carry)
+    for i, dff in enumerate(dffs):
+        g.po(f"count[{i}]", dff)
+    return g
+
+
+def build_accumulator(width=8):
+    g = GateNetwork(f"acc{width}")
+    din = g.word("din", width)
+    dffs = [g.dff(f"acc{i}") for i in range(width)]
+    total = g.add_words(dffs, din)[:width]
+    for dff, bit in zip(dffs, total):
+        g.drive(dff, bit)
+    for i, dff in enumerate(dffs):
+        g.po(f"acc[{i}]", dff)
+    return g
+
+
+def read_word(outputs, prefix, width):
+    return sum(outputs[f"{prefix}[{i}]"] << i for i in range(width))
+
+
+class TestDffConstruction:
+    def test_drive_once(self):
+        g = GateNetwork()
+        dff = g.dff("q")
+        g.drive(dff, g.pi("d"))
+        with pytest.raises(SynthesisError, match="already driven"):
+            g.drive(dff, g.pi("d2"))
+
+    def test_drive_requires_dff(self):
+        g = GateNetwork()
+        with pytest.raises(SynthesisError):
+            g.drive(g.pi("a"), g.pi("b"))
+
+    def test_undriven_dff_rejected_at_simulation(self):
+        g = GateNetwork()
+        dff = g.dff("q")
+        g.po("y", dff)
+        with pytest.raises(SynthesisError, match="never driven"):
+            SequentialSimulator(g)
+
+    def test_combinational_simulate_rejects_dffs(self):
+        g = build_counter()
+        with pytest.raises(SynthesisError, match="SequentialSimulator"):
+            g.simulate({})
+
+
+class TestSequentialSimulation:
+    def test_counter_counts(self):
+        sim = SequentialSimulator(build_counter(4))
+        values = [read_word(sim.step({}), "count", 4) for _ in range(20)]
+        assert values == [i % 16 for i in range(20)]
+
+    def test_init_values(self):
+        g = GateNetwork()
+        dff = g.dff("q", init=True)
+        g.drive(dff, g.NOT(dff))  # toggle
+        g.po("y", dff)
+        sim = SequentialSimulator(g)
+        assert [sim.step({})["y"] for _ in range(4)] == [1, 0, 1, 0]
+
+    def test_reset(self):
+        sim = SequentialSimulator(build_counter(3))
+        for _ in range(5):
+            sim.step({})
+        sim.reset()
+        assert read_word(sim.step({}), "count", 3) == 0
+        assert sim.cycle == 1
+
+    def test_accumulator(self):
+        width = 8
+        sim = SequentialSimulator(build_accumulator(width))
+        total = 0
+        for value in (3, 5, 7, 11, 200):
+            out = sim.step({f"din[{i}]": (value >> i) & 1 for i in range(width)})
+            assert read_word(out, "acc", width) == total
+            total = (total + value) % 256
+
+    def test_run_with_traces(self):
+        g = GateNetwork("echo")
+        dff = g.dff("q")
+        g.drive(dff, g.pi("d"))
+        g.po("y", dff)
+        sim = SequentialSimulator(g)
+        outputs = sim.run({"d": [1, 0, 1, 1]}, cycles=5)
+        # One-cycle delayed echo of the input trace.
+        assert outputs["y"] == [0, 1, 0, 1, 1]
+
+
+class TestSequentialMapping:
+    def test_counter_resources(self):
+        report = synthesize_gates(build_counter(4))
+        assert report.ffs == 4
+        assert 3 <= report.luts <= 8  # XOR+carry per bit, LUT6-packed
+        assert report.fmax_mhz > 100
+
+    def test_register_boundary_cuts_depth(self):
+        # acc <= acc + din: mapped depth covers one add, not unbounded.
+        report = synthesize_gates(build_accumulator(8))
+        assert report.ffs == 8
+        assert report.levels <= 8
+
+    def test_wider_accumulator_slower(self):
+        narrow = synthesize_gates(build_accumulator(4))
+        wide = synthesize_gates(build_accumulator(24))
+        assert wide.fmax_mhz < narrow.fmax_mhz
+        assert wide.luts > narrow.luts
+
+    def test_dff_is_cut_leaf(self):
+        g = build_counter(3)
+        result = map_to_luts(g, k=6)
+        dff_uids = {dff.uid for dff in g.dffs()}
+        for lut in result.luts:
+            assert lut.root not in dff_uids  # registers are not LUT roots
+
+    def test_pure_register_pipeline_zero_luts(self):
+        g = GateNetwork("pipe")
+        stage1 = g.dff("s1")
+        stage2 = g.dff("s2")
+        g.drive(stage1, g.pi("d"))
+        g.drive(stage2, stage1)
+        g.po("y", stage2)
+        report = synthesize_gates(g)
+        assert report.luts == 0
+        assert report.ffs == 2
+
+
+class TestGateLevelSearchIntegration:
+    def test_gate_level_generator_searchable(self):
+        """A gate-level IP generator plugged straight into the GA."""
+        from repro.core import (
+            CallableEvaluator,
+            DesignSpace,
+            GAConfig,
+            GeneticSearch,
+            IntParam,
+            minimize,
+        )
+
+        space = DesignSpace("gate_acc", [IntParam("width", 4, 20, step=2)])
+        evaluator = CallableEvaluator(
+            lambda genome: synthesize_gates(
+                build_accumulator(genome["width"])
+            ).metrics()
+        )
+        result = GeneticSearch(
+            space, evaluator, minimize("luts"), GAConfig(seed=1, generations=10)
+        ).run()
+        assert result.best_config["width"] == 4

@@ -1,0 +1,164 @@
+"""Tests for the static timing pass: longest paths, loops, launch/capture."""
+
+import pytest
+
+from repro.core.errors import SynthesisError
+from repro.synth import (
+    Adder,
+    BlockRam,
+    ComplexMultiplier,
+    LogicCloud,
+    Module,
+    Register,
+    VIRTEX6,
+    analyze_timing,
+)
+from repro.synth.timing import _routing_ns
+
+LIB = VIRTEX6
+
+
+def chain_module(*widths):
+    """reg -> adder(w1) -> adder(w2) ... -> reg."""
+    m = Module("chain")
+    m.add("launch", Register(8))
+    names = ["launch"]
+    for i, w in enumerate(widths):
+        name = f"add{i}"
+        m.add(name, Adder(w))
+        names.append(name)
+    m.add("capture", Register(8))
+    names.append("capture")
+    m.chain(*names)
+    return m
+
+
+class TestLongestPath:
+    def test_hand_computed_single_adder(self):
+        report = analyze_timing(chain_module(8), LIB)
+        expected = (
+            LIB.ff_clk_to_q_ns
+            + _routing_ns(LIB, 1)
+            + Adder(8).comb_delay_ns(LIB)
+            + _routing_ns(LIB, 1)
+            + LIB.ff_setup_ns
+        )
+        assert report.critical_path_ns == pytest.approx(expected)
+        assert report.critical_path == ("launch", "add0", "capture")
+        assert report.levels == 1
+
+    def test_two_adders_longer(self):
+        one = analyze_timing(chain_module(8), LIB).critical_path_ns
+        two = analyze_timing(chain_module(8, 8), LIB).critical_path_ns
+        assert two > one
+
+    def test_parallel_paths_worst_wins(self):
+        m = Module("par")
+        m.add("launch", Register(8))
+        m.add("short", Adder(4))
+        m.add("long", LogicCloud(luts=10, levels=6))
+        m.add("capture", Register(8))
+        m.connect("launch", "short")
+        m.connect("launch", "long")
+        m.connect("short", "capture")
+        m.connect("long", "capture")
+        report = analyze_timing(m, LIB)
+        assert "long" in report.critical_path
+
+    def test_clock_floor(self):
+        m = Module("fast")
+        m.add("a", Register(1))
+        m.add("b", Register(1))
+        m.connect("a", "b")
+        report = analyze_timing(m, LIB)
+        assert report.critical_path_ns >= LIB.clock_floor_ns
+
+    def test_empty_module(self):
+        report = analyze_timing(Module("empty"), LIB)
+        assert report.critical_path_ns == LIB.clock_floor_ns
+        assert report.fmax_mhz() == pytest.approx(1000.0 / LIB.clock_floor_ns)
+
+
+class TestSequentialSemantics:
+    def test_register_cuts_path(self):
+        uncut = chain_module(32, 32)
+        cut = Module("cut")
+        cut.add("launch", Register(8))
+        cut.add("a", Adder(32))
+        cut.add("mid", Register(8))
+        cut.add("b", Adder(32))
+        cut.add("capture", Register(8))
+        cut.chain("launch", "a", "mid", "b", "capture")
+        assert (
+            analyze_timing(cut, LIB).critical_path_ns
+            < analyze_timing(uncut, LIB).critical_path_ns
+        )
+
+    def test_bram_launches_at_clk_to_out(self):
+        m = Module("bram")
+        m.add("mem", BlockRam(1024, 16))
+        m.add("add", Adder(8))
+        m.add("capture", Register(8))
+        m.chain("mem", "add", "capture")
+        report = analyze_timing(m, LIB)
+        expected = (
+            LIB.bram_clk_to_out_ns
+            + _routing_ns(LIB, 1)
+            + Adder(8).comb_delay_ns(LIB)
+            + _routing_ns(LIB, 1)
+            + LIB.ff_setup_ns
+        )
+        assert report.critical_path_ns == pytest.approx(expected)
+
+    def test_pipelined_multiplier_cuts_path(self):
+        m = Module("dsp")
+        m.add("launch", Register(16))
+        m.add("mult", ComplexMultiplier(16, pipelined=True))
+        m.add("add", Adder(16))
+        m.add("capture", Register(16))
+        m.chain("launch", "mult", "add", "capture")
+        report = analyze_timing(m, LIB)
+        # Path starts at the multiplier's internal register, not at launch.
+        assert report.critical_path[0] == "mult"
+
+
+class TestFanout:
+    def test_high_fanout_slows_net(self):
+        low = Module("low")
+        low.add("launch", Register(8))
+        low.add("a", Adder(8))
+        low.add("capture", Register(8))
+        low.chain("launch", "a", "capture")
+
+        high = Module("high")
+        high.add("launch", Register(8))
+        high.add("a", Adder(8))
+        high.add("capture", Register(8))
+        high.chain("launch", "a", "capture")
+        for i in range(30):  # fan the adder output to 30 extra sinks
+            high.add(f"sink{i}", Register(8))
+            high.connect("a", f"sink{i}")
+        assert (
+            analyze_timing(high, LIB).critical_path_ns
+            > analyze_timing(low, LIB).critical_path_ns
+        )
+
+
+class TestCombinationalLoops:
+    def test_loop_detected(self):
+        m = Module("loop")
+        m.add("a", Adder(8))
+        m.add("b", Adder(8))
+        m.connect("a", "b")
+        m.connect("b", "a")
+        with pytest.raises(SynthesisError, match="combinational loop"):
+            analyze_timing(m, LIB)
+
+    def test_registered_loop_is_fine(self):
+        m = Module("feedback")
+        m.add("a", Adder(8))
+        m.add("state", Register(8))
+        m.connect("a", "state")
+        m.connect("state", "a")
+        report = analyze_timing(m, LIB)
+        assert report.critical_path_ns > 0

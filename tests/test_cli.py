@@ -1,0 +1,109 @@
+"""Tests for the command-line interface.
+
+These run against the cached datasets (built once per test session), so the
+commands execute the real code paths end to end.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize", "fft-luts"])
+        assert args.engine == "nautilus"
+        assert args.generations == 80
+        assert args.seed == 0
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+@pytest.mark.usefixtures("noc_dataset", "fft_ds")
+class TestCommands:
+    def test_optimize_nautilus(self, capsys):
+        code = main(["optimize", "fft-luts", "--engine", "nautilus", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best found" in out
+        assert "streaming_width" in out
+
+    def test_optimize_baseline(self, capsys):
+        code = main(
+            ["optimize", "noc-frequency", "--engine", "baseline",
+             "--generations", "10", "--seed", "2"]
+        )
+        assert code == 0
+        assert "percentile" in capsys.readouterr().out
+
+    def test_optimize_random(self, capsys):
+        code = main(
+            ["optimize", "fft-throughput-per-lut", "--engine", "random",
+             "--budget", "50", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "50 distinct designs" in out
+
+    def test_estimate(self, capsys):
+        code = main(["estimate", "noc-frequency", "--budget", "40", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "importance=" in out
+        assert "pipeline_stages" in out
+
+    def test_figure_small(self, capsys):
+        code = main(["figure", "fig4", "--runs", "2", "--generations", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NoC: Maximize Frequency" in out
+        assert "Baseline" in out
+
+    def test_figure_csv(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["figure", "fig1", "--csv"])
+        assert code == 0
+        assert (tmp_path / "fig1.csv").exists()
+
+    def test_characterize_cached(self, capsys):
+        code = main(["characterize", "fft"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "designs characterized" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", "mesh", "--endpoints", "16", "--cycles", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation throughput" in out
+        assert "offered" in out
+
+    def test_report(self, capsys, tmp_path):
+        from repro.analysis import FigureSeries
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig4.txt").write_text("fake chart\n  note speedup = 3.0\n")
+        fig = FigureSeries("fig4", "t", "x", "y")
+        fig.add("s", [(1, 2)])
+        fig.to_csv(results / "fig4.csv")
+        out_path = tmp_path / "RESULTS.md"
+        code = main(
+            ["report", "--results-dir", str(results), "--output", str(out_path)]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert "fake chart" in text
+        assert "fig1" in text  # missing figures are listed, not skipped
+        assert "Datasets" in text

@@ -1,0 +1,158 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CallableEvaluator,
+    DesignSpace,
+    GAConfig,
+    GeneticSearch,
+    IntParam,
+    NautilusError,
+    PowOfTwoParam,
+    maximize,
+)
+from repro.dataset import Dataset
+from repro.synth import Adder, LogicCloud, Module, Register, VIRTEX6, analyze_timing
+
+
+# --- dataset persistence ---------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_dataset_round_trip_property(seed, tmp_path_factory):
+    """save(load(x)) == x for arbitrary characterized metric values."""
+    rng = random.Random(seed)
+    space = DesignSpace("rt", [IntParam("a", 0, 5), IntParam("b", 0, 3)])
+    dataset = Dataset("rt", space)
+    expected = {}
+    for genome in space.iter_genomes():
+        if rng.random() < 0.1:
+            dataset.record(genome, None)
+            expected[genome.key] = None
+        else:
+            metrics = {"m": rng.uniform(-1e6, 1e6), "n": float(rng.randrange(100))}
+            dataset.record(genome, metrics)
+            expected[genome.key] = metrics
+    path = tmp_path_factory.mktemp("ds") / f"rt{seed}.json.gz"
+    dataset.save(path)
+    loaded = Dataset.load(path, space)
+    for genome in space.iter_genomes():
+        if expected[genome.key] is None:
+            from repro.core import InfeasibleDesignError
+
+            with pytest.raises(InfeasibleDesignError):
+                loaded.lookup(genome)
+        else:
+            assert loaded.lookup(genome) == expected[genome.key]
+
+
+# --- timing monotonicity -----------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    widths=st.lists(st.integers(2, 32), min_size=1, max_size=6),
+    extra_levels=st.integers(1, 5),
+)
+def test_adding_logic_never_speeds_up_property(widths, extra_levels):
+    """Appending combinational logic to a path never reduces the period."""
+
+    def build(extra: bool) -> Module:
+        m = Module("mono")
+        m.add("launch", Register(8))
+        previous = "launch"
+        for i, width in enumerate(widths):
+            m.add(f"a{i}", Adder(width))
+            m.connect(previous, f"a{i}")
+            previous = f"a{i}"
+        if extra:
+            m.add("extra", LogicCloud(luts=4, levels=extra_levels))
+            m.connect(previous, "extra")
+            previous = "extra"
+        m.add("capture", Register(8))
+        m.connect(previous, "capture")
+        return m
+
+    short = analyze_timing(build(False), VIRTEX6).critical_path_ns
+    long = analyze_timing(build(True), VIRTEX6).critical_path_ns
+    assert long >= short
+
+
+@settings(max_examples=25, deadline=None)
+@given(width_a=st.integers(2, 48), width_b=st.integers(2, 48))
+def test_wider_adder_never_faster_property(width_a, width_b):
+    lo, hi = sorted((width_a, width_b))
+
+    def period(width: int) -> float:
+        m = Module(f"w{width}")
+        m.add("launch", Register(width))
+        m.add("add", Adder(width))
+        m.add("capture", Register(width))
+        m.chain("launch", "add", "capture")
+        return analyze_timing(m, VIRTEX6).critical_path_ns
+
+    assert period(hi) >= period(lo)
+
+
+# --- engine invariants ----------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    generations=st.integers(1, 20),
+    elitism=st.integers(0, 4),
+)
+def test_engine_accounting_invariants_property(seed, generations, elitism):
+    """Distinct evaluations never exceed requests and curves stay monotone."""
+    space = DesignSpace(
+        "inv", [IntParam("a", 0, 15), PowOfTwoParam("b", 1, 16)]
+    )
+    evaluator = CallableEvaluator(lambda g: {"m": float(g["a"] * g["b"])})
+    result = GeneticSearch(
+        space,
+        evaluator,
+        maximize("m"),
+        GAConfig(seed=seed, generations=generations, elitism=elitism),
+    ).run()
+    evals = [r.distinct_evaluations for r in result.records]
+    bests = [r.best_raw for r in result.records]
+    assert evals == sorted(evals)
+    assert bests == sorted(bests)
+    assert result.distinct_evaluations <= space.size()
+    assert result.best_raw <= 15 * 16
+
+
+@settings(max_examples=10, deadline=None)
+@given(budget=st.integers(12, 60))
+def test_max_evaluations_budget_property(budget):
+    """The run stops within one generation of exhausting the budget."""
+    space = DesignSpace("bud", [IntParam("a", 0, 255), IntParam("b", 0, 255)])
+    evaluator = CallableEvaluator(lambda g: {"m": float(g["a"])})
+    config = GAConfig(seed=1, generations=500, max_evaluations=budget)
+    result = GeneticSearch(space, evaluator, maximize("m"), config).run()
+    # At most one generation of overshoot (population size new designs).
+    assert result.distinct_evaluations <= budget + config.population_size
+
+
+def test_stall_generations_validation():
+    with pytest.raises(NautilusError):
+        GAConfig(stall_generations=0)
+
+
+def test_stall_generations_stops_early():
+    space = DesignSpace("st", [IntParam("a", 0, 7)])
+    evaluator = CallableEvaluator(lambda g: {"m": float(g["a"])})
+    result = GeneticSearch(
+        space,
+        evaluator,
+        maximize("m"),
+        GAConfig(seed=2, generations=300, stall_generations=6),
+    ).run()
+    assert len(result.records) < 300
+    assert result.best_raw == 7.0
