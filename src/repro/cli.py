@@ -13,11 +13,16 @@ Subcommands:
   the latency/throughput curve.
 * ``report`` — compile the benchmark artifacts in ``results/`` into
   RESULTS.md.
+* ``serve`` — run the search-campaign daemon (REST API; see
+  ``docs/service.md``).
+* ``submit`` / ``status`` — submit campaigns to a running daemon and poll
+  their progress and search curves.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis import ascii_plot
@@ -30,44 +35,11 @@ from .core import (
     maximize,
     minimize,
 )
+from .queries import QUERIES, build_hints, load_dataset, resolve_objective
 
 __all__ = ["main"]
 
 _FIGURES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7")
-
-_QUERIES = {
-    # name: (space, metric, direction, hints factory)
-    "noc-frequency": ("noc", "fmax_mhz", "max", "frequency"),
-    "noc-area-delay": ("noc", "area_delay", "min", "area_delay"),
-    "fft-luts": ("fft", "luts", "min", "lut"),
-    "fft-throughput-per-lut": ("fft", "msps_per_lut", "max", "tput"),
-    "fir-area": ("fir", "luts", "min", "fir_area"),
-}
-
-
-def _load(space_name: str):
-    from .dataset import fft_dataset, fir_dataset, router_dataset
-
-    if space_name == "noc":
-        return router_dataset()
-    if space_name == "fir":
-        return fir_dataset()
-    return fft_dataset()
-
-
-def _hints(kind: str, confidence: float | None):
-    from .dsp import fir_area_hints
-    from .fft import lut_hints, throughput_per_lut_hints
-    from .noc import area_delay_hints, frequency_hints
-
-    factory = {
-        "frequency": frequency_hints,
-        "area_delay": area_delay_hints,
-        "lut": lut_hints,
-        "tput": throughput_per_lut_hints,
-        "fir_area": fir_area_hints,
-    }[kind]
-    return factory(confidence) if confidence is not None else factory()
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -85,19 +57,9 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    space_name, metric, direction, hint_kind = _QUERIES[args.query]
-    dataset = _load(space_name)
-    if args.metric:
-        from .core import objective_from_expression
-
-        objective = objective_from_expression(
-            args.metric, args.direction or direction
-        )
-        hint_kind = None
-    else:
-        objective = (
-            maximize(metric) if direction == "max" else minimize(metric)
-        )
+    query = QUERIES[args.query]
+    dataset = load_dataset(query.space)
+    objective, hint_kind = resolve_objective(query, args.metric, args.direction)
     evaluator = DatasetEvaluator(dataset)
     if args.engine == "random":
         search = RandomSearch(
@@ -106,7 +68,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     else:
         hints = None
         if args.engine == "nautilus" and hint_kind is not None:
-            hints = _hints(hint_kind, args.confidence)
+            hints = build_hints(hint_kind, args.confidence)
         search = GeneticSearch(
             dataset.space,
             evaluator,
@@ -155,9 +117,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    space_name, metric, direction, __ = _QUERIES[args.query]
-    dataset = _load(space_name)
-    objective = maximize(metric) if direction == "max" else minimize(metric)
+    query = QUERIES[args.query]
+    dataset = load_dataset(query.space)
+    objective = (
+        maximize(query.metric)
+        if query.direction == "max"
+        else minimize(query.metric)
+    )
     hints, used = estimate_hints(
         dataset.space,
         DatasetEvaluator(dataset),
@@ -217,6 +183,82 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SearchService
+
+    service = SearchService(
+        args.dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quiet=not args.verbose,
+    )
+    print(f"nautilus daemon serving on {service.address} (store: {args.dir})")
+    print("POST /campaigns, GET /campaigns/<id>[/curve], GET /metrics; Ctrl-C stops")
+    service.serve_forever()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import CampaignSpec, ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    spec = CampaignSpec(
+        query=args.query,
+        engine=args.engine,
+        generations=args.generations,
+        seed=args.seed,
+        priority=args.priority,
+        confidence=args.confidence,
+        budget=args.budget,
+        label=args.label,
+    )
+    campaign_id = client.submit(spec)
+    print(campaign_id)
+    if args.wait:
+        status = client.wait(campaign_id, timeout=args.timeout)
+        print(f"state      : {status['state']}")
+        if "best_raw" in status:
+            print(f"best found : {status['best_raw']:.4g}")
+            print(f"evaluated  : {status['distinct_evaluations']} distinct designs")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    if args.id is None:
+        campaigns = client.list_campaigns()
+        if not campaigns:
+            print("no campaigns")
+            return 0
+        for status in campaigns:
+            best = (
+                f" best={status['best_raw']:.4g}" if "best_raw" in status else ""
+            )
+            print(
+                f"{status['id']}  {status['state']:9s} "
+                f"{status['spec']['query']}/{status['spec']['engine']} "
+                f"gen={status['generations_done']}{best}"
+            )
+        return 0
+    status = client.status(args.id)
+    for key in ("id", "state", "generations_done", "best_raw",
+                "distinct_evaluations", "stop_reason", "error"):
+        if key in status:
+            print(f"{key:21s}: {status[key]}")
+    print(f"{'query':21s}: {status['spec']['query']} ({status['spec']['engine']})")
+    if args.curve:
+        print(f"{'generation':>10s} {'evals':>8s} {'best':>12s}")
+        for point in client.curve(args.id):
+            print(
+                f"{point['generation']:10d} {point['distinct_evaluations']:8d} "
+                f"{point['best_raw']:12.4g}"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nautilus",
@@ -230,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_characterize)
 
     p = sub.add_parser("optimize", help="run one optimization query")
-    p.add_argument("query", choices=sorted(_QUERIES))
+    p.add_argument("query", choices=sorted(QUERIES))
     p.add_argument("--engine", choices=("baseline", "nautilus", "random"), default="nautilus")
     p.add_argument(
         "--metric",
@@ -253,7 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser("estimate", help="derive hints from a parameter sweep")
-    p.add_argument("query", choices=sorted(_QUERIES))
+    p.add_argument("query", choices=sorted(QUERIES))
     p.add_argument("--budget", type=int, default=80)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_estimate)
@@ -277,12 +319,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--results-dir", default=None)
     p.add_argument("--output", default=None)
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "serve", help="run the search-campaign daemon (REST API)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765, help="0 picks an ephemeral port")
+    p.add_argument("--dir", default="campaigns", help="campaign store directory")
+    p.add_argument("--workers", type=int, default=4, help="evaluation worker pool size")
+    p.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a campaign to a running daemon")
+    p.add_argument("query", choices=sorted(QUERIES))
+    p.add_argument("--engine", choices=("baseline", "nautilus", "random"), default="nautilus")
+    p.add_argument("--generations", type=int, default=80)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--priority", type=int, default=0, help="higher runs first")
+    p.add_argument("--confidence", type=float, default=None)
+    p.add_argument("--budget", type=int, default=400, help="random-search budget")
+    p.add_argument("--label", default="")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--wait", action="store_true", help="block until terminal")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("status", help="show campaign status (all, or one by id)")
+    p.add_argument("id", nargs="?", default=None)
+    p.add_argument("--curve", action="store_true", help="print the search curve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.set_defaults(fn=_cmd_status)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly instead of
+        # tracebacking. Redirect stdout so interpreter teardown can't
+        # raise a second BrokenPipeError while flushing.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,12 +18,11 @@ import random
 from pathlib import Path
 from typing import Any
 
-from .engine import GAConfig, GenerationRecord, GeneticSearch, SearchResult
+from .engine import GAConfig, GenerationRecord, GeneticSearch
 from .errors import NautilusError
 from .evaluator import Evaluator
 from .fitness import Objective
 from .hints import HintSet
-from .selection import Individual
 from .space import DesignSpace
 
 __all__ = ["SearchCheckpoint", "CheckpointedSearch"]
@@ -126,13 +125,7 @@ class CheckpointedSearch(GeneticSearch):
 
     # -- snapshotting -----------------------------------------------------------
 
-    def _snapshot(
-        self,
-        generation: int,
-        population: list[Individual],
-        rng: random.Random,
-        records: list[GenerationRecord],
-    ) -> None:
+    def _snapshot(self) -> None:
         cache_rows = []
         for key, value in self._counter._cache.items():
             __, values = key
@@ -143,9 +136,9 @@ class CheckpointedSearch(GeneticSearch):
                 cache_rows.append({"config": config, "metrics": dict(value)})
         SearchCheckpoint(
             space_name=self.space.name,
-            generation=generation,
-            population=[ind.genome.as_dict() for ind in population],
-            rng_state=rng.getstate(),
+            generation=self._generation,
+            population=[ind.genome.as_dict() for ind in self._population],
+            rng_state=self._rng.getstate(),
             records=[
                 {
                     "generation": r.generation,
@@ -155,7 +148,7 @@ class CheckpointedSearch(GeneticSearch):
                     "distinct_evaluations": r.distinct_evaluations,
                     "best_config": r.best_config,
                 }
-                for r in records
+                for r in self._records
             ],
             cache=cache_rows,
         ).save(self.checkpoint_path)
@@ -187,66 +180,62 @@ class CheckpointedSearch(GeneticSearch):
         self._resume_from = checkpoint
         return self
 
-    # -- the loop (mirrors GeneticSearch.run with snapshot/restore hooks) --------
+    # -- incremental hooks (the loop itself is inherited from GeneticSearch) -----
 
-    def run(self) -> SearchResult:
-        cfg = self.config
-        rng = random.Random(cfg.seed)
-        records: list[GenerationRecord] = []
-        if self._resume_from is not None:
-            checkpoint = self._resume_from
-            self._resume_from = None
-            rng.setstate(checkpoint.rng_state)
-            population = [
-                self._assess(self.space.genome(config))
-                for config in checkpoint.population
-            ]
-            records = [
-                GenerationRecord(
-                    generation=r["generation"],
-                    best_raw=r["best_raw"],
-                    best_score=r["best_score"],
-                    mean_score=r["mean_score"],
-                    distinct_evaluations=r["distinct_evaluations"],
-                    best_config=r["best_config"],
-                )
-                for r in checkpoint.records
-            ]
-            start_generation = checkpoint.generation + 1
-            best = max(population, key=lambda ind: ind.score)
-            for record in records:
-                if record.best_score > best.score:
-                    best = self._assess(self.space.genome(record.best_config))
-        else:
-            population = self._assess_all(
-                self.space.random_population(cfg.population_size, rng)
+    def start(self) -> GenerationRecord:
+        """Start fresh, or restore the full state of a loaded snapshot.
+
+        On resume the population, RNG stream, history, best-so-far and the
+        stall counter are all reconstituted from the checkpoint, so the
+        continued step sequence is exactly the run that would have happened
+        without the interruption — including ``stall_generations`` cutoffs.
+        Returns the record of the last completed generation.
+        """
+        if self._resume_from is None:
+            record = super().start()
+            return record
+        if self.started:
+            raise NautilusError("search already started")
+        checkpoint = self._resume_from
+        self._resume_from = None
+        self._rng = random.Random(self.config.seed)
+        self._rng.setstate(checkpoint.rng_state)
+        # Cached, so re-assessing the population costs no synthesis jobs.
+        self._population = [
+            self._assess(self.space.genome(config))
+            for config in checkpoint.population
+        ]
+        self._records = [
+            GenerationRecord(
+                generation=r["generation"],
+                best_raw=r["best_raw"],
+                best_score=r["best_score"],
+                mean_score=r["mean_score"],
+                distinct_evaluations=r["distinct_evaluations"],
+                best_config=r["best_config"],
             )
-            best = max(population, key=lambda ind: ind.score)
-            records.append(self._record(0, population, best))
-            start_generation = 1
-
-        for generation in range(start_generation, cfg.generations + 1):
-            if (
-                cfg.max_evaluations is not None
-                and self._counter.distinct_evaluations >= cfg.max_evaluations
-            ):
-                break
-            elites = sorted(population, key=lambda i: i.score, reverse=True)
-            next_genomes = [e.genome for e in elites[: cfg.elitism]]
-            while len(next_genomes) < cfg.population_size:
-                next_genomes.append(self._breed(population, generation, rng))
-            population = self._assess_all(next_genomes)
-            gen_best = max(population, key=lambda ind: ind.score)
-            if gen_best.score > best.score:
-                best = gen_best
-            records.append(self._record(generation, population, best))
-            if generation % self.checkpoint_every == 0:
-                self._snapshot(generation, population, rng, records)
-        self._snapshot(records[-1].generation, population, rng, records)
-        return SearchResult(
-            self.objective,
-            records,
-            best,
-            self._counter.distinct_evaluations,
-            label=self.label,
+            for r in checkpoint.records
+        ]
+        self._generation = checkpoint.generation
+        best = max(self._population, key=lambda ind: ind.score)
+        for record in self._records:
+            if record.best_score > best.score:
+                best = self._assess(self.space.genome(record.best_config))
+        self._best = best
+        # Replay the stall counter from the recorded best-so-far curve: a
+        # trailing record whose best_score did not improve on its
+        # predecessor was a stalled generation.
+        stalled = 0
+        for previous, current in zip(self._records, self._records[1:]):
+            stalled = 0 if current.best_score > previous.best_score else stalled + 1
+        self._stalled_generations = stalled
+        return self._records[-1] if self._records else self._record(
+            self._generation, self._population, self._best
         )
+
+    def _after_generation(self, record: GenerationRecord) -> None:
+        if record.generation % self.checkpoint_every == 0:
+            self._snapshot()
+
+    def _on_finish(self, reason: str) -> None:
+        self._snapshot()

@@ -75,6 +75,14 @@ class GAConfig:
             this many consecutive generations without best-so-far
             improvement. ``None`` (default) always runs the full horizon,
             as the paper's experiments do.
+
+    Stopping precedence: cutoffs are evaluated between generations, in a
+    fixed order — evaluation budget, then generation horizon, then stall
+    patience. When several cutoffs trigger on the same generation the first
+    in that order wins and becomes ``SearchResult.stop_reason`` (so a run
+    that exhausts ``max_evaluations`` on the exact generation its stall
+    patience runs out always reports ``"budget"``, deterministically). The
+    produced records are identical regardless of which cutoff fired.
     """
 
     population_size: int = 10
@@ -125,6 +133,12 @@ class SearchResult:
     The result exposes the two quantities the paper evaluates on (Section 2,
     "Evaluating GAs"): quality of results (best raw metric) and runtime
     measured as the number of distinct designs evaluated.
+
+    ``stop_reason`` records why the search ended: ``"horizon"`` (configured
+    generations exhausted), ``"budget"`` (``max_evaluations`` reached),
+    ``"stall"`` (``stall_generations`` without improvement), ``"exhausted"``
+    (random search ran out of unseen feasible points), or ``"cancelled"``
+    (an incremental search was finalized before any cutoff fired).
     """
 
     def __init__(
@@ -134,12 +148,14 @@ class SearchResult:
         best: Individual,
         distinct_evaluations: int,
         label: str = "",
+        stop_reason: str = "horizon",
     ):
         self.objective = objective
         self.records = list(records)
         self.best = best
         self.distinct_evaluations = distinct_evaluations
         self.label = label
+        self.stop_reason = stop_reason
 
     @property
     def best_raw(self) -> float:
@@ -201,6 +217,16 @@ class SearchResult:
 class GeneticSearch:
     """The generational GA engine (baseline when ``hints is None``).
 
+    The engine exposes an *incremental* API so external schedulers (see
+    :mod:`repro.service`) can interleave generations from many concurrent
+    searches: :meth:`start` evaluates the initial population and returns the
+    generation-0 record, each :meth:`step` advances exactly one generation
+    and returns its record (or ``None`` once a cutoff fires), and
+    :meth:`result` packages the state reached so far. :meth:`run` is a thin
+    loop over those three calls, so stepping a search one generation at a
+    time — even interleaved with other searches — produces bit-identical
+    results to a blocking ``run()``.
+
     Args:
         space: Design space to search.
         evaluator: Metric source for design points (wrapped in a counting
@@ -235,6 +261,14 @@ class GeneticSearch:
         )
         self._select = SELECTION_STRATEGIES[self.config.selection]
         self._crossover = _CROSSOVERS[self.config.crossover]
+        # Incremental-search state (populated by start()/step()).
+        self._rng: random.Random | None = None
+        self._population: list[Individual] = []
+        self._records: list[GenerationRecord] = []
+        self._best: Individual | None = None
+        self._generation = 0
+        self._stalled_generations = 0
+        self._stop_reason: str | None = None
 
     # -- scoring ------------------------------------------------------------------
 
@@ -292,49 +326,139 @@ class GeneticSearch:
                     break
         return self.operators.mutate_feasible(genome, generation, rng)
 
+    # -- incremental API -----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has been called."""
+        return self._rng is not None
+
+    @property
+    def finished(self) -> bool:
+        """Whether a stopping cutoff has fired (see :meth:`step`)."""
+        return self._stop_reason is not None
+
+    @property
+    def stop_reason(self) -> str | None:
+        """Why the search stopped, or ``None`` while it can still step."""
+        return self._stop_reason
+
+    @property
+    def generation(self) -> int:
+        """Index of the last completed generation (0 after :meth:`start`)."""
+        return self._generation
+
+    @property
+    def distinct_evaluations(self) -> int:
+        """Distinct designs evaluated so far (synthesis jobs paid)."""
+        return self._counter.distinct_evaluations
+
+    @property
+    def records(self) -> list[GenerationRecord]:
+        """Per-generation records accumulated so far (copy)."""
+        return list(self._records)
+
+    def start(self) -> GenerationRecord:
+        """Evaluate the initial population; returns the generation-0 record."""
+        if self.started:
+            raise NautilusError("search already started")
+        self._rng = random.Random(self.config.seed)
+        self._population = self._assess_all(
+            self.space.random_population(self.config.population_size, self._rng)
+        )
+        self._best = max(self._population, key=lambda ind: ind.score)
+        self._generation = 0
+        record = self._record(0, self._population, self._best)
+        self._records.append(record)
+        return record
+
+    def step(self) -> GenerationRecord | None:
+        """Advance one generation; return its record, or ``None`` when done.
+
+        Cutoffs are checked on entry, in the documented precedence order
+        (budget, horizon, stall — see :class:`GAConfig`): the step *after*
+        the generation that triggered a cutoff returns ``None`` and pins
+        :attr:`stop_reason`.
+        """
+        if not self.started:
+            raise NautilusError("call start() before step()")
+        if self.finished:
+            return None
+        cfg = self.config
+        if (
+            cfg.max_evaluations is not None
+            and self._counter.distinct_evaluations >= cfg.max_evaluations
+        ):
+            self._finish("budget")
+            return None
+        if self._generation >= cfg.generations:
+            self._finish("horizon")
+            return None
+        if (
+            cfg.stall_generations is not None
+            and self._stalled_generations >= cfg.stall_generations
+        ):
+            self._finish("stall")
+            return None
+        generation = self._generation + 1
+        elites = sorted(self._population, key=lambda i: i.score, reverse=True)
+        next_genomes = [e.genome for e in elites[: cfg.elitism]]
+        while len(next_genomes) < cfg.population_size:
+            next_genomes.append(self._breed(self._population, generation, self._rng))
+        self._population = self._assess_all(next_genomes)
+        gen_best = max(self._population, key=lambda ind: ind.score)
+        if gen_best.score > self._best.score:
+            self._best = gen_best
+            self._stalled_generations = 0
+        else:
+            self._stalled_generations += 1
+        self._generation = generation
+        record = self._record(generation, self._population, self._best)
+        self._records.append(record)
+        self._after_generation(record)
+        return record
+
+    def result(self) -> SearchResult:
+        """Package the search state reached so far into a :class:`SearchResult`.
+
+        Callable at any point after :meth:`start` — a scheduler that cancels
+        a campaign mid-flight still gets the best-so-far and its curve. A
+        result taken before any cutoff fired reports ``"cancelled"``.
+        """
+        if self._best is None:
+            raise NautilusError("search has not started")
+        return SearchResult(
+            self.objective,
+            self._records,
+            self._best,
+            self._counter.distinct_evaluations,
+            label=self.label,
+            stop_reason=self._stop_reason or "cancelled",
+        )
+
+    def _finish(self, reason: str) -> None:
+        self._stop_reason = reason
+        self._on_finish(reason)
+
+    def _after_generation(self, record: GenerationRecord) -> None:
+        """Hook invoked after each completed generation (subclass seam)."""
+
+    def _on_finish(self, reason: str) -> None:
+        """Hook invoked exactly once when a stopping cutoff fires."""
+
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> SearchResult:
-        """Run the configured number of generations and return the result."""
-        rng = random.Random(self.config.seed)
-        cfg = self.config
-        population = self._assess_all(
-            self.space.random_population(cfg.population_size, rng)
-        )
-        records: list[GenerationRecord] = []
-        best = max(population, key=lambda ind: ind.score)
-        records.append(self._record(0, population, best))
-        stall = 0
-        for generation in range(1, cfg.generations + 1):
-            if (
-                cfg.max_evaluations is not None
-                and self._counter.distinct_evaluations >= cfg.max_evaluations
-            ):
-                break
-            elites = sorted(population, key=lambda i: i.score, reverse=True)
-            next_genomes = [e.genome for e in elites[: cfg.elitism]]
-            while len(next_genomes) < cfg.population_size:
-                next_genomes.append(self._breed(population, generation, rng))
-            population = self._assess_all(next_genomes)
-            gen_best = max(population, key=lambda ind: ind.score)
-            if gen_best.score > best.score:
-                best = gen_best
-                stall = 0
-            else:
-                stall += 1
-            records.append(self._record(generation, population, best))
-            if (
-                cfg.stall_generations is not None
-                and stall >= cfg.stall_generations
-            ):
-                break
-        return SearchResult(
-            self.objective,
-            records,
-            best,
-            self._counter.distinct_evaluations,
-            label=self.label,
-        )
+        """Run the configured number of generations and return the result.
+
+        Thin loop over :meth:`start` / :meth:`step` — stepping incrementally
+        yields exactly this result.
+        """
+        if not self.started:
+            self.start()
+        while self.step() is not None:
+            pass
+        return self.result()
 
     def _record(
         self, generation: int, population: list[Individual], best: Individual
@@ -357,6 +481,11 @@ class RandomSearch:
     Samples feasible points without replacement until the budget is spent,
     recording the best-so-far curve with the same bookkeeping as the GA so
     the two are directly comparable.
+
+    Exposes the same incremental surface as :class:`GeneticSearch`
+    (:meth:`start` / :meth:`step` / :meth:`result`), where one step is one
+    budget-consuming draw, so the service scheduler can interleave random
+    baselines with GA campaigns.
     """
 
     def __init__(
@@ -376,17 +505,62 @@ class RandomSearch:
         self.seed = seed
         self.label = label
         self._counter = CountingEvaluator(evaluator)
+        self._rng: random.Random | None = None
+        self._best: Individual | None = None
+        self._records: list[GenerationRecord] = []
+        self._draws = 0
+        self._attempts = 0
+        self._max_attempts = budget * 50
+        self._stop_reason: str | None = None
 
-    def run(self) -> SearchResult:
-        rng = random.Random(self.seed)
-        best: Individual | None = None
-        records: list[GenerationRecord] = []
-        draws = 0
-        attempts = 0
-        max_attempts = self.budget * 50
-        while draws < self.budget and attempts < max_attempts:
-            attempts += 1
-            genome = self.space.random_genome(rng)
+    @property
+    def started(self) -> bool:
+        return self._rng is not None
+
+    @property
+    def finished(self) -> bool:
+        return self._stop_reason is not None
+
+    @property
+    def stop_reason(self) -> str | None:
+        return self._stop_reason
+
+    @property
+    def generation(self) -> int:
+        """Budget-consuming draws so far (the random analogue of a generation)."""
+        return self._draws
+
+    @property
+    def distinct_evaluations(self) -> int:
+        return self._counter.distinct_evaluations
+
+    @property
+    def records(self) -> list[GenerationRecord]:
+        """Per-draw records accumulated so far (copy)."""
+        return list(self._records)
+
+    def start(self) -> GenerationRecord | None:
+        """Initialize the RNG stream; random search has no generation 0."""
+        if self.started:
+            raise NautilusError("search already started")
+        self._rng = random.Random(self.seed)
+        return None
+
+    def step(self) -> GenerationRecord | None:
+        """Consume budget until one feasible draw lands; return its record.
+
+        Infeasible draws consume budget (the synthesis attempt was paid
+        for) but produce no record; the step keeps drawing until a feasible
+        design is found or a cutoff fires (``None``: budget spent, or the
+        rejection-sampling attempt cap was hit on a near-exhausted space).
+        """
+        if not self.started:
+            raise NautilusError("call start() before step()")
+        if self.finished:
+            return None
+        while self._draws < self.budget and self._attempts < self._max_attempts:
+            self._attempts += 1
+            genome = self.space.random_genome(self._rng)
             if self._counter.seen(genome):
                 continue
             try:
@@ -397,32 +571,42 @@ class RandomSearch:
                     self.objective.raw(metrics),
                 )
             except InfeasibleDesignError:
-                # The draw consumed budget (the synthesis attempt was paid
-                # for) but yields no candidate design.
-                draws += 1
+                self._draws += 1
                 continue
-            draws += 1
-            if best is None or individual.score > best.score:
-                best = individual
-            records.append(
-                GenerationRecord(
-                    generation=draws,
-                    best_raw=best.raw,
-                    best_score=best.score,
-                    mean_score=best.score,
-                    distinct_evaluations=self._counter.distinct_evaluations,
-                    best_config=best.genome.as_dict(),
-                )
+            self._draws += 1
+            if self._best is None or individual.score > self._best.score:
+                self._best = individual
+            record = GenerationRecord(
+                generation=self._draws,
+                best_raw=self._best.raw,
+                best_score=self._best.score,
+                mean_score=self._best.score,
+                distinct_evaluations=self._counter.distinct_evaluations,
+                best_config=self._best.genome.as_dict(),
             )
-        if best is None:
+            self._records.append(record)
+            return record
+        self._stop_reason = "budget" if self._draws >= self.budget else "exhausted"
+        return None
+
+    def result(self) -> SearchResult:
+        if self._best is None:
             raise NautilusError("random search evaluated no feasible design")
         return SearchResult(
             self.objective,
-            records,
-            best,
+            self._records,
+            self._best,
             self._counter.distinct_evaluations,
             label=self.label,
+            stop_reason=self._stop_reason or "cancelled",
         )
+
+    def run(self) -> SearchResult:
+        if not self.started:
+            self.start()
+        while self.step() is not None:
+            pass
+        return self.result()
 
 
 def exhaustive_best(

@@ -1,0 +1,93 @@
+"""The named optimization queries shared by the CLI and the search service.
+
+A *query* bundles everything needed to run one of the paper's searches
+against a bundled dataset: which IP space, which metric and direction, and
+which IP-author hint set guides the Nautilus engine. The CLI's ``optimize``
+/ ``estimate`` subcommands and the campaign service both resolve specs
+through this module, so a campaign submitted over HTTP runs exactly the
+search the CLI would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .core import NautilusError, Objective, maximize, minimize
+from .core.hints import HintSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dataset import Dataset
+
+__all__ = ["Query", "QUERIES", "load_dataset", "build_hints", "resolve_objective"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One named search problem on a bundled dataset."""
+
+    space: str  # dataset key: "noc", "fft" or "fir"
+    metric: str
+    direction: str  # "max" | "min"
+    hint_kind: str  # key into the hint factories
+
+
+QUERIES: dict[str, Query] = {
+    "noc-frequency": Query("noc", "fmax_mhz", "max", "frequency"),
+    "noc-area-delay": Query("noc", "area_delay", "min", "area_delay"),
+    "fft-luts": Query("fft", "luts", "min", "lut"),
+    "fft-throughput-per-lut": Query("fft", "msps_per_lut", "max", "tput"),
+    "fir-area": Query("fir", "luts", "min", "fir_area"),
+}
+
+
+def load_dataset(space_name: str) -> "Dataset":
+    """Load (or characterize) the dataset backing a query space."""
+    from .dataset import fft_dataset, fir_dataset, router_dataset
+
+    loaders = {"noc": router_dataset, "fir": fir_dataset, "fft": fft_dataset}
+    try:
+        return loaders[space_name]()
+    except KeyError:
+        raise NautilusError(f"unknown dataset space {space_name!r}") from None
+
+
+def build_hints(kind: str, confidence: float | None = None) -> HintSet:
+    """Instantiate a query's IP-author hint set, optionally re-weighted."""
+    from .dsp import fir_area_hints
+    from .fft import lut_hints, throughput_per_lut_hints
+    from .noc import area_delay_hints, frequency_hints
+
+    factories = {
+        "frequency": frequency_hints,
+        "area_delay": area_delay_hints,
+        "lut": lut_hints,
+        "tput": throughput_per_lut_hints,
+        "fir_area": fir_area_hints,
+    }
+    try:
+        factory = factories[kind]
+    except KeyError:
+        raise NautilusError(f"unknown hint kind {kind!r}") from None
+    return factory(confidence) if confidence is not None else factory()
+
+
+def resolve_objective(
+    query: Query, metric: str | None = None, direction: str | None = None
+) -> tuple[Objective, str | None]:
+    """The objective for a query, honoring a composite-metric override.
+
+    Returns ``(objective, hint_kind)``; the hint kind is ``None`` when a
+    custom metric expression overrides the query default (the bundled hints
+    describe the default metric, not arbitrary expressions).
+    """
+    if metric:
+        from .core import objective_from_expression
+
+        return objective_from_expression(metric, direction or query.direction), None
+    objective = (
+        maximize(query.metric)
+        if query.direction == "max"
+        else minimize(query.metric)
+    )
+    return objective, query.hint_kind

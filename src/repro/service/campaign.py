@@ -1,0 +1,234 @@
+"""Campaign specs and runtime state.
+
+A :class:`CampaignSpec` is the unit of work a user submits: one named query
+(see :mod:`repro.queries`), an engine choice, and the search
+hyper-parameters. Specs are plain JSON-serializable dataclasses — they ride
+over the REST API and into the on-disk store unchanged.
+
+:func:`build_search` turns a spec into a concrete engine instance. GA
+campaigns are built as :class:`~repro.core.checkpoint.CheckpointedSearch`
+with per-generation snapshots into the campaign directory, which is what
+makes daemon restarts lossless: the snapshot carries population, RNG
+stream, history *and* the evaluation cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core import (
+    CheckpointedSearch,
+    GAConfig,
+    NautilusError,
+    ParallelEvaluator,
+    RandomSearch,
+)
+from ..core.evaluator import DatasetEvaluator
+from ..queries import QUERIES, build_hints, resolve_objective
+
+__all__ = ["CampaignState", "CampaignSpec", "Campaign", "build_search"]
+
+_ENGINES = ("nautilus", "baseline", "random")
+
+
+class CampaignState:
+    """Lifecycle states of a campaign (plain strings for JSON friendliness).
+
+    ``QUEUED -> RUNNING -> DONE`` is the happy path; ``FAILED`` captures an
+    engine exception, ``CANCELLED`` a user's DELETE. ``RUNNING`` campaigns
+    found in the store at daemon startup are re-queued and resumed from
+    their checkpoint.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    #: States a restarted daemon picks back up.
+    IN_FLIGHT = (QUEUED, RUNNING)
+    #: States no scheduler tick will ever touch again.
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to (re)build one search campaign.
+
+    Attributes:
+        query: A named query from :data:`repro.queries.QUERIES`.
+        engine: ``"nautilus"`` (guided), ``"baseline"`` (unguided GA) or
+            ``"random"``.
+        generations: GA horizon (ignored by the random engine).
+        seed: RNG seed — campaigns are deterministic given their spec.
+        priority: Higher is served first; campaigns of equal priority share
+            the scheduler round-robin fairly.
+        confidence: Optional hint-confidence override (nautilus only).
+        budget: Random-search draw budget (random engine only).
+        max_evaluations: Optional distinct-evaluation cutoff for GA runs.
+        label: Free-form tag carried into results.
+    """
+
+    query: str
+    engine: str = "nautilus"
+    generations: int = 80
+    seed: int = 0
+    priority: int = 0
+    confidence: float | None = None
+    budget: int = 400
+    max_evaluations: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.query not in QUERIES:
+            raise NautilusError(
+                f"unknown query {self.query!r}; choose from {sorted(QUERIES)}"
+            )
+        if self.engine not in _ENGINES:
+            raise NautilusError(
+                f"unknown engine {self.engine!r}; choose from {_ENGINES}"
+            )
+        if self.generations < 1:
+            raise NautilusError("generations must be >= 1")
+        if self.budget < 1:
+            raise NautilusError("budget must be >= 1")
+
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "CampaignSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise NautilusError(f"unknown campaign spec fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+def build_search(
+    spec: CampaignSpec,
+    dataset,
+    campaign_dir: str | Path | None = None,
+    workers: int = 1,
+):
+    """Instantiate the engine a spec describes, against a shared dataset.
+
+    GA engines checkpoint every generation under ``campaign_dir`` so the
+    scheduler can resume them after a daemon restart; the random baseline
+    is cheap and deterministic, so on restart it simply replays from its
+    seed. ``workers > 1`` wraps the dataset evaluator in a thread-pool
+    :class:`~repro.core.ParallelEvaluator` (population-sized parallelism).
+    """
+    query = QUERIES[spec.query]
+    objective, hint_kind = resolve_objective(query)
+    evaluator = DatasetEvaluator(dataset)
+    if workers > 1:
+        evaluator = ParallelEvaluator(evaluator, workers=workers, kind="thread")
+    if spec.engine == "random":
+        return RandomSearch(
+            dataset.space,
+            evaluator,
+            objective,
+            budget=spec.budget,
+            seed=spec.seed,
+            label=spec.label or "random",
+        )
+    hints = None
+    if spec.engine == "nautilus":
+        hints = build_hints(hint_kind, spec.confidence)
+    config = GAConfig(
+        generations=spec.generations,
+        seed=spec.seed,
+        max_evaluations=spec.max_evaluations,
+    )
+    if campaign_dir is None:
+        from ..core import GeneticSearch
+
+        return GeneticSearch(
+            dataset.space, evaluator, objective, config,
+            hints=hints, label=spec.label,
+        )
+    return CheckpointedSearch(
+        dataset.space,
+        evaluator,
+        objective,
+        config,
+        hints=hints,
+        label=spec.label,
+        checkpoint_path=Path(campaign_dir) / "checkpoint.json",
+        checkpoint_every=1,
+    )
+
+
+@dataclass
+class Campaign:
+    """The scheduler's live view of one campaign."""
+
+    id: str
+    spec: CampaignSpec
+    state: str = CampaignState.QUEUED
+    error: str = ""
+    generations_done: int = 0
+    cancel_requested: bool = False
+    search: Any = field(default=None, repr=False)
+    result: Any = field(default=None, repr=False)
+    #: Terminal outcome reloaded from the store after a daemon restart —
+    #: served when no live engine object exists for this campaign.
+    stored_result: dict[str, Any] | None = field(default=None, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in CampaignState.TERMINAL
+
+    def status_payload(self) -> dict[str, Any]:
+        """The JSON body served by ``GET /campaigns/<id>``."""
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_json(),
+            "generations_done": self.generations_done,
+        }
+        if self.error:
+            payload["error"] = self.error
+        source = self.result or self.search
+        if source is None:
+            if self.stored_result:
+                for key in (
+                    "best_raw", "best_score", "best_config",
+                    "distinct_evaluations", "stop_reason",
+                ):
+                    if key in self.stored_result:
+                        payload[key] = self.stored_result[key]
+            return payload
+        records = source.records
+        if records:
+            last = records[-1]
+            payload["best_raw"] = last.best_raw
+            payload["best_score"] = last.best_score
+            payload["best_config"] = last.best_config
+        payload["distinct_evaluations"] = source.distinct_evaluations
+        stop = getattr(source, "stop_reason", None)
+        if self.terminal and stop:
+            payload["stop_reason"] = stop
+        return payload
+
+    def curve_payload(self) -> list[dict[str, Any]]:
+        """The JSON body served by ``GET /campaigns/<id>/curve``."""
+        source = self.result or self.search
+        if source is None:
+            if self.stored_result:
+                return list(self.stored_result.get("curve", []))
+            return []
+        return [
+            {
+                "generation": r.generation,
+                "distinct_evaluations": r.distinct_evaluations,
+                "best_raw": r.best_raw,
+                "best_score": r.best_score,
+            }
+            for r in source.records
+        ]

@@ -1,0 +1,109 @@
+"""A small urllib client for the campaign REST API.
+
+Used by the ``nautilus submit`` / ``nautilus status`` CLI subcommands and
+directly usable from scripts::
+
+    client = ServiceClient(port=8765)
+    cid = client.submit(CampaignSpec(query="noc-frequency", seed=3))
+    status = client.wait(cid, timeout=300)
+    curve = client.curve(cid)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..core import NautilusError
+from .campaign import CampaignSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(NautilusError):
+    """An API call failed; carries the HTTP status when one was received."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one search-campaign daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 10.0):
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> Any:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"null")
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:
+                detail = ""
+            raise ServiceError(
+                detail or f"{method} {path} -> HTTP {exc.code}", status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach daemon at {self.base}: {exc.reason}"
+            ) from None
+
+    # -- API --------------------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec | dict[str, Any]) -> str:
+        """Submit a campaign; returns its ID."""
+        payload = spec.to_json() if isinstance(spec, CampaignSpec) else dict(spec)
+        return self._request("POST", "/campaigns", payload)["id"]
+
+    def status(self, campaign_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/campaigns/{campaign_id}")
+
+    def curve(self, campaign_id: str) -> list[dict[str, Any]]:
+        return self._request("GET", f"/campaigns/{campaign_id}/curve")
+
+    def cancel(self, campaign_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/campaigns/{campaign_id}")
+
+    def list_campaigns(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/campaigns")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def healthy(self) -> bool:
+        try:
+            return self._request("GET", "/healthz").get("status") == "ok"
+        except ServiceError:
+            return False
+
+    def wait(
+        self, campaign_id: str, timeout: float = 60.0, poll: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until the campaign reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(campaign_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"campaign {campaign_id} still {status['state']!r} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)

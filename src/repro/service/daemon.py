@@ -1,0 +1,104 @@
+"""The search-campaign daemon: store + scheduler + REST API, one object.
+
+:class:`SearchService` wires the pieces together and owns their lifecycle::
+
+    service = SearchService("campaigns/", port=8765, workers=4)
+    service.start()          # recovers in-flight campaigns, serves HTTP
+    ...
+    service.stop()           # graceful: finish the generation, persist
+
+``port=0`` binds an ephemeral port (``service.port`` reports the real one),
+which is how the tests run a full daemon in-process. ``serve_forever``
+blocks for CLI use (``nautilus serve``).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from .http import ServiceHTTPServer, make_server
+from .metrics import ServiceMetrics
+from .scheduler import Scheduler
+from .store import CampaignStore
+
+__all__ = ["SearchService"]
+
+
+class SearchService:
+    """One daemon: campaign store, scheduler thread, and HTTP server."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        dataset_provider=None,
+        quiet: bool = True,
+    ):
+        self.store = CampaignStore(root)
+        self.metrics = ServiceMetrics()
+        kwargs = {}
+        if dataset_provider is not None:
+            kwargs["dataset_provider"] = dataset_provider
+        self.scheduler = Scheduler(
+            self.store, self.metrics, workers=workers, **kwargs
+        )
+        self.server: ServiceHTTPServer = make_server(
+            self.scheduler, host=host, port=port, quiet=quiet
+        )
+        self._http_thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved even when constructed with 0)."""
+        return self.server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self, run_scheduler: bool = True) -> "SearchService":
+        """Recover stored campaigns and serve; returns self for chaining.
+
+        ``run_scheduler=False`` leaves stepping to manual
+        ``service.scheduler.tick()`` calls — the deterministic mode the
+        restart tests use.
+        """
+        self.scheduler.recover()
+        if run_scheduler:
+            self.scheduler.start()
+        self._http_thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="nautilus-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI: Ctrl-C shuts down gracefully."""
+        self.scheduler.recover()
+        self.scheduler.start()
+        try:
+            self.server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop HTTP, drain the in-flight generation."""
+        if self._http_thread is not None:
+            # shutdown() blocks on the serve_forever loop, so only call it
+            # when that loop is actually running in our background thread.
+            self.server.shutdown()
+            self._http_thread.join(5.0)
+            self._http_thread = None
+        self.server.server_close()
+        self.scheduler.shutdown()

@@ -1,0 +1,132 @@
+"""REST API over the campaign scheduler (stdlib ``http.server`` only).
+
+Routes::
+
+    POST   /campaigns            submit a CampaignSpec (JSON body) -> 201 {id}
+    GET    /campaigns            list campaign summaries
+    GET    /campaigns/<id>       status: state, progress, best-so-far
+    GET    /campaigns/<id>/curve per-generation search curve
+    DELETE /campaigns/<id>       request cancellation
+    GET    /metrics              live service counters
+    GET    /healthz              liveness probe
+
+The server is a ``ThreadingHTTPServer``: request handling is concurrent,
+but every mutation funnels through the scheduler's lock, and engines are
+only ever stepped by the scheduler thread — handlers read snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..core import NautilusError
+from .campaign import CampaignSpec
+from .scheduler import Scheduler
+
+__all__ = ["ServiceHTTPServer", "make_server"]
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the scheduler for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, scheduler: Scheduler, quiet: bool = True):
+        self.scheduler = scheduler
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise NautilusError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> tuple[str, ...]:
+        path = self.path.split("?", 1)[0]
+        return tuple(part for part in path.split("/") if part)
+
+    # -- verbs ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        scheduler = self.server.scheduler
+        parts = self._route()
+        try:
+            if parts == ("healthz",):
+                self._send_json({"status": "ok"})
+            elif parts == ("metrics",):
+                self._send_json(scheduler.metrics.snapshot())
+            elif parts == ("campaigns",):
+                self._send_json(
+                    [c.status_payload() for c in scheduler.list_campaigns()]
+                )
+            elif len(parts) == 2 and parts[0] == "campaigns":
+                self._send_json(scheduler.get(parts[1]).status_payload())
+            elif len(parts) == 3 and parts[:1] == ("campaigns",) and parts[2] == "curve":
+                self._send_json(scheduler.get(parts[1]).curve_payload())
+            else:
+                self._send_error_json(404, f"no route {self.path!r}")
+        except NautilusError as exc:
+            self._send_error_json(404, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        scheduler = self.server.scheduler
+        if self._route() != ("campaigns",):
+            self._send_error_json(404, f"no route {self.path!r}")
+            return
+        try:
+            spec = CampaignSpec.from_json(self._read_body())
+        except (NautilusError, TypeError, ValueError) as exc:
+            self._send_error_json(400, f"bad campaign spec: {exc}")
+            return
+        campaign = scheduler.submit(spec)
+        self._send_json({"id": campaign.id, "state": campaign.state}, status=201)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        scheduler = self.server.scheduler
+        parts = self._route()
+        if len(parts) != 2 or parts[0] != "campaigns":
+            self._send_error_json(404, f"no route {self.path!r}")
+            return
+        try:
+            campaign = scheduler.cancel(parts[1])
+        except NautilusError as exc:
+            self._send_error_json(404, str(exc))
+            return
+        self._send_json({"id": campaign.id, "state": campaign.state})
+
+
+def make_server(
+    scheduler: Scheduler, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> ServiceHTTPServer:
+    """Bind the REST API; ``port=0`` picks an ephemeral port."""
+    return ServiceHTTPServer((host, port), scheduler, quiet=quiet)

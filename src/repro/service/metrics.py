@@ -1,0 +1,106 @@
+"""Live service counters, served by ``GET /metrics``.
+
+The numbers the paper's economics care about, aggregated across every
+campaign the daemon has stepped: how many synthesis jobs were paid for
+(distinct evaluations), how often the memoization cache saved one (cache
+hit rate — the mechanism behind "the GA revisits previously-synthesized
+results ... without paying again"), and how fast the evaluation pipeline is
+moving (evaluations/sec over a sliding window). Queue depth and per-campaign
+generation counts expose scheduler health.
+
+All updates take one lock and are O(1); the scheduler calls
+:meth:`ServiceMetrics.record_step` once per generation step.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["ServiceMetrics"]
+
+#: Sliding window for the throughput estimate, seconds.
+_WINDOW_S = 60.0
+
+
+class ServiceMetrics:
+    """Thread-safe counters for one service daemon."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at = clock()
+        self._evaluations = 0
+        self._requests = 0
+        self._cache_hits = 0
+        self._steps = 0
+        self._generations: dict[str, int] = {}
+        self._campaign_states: dict[str, str] = {}
+        # (timestamp, distinct-evaluation delta) samples for the window rate.
+        self._samples: deque[tuple[float, int]] = deque()
+
+    # -- updates ----------------------------------------------------------------
+
+    def record_step(
+        self,
+        campaign_id: str,
+        generations_done: int,
+        evaluations_delta: int,
+        requests_delta: int,
+        cache_hits_delta: int,
+    ) -> None:
+        """Fold one scheduler step's evaluator deltas into the counters."""
+        now = self._clock()
+        with self._lock:
+            self._steps += 1
+            self._evaluations += evaluations_delta
+            self._requests += requests_delta
+            self._cache_hits += cache_hits_delta
+            self._generations[campaign_id] = generations_done
+            if evaluations_delta:
+                self._samples.append((now, evaluations_delta))
+            self._trim(now)
+
+    def record_state(self, campaign_id: str, state: str) -> None:
+        with self._lock:
+            self._campaign_states[campaign_id] = state
+
+    def _trim(self, now: float) -> None:
+        horizon = now - _WINDOW_S
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    # -- readout ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """One consistent JSON-ready view of every counter."""
+        now = self._clock()
+        with self._lock:
+            self._trim(now)
+            window_evals = sum(delta for __, delta in self._samples)
+            if self._samples:
+                span = max(now - self._samples[0][0], 1e-9)
+                window_rate = window_evals / span
+            else:
+                window_rate = 0.0
+            uptime = max(now - self._started_at, 1e-9)
+            states: dict[str, int] = {}
+            for state in self._campaign_states.values():
+                states[state] = states.get(state, 0) + 1
+            return {
+                "uptime_s": uptime,
+                "scheduler_steps": self._steps,
+                "evaluations_total": self._evaluations,
+                "evaluation_requests_total": self._requests,
+                "cache_hits_total": self._cache_hits,
+                "cache_hit_rate": (
+                    self._cache_hits / self._requests if self._requests else 0.0
+                ),
+                "evaluations_per_sec": window_rate,
+                "evaluations_per_sec_lifetime": self._evaluations / uptime,
+                "queue_depth": states.get("queued", 0),
+                "campaign_states": states,
+                "campaign_generations": dict(self._generations),
+            }

@@ -1,0 +1,267 @@
+"""Round-robin campaign scheduler.
+
+One scheduler thread owns every engine object and steps them one generation
+at a time: campaigns of the highest priority present share the CPU
+round-robin, lower priorities run only when no higher-priority campaign is
+runnable. Because the engines' incremental API is deterministic (stepping
+never consumes RNG differently than ``run()``), interleaving campaigns
+changes *when* each generation happens but never *what* it computes — a
+campaign's outcome is identical to its same-seed sequential run.
+
+The scheduler can run threaded (:meth:`Scheduler.start` /
+:meth:`Scheduler.shutdown`) or be driven manually with :meth:`tick` — the
+tests use manual ticking to stop a daemon deterministically mid-campaign.
+
+Fault model: an engine exception fails only its campaign; a daemon kill
+loses at most the generation being stepped (GA campaigns checkpoint every
+generation through :class:`~repro.core.checkpoint.CheckpointedSearch`,
+evaluation cache included). :meth:`recover` re-queues every in-flight
+campaign found in the store.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from ..core import CheckpointedSearch, NautilusError
+from ..queries import QUERIES, load_dataset
+from .campaign import Campaign, CampaignSpec, CampaignState, build_search
+from .metrics import ServiceMetrics
+from .store import CampaignStore
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Steps many campaigns fairly on one thread + a shared worker pool.
+
+    Args:
+        store: Campaign persistence (specs, statuses, checkpoints, results).
+        metrics: Counter sink; a fresh one is created when omitted.
+        workers: Evaluation worker-pool size per step (see
+            :class:`~repro.core.ParallelEvaluator`); 1 evaluates inline.
+        dataset_provider: ``space_name -> Dataset`` hook, overridable in
+            tests; defaults to the bundled dataset loaders.
+        poll_interval: Idle-loop sleep of the scheduler thread, seconds.
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        metrics: ServiceMetrics | None = None,
+        workers: int = 1,
+        dataset_provider=load_dataset,
+        poll_interval: float = 0.05,
+    ):
+        if workers < 1:
+            raise NautilusError("workers must be >= 1")
+        self.store = store
+        self.metrics = metrics or ServiceMetrics()
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self._dataset_provider = dataset_provider
+        self._datasets: dict[str, Any] = {}
+        self._campaigns: dict[str, Campaign] = {}
+        self._queues: dict[int, deque[str]] = {}
+        self._lock = threading.RLock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- shared datasets --------------------------------------------------------
+
+    def _dataset(self, space_name: str):
+        """The shared (read-only) characterization dataset for a space."""
+        if space_name not in self._datasets:
+            self._datasets[space_name] = self._dataset_provider(space_name)
+        return self._datasets[space_name]
+
+    # -- submission / queries ---------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> Campaign:
+        """Persist and enqueue a new campaign; wakes the scheduler thread."""
+        campaign = self.store.create(spec)
+        with self._lock:
+            self._campaigns[campaign.id] = campaign
+            self._enqueue(campaign)
+        self.metrics.record_state(campaign.id, campaign.state)
+        self._wake.set()
+        return campaign
+
+    def get(self, campaign_id: str) -> Campaign:
+        with self._lock:
+            try:
+                return self._campaigns[campaign_id]
+            except KeyError:
+                raise NautilusError(f"unknown campaign {campaign_id!r}") from None
+
+    def list_campaigns(self) -> list[Campaign]:
+        with self._lock:
+            return [self._campaigns[cid] for cid in sorted(self._campaigns)]
+
+    def cancel(self, campaign_id: str) -> Campaign:
+        """Request cancellation; queued campaigns cancel immediately."""
+        with self._lock:
+            campaign = self.get(campaign_id)
+            if campaign.terminal:
+                return campaign
+            campaign.cancel_requested = True
+            if campaign.search is None:
+                self._finalize(campaign, CampaignState.CANCELLED)
+        self._wake.set()
+        return campaign
+
+    # -- recovery ---------------------------------------------------------------
+
+    def recover(self) -> list[Campaign]:
+        """Reload the store; re-queue every in-flight campaign.
+
+        GA campaigns resume from their last per-generation checkpoint
+        (population, RNG stream, history and evaluation cache); random
+        campaigns deterministically replay from their seed. Terminal
+        campaigns are loaded for status/curve queries only. Returns the
+        re-queued campaigns.
+        """
+        requeued = []
+        with self._lock:
+            for campaign in self.store.load_all():
+                if campaign.id in self._campaigns:
+                    continue
+                self._campaigns[campaign.id] = campaign
+                if campaign.state in CampaignState.IN_FLIGHT:
+                    campaign.state = CampaignState.QUEUED
+                    campaign.generations_done = 0
+                    self._enqueue(campaign)
+                    requeued.append(campaign)
+                else:
+                    campaign.stored_result = self.store.load_result(campaign.id)
+                self.metrics.record_state(campaign.id, campaign.state)
+        if requeued:
+            self._wake.set()
+        return requeued
+
+    # -- the scheduling loop ----------------------------------------------------
+
+    def _enqueue(self, campaign: Campaign) -> None:
+        self._queues.setdefault(campaign.spec.priority, deque()).append(campaign.id)
+
+    def _next(self) -> Campaign | None:
+        """Pop the next runnable campaign: highest priority, round-robin."""
+        with self._lock:
+            for priority in sorted(self._queues, reverse=True):
+                queue = self._queues[priority]
+                while queue:
+                    campaign = self._campaigns[queue.popleft()]
+                    if not campaign.terminal:
+                        return campaign
+            return None
+
+    def tick(self) -> bool:
+        """Advance exactly one campaign by one generation.
+
+        Returns False when nothing was runnable. Fairness is the deque
+        rotation: a stepped campaign goes to the back of its priority's
+        queue.
+        """
+        campaign = self._next()
+        if campaign is None:
+            return False
+        try:
+            self._step(campaign)
+        except Exception as exc:  # engine bug or bad data: fail one campaign
+            campaign.error = f"{type(exc).__name__}: {exc}"
+            self._finalize(campaign, CampaignState.FAILED)
+            return True
+        if not campaign.terminal:
+            with self._lock:
+                self._enqueue(campaign)
+        return True
+
+    def _build(self, campaign: Campaign) -> None:
+        dataset = self._dataset(QUERIES[campaign.spec.query].space)
+        search = build_search(
+            campaign.spec,
+            dataset,
+            campaign_dir=self.store.campaign_dir(campaign.id),
+            workers=self.workers,
+        )
+        checkpoint = self.store.checkpoint_path(campaign.id)
+        if isinstance(search, CheckpointedSearch) and checkpoint.exists():
+            search.resume(checkpoint)
+        campaign.search = search
+
+    def _step(self, campaign: Campaign) -> None:
+        if campaign.cancel_requested:
+            if campaign.search is not None and campaign.search.started:
+                campaign.result = campaign.search.result()
+            self._finalize(campaign, CampaignState.CANCELLED)
+            return
+        if campaign.search is None:
+            self._build(campaign)
+        search = campaign.search
+        counter = search._counter
+        before = (
+            counter.distinct_evaluations,
+            counter.total_requests,
+            counter.cache_hits,
+        )
+        if not search.started:
+            search.start()
+            if campaign.state != CampaignState.RUNNING:
+                campaign.state = CampaignState.RUNNING
+                self.metrics.record_state(campaign.id, campaign.state)
+            record: Any = True  # starting is progress, never terminal
+        else:
+            record = search.step()
+        campaign.generations_done = search.generation
+        self.metrics.record_step(
+            campaign.id,
+            campaign.generations_done,
+            counter.distinct_evaluations - before[0],
+            counter.total_requests - before[1],
+            counter.cache_hits - before[2],
+        )
+        if record is None:
+            campaign.result = search.result()
+            self._finalize(campaign, CampaignState.DONE)
+        else:
+            self.store.save_status(campaign)
+
+    def _finalize(self, campaign: Campaign, state: str) -> None:
+        campaign.state = state
+        self.store.save_status(campaign)
+        self.store.save_result(campaign)
+        self.metrics.record_state(campaign.id, state)
+
+    # -- thread lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the scheduler thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="nautilus-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if not self.tick():
+                self._wake.wait(self.poll_interval)
+                self._wake.clear()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Graceful stop: finish the in-flight generation, then persist.
+
+        Campaign checkpoints/statuses are already written per generation,
+        so after the thread joins the store is consistent and a new daemon
+        can :meth:`recover` everything.
+        """
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None

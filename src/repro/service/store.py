@@ -1,0 +1,122 @@
+"""Crash-safe on-disk persistence for search campaigns.
+
+Layout, one directory per campaign under the store root::
+
+    <root>/
+      c000001/
+        spec.json        # the submitted CampaignSpec, verbatim
+        status.json      # state machine + progress records (atomic rewrites)
+        checkpoint.json  # SearchCheckpoint (GA engines; written by the engine)
+        result.json      # final curve + best design, once terminal
+
+Every write goes through a temp-file + ``rename`` so a killed daemon never
+leaves a torn file; the checkpoint reuses the exact
+:class:`~repro.core.checkpoint.SearchCheckpoint` format, which carries the
+evaluation cache — the expensive part of a half-finished campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+from ..core import NautilusError
+from .campaign import Campaign, CampaignSpec, CampaignState
+
+__all__ = ["CampaignStore"]
+
+
+def _write_atomic(path: Path, payload: Any) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1))
+    tmp.replace(path)
+
+
+class CampaignStore:
+    """A directory of campaigns, with sequential crash-stable IDs."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- id allocation ----------------------------------------------------------
+
+    def _next_id(self) -> str:
+        numbers = [0]
+        for entry in self.root.iterdir():
+            if entry.is_dir() and entry.name.startswith("c"):
+                try:
+                    numbers.append(int(entry.name[1:]))
+                except ValueError:
+                    continue
+        return f"c{max(numbers) + 1:06d}"
+
+    def campaign_dir(self, campaign_id: str) -> Path:
+        return self.root / campaign_id
+
+    # -- create / persist -------------------------------------------------------
+
+    def create(self, spec: CampaignSpec) -> Campaign:
+        """Allocate an ID, persist the spec, and return a QUEUED campaign."""
+        with self._lock:
+            campaign_id = self._next_id()
+            directory = self.campaign_dir(campaign_id)
+            directory.mkdir(parents=True)
+        _write_atomic(directory / "spec.json", spec.to_json())
+        campaign = Campaign(id=campaign_id, spec=spec)
+        self.save_status(campaign)
+        return campaign
+
+    def save_status(self, campaign: Campaign) -> None:
+        """Persist the campaign's state machine + progress curve."""
+        payload = {
+            "state": campaign.state,
+            "error": campaign.error,
+            "generations_done": campaign.generations_done,
+            "records": campaign.curve_payload(),
+        }
+        _write_atomic(self.campaign_dir(campaign.id) / "status.json", payload)
+
+    def save_result(self, campaign: Campaign) -> None:
+        """Persist the terminal outcome next to the status."""
+        payload = campaign.status_payload()
+        payload["curve"] = campaign.curve_payload()
+        _write_atomic(self.campaign_dir(campaign.id) / "result.json", payload)
+
+    # -- load -------------------------------------------------------------------
+
+    def load(self, campaign_id: str) -> Campaign:
+        directory = self.campaign_dir(campaign_id)
+        spec_path = directory / "spec.json"
+        if not spec_path.exists():
+            raise NautilusError(f"no campaign {campaign_id!r} in {self.root}")
+        spec = CampaignSpec.from_json(json.loads(spec_path.read_text()))
+        campaign = Campaign(id=campaign_id, spec=spec)
+        status_path = directory / "status.json"
+        if status_path.exists():
+            status = json.loads(status_path.read_text())
+            campaign.state = status.get("state", CampaignState.QUEUED)
+            campaign.error = status.get("error", "")
+            campaign.generations_done = status.get("generations_done", 0)
+        return campaign
+
+    def load_result(self, campaign_id: str) -> dict[str, Any] | None:
+        path = self.campaign_dir(campaign_id) / "result.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def load_all(self) -> list[Campaign]:
+        """All campaigns on disk, sorted by ID (i.e. submission order)."""
+        campaigns = []
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir() and (entry / "spec.json").exists():
+                campaigns.append(self.load(entry.name))
+        return campaigns
+
+    def checkpoint_path(self, campaign_id: str) -> Path:
+        return self.campaign_dir(campaign_id) / "checkpoint.json"

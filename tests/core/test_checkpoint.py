@@ -149,3 +149,89 @@ class TestResume:
         path.write_text(json.dumps({"format": 99}))
         with pytest.raises(NautilusError, match="format"):
             SearchCheckpoint.load(path)
+
+
+class TestKillAndResume:
+    """A run killed mid-flight, resumed from its last snapshot, must land on
+    the uninterrupted run's exact result — and the restored evaluation
+    cache must prevent re-paying for designs evaluated before the kill."""
+
+    def _reference(self, space, evaluator, tmp_path):
+        return CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=17, generations=20),
+            checkpoint_path=tmp_path / "ref.json", checkpoint_every=1000,
+        ).run()
+
+    def test_killed_run_resumes_to_identical_result(self, space, tmp_path):
+        calls = []
+
+        def fn(genome):
+            calls.append(genome.as_dict())
+            return {"m": float(genome["a"] + genome["b"])}
+
+        reference = self._reference(space, CallableEvaluator(fn), tmp_path)
+        reference_paid = len(calls)
+        calls.clear()
+
+        # Phase 1: the evaluator dies after 35 distinct designs (the full
+        # run pays 59) — a crash mid-generation, after several snapshots.
+        deadline = 35
+
+        def bomb(genome):
+            if len(calls) >= deadline:
+                raise RuntimeError("cluster node lost")
+            calls.append(genome.as_dict())
+            return {"m": float(genome["a"] + genome["b"])}
+
+        path = tmp_path / "killed.json"
+        interrupted = CheckpointedSearch(
+            space, CallableEvaluator(bomb), maximize("m"),
+            GAConfig(seed=17, generations=20),
+            checkpoint_path=path, checkpoint_every=2,
+        )
+        with pytest.raises(RuntimeError, match="cluster node lost"):
+            interrupted.run()
+        assert path.exists()
+        snapshot = SearchCheckpoint.load(path)
+        assert 0 < snapshot.generation < 20
+        calls.clear()
+
+        # Phase 2: resume against a healthy evaluator.
+        resumed = CheckpointedSearch(
+            space, CallableEvaluator(fn), maximize("m"),
+            GAConfig(seed=17, generations=20),
+            checkpoint_path=path, checkpoint_every=2,
+        ).resume().run()
+
+        assert resumed.curve() == reference.curve()
+        assert resumed.best_config == reference.best_config
+        assert resumed.distinct_evaluations == reference.distinct_evaluations
+        # Cache accounting: the resumed half paid only for designs missing
+        # from the snapshot — nothing already evaluated was re-bought.
+        assert len(calls) == reference_paid - len(snapshot.cache)
+
+    def test_resume_replays_stall_counter(self, space, tmp_path):
+        """stall_generations keeps working across a kill/resume boundary."""
+        flat = CallableEvaluator(lambda g: {"m": 1.0})
+        reference = CheckpointedSearch(
+            space, flat, maximize("m"),
+            GAConfig(seed=4, generations=40, stall_generations=6),
+            checkpoint_path=tmp_path / "flat_ref.json", checkpoint_every=1000,
+        ).run()
+        assert reference.stop_reason == "stall"
+
+        path = tmp_path / "flat.json"
+        partial = CheckpointedSearch(
+            space, flat, maximize("m"),
+            GAConfig(seed=4, generations=3, stall_generations=6),
+            checkpoint_path=path, checkpoint_every=1,
+        )
+        partial.run()  # stops at the horizon with 3 stalled generations
+        resumed = CheckpointedSearch(
+            space, flat, maximize("m"),
+            GAConfig(seed=4, generations=40, stall_generations=6),
+            checkpoint_path=path, checkpoint_every=1,
+        ).resume().run()
+        assert resumed.stop_reason == "stall"
+        assert resumed.curve() == reference.curve()

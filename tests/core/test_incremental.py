@@ -1,0 +1,172 @@
+"""Tests for the incremental engine API and stopping-cutoff precedence."""
+
+import pytest
+
+from repro.core import (
+    CallableEvaluator,
+    DesignSpace,
+    GAConfig,
+    GeneticSearch,
+    IntParam,
+    NautilusError,
+    RandomSearch,
+    maximize,
+)
+
+
+@pytest.fixture
+def space():
+    return DesignSpace("inc", [IntParam("a", 0, 63), IntParam("b", 0, 63)])
+
+
+@pytest.fixture
+def evaluator():
+    return CallableEvaluator(lambda g: {"m": float(g["a"] + g["b"])})
+
+
+@pytest.fixture
+def flat_evaluator():
+    """Constant fitness: every generation after the first is a stall."""
+    return CallableEvaluator(lambda g: {"m": 1.0})
+
+
+class TestIncrementalGA:
+    def test_step_sequence_equals_run(self, space, evaluator):
+        config = GAConfig(seed=3, generations=12)
+        reference = GeneticSearch(space, evaluator, maximize("m"), config).run()
+        search = GeneticSearch(space, evaluator, maximize("m"), config)
+        records = [search.start()]
+        while (record := search.step()) is not None:
+            records.append(record)
+        result = search.result()
+        assert result.curve() == reference.curve()
+        assert result.best_config == reference.best_config
+        assert result.stop_reason == reference.stop_reason == "horizon"
+        assert [r.generation for r in records] == list(range(13))
+
+    def test_interleaved_searches_keep_outcomes(self, space, evaluator):
+        """Round-robin stepping two searches changes nothing — the service
+        scheduler's core correctness property."""
+        configs = [GAConfig(seed=s, generations=10) for s in (1, 2)]
+        references = [
+            GeneticSearch(space, evaluator, maximize("m"), c).run() for c in configs
+        ]
+        searches = [
+            GeneticSearch(space, evaluator, maximize("m"), c) for c in configs
+        ]
+        for search in searches:
+            search.start()
+        live = list(searches)
+        while live:
+            live = [s for s in live if s.step() is not None]
+        for search, reference in zip(searches, references):
+            assert search.result().curve() == reference.curve()
+
+    def test_step_before_start_rejected(self, space, evaluator):
+        search = GeneticSearch(space, evaluator, maximize("m"))
+        with pytest.raises(NautilusError, match="start"):
+            search.step()
+        with pytest.raises(NautilusError, match="started"):
+            search.result()
+
+    def test_double_start_rejected(self, space, evaluator):
+        search = GeneticSearch(space, evaluator, maximize("m"))
+        search.start()
+        with pytest.raises(NautilusError, match="already started"):
+            search.start()
+
+    def test_step_after_finish_stays_none(self, space, evaluator):
+        search = GeneticSearch(
+            space, evaluator, maximize("m"), GAConfig(seed=1, generations=2)
+        )
+        search.run()
+        assert search.finished
+        assert search.step() is None
+
+    def test_result_midway_reports_cancelled(self, space, evaluator):
+        search = GeneticSearch(
+            space, evaluator, maximize("m"), GAConfig(seed=1, generations=30)
+        )
+        search.start()
+        search.step()
+        partial = search.result()
+        assert partial.stop_reason == "cancelled"
+        assert len(partial.records) == 2
+        assert not search.finished
+
+
+class TestStoppingPrecedence:
+    """max_evaluations and stall_generations triggering on the same
+    generation must interact deterministically: budget wins (GAConfig
+    docstring), and the records are identical either way."""
+
+    def _run(self, space, flat_evaluator, **kwargs):
+        return GeneticSearch(
+            space,
+            flat_evaluator,
+            maximize("m"),
+            GAConfig(seed=7, generations=80, **kwargs),
+        ).run()
+
+    def test_budget_wins_over_stall(self, space, flat_evaluator):
+        both = self._run(
+            space, flat_evaluator, max_evaluations=11, stall_generations=1
+        )
+        assert both.stop_reason == "budget"
+
+    def test_records_identical_regardless_of_reason(self, space, flat_evaluator):
+        both = self._run(
+            space, flat_evaluator, max_evaluations=11, stall_generations=1
+        )
+        stall_only = self._run(space, flat_evaluator, stall_generations=1)
+        budget_only = self._run(space, flat_evaluator, max_evaluations=11)
+        assert stall_only.stop_reason == "stall"
+        assert budget_only.stop_reason == "budget"
+        assert both.curve() == stall_only.curve() == budget_only.curve()
+        assert (
+            both.distinct_evaluations
+            == stall_only.distinct_evaluations
+            == budget_only.distinct_evaluations
+        )
+
+    def test_stall_reason_reported(self, space, flat_evaluator):
+        result = self._run(space, flat_evaluator, stall_generations=3)
+        assert result.stop_reason == "stall"
+        assert len(result.records) == 4  # gen 0 + three stalled generations
+
+    def test_horizon_reason_default(self, space, evaluator):
+        result = GeneticSearch(
+            space, evaluator, maximize("m"), GAConfig(seed=1, generations=3)
+        ).run()
+        assert result.stop_reason == "horizon"
+
+
+class TestIncrementalRandom:
+    def test_step_sequence_equals_run(self, space, evaluator):
+        reference = RandomSearch(
+            space, evaluator, maximize("m"), budget=30, seed=9
+        ).run()
+        search = RandomSearch(space, evaluator, maximize("m"), budget=30, seed=9)
+        assert search.start() is None  # no generation 0 for random draws
+        steps = 0
+        while search.step() is not None:
+            steps += 1
+        result = search.result()
+        assert result.curve() == reference.curve()
+        assert result.stop_reason == reference.stop_reason == "budget"
+        assert steps == len(result.records)
+
+    def test_generation_counts_draws(self, space, evaluator):
+        search = RandomSearch(space, evaluator, maximize("m"), budget=5, seed=1)
+        search.start()
+        search.step()
+        assert search.generation == 1
+        assert search.distinct_evaluations >= 1
+
+    def test_guards(self, space, evaluator):
+        search = RandomSearch(space, evaluator, maximize("m"), budget=5, seed=1)
+        with pytest.raises(NautilusError, match="start"):
+            search.step()
+        search.start()
+        with pytest.raises(NautilusError, match="already started"):
+            search.start()

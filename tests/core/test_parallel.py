@@ -20,6 +20,16 @@ from repro.core import (
 )
 
 
+class ParityEvaluator:
+    """Module-level (hence picklable) evaluator for process-pool tests:
+    odd ``a`` values are infeasible, even ones score their value."""
+
+    def evaluate(self, genome):
+        if genome["a"] % 2:
+            raise InfeasibleDesignError("odd values unbuildable")
+        return {"m": float(genome["a"])}
+
+
 @pytest.fixture
 def space():
     return DesignSpace("par", [IntParam("a", 0, 63)])
@@ -91,6 +101,23 @@ class TestParallelEvaluator:
 
     def test_empty_batch(self, space, evaluator):
         assert ParallelEvaluator(evaluator).evaluate_many([]) == []
+
+    def test_process_pool_exception_isolation(self, space):
+        """One infeasible design must not poison its batch — under a real
+        process pool, where exceptions cross a pickling boundary."""
+        parallel = ParallelEvaluator(ParityEvaluator(), workers=2, kind="process")
+        results = parallel.evaluate_many([space.genome(a=i) for i in range(8)])
+        for i, outcome in enumerate(results):
+            if i % 2:
+                assert isinstance(outcome, InfeasibleDesignError)
+            else:
+                assert outcome == {"m": float(i)}
+
+    def test_process_pool_preserves_submission_order(self, space):
+        parallel = ParallelEvaluator(ParityEvaluator(), workers=4, kind="process")
+        genomes = [space.genome(a=2 * (i % 16)) for i in range(32)]
+        results = parallel.evaluate_many(genomes)
+        assert [r["m"] for r in results] == [float(2 * (i % 16)) for i in range(32)]
 
     def test_validation(self, evaluator):
         with pytest.raises(NautilusError):

@@ -1,0 +1,62 @@
+"""Tests for campaign specs and engine construction."""
+
+import pytest
+
+from repro.core import CheckpointedSearch, GeneticSearch, NautilusError, RandomSearch
+from repro.service import CampaignSpec, CampaignState, build_search
+
+
+class TestCampaignSpec:
+    def test_roundtrip(self):
+        spec = CampaignSpec(query="fft-luts", engine="baseline", seed=7, priority=2)
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(NautilusError, match="query"):
+            CampaignSpec(query="warp-drive")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(NautilusError, match="engine"):
+            CampaignSpec(query="fft-luts", engine="annealing")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(NautilusError, match="fields"):
+            CampaignSpec.from_json({"query": "fft-luts", "bogus": 1})
+
+    def test_validation(self):
+        with pytest.raises(NautilusError):
+            CampaignSpec(query="fft-luts", generations=0)
+        with pytest.raises(NautilusError):
+            CampaignSpec(query="fft-luts", budget=0)
+
+    def test_state_partitions(self):
+        terminal = set(CampaignState.TERMINAL)
+        in_flight = set(CampaignState.IN_FLIGHT)
+        assert terminal | in_flight == set(CampaignState.ALL)
+        assert not terminal & in_flight
+
+
+class TestBuildSearch:
+    def test_ga_with_dir_checkpoints(self, tiny_dataset, tmp_path):
+        spec = CampaignSpec(query="noc-frequency", engine="baseline", generations=3)
+        search = build_search(spec, tiny_dataset, campaign_dir=tmp_path)
+        assert isinstance(search, CheckpointedSearch)
+        assert search.checkpoint_path == tmp_path / "checkpoint.json"
+        assert search.checkpoint_every == 1
+
+    def test_ga_without_dir_is_plain(self, tiny_dataset):
+        spec = CampaignSpec(query="noc-frequency", engine="baseline", generations=3)
+        search = build_search(spec, tiny_dataset)
+        assert type(search) is GeneticSearch
+
+    def test_random_engine(self, tiny_dataset, tmp_path):
+        spec = CampaignSpec(query="noc-frequency", engine="random", budget=5)
+        search = build_search(spec, tiny_dataset, campaign_dir=tmp_path)
+        assert isinstance(search, RandomSearch)
+
+    def test_spec_seed_determinism(self, tiny_dataset):
+        spec = CampaignSpec(query="noc-frequency", engine="baseline",
+                            generations=4, seed=9)
+        first = build_search(spec, tiny_dataset).run()
+        second = build_search(spec, tiny_dataset).run()
+        assert first.curve() == second.curve()

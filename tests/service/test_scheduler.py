@@ -1,0 +1,183 @@
+"""Tests for the round-robin scheduler (manual ticking: fully deterministic)."""
+
+import pytest
+
+from repro.core import NautilusError
+from repro.service import (
+    CampaignSpec,
+    CampaignState,
+    CampaignStore,
+    Scheduler,
+    build_search,
+)
+
+
+@pytest.fixture
+def scheduler(tmp_path, tiny_provider):
+    return Scheduler(
+        CampaignStore(tmp_path / "campaigns"), dataset_provider=tiny_provider
+    )
+
+
+def _spec(**overrides):
+    base = dict(query="noc-frequency", engine="baseline", generations=4, seed=1)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def _drain(scheduler, limit=10_000):
+    for _ in range(limit):
+        if not scheduler.tick():
+            return
+    raise AssertionError("scheduler did not drain")
+
+
+class TestScheduling:
+    def test_idle_tick_returns_false(self, scheduler):
+        assert scheduler.tick() is False
+
+    def test_runs_campaign_to_done(self, scheduler):
+        campaign = scheduler.submit(_spec())
+        _drain(scheduler)
+        assert campaign.state == CampaignState.DONE
+        assert campaign.result.stop_reason == "horizon"
+        assert campaign.generations_done == 4
+
+    def test_round_robin_interleaves_fairly(self, scheduler):
+        first = scheduler.submit(_spec(seed=1, generations=3))
+        second = scheduler.submit(_spec(seed=2, generations=3))
+        # One start tick each, then generations alternate: after four ticks
+        # both campaigns must have progressed equally.
+        for _ in range(4):
+            scheduler.tick()
+        assert first.generations_done == second.generations_done == 1
+
+    def test_priority_preempts(self, scheduler):
+        low = scheduler.submit(_spec(seed=1, priority=0))
+        high = scheduler.submit(_spec(seed=2, priority=5))
+        # The high-priority campaign must finish before low runs at all.
+        while not high.terminal:
+            scheduler.tick()
+        assert low.generations_done == 0
+        _drain(scheduler)
+        assert low.state == CampaignState.DONE
+
+    def test_interleaving_preserves_outcomes(self, scheduler, tiny_dataset):
+        specs = [_spec(seed=s, generations=5) for s in (3, 4, 5)]
+        campaigns = [scheduler.submit(spec) for spec in specs]
+        _drain(scheduler)
+        for spec, campaign in zip(specs, campaigns):
+            sequential = build_search(spec, tiny_dataset).run()
+            assert campaign.result.best_raw == sequential.best_raw
+            assert campaign.result.curve() == sequential.curve()
+
+    def test_cancel_queued_is_immediate(self, scheduler):
+        campaign = scheduler.submit(_spec())
+        scheduler.cancel(campaign.id)
+        assert campaign.state == CampaignState.CANCELLED
+
+    def test_cancel_running_takes_next_tick(self, scheduler):
+        campaign = scheduler.submit(_spec(generations=50))
+        scheduler.tick()  # start
+        scheduler.tick()  # generation 1
+        assert campaign.state == CampaignState.RUNNING
+        scheduler.cancel(campaign.id)
+        scheduler.tick()
+        assert campaign.state == CampaignState.CANCELLED
+        # A cancelled campaign still reports its partial progress.
+        assert campaign.result.stop_reason == "cancelled"
+        assert campaign.generations_done >= 1
+
+    def test_unknown_campaign_rejected(self, scheduler):
+        with pytest.raises(NautilusError, match="unknown campaign"):
+            scheduler.get("c424242")
+
+    def test_failure_isolates_to_one_campaign(self, tmp_path, tiny_dataset):
+        calls = {"n": 0}
+
+        def flaky_provider(space_name):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("dataset shard offline")
+            return tiny_dataset
+
+        scheduler = Scheduler(
+            CampaignStore(tmp_path / "campaigns"), dataset_provider=flaky_provider
+        )
+        doomed = scheduler.submit(_spec(seed=1))
+        healthy = scheduler.submit(_spec(seed=2))
+        _drain(scheduler)
+        assert doomed.state == CampaignState.FAILED
+        assert "dataset shard offline" in doomed.error
+        assert healthy.state == CampaignState.DONE
+
+    def test_metrics_track_steps(self, scheduler):
+        scheduler.submit(_spec())
+        _drain(scheduler)
+        snapshot = scheduler.metrics.snapshot()
+        assert snapshot["evaluations_total"] > 0
+        assert snapshot["evaluation_requests_total"] >= snapshot["evaluations_total"]
+        assert 0.0 <= snapshot["cache_hit_rate"] <= 1.0
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["campaign_states"] == {"done": 1}
+        assert snapshot["campaign_generations"]["c000001"] == 4
+
+
+class TestRecovery:
+    def test_restart_resumes_midflight(self, tmp_path, tiny_provider, tiny_dataset):
+        store_root = tmp_path / "campaigns"
+        spec = _spec(seed=6, generations=8)
+        first = Scheduler(CampaignStore(store_root), dataset_provider=tiny_provider)
+        campaign = first.submit(spec)
+        for _ in range(4):  # start + 3 generations, then "crash"
+            first.tick()
+        assert campaign.state == CampaignState.RUNNING
+        paid_before = campaign.search.distinct_evaluations
+
+        second = Scheduler(CampaignStore(store_root), dataset_provider=tiny_provider)
+        recovered = second.recover()
+        assert [c.id for c in recovered] == [campaign.id]
+        _drain(second)
+        resumed = second.get(campaign.id)
+        assert resumed.state == CampaignState.DONE
+
+        sequential = build_search(spec, tiny_dataset).run()
+        assert resumed.result.best_raw == sequential.best_raw
+        assert resumed.result.curve() == sequential.curve()
+        # The restored evaluation cache keeps pre-crash designs paid for.
+        assert resumed.result.distinct_evaluations == sequential.distinct_evaluations
+        assert paid_before <= sequential.distinct_evaluations
+
+    def test_recover_skips_terminal(self, tmp_path, tiny_provider):
+        store_root = tmp_path / "campaigns"
+        first = Scheduler(CampaignStore(store_root), dataset_provider=tiny_provider)
+        done = first.submit(_spec(seed=1))
+        _drain(first)
+        assert done.state == CampaignState.DONE
+
+        second = Scheduler(CampaignStore(store_root), dataset_provider=tiny_provider)
+        assert second.recover() == []
+        loaded = second.get(done.id)
+        assert loaded.state == CampaignState.DONE
+        # Terminal campaigns answer status/curve queries from the stored result.
+        assert loaded.status_payload()["best_raw"] == done.result.best_raw
+        assert loaded.curve_payload() == done.curve_payload()
+
+
+class TestThreadedLifecycle:
+    def test_start_and_graceful_shutdown(self, scheduler):
+        campaigns = [scheduler.submit(_spec(seed=s)) for s in (1, 2)]
+        scheduler.start()
+        for campaign in campaigns:
+            deadline = 200
+            while not campaign.terminal and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.01)
+        scheduler.shutdown()
+        assert all(c.state == CampaignState.DONE for c in campaigns)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(NautilusError):
+            Scheduler(CampaignStore(tmp_path), workers=0)

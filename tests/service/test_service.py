@@ -1,0 +1,173 @@
+"""End-to-end daemon tests over the real bundled datasets and HTTP API.
+
+The headline acceptance test runs mixed guided/baseline campaigns on the
+NoC and FFT datasets *concurrently* through one daemon and checks every
+campaign's outcome is bit-equal to its same-seed sequential ``run()`` —
+interleaved scheduling must never change search results. A second test
+kills the daemon mid-campaign and verifies a fresh daemon resumes all
+in-flight campaigns from the store without re-paying for cached
+evaluations.
+"""
+
+import pytest
+
+from repro.service import (
+    CampaignSpec,
+    SearchService,
+    ServiceClient,
+    ServiceError,
+    build_search,
+)
+
+#: The mixed workload of the acceptance test: (spec, dataset fixture key).
+WORKLOAD = [
+    CampaignSpec(query="noc-frequency", engine="nautilus", generations=12, seed=3),
+    CampaignSpec(query="noc-frequency", engine="baseline", generations=12, seed=3),
+    CampaignSpec(query="fft-luts", engine="nautilus", generations=12, seed=4),
+    CampaignSpec(query="fft-throughput-per-lut", engine="baseline",
+                 generations=10, seed=5),
+]
+
+
+@pytest.fixture(scope="module")
+def datasets(noc_dataset, fft_ds):
+    return {"noc": noc_dataset, "fft": fft_ds}
+
+
+@pytest.fixture
+def provider(datasets):
+    return lambda space_name: datasets[space_name]
+
+
+@pytest.fixture
+def service(tmp_path, provider):
+    svc = SearchService(
+        tmp_path / "campaigns", port=0, workers=2, dataset_provider=provider
+    )
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(port=service.port)
+
+
+class TestConcurrentCampaigns:
+    def test_mixed_campaigns_match_sequential(self, service, client, datasets):
+        """Acceptance: >= 3 concurrent campaigns == their sequential runs."""
+        ids = [client.submit(spec) for spec in WORKLOAD]
+        statuses = [client.wait(cid, timeout=300) for cid in ids]
+        for spec, status in zip(WORKLOAD, statuses):
+            assert status["state"] == "done"
+            dataset = datasets["noc" if spec.query.startswith("noc") else "fft"]
+            sequential = build_search(spec, dataset).run()
+            assert status["best_score"] == sequential.best.score
+            assert status["best_raw"] == sequential.best_raw
+            assert status["distinct_evaluations"] == sequential.distinct_evaluations
+            curve = client.curve(status["id"])
+            assert [
+                (p["distinct_evaluations"], p["best_raw"]) for p in curve
+            ] == sequential.curve()
+
+    def test_metrics_are_live(self, service, client):
+        ids = [client.submit(spec) for spec in WORKLOAD[:3]]
+        for cid in ids:
+            client.wait(cid, timeout=300)
+        metrics = client.metrics()
+        assert metrics["evaluations_total"] > 0
+        assert metrics["evaluations_per_sec"] > 0
+        assert 0.0 < metrics["cache_hit_rate"] < 1.0
+        assert metrics["queue_depth"] == 0
+        assert metrics["campaign_states"]["done"] == 3
+        assert set(metrics["campaign_generations"]) == set(ids)
+
+    def test_cancel_over_http(self, service, client):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline", generations=5000)
+        )
+        client.cancel(cid)
+        status = client.wait(cid, timeout=60)
+        assert status["state"] == "cancelled"
+
+    def test_api_errors(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("c999999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"query": "warp-drive"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nonsense")
+        assert excinfo.value.status == 404
+
+    def test_list_and_health(self, client):
+        assert client.healthy()
+        cid = client.submit(
+            CampaignSpec(query="fft-luts", engine="baseline", generations=3)
+        )
+        client.wait(cid, timeout=120)
+        listed = client.list_campaigns()
+        assert [c["id"] for c in listed] == [cid]
+
+
+class TestDaemonRestart:
+    def test_restart_resumes_inflight_campaigns(self, tmp_path, provider, datasets):
+        """Acceptance: a killed daemon resumes every in-flight campaign
+        from the store, evaluation cache included."""
+        root = tmp_path / "campaigns"
+        specs = [
+            CampaignSpec(query="fft-luts", engine="nautilus", generations=15, seed=11),
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=15, seed=12),
+        ]
+        # Phase 1: manual scheduler ticks so the kill point is deterministic.
+        first = SearchService(root, port=0, dataset_provider=provider)
+        first.start(run_scheduler=False)
+        client = ServiceClient(port=first.port)
+        ids = [client.submit(spec) for spec in specs]
+        for _ in range(9):
+            first.scheduler.tick()
+        mid_states = [client.status(cid) for cid in ids]
+        assert all(s["state"] == "running" for s in mid_states)
+        assert all(0 < s["generations_done"] < 15 for s in mid_states)
+        first.stop()
+
+        # Phase 2: a fresh daemon on the same store picks everything up.
+        second = SearchService(root, port=0, dataset_provider=provider)
+        second.start()
+        try:
+            client2 = ServiceClient(port=second.port)
+            finals = [client2.wait(cid, timeout=300) for cid in ids]
+        finally:
+            second.stop()
+        for spec, final in zip(specs, finals):
+            dataset = datasets["noc" if spec.query.startswith("noc") else "fft"]
+            sequential = build_search(spec, dataset).run()
+            assert final["state"] == "done"
+            assert final["best_raw"] == sequential.best_raw
+            # Equal distinct-evaluation counts prove the restored cache:
+            # the resumed half re-paid for nothing already evaluated.
+            assert final["distinct_evaluations"] == sequential.distinct_evaluations
+
+    def test_terminal_campaigns_still_queryable_after_restart(
+        self, tmp_path, provider
+    ):
+        root = tmp_path / "campaigns"
+        spec = CampaignSpec(query="fft-luts", engine="baseline", generations=4)
+        first = SearchService(root, port=0, dataset_provider=provider).start()
+        client = ServiceClient(port=first.port)
+        cid = client.submit(spec)
+        done = client.wait(cid, timeout=120)
+        first.stop()
+
+        second = SearchService(root, port=0, dataset_provider=provider).start()
+        try:
+            client2 = ServiceClient(port=second.port)
+            status = client2.status(cid)
+            assert status["state"] == "done"
+            assert status["best_raw"] == done["best_raw"]
+            assert client2.curve(cid)  # served from the stored result
+        finally:
+            second.stop()
