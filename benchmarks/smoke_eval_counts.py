@@ -1,0 +1,84 @@
+"""CI smoke check: distinct-evaluation counts must be bit-stable.
+
+Runs a reduced fig6-style workload (fft-luts, baseline and nautilus
+engines, seeds 0-2, 20 generations) and compares every run's distinct
+design-evaluation count and final best metric against the checked-in
+baseline in ``benchmarks/baselines/eval_counts.json``.
+
+The counts are the x-axis of every figure in the paper — the number of
+synthesis jobs a search pays for. Any refactor of the evaluation pipeline
+must leave them bit-identical; this script failing means search behavior
+(or its accounting) changed and the figures are no longer comparable to
+previous revisions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_eval_counts.py             # check
+    PYTHONPATH=src python benchmarks/smoke_eval_counts.py --update    # rebaseline
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.core import DatasetEvaluator, GAConfig, GeneticSearch
+from repro.queries import QUERIES, build_hints, load_dataset, resolve_objective
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "eval_counts.json"
+QUERY = "fft-luts"
+ENGINES = ("baseline", "nautilus")
+SEEDS = (0, 1, 2)
+GENERATIONS = 20
+
+
+def run_workload() -> dict[str, dict]:
+    query = QUERIES[QUERY]
+    dataset = load_dataset(query.space)
+    objective, hint_kind = resolve_objective(query)
+    results = {}
+    for engine in ENGINES:
+        for seed in SEEDS:
+            hints = build_hints(hint_kind) if engine == "nautilus" else None
+            search = GeneticSearch(
+                dataset.space,
+                DatasetEvaluator(dataset),
+                objective,
+                GAConfig(generations=GENERATIONS, seed=seed),
+                hints=hints,
+            )
+            result = search.run()
+            results[f"{QUERY}/{engine}/{seed}"] = {
+                "distinct_evaluations": result.distinct_evaluations,
+                "best_raw": result.best_raw,
+            }
+    return results
+
+
+def main(argv: list[str]) -> int:
+    results = run_workload()
+    if "--update" in argv:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    expected = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for key in sorted(expected):
+        want, got = expected[key], results.get(key)
+        if got != want:
+            failures.append(f"  {key}: expected {want}, got {got}")
+        else:
+            print(f"  ok {key}: {want['distinct_evaluations']} distinct evals")
+    if failures:
+        print("distinct-evaluation counts drifted from the baseline:")
+        print("\n".join(failures))
+        print("(if the change is intentional, rerun with --update)")
+        return 1
+    print(f"all {len(expected)} runs match {BASELINE_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

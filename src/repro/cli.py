@@ -85,6 +85,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     print(f"engine     : {args.engine}")
     print(f"best found : {result.best_raw:.4g} (space optimum {best:.4g})")
     print(f"evaluated  : {result.distinct_evaluations} distinct designs")
+    stats = result.eval_stats
+    print(
+        f"eval stack : {stats.requests} requests, {stats.cache_hits} cache "
+        f"hits ({stats.hit_rate:.0%}), {stats.batches} batches "
+        f"(max {stats.max_batch}), {stats.wall_time_s:.3f}s"
+    )
     print(f"score      : {dataset.score_percent(objective, result.best_raw):.2f}% percentile")
     print("configuration:")
     for key, value in result.best_config.items():
@@ -192,8 +198,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         quiet=not args.verbose,
+        eval_cache=args.eval_cache,
     )
     print(f"nautilus daemon serving on {service.address} (store: {args.dir})")
+    if service.eval_cache is not None:
+        print(f"persistent eval cache: {service.eval_cache.root}")
     print("POST /campaigns, GET /campaigns/<id>[/curve], GET /metrics; Ctrl-C stops")
     service.serve_forever()
     return 0
@@ -230,18 +239,33 @@ def _cmd_status(args: argparse.Namespace) -> int:
     client = ServiceClient(host=args.host, port=args.port)
     if args.id is None:
         campaigns = client.list_campaigns()
+        metrics = client.metrics()
+        eval_times = metrics.get("campaign_eval_time_s", {})
+        evals = metrics.get("campaign_evaluations", {})
         if not campaigns:
             print("no campaigns")
-            return 0
         for status in campaigns:
+            cid = status["id"]
             best = (
                 f" best={status['best_raw']:.4g}" if "best_raw" in status else ""
             )
-            print(
-                f"{status['id']}  {status['state']:9s} "
-                f"{status['spec']['query']}/{status['spec']['engine']} "
-                f"gen={status['generations_done']}{best}"
+            timing = (
+                f" evals={evals[cid]} eval_time={eval_times[cid]:.3f}s"
+                if cid in eval_times
+                else ""
             )
+            print(
+                f"{cid}  {status['state']:9s} "
+                f"{status['spec']['query']}/{status['spec']['engine']} "
+                f"gen={status['generations_done']}{best}{timing}"
+            )
+        print(
+            f"service: {metrics['evaluations_total']} evaluations, "
+            f"cache hit rate {metrics['cache_hit_rate']:.0%}, "
+            f"persistent hits {metrics['persistent_hits_total']} "
+            f"({metrics['persistent_cache_hit_rate']:.0%}), "
+            f"eval time {metrics['eval_time_s']:.3f}s"
+        )
         return 0
     status = client.status(args.id)
     for key in ("id", "state", "generations_done", "best_raw",
@@ -327,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8765, help="0 picks an ephemeral port")
     p.add_argument("--dir", default="campaigns", help="campaign store directory")
     p.add_argument("--workers", type=int, default=4, help="evaluation worker pool size")
+    p.add_argument(
+        "--eval-cache",
+        action="store_true",
+        help="share evaluation results across campaigns and restarts via an "
+        "on-disk cache under the store directory",
+    )
     p.add_argument("--verbose", action="store_true", help="log HTTP requests")
     p.set_defaults(fn=_cmd_serve)
 

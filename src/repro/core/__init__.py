@@ -57,6 +57,12 @@ from .selection import (
     tournament_selection,
 )
 from .fitness import Metrics, Objective, maximize, minimize
+from .evalstack import (
+    EvalStats,
+    EvaluationStack,
+    PersistentCache,
+    evaluator_fingerprint,
+)
 from .evaluator import (
     CallableEvaluator,
     CountingEvaluator,
@@ -132,6 +138,11 @@ __all__ = [
     "CallableEvaluator",
     "CountingEvaluator",
     "DatasetEvaluator",
+    # evaluation stack
+    "EvalStats",
+    "EvaluationStack",
+    "PersistentCache",
+    "evaluator_fingerprint",
     # engines
     "GAConfig",
     "GenerationRecord",

@@ -127,7 +127,7 @@ class CheckpointedSearch(GeneticSearch):
 
     def _snapshot(self) -> None:
         cache_rows = []
-        for key, value in self._counter._cache.items():
+        for key, value in self._counter.memo_items():
             __, values = key
             config = dict(zip(self.space.param_names, values))
             if isinstance(value, Exception):
@@ -166,17 +166,11 @@ class CheckpointedSearch(GeneticSearch):
                 f"checkpoint is for space {checkpoint.space_name!r}, "
                 f"not {self.space.name!r}"
             )
-        from .errors import InfeasibleDesignError
-
+        # Restored entries are charged as distinct evaluations — they were
+        # paid for before the interruption.
         for row in checkpoint.cache:
             genome = self.space.genome(row["config"])
-            if row["metrics"] is None:
-                self._counter._cache[genome.key] = InfeasibleDesignError(
-                    "restored from checkpoint"
-                )
-            else:
-                self._counter._cache[genome.key] = row["metrics"]
-        self._counter._distinct = len(checkpoint.cache)
+            self._counter.preload(genome, row["metrics"], charge=True)
         self._resume_from = checkpoint
         return self
 

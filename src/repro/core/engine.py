@@ -7,10 +7,13 @@ passing ``hints=None`` yields exactly the baseline behaviour. Configuration
 defaults follow Section 4.1: population 10, per-gene mutation rate 0.1,
 80 generations.
 
-Cost accounting: every engine pulls evaluations through a
-:class:`~repro.core.evaluator.CountingEvaluator`, so result curves are
+Cost accounting: every engine pulls evaluations through an
+:class:`~repro.core.evalstack.EvaluationStack`, so result curves are
 expressed in *distinct designs evaluated* (synthesis jobs) — the x-axis of
-Figures 4-7.
+Figures 4-7. Passing a pre-built stack as the ``evaluator`` lets callers
+share layers across runs (the service shares a persistent on-disk cache
+between campaigns this way); a bare evaluator is wrapped in a fresh
+memo-only stack.
 """
 
 from __future__ import annotations
@@ -21,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from .errors import InfeasibleDesignError, NautilusError
-from .evaluator import CountingEvaluator, Evaluator
+from .evalstack import EvalStats, EvaluationStack
+from .evaluator import Evaluator
 from .fitness import Objective
 from .genome import Genome
 from .hints import HintSet
@@ -149,6 +153,7 @@ class SearchResult:
         distinct_evaluations: int,
         label: str = "",
         stop_reason: str = "horizon",
+        eval_stats: EvalStats | None = None,
     ):
         self.objective = objective
         self.records = list(records)
@@ -156,6 +161,9 @@ class SearchResult:
         self.distinct_evaluations = distinct_evaluations
         self.label = label
         self.stop_reason = stop_reason
+        #: Full evaluation-pipeline counters/timers at result time (cache
+        #: hits by layer, batch sizes, backend wall time, infeasible rate).
+        self.eval_stats = eval_stats or EvalStats()
 
     @property
     def best_raw(self) -> float:
@@ -229,8 +237,10 @@ class GeneticSearch:
 
     Args:
         space: Design space to search.
-        evaluator: Metric source for design points (wrapped in a counting
-            cache internally).
+        evaluator: Metric source for design points — either a bare
+            :class:`~repro.core.evaluator.Evaluator` (wrapped in a fresh
+            :class:`~repro.core.evalstack.EvaluationStack` internally) or a
+            pre-built stack to share caches/backends with other runs.
         objective: What to optimize.
         config: GA hyper-parameters.
         hints: IP-author hints; ``None`` gives the paper's baseline GA.
@@ -250,7 +260,7 @@ class GeneticSearch:
         self.objective = objective
         self.config = config or GAConfig()
         self.label = label or ("nautilus" if hints else "baseline")
-        self._counter = CountingEvaluator(evaluator)
+        self._counter = EvaluationStack.wrap(evaluator)
         oriented = hints
         if oriented is not None and not objective.maximizing:
             # Authors state bias w.r.t. the raw metric; flip for minimization.
@@ -354,6 +364,15 @@ class GeneticSearch:
         return self._counter.distinct_evaluations
 
     @property
+    def stack(self) -> EvaluationStack:
+        """The evaluation stack this search charges its synthesis jobs to."""
+        return self._counter
+
+    def eval_stats(self) -> EvalStats:
+        """Snapshot of the evaluation pipeline's counters and timers."""
+        return self._counter.stats()
+
+    @property
     def records(self) -> list[GenerationRecord]:
         """Per-generation records accumulated so far (copy)."""
         return list(self._records)
@@ -434,6 +453,7 @@ class GeneticSearch:
             self._counter.distinct_evaluations,
             label=self.label,
             stop_reason=self._stop_reason or "cancelled",
+            eval_stats=self._counter.stats(),
         )
 
     def _finish(self, reason: str) -> None:
@@ -504,7 +524,7 @@ class RandomSearch:
         self.budget = budget
         self.seed = seed
         self.label = label
-        self._counter = CountingEvaluator(evaluator)
+        self._counter = EvaluationStack.wrap(evaluator)
         self._rng: random.Random | None = None
         self._best: Individual | None = None
         self._records: list[GenerationRecord] = []
@@ -533,6 +553,15 @@ class RandomSearch:
     @property
     def distinct_evaluations(self) -> int:
         return self._counter.distinct_evaluations
+
+    @property
+    def stack(self) -> EvaluationStack:
+        """The evaluation stack this search charges its draws to."""
+        return self._counter
+
+    def eval_stats(self) -> EvalStats:
+        """Snapshot of the evaluation pipeline's counters and timers."""
+        return self._counter.stats()
 
     @property
     def records(self) -> list[GenerationRecord]:
@@ -599,6 +628,7 @@ class RandomSearch:
             self._counter.distinct_evaluations,
             label=self.label,
             stop_reason=self._stop_reason or "cancelled",
+            eval_stats=self._counter.stats(),
         )
 
     def run(self) -> SearchResult:

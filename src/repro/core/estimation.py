@@ -25,7 +25,8 @@ import random
 from typing import Sequence
 
 from .errors import InfeasibleDesignError
-from .evaluator import CountingEvaluator, Evaluator
+from .evalstack import EvaluationStack
+from .evaluator import Evaluator
 from .fitness import Objective
 from .genome import Genome
 from .hints import HintSet, ParamHints, IMPORTANCE_MAX, IMPORTANCE_MIN
@@ -137,7 +138,7 @@ def estimate_hints(
         actually evaluated.
     """
     rng = random.Random(seed)
-    counter = CountingEvaluator(evaluator)
+    counter = EvaluationStack.wrap(evaluator)
     per_param = max(2, budget // max(len(space.params), 1))
 
     best_seen: tuple[float, Genome] | None = None

@@ -3,9 +3,11 @@
 In the paper every fitness evaluation "requires running computationally
 expensive CAD tools ... and/or simulations", so the cost of a search is the
 number of *distinct* design points evaluated; revisiting an
-already-synthesized design is free. :class:`CountingEvaluator` implements
-exactly that accounting and is what every engine run wraps around the
-underlying evaluator.
+already-synthesized design is free. That accounting — and every other
+evaluation concern (memoization, persistent caching, batching,
+instrumentation, parallel backends) — lives in one layered pipeline,
+:class:`repro.core.evalstack.EvaluationStack`, which every engine run wraps
+around the underlying evaluator.
 
 Three base evaluators are provided:
 
@@ -14,21 +16,26 @@ Three base evaluators are provided:
 * :class:`DatasetEvaluator` — replays an offline-characterized dataset,
   mirroring the paper's methodology (Section 4.1: spaces were synthesized
   offline on a cluster, then searches ran against the datasets).
-* :class:`InfeasibleAwareEvaluator` semantics are shared: evaluators raise
-  :class:`~repro.core.errors.InfeasibleDesignError` for unbuildable points
-  and the engine turns that into ``-inf`` fitness.
+* :class:`CountingEvaluator` — the historical memoizing/counting wrapper,
+  kept as a thin shim over :class:`EvaluationStack` for existing callers
+  (see ``docs/evaluation.md``).
+
+Infeasibility semantics are shared: evaluators raise
+:class:`~repro.core.errors.InfeasibleDesignError` for unbuildable points
+and the engine turns that into ``-inf`` fitness.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, TYPE_CHECKING
+from typing import Callable, Protocol, Sequence, TYPE_CHECKING
 
-from .errors import DatasetError
+from .errors import DatasetError, InfeasibleDesignError
 from .fitness import Metrics
 from .genome import Genome
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..dataset.dataset import Dataset
+    from .evalstack import EvalStats
 
 __all__ = [
     "Evaluator",
@@ -68,51 +75,55 @@ class CountingEvaluator:
     revisits previously-synthesized results as it converges" without paying
     again (Section 4.2). Infeasible results are cached too — a failed
     synthesis attempt still consumed a job.
+
+    Since the evaluation-stack refactor this class is a thin shim over
+    :class:`repro.core.evalstack.EvaluationStack` (memo cache + inline
+    backend); the public API — ``evaluate``, ``evaluate_many``, ``seen``,
+    ``distinct_evaluations``, ``total_requests``, ``cache_hits`` — is
+    unchanged. New code should construct a stack directly.
     """
 
     def __init__(self, inner: Evaluator):
+        from .evalstack import EvaluationStack
+
         self._inner = inner
-        self._cache: dict[tuple, Metrics | Exception] = {}
-        self._distinct = 0
-        self._total_requests = 0
+        self._stack = EvaluationStack(inner)
+
+    @property
+    def stack(self):
+        """The underlying :class:`EvaluationStack`."""
+        return self._stack
 
     @property
     def distinct_evaluations(self) -> int:
         """Number of unique design points evaluated so far (synthesis jobs)."""
-        return self._distinct
+        return self._stack.distinct_evaluations
 
     @property
     def total_requests(self) -> int:
         """Number of evaluation requests, including cache hits."""
-        return self._total_requests
+        return self._stack.total_requests
 
     @property
     def cache_hits(self) -> int:
         """Requests served from the cache."""
-        return self._total_requests - self._distinct
+        return self._stack.cache_hits
+
+    def stats(self) -> "EvalStats":
+        """The stack's full counter/timer snapshot."""
+        return self._stack.stats()
 
     def evaluate(self, genome: Genome) -> Metrics:
-        self._total_requests += 1
-        key = genome.key
-        if key in self._cache:
-            cached = self._cache[key]
-            if isinstance(cached, Exception):
-                raise cached
-            return cached
-        self._distinct += 1
-        try:
-            metrics = self._inner.evaluate(genome)
-        except Exception as exc:
-            self._cache[key] = exc
-            raise
-        self._cache[key] = metrics
-        return metrics
+        """Evaluate one design, memoized. Cached failures re-raise fresh
+        copies (with the original as ``__cause__``) so revisiting an
+        infeasible design does not grow its traceback chain."""
+        return self._stack.evaluate(genome)
 
     def seen(self, genome: Genome) -> bool:
         """Whether this design point has already been evaluated."""
-        return genome.key in self._cache
+        return self._stack.seen(genome)
 
-    def evaluate_many(self, genomes) -> list:
+    def evaluate_many(self, genomes: Sequence[Genome]) -> list:
         """Evaluate a batch, exploiting the inner evaluator's parallelism.
 
         Duplicates within the batch and already-cached designs are served
@@ -121,23 +132,7 @@ class CountingEvaluator:
         (see :class:`repro.core.parallel.ParallelEvaluator`). Returns one
         metrics dict or exception per genome, in order.
         """
-        from .parallel import evaluate_batch
-
-        fresh: list[Genome] = []
-        fresh_keys: set[tuple] = set()
-        for genome in genomes:
-            if genome.key not in self._cache and genome.key not in fresh_keys:
-                fresh.append(genome)
-                fresh_keys.add(genome.key)
-        if fresh:
-            self._distinct += len(fresh)
-            for genome, outcome in zip(fresh, evaluate_batch(self._inner, fresh)):
-                self._cache[genome.key] = outcome
-        results = []
-        for genome in genomes:
-            self._total_requests += 1
-            results.append(self._cache[genome.key])
-        return results
+        return self._stack.evaluate_many(genomes)
 
 
 class DatasetEvaluator:
@@ -147,20 +142,32 @@ class DatasetEvaluator:
         dataset: The characterized dataset (see ``repro.dataset``).
         strict: When True (default) a lookup miss raises
             :class:`DatasetError`; a miss means the search space and dataset
-            disagree, which is always a setup bug.
+            disagree, which is always a setup bug. When False a miss is
+            reported as an infeasible design instead — the lenient mode for
+            partially-characterized spaces, where an uncharacterized point
+            simply cannot be scored.
     """
 
     def __init__(self, dataset: "Dataset", strict: bool = True):
         self._dataset = dataset
         self._strict = strict
 
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint for the persistent evaluation cache."""
+        mode = "strict" if self._strict else "lenient"
+        return f"dataset:{self._dataset.content_fingerprint()}:{mode}"
+
     def evaluate(self, genome: Genome) -> Metrics:
-        metrics = self._dataset.lookup(genome)
-        if metrics is None:
+        try:
+            return self._dataset.lookup(genome)
+        except DatasetError:
             if self._strict:
                 raise DatasetError(
                     f"design point {genome.as_dict()!r} not present in "
                     f"dataset {self._dataset.name!r}"
-                )
-            raise DatasetError("dataset miss in non-strict mode")
-        return metrics
+                ) from None
+            raise InfeasibleDesignError(
+                f"design point {genome.as_dict()!r} not characterized in "
+                f"dataset {self._dataset.name!r} (non-strict mode)"
+            ) from None

@@ -1,28 +1,31 @@
-"""Parallel fitness evaluation.
+"""Parallel fitness evaluation (legacy entry points).
 
 Section 2 of the paper: "the population size effectively caps the available
 parallelism during the evaluation phase of the algorithm that calculates the
 fitness scores" — in production, each fitness evaluation is an independent
-CAD job that farms out to a cluster. This module provides that evaluation
-layer:
+CAD job that farms out to a cluster.
+
+Since the evaluation-stack refactor the actual pool fan-out lives in the
+backend layer of :class:`repro.core.evalstack.EvaluationStack`
+(``backend="thread"`` / ``"process"``); this module keeps the historical
+entry points as thin shims (see ``docs/evaluation.md``):
 
 * :class:`BatchEvaluator` — the protocol: anything with ``evaluate_many``.
-* :class:`ParallelEvaluator` — runs a batch of evaluations on a thread or
-  process pool. Results are returned in submission order and exceptions are
-  propagated per-design (an infeasible design doesn't poison its batch).
-
-The engines call ``evaluate_many`` when the evaluator provides it, falling
-back to sequential ``evaluate`` otherwise, so parallelism is purely opt-in
-and never changes results: a generation's designs are independent by
-construction.
+* :class:`ParallelEvaluator` — a bare pool backend with the old API: runs a
+  batch on a thread or process pool, results in submission order,
+  exceptions propagated per-design (an infeasible design doesn't poison its
+  batch). It performs no caching — wrap it in a stack (or let an engine do
+  so) for memoization and accounting.
+* :func:`evaluate_batch` — run one batch through an evaluator, using its
+  ``evaluate_many`` when available.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Protocol, Sequence
 
 from .errors import NautilusError
+from .evalstack import _PoolBackend, run_backend_batch
 from .evaluator import Evaluator
 from .fitness import Metrics
 from .genome import Genome
@@ -52,13 +55,7 @@ def evaluate_batch(
     many = getattr(evaluator, "evaluate_many", None)
     if many is not None:
         return many(genomes)
-    results: list[Metrics | Exception] = []
-    for genome in genomes:
-        try:
-            results.append(evaluator.evaluate(genome))
-        except Exception as exc:
-            results.append(exc)
-    return results
+    return run_backend_batch(evaluator, genomes)
 
 
 class ParallelEvaluator:
@@ -76,18 +73,12 @@ class ParallelEvaluator:
     """
 
     def __init__(self, inner: Evaluator, workers: int = 4, kind: str = "thread"):
-        if workers < 1:
-            raise NautilusError("workers must be >= 1")
         if kind not in ("thread", "process"):
             raise NautilusError(f"kind must be 'thread' or 'process', got {kind!r}")
         self.inner = inner
         self.workers = workers
         self.kind = kind
-
-    def _executor(self) -> Executor:
-        if self.kind == "process":
-            return ProcessPoolExecutor(max_workers=self.workers)
-        return ThreadPoolExecutor(max_workers=self.workers)
+        self._backend = _PoolBackend(inner, workers=workers, kind=kind)
 
     def evaluate(self, genome: Genome) -> Metrics:
         """Single-design evaluation passes straight through."""
@@ -102,14 +93,4 @@ class ParallelEvaluator:
         and returned in place rather than aborting the batch — exactly how
         a cluster of synthesis jobs behaves when one run fails.
         """
-        if not genomes:
-            return []
-        with self._executor() as pool:
-            futures = [pool.submit(self.inner.evaluate, g) for g in genomes]
-            results: list[Metrics | Exception] = []
-            for future in futures:
-                try:
-                    results.append(future.result())
-                except Exception as exc:
-                    results.append(exc)
-            return results
+        return self._backend.evaluate_many(genomes)

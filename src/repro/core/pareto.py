@@ -22,7 +22,8 @@ from typing import Any, Sequence
 
 from .engine import GAConfig, _CROSSOVERS
 from .errors import InfeasibleDesignError, NautilusError
-from .evaluator import CountingEvaluator, Evaluator
+from .evalstack import EvalStats, EvaluationStack
+from .evaluator import Evaluator
 from .fitness import Objective
 from .genome import Genome
 from .hints import HintSet
@@ -148,10 +149,13 @@ class ParetoResult:
         objectives: Sequence[Objective],
         front: list[ParetoIndividual],
         distinct_evaluations: int,
+        eval_stats: EvalStats | None = None,
     ):
         self.objectives = list(objectives)
         self.front = front
         self.distinct_evaluations = distinct_evaluations
+        #: Evaluation-pipeline counters/timers for the whole run.
+        self.eval_stats = eval_stats or EvalStats()
 
     def front_raws(self) -> list[tuple[float, ...]]:
         """Raw metric tuples of the non-dominated set, sorted by the first."""
@@ -213,21 +217,29 @@ class ParetoSearch:
         self.space = space
         self.objectives = list(objectives)
         self.config = config or GAConfig(population_size=24, elitism=1)
-        self._counter = CountingEvaluator(evaluator)
+        self._counter = EvaluationStack.wrap(evaluator)
         self.hints = hints
         self.operators = GeneticOperators(space, self.config.mutation_rate, hints)
         self._crossover = _CROSSOVERS[self.config.crossover]
 
     def _assess(self, genome: Genome) -> ParetoIndividual:
-        try:
-            metrics = self._counter.evaluate(genome)
-        except InfeasibleDesignError:
-            worst = tuple(float("-inf") for _ in self.objectives)
-            nan = tuple(float("nan") for _ in self.objectives)
-            return ParetoIndividual(genome, nan, worst)
-        raws = tuple(obj.raw(metrics) for obj in self.objectives)
-        scores = tuple(obj.score(metrics) for obj in self.objectives)
-        return ParetoIndividual(genome, raws, scores)
+        return self._assess_all([genome])[0]
+
+    def _assess_all(self, genomes: Sequence[Genome]) -> list[ParetoIndividual]:
+        """Score a whole generation through the stack's batch primitive."""
+        individuals = []
+        for genome, outcome in zip(genomes, self._counter.evaluate_many(genomes)):
+            if isinstance(outcome, InfeasibleDesignError):
+                worst = tuple(float("-inf") for _ in self.objectives)
+                nan = tuple(float("nan") for _ in self.objectives)
+                individuals.append(ParetoIndividual(genome, nan, worst))
+            elif isinstance(outcome, Exception):
+                raise outcome
+            else:
+                raws = tuple(obj.raw(outcome) for obj in self.objectives)
+                scores = tuple(obj.score(outcome) for obj in self.objectives)
+                individuals.append(ParetoIndividual(genome, raws, scores))
+        return individuals
 
     @staticmethod
     def _tournament(
@@ -243,14 +255,17 @@ class ParetoSearch:
         """Evolve the population and return the final non-dominated set."""
         cfg = self.config
         rng = random.Random(cfg.seed)
-        population = [
-            self._assess(g)
-            for g in self.space.random_population(cfg.population_size, rng)
-        ]
+        population = self._assess_all(
+            self.space.random_population(cfg.population_size, rng)
+        )
         self._rank(population)
         for generation in range(1, cfg.generations + 1):
-            offspring: list[ParetoIndividual] = []
-            while len(offspring) < cfg.population_size:
+            # Breed the whole generation first, then score it as one batch —
+            # breeding never reads fitness of the offspring, so this is
+            # bit-identical to assessing each child as it is bred, and it
+            # gives the stack population-sized batches to fan out.
+            bred: list[Genome] = []
+            while len(bred) < cfg.population_size:
                 parent = self._tournament(population, rng)
                 genome = parent.genome
                 if rng.random() < cfg.crossover_rate:
@@ -260,8 +275,8 @@ class ParetoSearch:
                         if self.space.is_feasible(child):
                             genome = child
                             break
-                genome = self.operators.mutate_feasible(genome, generation, rng)
-                offspring.append(self._assess(genome))
+                bred.append(self.operators.mutate_feasible(genome, generation, rng))
+            offspring = self._assess_all(bred)
             # Environmental selection over the combined pool.
             pool = population + offspring
             fronts = non_dominated_sort(pool)
@@ -292,7 +307,10 @@ class ParetoSearch:
                 seen.add(ind.genome.key)
                 front.append(ind)
         return ParetoResult(
-            self.objectives, front, self._counter.distinct_evaluations
+            self.objectives,
+            front,
+            self._counter.distinct_evaluations,
+            eval_stats=self._counter.stats(),
         )
 
     @staticmethod

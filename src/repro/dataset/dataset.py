@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import csv
 import gzip
+import hashlib
 import json
 import math
 from pathlib import Path
@@ -43,6 +44,7 @@ class Dataset:
         self.name = name
         self.space = space
         self._rows: dict[tuple, dict[str, float] | None] = {}
+        self._fingerprint: str | None = None
 
     # -- population ----------------------------------------------------------------
 
@@ -52,6 +54,26 @@ class Dataset:
         """Store the metrics (or infeasibility marker) for one point."""
         key = _freeze_config(self.space, config)
         self._rows[key] = dict(metrics) if metrics is not None else None
+        self._fingerprint = None  # rows changed; recompute lazily
+
+    def content_fingerprint(self) -> str:
+        """Stable hash of the dataset's rows (order-independent).
+
+        Two datasets with identical characterized points share a
+        fingerprint, so persistent evaluation caches built against one are
+        valid for the other; any re-characterization that changes a metric
+        invalidates it.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            for key in sorted(self._rows, key=repr):
+                metrics = self._rows[key]
+                digest.update(repr(key).encode("utf-8"))
+                digest.update(
+                    json.dumps(metrics, sort_keys=True).encode("utf-8")
+                )
+            self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
     @classmethod
     def characterize(
@@ -60,21 +82,48 @@ class Dataset:
         evaluator,
         name: str | None = None,
         progress_every: int = 0,
+        workers: int = 1,
+        batch_size: int = 256,
     ) -> "Dataset":
         """Evaluate every structurally feasible point of a space.
 
         This is the reproduction's stand-in for the paper's two-week cluster
-        run; the miniature flow makes it a seconds-to-minutes job.
+        run; the miniature flow makes it a seconds-to-minutes job. The space
+        is streamed through an :class:`~repro.core.evalstack.EvaluationStack`
+        in ``batch_size`` chunks; ``workers > 1`` fans each chunk out to a
+        thread pool, mirroring the paper's characterization cluster.
         """
+        from ..core.evalstack import EvaluationStack
+
+        stack = EvaluationStack(
+            evaluator,
+            backend="thread" if workers > 1 else "auto",
+            workers=workers,
+        )
         dataset = cls(name or space.name, space)
-        for count, genome in enumerate(space.iter_genomes(), start=1):
-            try:
-                metrics = evaluator.evaluate(genome)
-            except InfeasibleDesignError:
-                metrics = None
-            dataset.record(genome, metrics)
-            if progress_every and count % progress_every == 0:
-                print(f"[characterize {dataset.name}] {count} designs done")
+        count = 0
+        batch: list[Genome] = []
+
+        def flush() -> None:
+            nonlocal count
+            for genome, outcome in zip(batch, stack.evaluate_many(batch)):
+                if isinstance(outcome, InfeasibleDesignError):
+                    metrics = None
+                elif isinstance(outcome, Exception):
+                    raise outcome
+                else:
+                    metrics = outcome
+                dataset.record(genome, metrics)
+                count += 1
+                if progress_every and count % progress_every == 0:
+                    print(f"[characterize {dataset.name}] {count} designs done")
+            batch.clear()
+
+        for genome in space.iter_genomes():
+            batch.append(genome)
+            if len(batch) >= batch_size:
+                flush()
+        flush()
         if not dataset._rows:
             raise DatasetError(f"space {space.name!r} produced no rows")
         return dataset

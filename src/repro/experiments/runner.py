@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import reduce
 from typing import Callable, Protocol, Sequence
 
 from ..core.engine import SearchResult
+from ..core.evalstack import EvalStats
 
 __all__ = ["MultiRunResult", "ReachStats", "run_many"]
 
@@ -119,6 +121,39 @@ class MultiRunResult:
     def mean_distinct_evaluations(self) -> float:
         """Mean total distinct designs evaluated per run."""
         return sum(r.distinct_evaluations for r in self.results) / self.runs
+
+    def eval_stats(self) -> EvalStats:
+        """Summed evaluation-stack counters/timers across all runs.
+
+        Counters (requests, distinct, the hit breakdown, batch counts,
+        timings) add across runs; ``max_batch`` is the max over runs. The
+        derived rates on the returned snapshot then describe the whole
+        experiment — e.g. ``hit_rate`` is the fraction of all requests any
+        run served from its cache.
+        """
+
+        def add(a: EvalStats, b: EvalStats) -> EvalStats:
+            summed = EvalStats(
+                **{
+                    name: getattr(a, name) + getattr(b, name)
+                    for name in (
+                        "requests",
+                        "distinct",
+                        "memo_hits",
+                        "persistent_hits",
+                        "batch_dedup_hits",
+                        "batches",
+                        "infeasible",
+                        "errors",
+                        "backend_time_s",
+                        "wall_time_s",
+                    )
+                },
+                max_batch=max(a.max_batch, b.max_batch),
+            )
+            return summed
+
+        return reduce(add, (r.eval_stats for r in self.results), EvalStats())
 
     def curve_cross(self, threshold: float) -> float | None:
         """Evals at which the *mean* convergence curve crosses a threshold.

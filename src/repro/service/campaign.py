@@ -20,11 +20,12 @@ from typing import Any
 
 from ..core import (
     CheckpointedSearch,
+    EvaluationStack,
     GAConfig,
     NautilusError,
-    ParallelEvaluator,
     RandomSearch,
 )
+from ..core.evalstack import PersistentCache
 from ..core.evaluator import DatasetEvaluator
 from ..queries import QUERIES, build_hints, resolve_objective
 
@@ -114,20 +115,28 @@ def build_search(
     dataset,
     campaign_dir: str | Path | None = None,
     workers: int = 1,
+    persistent: PersistentCache | None = None,
 ):
     """Instantiate the engine a spec describes, against a shared dataset.
 
     GA engines checkpoint every generation under ``campaign_dir`` so the
     scheduler can resume them after a daemon restart; the random baseline
     is cheap and deterministic, so on restart it simply replays from its
-    seed. ``workers > 1`` wraps the dataset evaluator in a thread-pool
-    :class:`~repro.core.ParallelEvaluator` (population-sized parallelism).
+    seed. The evaluator is a full
+    :class:`~repro.core.EvaluationStack` per campaign — its own memo cache
+    and counters, a thread-pool backend when ``workers > 1``
+    (population-sized parallelism), and optionally a shared ``persistent``
+    on-disk cache so campaigns over the same space never re-pay a
+    synthesis job, across processes and daemon restarts.
     """
     query = QUERIES[spec.query]
     objective, hint_kind = resolve_objective(query)
-    evaluator = DatasetEvaluator(dataset)
-    if workers > 1:
-        evaluator = ParallelEvaluator(evaluator, workers=workers, kind="thread")
+    evaluator = EvaluationStack(
+        DatasetEvaluator(dataset),
+        backend="thread" if workers > 1 else "auto",
+        workers=workers,
+        persistent=persistent,
+    )
     if spec.engine == "random":
         return RandomSearch(
             dataset.space,

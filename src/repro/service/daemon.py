@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from pathlib import Path
 
+from ..core.evalstack import PersistentCache
 from .http import ServiceHTTPServer, make_server
 from .metrics import ServiceMetrics
 from .scheduler import Scheduler
@@ -36,14 +37,32 @@ class SearchService:
         workers: int = 1,
         dataset_provider=None,
         quiet: bool = True,
+        eval_cache: bool | str | Path = False,
     ):
+        """``eval_cache`` enables the shared persistent evaluation cache:
+        ``True`` stores it under ``<root>/evalcache``, a path stores it
+        there. Off by default — with it on, campaigns over the same space
+        share results, so their distinct-evaluation counts depend on what
+        ran before (see ``docs/evaluation.md``)."""
         self.store = CampaignStore(root)
         self.metrics = ServiceMetrics()
+        self.eval_cache: PersistentCache | None = None
+        if eval_cache:
+            cache_root = (
+                Path(root) / "evalcache"
+                if eval_cache is True
+                else Path(eval_cache)
+            )
+            self.eval_cache = PersistentCache(cache_root)
         kwargs = {}
         if dataset_provider is not None:
             kwargs["dataset_provider"] = dataset_provider
         self.scheduler = Scheduler(
-            self.store, self.metrics, workers=workers, **kwargs
+            self.store,
+            self.metrics,
+            workers=workers,
+            persistent=self.eval_cache,
+            **kwargs,
         )
         self.server: ServiceHTTPServer = make_server(
             self.scheduler, host=host, port=port, quiet=quiet

@@ -19,6 +19,8 @@ import time
 from collections import deque
 from typing import Any
 
+from ..core.evalstack import EvalStats
+
 __all__ = ["ServiceMetrics"]
 
 #: Sliding window for the throughput estimate, seconds.
@@ -35,32 +37,47 @@ class ServiceMetrics:
         self._evaluations = 0
         self._requests = 0
         self._cache_hits = 0
+        self._persistent_hits = 0
+        self._backend_time_s = 0.0
+        self._eval_time_s = 0.0
         self._steps = 0
         self._generations: dict[str, int] = {}
         self._campaign_states: dict[str, str] = {}
+        #: Per-campaign cumulative evaluation wall time, seconds.
+        self._campaign_eval_time: dict[str, float] = {}
+        #: Per-campaign cumulative distinct evaluations.
+        self._campaign_evaluations: dict[str, int] = {}
         # (timestamp, distinct-evaluation delta) samples for the window rate.
         self._samples: deque[tuple[float, int]] = deque()
 
     # -- updates ----------------------------------------------------------------
 
     def record_step(
-        self,
-        campaign_id: str,
-        generations_done: int,
-        evaluations_delta: int,
-        requests_delta: int,
-        cache_hits_delta: int,
+        self, campaign_id: str, generations_done: int, delta: EvalStats
     ) -> None:
-        """Fold one scheduler step's evaluator deltas into the counters."""
+        """Fold one scheduler step's evaluation-stack delta into the counters.
+
+        ``delta`` is ``stack.stats().minus(before)`` for the stepped
+        campaign — the scheduler computes it around each generation step.
+        """
         now = self._clock()
         with self._lock:
             self._steps += 1
-            self._evaluations += evaluations_delta
-            self._requests += requests_delta
-            self._cache_hits += cache_hits_delta
+            self._evaluations += delta.distinct
+            self._requests += delta.requests
+            self._cache_hits += delta.cache_hits
+            self._persistent_hits += delta.persistent_hits
+            self._backend_time_s += delta.backend_time_s
+            self._eval_time_s += delta.wall_time_s
             self._generations[campaign_id] = generations_done
-            if evaluations_delta:
-                self._samples.append((now, evaluations_delta))
+            self._campaign_eval_time[campaign_id] = (
+                self._campaign_eval_time.get(campaign_id, 0.0) + delta.wall_time_s
+            )
+            self._campaign_evaluations[campaign_id] = (
+                self._campaign_evaluations.get(campaign_id, 0) + delta.distinct
+            )
+            if delta.distinct:
+                self._samples.append((now, delta.distinct))
             self._trim(now)
 
     def record_state(self, campaign_id: str, state: str) -> None:
@@ -98,9 +115,19 @@ class ServiceMetrics:
                 "cache_hit_rate": (
                     self._cache_hits / self._requests if self._requests else 0.0
                 ),
+                "persistent_hits_total": self._persistent_hits,
+                "persistent_cache_hit_rate": (
+                    self._persistent_hits / self._requests
+                    if self._requests
+                    else 0.0
+                ),
+                "eval_time_s": self._eval_time_s,
+                "eval_backend_time_s": self._backend_time_s,
                 "evaluations_per_sec": window_rate,
                 "evaluations_per_sec_lifetime": self._evaluations / uptime,
                 "queue_depth": states.get("queued", 0),
                 "campaign_states": states,
                 "campaign_generations": dict(self._generations),
+                "campaign_eval_time_s": dict(self._campaign_eval_time),
+                "campaign_evaluations": dict(self._campaign_evaluations),
             }

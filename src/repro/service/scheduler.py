@@ -40,11 +40,17 @@ class Scheduler:
     Args:
         store: Campaign persistence (specs, statuses, checkpoints, results).
         metrics: Counter sink; a fresh one is created when omitted.
-        workers: Evaluation worker-pool size per step (see
-            :class:`~repro.core.ParallelEvaluator`); 1 evaluates inline.
+        workers: Evaluation worker-pool size per step (the thread backend of
+            each campaign's :class:`~repro.core.EvaluationStack`); 1
+            evaluates inline.
         dataset_provider: ``space_name -> Dataset`` hook, overridable in
             tests; defaults to the bundled dataset loaders.
         poll_interval: Idle-loop sleep of the scheduler thread, seconds.
+        persistent: Optional shared
+            :class:`~repro.core.PersistentCache` threaded into every
+            campaign's evaluation stack, so campaigns over the same space
+            never re-pay a synthesis job — across processes and daemon
+            restarts.
     """
 
     def __init__(
@@ -54,6 +60,7 @@ class Scheduler:
         workers: int = 1,
         dataset_provider=load_dataset,
         poll_interval: float = 0.05,
+        persistent=None,
     ):
         if workers < 1:
             raise NautilusError("workers must be >= 1")
@@ -61,6 +68,7 @@ class Scheduler:
         self.metrics = metrics or ServiceMetrics()
         self.workers = workers
         self.poll_interval = poll_interval
+        self.persistent = persistent
         self._dataset_provider = dataset_provider
         self._datasets: dict[str, Any] = {}
         self._campaigns: dict[str, Campaign] = {}
@@ -186,6 +194,7 @@ class Scheduler:
             dataset,
             campaign_dir=self.store.campaign_dir(campaign.id),
             workers=self.workers,
+            persistent=self.persistent,
         )
         checkpoint = self.store.checkpoint_path(campaign.id)
         if isinstance(search, CheckpointedSearch) and checkpoint.exists():
@@ -201,12 +210,8 @@ class Scheduler:
         if campaign.search is None:
             self._build(campaign)
         search = campaign.search
-        counter = search._counter
-        before = (
-            counter.distinct_evaluations,
-            counter.total_requests,
-            counter.cache_hits,
-        )
+        stack = search._counter
+        before = stack.stats()
         if not search.started:
             search.start()
             if campaign.state != CampaignState.RUNNING:
@@ -219,9 +224,7 @@ class Scheduler:
         self.metrics.record_step(
             campaign.id,
             campaign.generations_done,
-            counter.distinct_evaluations - before[0],
-            counter.total_requests - before[1],
-            counter.cache_hits - before[2],
+            stack.stats().minus(before),
         )
         if record is None:
             campaign.result = search.result()

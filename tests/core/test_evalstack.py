@@ -1,0 +1,304 @@
+"""Tests for the layered evaluation stack and the persistent cache."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import (
+    CallableEvaluator,
+    DesignSpace,
+    EvalStats,
+    EvaluationStack,
+    InfeasibleDesignError,
+    IntParam,
+    NautilusError,
+    PersistentCache,
+    evaluator_fingerprint,
+)
+
+
+@pytest.fixture
+def space():
+    return DesignSpace("stk", [IntParam("a", 0, 99)])
+
+
+def counting_evaluator(calls):
+    return CallableEvaluator(lambda g: calls.append(g["a"]) or {"m": float(g["a"])})
+
+
+class TestAccounting:
+    def test_invariant_across_hit_kinds(self, space, tmp_path):
+        calls = []
+        cache = PersistentCache(tmp_path)
+        first = EvaluationStack(
+            counting_evaluator(calls), persistent=cache, fingerprint="fp"
+        )
+        first.evaluate_many([space.genome(a=1), space.genome(a=2)])
+        second = EvaluationStack(
+            counting_evaluator(calls), persistent=cache, fingerprint="fp"
+        )
+        g3 = space.genome(a=3)
+        second.evaluate_many([space.genome(a=1), g3, g3, space.genome(a=3)])
+        second.evaluate(space.genome(a=3))
+        stats = second.stats()
+        assert stats.requests == 5
+        assert stats.distinct == 1  # only a=3 was paid for here
+        assert stats.persistent_hits == 1  # a=1 came from disk
+        assert stats.batch_dedup_hits == 2  # the two extra a=3 in the batch
+        assert stats.memo_hits == 1  # the follow-up a=3
+        assert stats.requests == (
+            stats.distinct
+            + stats.memo_hits
+            + stats.persistent_hits
+            + stats.batch_dedup_hits
+        )
+        assert second.cache_hits == stats.requests - stats.distinct
+        assert calls == [1, 2, 3]
+
+    def test_batch_and_timing_counters(self, space):
+        ticks = iter(range(100))
+        stack = EvaluationStack(
+            CallableEvaluator(lambda g: {"m": 1.0}), clock=lambda: next(ticks)
+        )
+        stack.evaluate_many([space.genome(a=i) for i in range(3)])
+        stack.evaluate(space.genome(a=9))
+        stats = stack.stats()
+        assert stats.batches == 2
+        assert stats.max_batch == 3
+        assert stats.mean_batch == 2.0
+        assert stats.backend_time_s > 0
+        assert stats.wall_time_s >= stats.backend_time_s
+
+    def test_stats_minus(self):
+        a = EvalStats(requests=10, distinct=4, memo_hits=6, batches=2, max_batch=5)
+        b = EvalStats(requests=4, distinct=2, memo_hits=2, batches=1, max_batch=5)
+        delta = a.minus(b)
+        assert delta.requests == 6
+        assert delta.distinct == 2
+        assert delta.cache_hits == 4
+        assert delta.max_batch == 5  # a max, not a difference
+        payload = delta.as_dict()
+        assert payload["hit_rate"] == delta.hit_rate
+        assert json.dumps(payload)  # JSON-ready
+
+    def test_infeasible_and_error_counters(self, space):
+        def fn(genome):
+            if genome["a"] == 0:
+                raise InfeasibleDesignError("bad")
+            if genome["a"] == 1:
+                raise RuntimeError("boom")
+            return {"m": 1.0}
+
+        stack = EvaluationStack(CallableEvaluator(fn))
+        outcomes = stack.evaluate_many([space.genome(a=i) for i in range(3)])
+        assert isinstance(outcomes[0], InfeasibleDesignError)
+        assert isinstance(outcomes[1], RuntimeError)
+        assert outcomes[2] == {"m": 1.0}
+        assert stack.stats().infeasible == 1
+        assert stack.stats().errors == 1
+
+
+class TestConstruction:
+    def test_wrap_passes_stacks_through(self, space):
+        stack = EvaluationStack(CallableEvaluator(lambda g: {"m": 1.0}))
+        assert EvaluationStack.wrap(stack) is stack
+
+    def test_no_stacking_stacks(self):
+        stack = EvaluationStack(CallableEvaluator(lambda g: {"m": 1.0}))
+        with pytest.raises(NautilusError):
+            EvaluationStack(stack)
+
+    def test_bad_backend_and_workers(self):
+        inner = CallableEvaluator(lambda g: {"m": 1.0})
+        with pytest.raises(NautilusError):
+            EvaluationStack(inner, backend="gpu")
+        with pytest.raises(NautilusError):
+            EvaluationStack(inner, backend="thread", workers=0)
+        with pytest.raises(NautilusError):
+            EvaluationStack(inner, batch_size=0)
+
+    def test_thread_backend_preserves_order(self, space):
+        stack = EvaluationStack(
+            CallableEvaluator(lambda g: {"m": float(g["a"])}),
+            backend="thread",
+            workers=4,
+        )
+        genomes = [space.genome(a=i) for i in range(16)]
+        assert stack.evaluate_many(genomes) == [{"m": float(i)} for i in range(16)]
+        assert stack.distinct_evaluations == 16
+
+    def test_batch_size_chunks_backend_batches(self, space):
+        sizes = []
+
+        class Recorder:
+            def evaluate(self, genome):
+                return {"m": 1.0}
+
+            def evaluate_many(self, genomes):
+                sizes.append(len(genomes))
+                return [{"m": 1.0} for _ in genomes]
+
+        stack = EvaluationStack(Recorder(), batch_size=4)
+        stack.evaluate_many([space.genome(a=i) for i in range(10)])
+        assert sizes == [4, 4, 2]
+
+    def test_fingerprint_defaults(self):
+        inner = CallableEvaluator(lambda g: {"m": 1.0})
+        assert evaluator_fingerprint(inner).endswith("CallableEvaluator")
+        stack = EvaluationStack(inner, fingerprint="override")
+        assert stack.fingerprint == "override"
+
+
+class TestMemoTransfer:
+    def test_preload_and_memo_items(self, space):
+        calls = []
+        stack = EvaluationStack(counting_evaluator(calls))
+        stack.preload(space.genome(a=1), {"m": 1.0})
+        stack.preload(space.genome(a=2), None)  # restored infeasible
+        assert stack.distinct_evaluations == 2
+        assert stack.evaluate(space.genome(a=1)) == {"m": 1.0}
+        with pytest.raises(InfeasibleDesignError):
+            stack.evaluate(space.genome(a=2))
+        assert calls == []  # everything came from the preloaded memo
+        keys = {key for key, _ in stack.memo_items()}
+        assert keys == {space.genome(a=1).key, space.genome(a=2).key}
+
+    def test_preload_without_charge(self, space):
+        stack = EvaluationStack(CallableEvaluator(lambda g: {"m": 1.0}))
+        stack.preload(space.genome(a=1), {"m": 1.0}, charge=False)
+        assert stack.distinct_evaluations == 0
+
+
+class TestPersistentCache:
+    def test_file_format(self, space, tmp_path):
+        cache = PersistentCache(tmp_path)
+        stack = EvaluationStack(
+            CallableEvaluator(
+                lambda g: (_ for _ in ()).throw(InfeasibleDesignError("bad"))
+                if g["a"] == 2
+                else {"m": float(g["a"])}
+            ),
+            persistent=cache,
+            fingerprint="fp1",
+        )
+        stack.evaluate_many([space.genome(a=1), space.genome(a=2)])
+        files = list(tmp_path.glob("stk-*.jsonl"))
+        assert len(files) == 1
+        lines = [json.loads(l) for l in files[0].read_text().splitlines()]
+        assert lines[0] == {"space": "stk", "params": ["a"], "fingerprint": "fp1"}
+        assert {"values": [1], "metrics": {"m": 1.0}} in lines[1:]
+        assert {"values": [2], "metrics": None} in lines[1:]
+
+    def test_shared_across_stacks_and_infeasible_replay(self, space, tmp_path):
+        calls = []
+        cache = PersistentCache(tmp_path)
+
+        def fn(genome):
+            calls.append(genome["a"])
+            if genome["a"] == 2:
+                raise InfeasibleDesignError("bad")
+            return {"m": float(genome["a"])}
+
+        first = EvaluationStack(
+            CallableEvaluator(fn), persistent=cache, fingerprint="fp"
+        )
+        first.evaluate_many([space.genome(a=1), space.genome(a=2)])
+        # A different process would build a fresh PersistentCache over the
+        # same directory: everything must come back from disk.
+        second = EvaluationStack(
+            CallableEvaluator(fn),
+            persistent=PersistentCache(tmp_path),
+            fingerprint="fp",
+        )
+        assert second.evaluate(space.genome(a=1)) == {"m": 1.0}
+        with pytest.raises(InfeasibleDesignError):
+            second.evaluate(space.genome(a=2))
+        assert second.distinct_evaluations == 0
+        assert second.stats().persistent_hits == 2
+        assert calls == [1, 2]  # never re-paid
+
+    def test_transient_errors_not_persisted(self, space, tmp_path):
+        cache = PersistentCache(tmp_path)
+        attempts = []
+
+        def flaky(genome):
+            attempts.append(genome["a"])
+            raise RuntimeError("tool crashed")
+
+        stack = EvaluationStack(
+            CallableEvaluator(flaky), persistent=cache, fingerprint="fp"
+        )
+        assert isinstance(
+            stack.evaluate_many([space.genome(a=1)])[0], RuntimeError
+        )
+        retry = EvaluationStack(
+            CallableEvaluator(lambda g: {"m": 1.0}),
+            persistent=PersistentCache(tmp_path),
+            fingerprint="fp",
+        )
+        assert retry.evaluate(space.genome(a=1)) == {"m": 1.0}
+        assert attempts == [1]
+
+    def test_torn_trailing_line_is_skipped(self, space, tmp_path):
+        cache = PersistentCache(tmp_path)
+        stack = EvaluationStack(
+            CallableEvaluator(lambda g: {"m": float(g["a"])}),
+            persistent=cache,
+            fingerprint="fp",
+        )
+        stack.evaluate(space.genome(a=1))
+        path = next(tmp_path.glob("stk-*.jsonl"))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"values": [2], "met')  # killed mid-write
+        calls = []
+        recovered = EvaluationStack(
+            counting_evaluator(calls),
+            persistent=PersistentCache(tmp_path),
+            fingerprint="fp",
+        )
+        assert recovered.evaluate(space.genome(a=1)) == {"m": 1.0}
+        assert recovered.evaluate(space.genome(a=2)) == {"m": 2.0}
+        assert calls == [2]  # the torn row is re-evaluated, the intact one not
+
+    def test_fingerprint_isolation(self, space, tmp_path):
+        cache = PersistentCache(tmp_path)
+        old = EvaluationStack(
+            CallableEvaluator(lambda g: {"m": 1.0}),
+            persistent=cache,
+            fingerprint="v1",
+        )
+        old.evaluate(space.genome(a=1))
+        fresh = EvaluationStack(
+            CallableEvaluator(lambda g: {"m": 2.0}),
+            persistent=cache,
+            fingerprint="v2",
+        )
+        # Different fingerprint -> different file -> no stale metrics.
+        assert fresh.evaluate(space.genome(a=1)) == {"m": 2.0}
+        assert fresh.stats().persistent_hits == 0
+
+    def test_concurrent_stacks_share_one_cache(self, space, tmp_path):
+        cache = PersistentCache(tmp_path)
+        errors = []
+
+        def worker(offset):
+            try:
+                stack = EvaluationStack(
+                    CallableEvaluator(lambda g: {"m": float(g["a"])}),
+                    persistent=cache,
+                    fingerprint="fp",
+                )
+                stack.evaluate_many(
+                    [space.genome(a=(offset + i) % 8) for i in range(8)]
+                )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.entries(space, "fp") == 8
