@@ -1,0 +1,118 @@
+"""CI smoke check: seeded engine curves must be bit-stable across refactors.
+
+Runs fig4/fig6-style workloads (noc-frequency and fft-luts) through every
+single-objective engine — the baseline GA, the guided (nautilus) GA, the
+adaptive-confidence GA, and the random-sampling baseline — and compares the
+*full* per-generation convergence curve of each seeded run against the
+checked-in baseline in ``benchmarks/baselines/engine_parity.json``.
+
+Where ``smoke_eval_counts.py`` pins only the end-of-run distinct-evaluation
+count, this check pins every point of every curve: generation index,
+distinct evaluations, best raw metric and best internal score. Any engine
+or kernel refactor must leave all of them bit-identical for a fixed seed;
+a drift here means seeded searches no longer reproduce prior revisions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_engine_parity.py             # check
+    PYTHONPATH=src python benchmarks/smoke_engine_parity.py --update    # rebaseline
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.core import (
+    AdaptiveSearch,
+    DatasetEvaluator,
+    GAConfig,
+    GeneticSearch,
+    RandomSearch,
+)
+from repro.queries import QUERIES, build_hints, load_dataset, resolve_objective
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "engine_parity.json"
+WORKLOADS = ("noc-frequency", "fft-luts")
+ENGINES = ("baseline", "nautilus", "adaptive", "random")
+SEEDS = (0, 1)
+GENERATIONS = 15
+RANDOM_BUDGET = 120
+
+
+def _build(engine: str, dataset, objective, hint_kind: str, seed: int):
+    evaluator = DatasetEvaluator(dataset)
+    config = GAConfig(generations=GENERATIONS, seed=seed)
+    if engine == "random":
+        return RandomSearch(
+            dataset.space, evaluator, objective, budget=RANDOM_BUDGET, seed=seed
+        )
+    if engine == "baseline":
+        return GeneticSearch(dataset.space, evaluator, objective, config)
+    hints = build_hints(hint_kind)
+    if engine == "nautilus":
+        return GeneticSearch(
+            dataset.space, evaluator, objective, config, hints=hints
+        )
+    return AdaptiveSearch(dataset.space, evaluator, objective, config, hints=hints)
+
+
+def run_workload() -> dict[str, dict]:
+    results = {}
+    for query_name in WORKLOADS:
+        query = QUERIES[query_name]
+        dataset = load_dataset(query.space)
+        objective, hint_kind = resolve_objective(query)
+        for engine in ENGINES:
+            for seed in SEEDS:
+                search = _build(engine, dataset, objective, hint_kind, seed)
+                result = search.run()
+                results[f"{query_name}/{engine}/{seed}"] = {
+                    "stop_reason": result.stop_reason,
+                    "distinct_evaluations": result.distinct_evaluations,
+                    "curve": [
+                        [
+                            r.generation,
+                            r.distinct_evaluations,
+                            r.best_raw,
+                            r.best_score,
+                        ]
+                        for r in result.records
+                    ],
+                }
+    return results
+
+
+def main(argv: list[str]) -> int:
+    results = run_workload()
+    if "--update" in argv:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(results, indent=1) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    expected = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for key in sorted(expected):
+        want, got = expected[key], results.get(key)
+        if got != want:
+            failures.append(f"  {key}: curves drifted")
+        else:
+            print(
+                f"  ok {key}: {len(want['curve'])} curve points, "
+                f"{want['distinct_evaluations']} distinct evals"
+            )
+    extra = sorted(set(results) - set(expected))
+    if extra:
+        failures.append(f"  unexpected runs not in baseline: {extra}")
+    if failures:
+        print("seeded engine curves drifted from the baseline:")
+        print("\n".join(failures))
+        print("(if the change is intentional, rerun with --update)")
+        return 1
+    print(f"all {len(expected)} runs match {BASELINE_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

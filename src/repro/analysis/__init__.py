@@ -2,7 +2,13 @@
 
 from .series import FigureSeries
 from .plotting import ascii_plot
-from .stats import EngineComparison, bootstrap_ci, compare_engines, mann_whitney_u
+from .stats import (
+    EngineComparison,
+    bootstrap_ci,
+    compare_engines,
+    mann_whitney_u,
+    trace_summary,
+)
 
 __all__ = [
     "FigureSeries",
@@ -11,4 +17,5 @@ __all__ = [
     "mann_whitney_u",
     "compare_engines",
     "EngineComparison",
+    "trace_summary",
 ]

@@ -12,7 +12,11 @@ implements the standard toolkit without external dependencies:
 * :func:`compare_engines` — a one-call comparison of two
   :class:`~repro.experiments.runner.MultiRunResult` objects on
   evals-to-threshold, returning medians, a p-value and a plain-English
-  verdict line.
+  verdict line;
+* :func:`trace_summary` — roll a structured RunEvent stream (live
+  :class:`~repro.core.kernel.RunEvent` objects or the JSON dicts served by
+  the service's trace endpoint) up into per-kind counts, evaluation-batch
+  totals and the search's improvement history.
 """
 
 from __future__ import annotations
@@ -25,7 +29,63 @@ from typing import Callable, Sequence, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from ..experiments.runner import MultiRunResult
 
-__all__ = ["bootstrap_ci", "mann_whitney_u", "EngineComparison", "compare_engines"]
+__all__ = [
+    "bootstrap_ci",
+    "mann_whitney_u",
+    "EngineComparison",
+    "compare_engines",
+    "trace_summary",
+]
+
+
+def trace_summary(events: Sequence) -> dict:
+    """Aggregate a RunEvent stream into headline numbers.
+
+    Accepts either :class:`~repro.core.kernel.RunEvent` objects (a live
+    engine's ``trace_events``) or plain dicts (the service's persisted
+    ``events.jsonl`` / ``GET /campaigns/<id>/trace`` payload). Returns::
+
+        {
+          "events": total count,
+          "kinds": {kind: count},
+          "generations": highest generation seen,
+          "evaluations": {"requested": ..., "distinct": ..., "cache_hits": ...},
+          "improvements": [(generation, best_score), ...],
+          "stop_reason": reason from the final stop event, or None,
+        }
+    """
+    kinds: dict[str, int] = {}
+    requested = distinct = cache_hits = 0
+    improvements: list[tuple[int, float]] = []
+    generations = 0
+    stop_reason = None
+    for event in events:
+        payload = event if isinstance(event, dict) else event.as_dict()
+        kind = payload.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        generation = payload.get("generation")
+        if isinstance(generation, int):
+            generations = max(generations, generation)
+        if kind == "eval-batch":
+            requested += payload.get("size", 0)
+            distinct += payload.get("distinct", 0)
+            cache_hits += payload.get("cache_hits", 0)
+        elif kind == "best-improved":
+            improvements.append((generation, payload.get("best_score")))
+        elif kind == "stop":
+            stop_reason = payload.get("reason")
+    return {
+        "events": sum(kinds.values()),
+        "kinds": kinds,
+        "generations": generations,
+        "evaluations": {
+            "requested": requested,
+            "distinct": distinct,
+            "cache_hits": cache_hits,
+        },
+        "improvements": improvements,
+        "stop_reason": stop_reason,
+    }
 
 
 def bootstrap_ci(

@@ -17,11 +17,13 @@ Subcommands:
   ``docs/service.md``).
 * ``submit`` / ``status`` — submit campaigns to a running daemon and poll
   their progress and search curves.
+* ``trace`` — dump a campaign's structured RunEvent log as JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -35,7 +37,13 @@ from .core import (
     maximize,
     minimize,
 )
-from .queries import QUERIES, build_hints, load_dataset, resolve_objective
+from .queries import (
+    MULTI_QUERIES,
+    QUERIES,
+    build_hints,
+    load_dataset,
+    resolve_objective,
+)
 
 __all__ = ["main"]
 
@@ -203,7 +211,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"nautilus daemon serving on {service.address} (store: {args.dir})")
     if service.eval_cache is not None:
         print(f"persistent eval cache: {service.eval_cache.root}")
-    print("POST /campaigns, GET /campaigns/<id>[/curve], GET /metrics; Ctrl-C stops")
+    print(
+        "POST /campaigns, GET /campaigns/<id>[/curve|/trace], GET /metrics; "
+        "Ctrl-C stops"
+    )
     service.serve_forever()
     return 0
 
@@ -230,6 +241,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if "best_raw" in status:
             print(f"best found : {status['best_raw']:.4g}")
             print(f"evaluated  : {status['distinct_evaluations']} distinct designs")
+        if "front" in status:
+            print(f"front      : {len(status['front'])} non-dominated designs")
     return 0
 
 
@@ -273,6 +286,10 @@ def _cmd_status(args: argparse.Namespace) -> int:
         if key in status:
             print(f"{key:21s}: {status[key]}")
     print(f"{'query':21s}: {status['spec']['query']} ({status['spec']['engine']})")
+    if "front" in status:
+        print(f"{'pareto front':21s}: {len(status['front'])} designs")
+        for raws in status["front"]:
+            print("  " + "  ".join(f"{value:.4g}" for value in raws))
     if args.curve:
         print(f"{'generation':>10s} {'evals':>8s} {'best':>12s}")
         for point in client.curve(args.id):
@@ -280,6 +297,35 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 f"{point['generation']:10d} {point['distinct_evaluations']:8d} "
                 f"{point['best_raw']:12.4g}"
             )
+    if args.trace:
+        operators = (
+            client.metrics()
+            .get("campaign_operator_time_s", {})
+            .get(args.id, {})
+        )
+        if operators:
+            print("operator time:")
+            for operator in sorted(operators):
+                print(f"  {operator:12s} {operators[operator]:.3f}s")
+        print("recent events:")
+        for event in client.trace(args.id, limit=args.trace_limit):
+            kind = event.get("kind", "?")
+            generation = event.get("generation")
+            detail = {
+                k: v
+                for k, v in event.items()
+                if k not in ("seq", "kind", "generation")
+            }
+            print(f"  [{generation}] {kind} {json.dumps(detail, sort_keys=True)}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    for event in client.trace(args.id, limit=args.limit):
+        print(json.dumps(event, sort_keys=True))
     return 0
 
 
@@ -361,8 +407,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit a campaign to a running daemon")
-    p.add_argument("query", choices=sorted(QUERIES))
-    p.add_argument("--engine", choices=("baseline", "nautilus", "random"), default="nautilus")
+    p.add_argument(
+        "query",
+        choices=sorted(QUERIES) + sorted(MULTI_QUERIES),
+        help="single-objective query, or a multi-objective one for --engine pareto",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("baseline", "nautilus", "random", "pareto"),
+        default="nautilus",
+    )
     p.add_argument("--generations", type=int, default=80)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--priority", type=int, default=0, help="higher runs first")
@@ -378,9 +432,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("status", help="show campaign status (all, or one by id)")
     p.add_argument("id", nargs="?", default=None)
     p.add_argument("--curve", action="store_true", help="print the search curve")
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print operator timings and the most recent trace events",
+    )
+    p.add_argument(
+        "--trace-limit", type=int, default=10, help="events shown by --trace"
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
     p.set_defaults(fn=_cmd_status)
+
+    p = sub.add_parser(
+        "trace", help="dump a campaign's structured RunEvent log as JSONL"
+    )
+    p.add_argument("id")
+    p.add_argument(
+        "--limit", type=int, default=None, help="keep only the last N events"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -45,6 +45,7 @@ from .genome import Genome
 from .space import DesignSpace
 from .hints import DEFAULT_IMPORTANCE, HintSet, ParamHints
 from .operators import (
+    BreedingPipeline,
     GeneticOperators,
     single_point_crossover,
     two_point_crossover,
@@ -77,6 +78,17 @@ from .engine import (
     SearchResult,
     exhaustive_best,
 )
+from .kernel import (
+    RUN_EVENT_KINDS,
+    GenerationalEngine,
+    JsonlTraceSink,
+    RecordingTraceSink,
+    RngStreams,
+    RunEvent,
+    RunTrace,
+    SearchKernel,
+    TraceSink,
+)
 from .estimation import SweepObservation, estimate_hints
 from .expressions import (
     ExpressionError,
@@ -84,7 +96,11 @@ from .expressions import (
     parse_expression,
 )
 from .adaptive import AdaptiveSearch
-from .checkpoint import CheckpointedSearch, SearchCheckpoint
+from .checkpoint import (
+    CheckpointedParetoSearch,
+    CheckpointedSearch,
+    SearchCheckpoint,
+)
 from .parallel import BatchEvaluator, ParallelEvaluator, evaluate_batch
 from .pareto import (
     ParetoIndividual,
@@ -122,6 +138,7 @@ __all__ = [
     "DEFAULT_IMPORTANCE",
     # operators / selection
     "GeneticOperators",
+    "BreedingPipeline",
     "uniform_crossover",
     "single_point_crossover",
     "two_point_crossover",
@@ -150,6 +167,16 @@ __all__ = [
     "GeneticSearch",
     "RandomSearch",
     "exhaustive_best",
+    # search kernel / tracing
+    "SearchKernel",
+    "GenerationalEngine",
+    "RngStreams",
+    "RunEvent",
+    "RunTrace",
+    "RUN_EVENT_KINDS",
+    "TraceSink",
+    "RecordingTraceSink",
+    "JsonlTraceSink",
     # estimation
     "estimate_hints",
     "SweepObservation",
@@ -160,6 +187,7 @@ __all__ = [
     # adaptive-confidence extension
     "AdaptiveSearch",
     "CheckpointedSearch",
+    "CheckpointedParetoSearch",
     "SearchCheckpoint",
     # parallel evaluation
     "BatchEvaluator",

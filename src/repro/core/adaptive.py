@@ -87,19 +87,22 @@ class AdaptiveSearch(GeneticSearch):
         self.operators = GeneticOperators(
             self.space, self.config.mutation_rate, self.hints
         )
+        # The breeding pipeline mutates through whatever operators it holds;
+        # swap in the reweighted ones so the new confidence takes effect on
+        # the very next offspring.
+        self.pipeline.operators = self.operators
 
-    def _breed(self, population, generation, rng):
-        # Adapt once per generation, on its first breeding call.
-        if not self.confidence_trace or self.confidence_trace[-1][0] != generation:
-            best = max(ind.score for ind in population)
-            if best > self._last_best:
-                self._last_best = best
+    def _before_breeding(self, generation: int) -> None:
+        # Adapt once per generation, before any offspring is bred (the
+        # controller consumes no RNG, so seeded runs are unaffected).
+        best = max(ind.score for ind in self._population)
+        if best > self._last_best:
+            self._last_best = best
+            self._stall = 0
+            self._set_confidence(self.hints.confidence * self.recovery)
+        else:
+            self._stall += 1
+            if self._stall >= self.patience:
                 self._stall = 0
-                self._set_confidence(self.hints.confidence * self.recovery)
-            else:
-                self._stall += 1
-                if self._stall >= self.patience:
-                    self._stall = 0
-                    self._set_confidence(self.hints.confidence * self.backoff)
-            self.confidence_trace.append((generation, self.hints.confidence))
-        return super()._breed(population, generation, rng)
+                self._set_confidence(self.hints.confidence * self.backoff)
+        self.confidence_trace.append((generation, self.hints.confidence))

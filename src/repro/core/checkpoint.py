@@ -3,18 +3,24 @@
 Against real CAD tools a Nautilus run is hours-to-days of synthesis jobs;
 losing the evaluation cache to a crash wastes all of it. A
 :class:`SearchCheckpoint` snapshots everything a generational search needs
-to continue — the current population, the RNG state, the per-generation
-records, and (crucially) the evaluation cache, so resumed runs never re-pay
-for a synthesized design.
+to continue — the current population, the state of every named RNG stream,
+the per-generation records (replayed into the kernel's trace on resume),
+the stall counter, and (crucially) the evaluation cache, so resumed runs
+never re-pay for a synthesized design.
 
 Snapshots are plain JSON: portable, inspectable, and independent of Python
-pickling across versions.
+pickling across versions. Format 2 (current) stores the full
+:class:`~repro.core.kernel.RngStreams` payload and the explicit stall
+counter; format-1 snapshots (single shared RNG state) are still loadable.
+
+Both the single-objective GA (:class:`CheckpointedSearch`) and the NSGA-II
+engine (:class:`CheckpointedParetoSearch`) checkpoint through the same
+mixin — the service schedules and resumes them identically.
 """
 
 from __future__ import annotations
 
 import json
-import random
 from pathlib import Path
 from typing import Any
 
@@ -23,21 +29,22 @@ from .errors import NautilusError
 from .evaluator import Evaluator
 from .fitness import Objective
 from .hints import HintSet
+from .kernel import RngStreams
+from .pareto import ParetoSearch
 from .space import DesignSpace
 
-__all__ = ["SearchCheckpoint", "CheckpointedSearch"]
+__all__ = ["SearchCheckpoint", "CheckpointedSearch", "CheckpointedParetoSearch"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
-
-def _rng_state_to_json(state) -> list:
-    version, internal, gauss = state
-    return [version, list(internal), gauss]
-
-
-def _rng_state_from_json(payload) -> tuple:
-    version, internal, gauss = payload
-    return (version, tuple(internal), gauss)
+_RECORD_KEYS = (
+    "generation",
+    "best_raw",
+    "best_score",
+    "mean_score",
+    "distinct_evaluations",
+    "best_config",
+)
 
 
 class SearchCheckpoint:
@@ -48,16 +55,21 @@ class SearchCheckpoint:
         space_name: str,
         generation: int,
         population: list[dict[str, Any]],
-        rng_state: tuple,
+        rng_streams: dict[str, Any],
         records: list[dict[str, Any]],
         cache: list[dict[str, Any]],
+        stalled: int | None = None,
     ):
         self.space_name = space_name
         self.generation = generation
         self.population = population
-        self.rng_state = rng_state
+        #: :meth:`RngStreams.getstate` payload — every named stream.
+        self.rng_streams = rng_streams
         self.records = records
         self.cache = cache
+        #: Consecutive no-improvement generations at snapshot time;
+        #: ``None`` for format-1 snapshots (replayed from the records).
+        self.stalled = stalled
 
     def save(self, path: str | Path) -> None:
         payload = {
@@ -65,9 +77,10 @@ class SearchCheckpoint:
             "space": self.space_name,
             "generation": self.generation,
             "population": self.population,
-            "rng_state": _rng_state_to_json(self.rng_state),
+            "rng_streams": self.rng_streams,
             "records": self.records,
             "cache": self.cache,
+            "stalled": self.stalled,
         }
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -78,47 +91,46 @@ class SearchCheckpoint:
     @classmethod
     def load(cls, path: str | Path) -> "SearchCheckpoint":
         payload = json.loads(Path(path).read_text())
-        if payload.get("format") != _FORMAT_VERSION:
-            raise NautilusError(
-                f"unsupported checkpoint format {payload.get('format')!r}"
-            )
+        version = payload.get("format")
+        if version == 1:
+            # Format 1 stored one shared RNG state and no stall counter.
+            rng_streams = {
+                "mode": "shared",
+                "streams": {"shared": payload["rng_state"]},
+            }
+            stalled = None
+        elif version == _FORMAT_VERSION:
+            rng_streams = payload["rng_streams"]
+            stalled = payload.get("stalled")
+        else:
+            raise NautilusError(f"unsupported checkpoint format {version!r}")
         return cls(
             space_name=payload["space"],
             generation=payload["generation"],
             population=payload["population"],
-            rng_state=_rng_state_from_json(payload["rng_state"]),
+            rng_streams=rng_streams,
             records=payload["records"],
             cache=payload["cache"],
+            stalled=stalled,
         )
 
 
-class CheckpointedSearch(GeneticSearch):
-    """A :class:`GeneticSearch` that snapshots every N generations.
+class _CheckpointMixin:
+    """Snapshot/resume plumbing shared by every checkpointed engine.
 
-    Args:
-        checkpoint_path: Where snapshots are written (atomically).
-        checkpoint_every: Generations between snapshots.
-
-    Use :meth:`resume` to continue from a snapshot: the population, RNG
-    stream, history and — most importantly — the cache of already-paid-for
-    evaluations are all restored, so the continued run is exactly the run
-    that would have happened without the interruption.
+    Composes with any :class:`~repro.core.kernel.SearchKernel` subclass
+    whose population members expose ``.genome``: the mixin serializes the
+    population as config dicts, captures all RNG streams and the memoized
+    evaluation cache, and on resume replays the recorded generations into
+    the kernel's trace (without notifying sinks — the events were already
+    delivered before the interruption).
     """
 
-    def __init__(
-        self,
-        space: DesignSpace,
-        evaluator: Evaluator,
-        objective: Objective,
-        config: GAConfig | None = None,
-        hints: HintSet | None = None,
-        label: str = "",
-        checkpoint_path: str | Path = "nautilus.ckpt.json",
-        checkpoint_every: int = 5,
-    ):
+    def _init_checkpointing(
+        self, checkpoint_path: str | Path, checkpoint_every: int
+    ) -> None:
         if checkpoint_every < 1:
             raise NautilusError("checkpoint_every must be >= 1")
-        super().__init__(space, evaluator, objective, config, hints, label)
         self.checkpoint_path = Path(checkpoint_path)
         self.checkpoint_every = checkpoint_every
         self._resume_from: SearchCheckpoint | None = None
@@ -138,27 +150,21 @@ class CheckpointedSearch(GeneticSearch):
             space_name=self.space.name,
             generation=self._generation,
             population=[ind.genome.as_dict() for ind in self._population],
-            rng_state=self._rng.getstate(),
+            rng_streams=self.rngs.getstate(),
             records=[
-                {
-                    "generation": r.generation,
-                    "best_raw": r.best_raw,
-                    "best_score": r.best_score,
-                    "mean_score": r.mean_score,
-                    "distinct_evaluations": r.distinct_evaluations,
-                    "best_config": r.best_config,
-                }
-                for r in self._records
+                {key: getattr(r, key) for key in _RECORD_KEYS}
+                for r in self.records
             ],
             cache=cache_rows,
+            stalled=self._stalled_generations,
         ).save(self.checkpoint_path)
 
-    def resume(self, path: str | Path | None = None) -> "CheckpointedSearch":
+    def resume(self, path: str | Path | None = None):
         """Load a snapshot; the next :meth:`run` continues from it.
 
         The evaluation cache is restored immediately (so even pre-run
-        lookups are free); population, RNG stream and history are restored
-        when :meth:`run` starts.
+        lookups are free); population, RNG streams and history are restored
+        when the search starts.
         """
         checkpoint = SearchCheckpoint.load(path or self.checkpoint_path)
         if checkpoint.space_name != self.space.name:
@@ -174,58 +180,46 @@ class CheckpointedSearch(GeneticSearch):
         self._resume_from = checkpoint
         return self
 
-    # -- incremental hooks (the loop itself is inherited from GeneticSearch) -----
+    # -- lifecycle --------------------------------------------------------------
 
-    def start(self) -> GenerationRecord:
+    def start(self):
         """Start fresh, or restore the full state of a loaded snapshot.
 
-        On resume the population, RNG stream, history, best-so-far and the
-        stall counter are all reconstituted from the checkpoint, so the
-        continued step sequence is exactly the run that would have happened
-        without the interruption — including ``stall_generations`` cutoffs.
-        Returns the record of the last completed generation.
+        On resume the population, RNG streams, history (replayed into the
+        trace), best-so-far and the stall counter are all reconstituted
+        from the checkpoint, so the continued step sequence is exactly the
+        run that would have happened without the interruption — including
+        ``stall_generations`` cutoffs. Returns the record of the last
+        completed generation.
         """
         if self._resume_from is None:
-            record = super().start()
-            return record
+            return super().start()
         if self.started:
             raise NautilusError("search already started")
         checkpoint = self._resume_from
         self._resume_from = None
-        self._rng = random.Random(self.config.seed)
-        self._rng.setstate(checkpoint.rng_state)
-        # Cached, so re-assessing the population costs no synthesis jobs.
-        self._population = [
-            self._assess(self.space.genome(config))
-            for config in checkpoint.population
-        ]
-        self._records = [
-            GenerationRecord(
-                generation=r["generation"],
-                best_raw=r["best_raw"],
-                best_score=r["best_score"],
-                mean_score=r["mean_score"],
-                distinct_evaluations=r["distinct_evaluations"],
-                best_config=r["best_config"],
-            )
-            for r in checkpoint.records
-        ]
+        self._rngs = RngStreams(self.seed, split=self.split_rngs)
+        self._rngs.setstate(checkpoint.rng_streams)
+        self._restore_population(checkpoint)
+        for payload in checkpoint.records:
+            self._replay_record(payload)
         self._generation = checkpoint.generation
-        best = max(self._population, key=lambda ind: ind.score)
-        for record in self._records:
-            if record.best_score > best.score:
-                best = self._assess(self.space.genome(record.best_config))
-        self._best = best
-        # Replay the stall counter from the recorded best-so-far curve: a
-        # trailing record whose best_score did not improve on its
-        # predecessor was a stalled generation.
-        stalled = 0
-        for previous, current in zip(self._records, self._records[1:]):
-            stalled = 0 if current.best_score > previous.best_score else stalled + 1
-        self._stalled_generations = stalled
-        return self._records[-1] if self._records else self._record(
-            self._generation, self._population, self._best
-        )
+        if checkpoint.stalled is not None:
+            self._stalled_generations = checkpoint.stalled
+        else:
+            # Format-1 snapshots: replay the stall counter from the
+            # recorded best-so-far curve — a trailing record whose
+            # best_score did not improve on its predecessor was a stalled
+            # generation.
+            records = self.records
+            stalled = 0
+            for previous, current in zip(records, records[1:]):
+                stalled = (
+                    0 if current.best_score > previous.best_score else stalled + 1
+                )
+            self._stalled_generations = stalled
+        records = self.records
+        return records[-1] if records else self._make_record(self._generation)
 
     def _after_generation(self, record: GenerationRecord) -> None:
         if record.generation % self.checkpoint_every == 0:
@@ -233,3 +227,80 @@ class CheckpointedSearch(GeneticSearch):
 
     def _on_finish(self, reason: str) -> None:
         self._snapshot()
+
+    # -- engine-specific restoration ---------------------------------------------
+
+    def _restore_population(self, checkpoint: SearchCheckpoint) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class CheckpointedSearch(_CheckpointMixin, GeneticSearch):
+    """A :class:`GeneticSearch` that snapshots every N generations.
+
+    Args:
+        checkpoint_path: Where snapshots are written (atomically).
+        checkpoint_every: Generations between snapshots.
+
+    Use :meth:`resume` to continue from a snapshot: the population, RNG
+    streams, history and — most importantly — the cache of already-paid-for
+    evaluations are all restored, so the continued run is exactly the run
+    that would have happened without the interruption.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        objective: Objective,
+        config: GAConfig | None = None,
+        hints: HintSet | None = None,
+        label: str = "",
+        checkpoint_path: str | Path = "nautilus.ckpt.json",
+        checkpoint_every: int = 5,
+    ):
+        super().__init__(space, evaluator, objective, config, hints, label)
+        self._init_checkpointing(checkpoint_path, checkpoint_every)
+
+    def _restore_population(self, checkpoint: SearchCheckpoint) -> None:
+        # Cached, so re-assessing the population costs no synthesis jobs.
+        self._population = [
+            self._assess(self.space.genome(config))
+            for config in checkpoint.population
+        ]
+        best = max(self._population, key=lambda ind: ind.score)
+        for row in checkpoint.records:
+            if row["best_score"] > best.score:
+                best = self._assess(self.space.genome(row["best_config"]))
+        self._best = best
+
+
+class CheckpointedParetoSearch(_CheckpointMixin, ParetoSearch):
+    """A :class:`ParetoSearch` that snapshots every N generations.
+
+    Multi-objective runs checkpoint exactly like single-objective ones:
+    scores are *not* serialized — the population is re-assessed from the
+    restored evaluation cache, then re-ranked, so the resumed NSGA-II state
+    (ranks, crowding, front signature) is rebuilt bit-identically.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        objectives,
+        config: GAConfig | None = None,
+        hints: HintSet | None = None,
+        label: str = "pareto",
+        checkpoint_path: str | Path = "nautilus.ckpt.json",
+        checkpoint_every: int = 5,
+    ):
+        super().__init__(space, evaluator, objectives, config, hints, label)
+        self._init_checkpointing(checkpoint_path, checkpoint_every)
+
+    def _restore_population(self, checkpoint: SearchCheckpoint) -> None:
+        self._population = self._assess_all(
+            [self.space.genome(config) for config in checkpoint.population]
+        )
+        self._rank(self._population)
+        self._front_signature = self._signature()
+        self._best = self._projected_best()

@@ -7,6 +7,14 @@ passing ``hints=None`` yields exactly the baseline behaviour. Configuration
 defaults follow Section 4.1: population 10, per-gene mutation rate 0.1,
 80 generations.
 
+Both engines are thin strategies over the shared
+:class:`~repro.core.kernel.SearchKernel`: the kernel owns lifecycle
+(start/step/finished/stop_reason with the budget → horizon → stall
+precedence), the named RNG streams, and the structured
+:class:`~repro.core.kernel.RunEvent` trace; :class:`GeneticSearch` only
+declares its operator pipeline (select → crossover → mutate) and survivor
+rule, and :class:`RandomSearch` its draw loop.
+
 Cost accounting: every engine pulls evaluations through an
 :class:`~repro.core.evalstack.EvaluationStack`, so result curves are
 expressed in *distinct designs evaluated* (synthesis jobs) — the x-axis of
@@ -18,18 +26,22 @@ memo-only stack.
 
 from __future__ import annotations
 
-import math
-import random
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from .errors import InfeasibleDesignError, NautilusError
-from .evalstack import EvalStats, EvaluationStack
 from .evaluator import Evaluator
 from .fitness import Objective
 from .genome import Genome
 from .hints import HintSet
+from .kernel import (
+    GenerationalEngine,
+    GenerationRecord,
+    SearchKernel,
+    SearchResult,
+)
 from .operators import (
+    BreedingPipeline,
     GeneticOperators,
     single_point_crossover,
     two_point_crossover,
@@ -53,6 +65,8 @@ _CROSSOVERS = {
     "two_point": two_point_crossover,
 }
 
+_RNG_STREAM_MODES = ("shared", "split")
+
 
 @dataclass(frozen=True)
 class GAConfig:
@@ -71,6 +85,7 @@ class GAConfig:
         elitism: Number of top individuals copied unchanged into the next
             generation (keeps the best-of-population curve monotone).
         seed: RNG seed; ``None`` draws from the global entropy pool.
+            ``0`` is a real seed.
         max_evaluations: Optional hard budget of *distinct* designs
             evaluated (synthesis jobs). The run stops at the end of the
             first generation that exhausts it — the natural stopping rule
@@ -79,6 +94,13 @@ class GAConfig:
             this many consecutive generations without best-so-far
             improvement. ``None`` (default) always runs the full horizon,
             as the paper's experiments do.
+        rng_streams: ``"shared"`` (default) draws init/selection/crossover/
+            mutation from one seeded generator — bit-identical to the
+            historical single-RNG engines, which is what the engine-parity
+            CI baseline pins. ``"split"`` derives an independent named
+            stream per concern from the same seed, so adding draws to one
+            operator never perturbs another's sequence (at the cost of
+            changing seeded curves relative to the shared mode).
 
     Stopping precedence: cutoffs are evaluated between generations, in a
     fixed order — evaluation budget, then generation horizon, then stall
@@ -99,6 +121,7 @@ class GAConfig:
     seed: int | None = None
     max_evaluations: int | None = None
     stall_generations: int | None = None
+    rng_streams: str = "shared"
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -117,112 +140,11 @@ class GAConfig:
             raise NautilusError("max_evaluations must be >= 1")
         if self.stall_generations is not None and self.stall_generations < 1:
             raise NautilusError("stall_generations must be >= 1")
+        if self.rng_streams not in _RNG_STREAM_MODES:
+            raise NautilusError(f"unknown rng_streams mode {self.rng_streams!r}")
 
 
-@dataclass(frozen=True)
-class GenerationRecord:
-    """Snapshot of the search state after one generation."""
-
-    generation: int
-    best_raw: float
-    best_score: float
-    mean_score: float
-    distinct_evaluations: int
-    best_config: dict[str, Any] = field(repr=False, default_factory=dict)
-
-
-class SearchResult:
-    """The outcome of one search run.
-
-    The result exposes the two quantities the paper evaluates on (Section 2,
-    "Evaluating GAs"): quality of results (best raw metric) and runtime
-    measured as the number of distinct designs evaluated.
-
-    ``stop_reason`` records why the search ended: ``"horizon"`` (configured
-    generations exhausted), ``"budget"`` (``max_evaluations`` reached),
-    ``"stall"`` (``stall_generations`` without improvement), ``"exhausted"``
-    (random search ran out of unseen feasible points), or ``"cancelled"``
-    (an incremental search was finalized before any cutoff fired).
-    """
-
-    def __init__(
-        self,
-        objective: Objective,
-        records: Sequence[GenerationRecord],
-        best: Individual,
-        distinct_evaluations: int,
-        label: str = "",
-        stop_reason: str = "horizon",
-        eval_stats: EvalStats | None = None,
-    ):
-        self.objective = objective
-        self.records = list(records)
-        self.best = best
-        self.distinct_evaluations = distinct_evaluations
-        self.label = label
-        self.stop_reason = stop_reason
-        #: Full evaluation-pipeline counters/timers at result time (cache
-        #: hits by layer, batch sizes, backend wall time, infeasible rate).
-        self.eval_stats = eval_stats or EvalStats()
-
-    @property
-    def best_raw(self) -> float:
-        """Best raw objective value found."""
-        return self.best.raw
-
-    @property
-    def best_config(self) -> dict[str, Any]:
-        """Parameter assignment of the best design found."""
-        return self.best.genome.as_dict()
-
-    def curve(self) -> list[tuple[int, float]]:
-        """(distinct evals, best raw so far) after each generation."""
-        return [(r.distinct_evaluations, r.best_raw) for r in self.records]
-
-    def generation_curve(self) -> list[tuple[int, float]]:
-        """(generation, best raw so far) pairs."""
-        return [(r.generation, r.best_raw) for r in self.records]
-
-    def evals_to_reach(self, threshold: float) -> int | None:
-        """Distinct evaluations needed to first reach a raw-metric threshold.
-
-        Returns ``None`` if the run never reached it. Direction comes from
-        the objective (>= threshold for max, <= for min).
-        """
-        for record in self.records:
-            if math.isnan(record.best_raw):
-                continue
-            reached = (
-                record.best_raw >= threshold
-                if self.objective.maximizing
-                else record.best_raw <= threshold
-            )
-            if reached:
-                return record.distinct_evaluations
-        return None
-
-    def generations_to_reach(self, threshold: float) -> int | None:
-        """Generations needed to first reach a raw-metric threshold."""
-        for record in self.records:
-            if math.isnan(record.best_raw):
-                continue
-            reached = (
-                record.best_raw >= threshold
-                if self.objective.maximizing
-                else record.best_raw <= threshold
-            )
-            if reached:
-                return record.generation
-        return None
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"SearchResult({self.label or self.objective.name}: "
-            f"best={self.best_raw:.4g} after {self.distinct_evaluations} evals)"
-        )
-
-
-class GeneticSearch:
+class GeneticSearch(GenerationalEngine):
     """The generational GA engine (baseline when ``hints is None``).
 
     The engine exposes an *incremental* API so external schedulers (see
@@ -256,11 +178,18 @@ class GeneticSearch:
         hints: HintSet | None = None,
         label: str = "",
     ):
-        self.space = space
-        self.objective = objective
         self.config = config or GAConfig()
-        self.label = label or ("nautilus" if hints else "baseline")
-        self._counter = EvaluationStack.wrap(evaluator)
+        super().__init__(
+            space,
+            evaluator,
+            objective,
+            label=label or ("nautilus" if hints else "baseline"),
+            seed=self.config.seed,
+            max_evaluations=self.config.max_evaluations,
+            horizon=self.config.generations,
+            stall_generations=self.config.stall_generations,
+            split_rngs=self.config.rng_streams == "split",
+        )
         oriented = hints
         if oriented is not None and not objective.maximizing:
             # Authors state bias w.r.t. the raw metric; flip for minimization.
@@ -269,16 +198,13 @@ class GeneticSearch:
         self.operators = GeneticOperators(
             space, self.config.mutation_rate, self.hints
         )
-        self._select = SELECTION_STRATEGIES[self.config.selection]
-        self._crossover = _CROSSOVERS[self.config.crossover]
-        # Incremental-search state (populated by start()/step()).
-        self._rng: random.Random | None = None
-        self._population: list[Individual] = []
-        self._records: list[GenerationRecord] = []
-        self._best: Individual | None = None
-        self._generation = 0
-        self._stalled_generations = 0
-        self._stop_reason: str | None = None
+        self.pipeline = BreedingPipeline(
+            space,
+            self.operators,
+            SELECTION_STRATEGIES[self.config.selection],
+            _CROSSOVERS[self.config.crossover],
+            self.config.crossover_rate,
+        )
 
     # -- scoring ------------------------------------------------------------------
 
@@ -292,15 +218,12 @@ class GeneticSearch:
         )
 
     def _assess_all(self, genomes: Sequence[Genome]) -> list[Individual]:
-        """Score a whole generation, batching fresh designs.
+        """Score genomes as one batch, outside the kernel's traced path."""
+        return self._to_individuals(genomes, self._counter.evaluate_many(genomes))
 
-        When the evaluator exposes ``evaluate_many`` (e.g.
-        :class:`~repro.core.parallel.ParallelEvaluator`), the generation's
-        new designs are evaluated concurrently — the population-sized
-        parallelism the paper's Section 2 discusses. Results are identical
-        to the sequential path.
-        """
-        outcomes = self._counter.evaluate_many(genomes)
+    def _to_individuals(
+        self, genomes: Sequence[Genome], outcomes: Sequence
+    ) -> list[Individual]:
         individuals = []
         for genome, outcome in zip(genomes, outcomes):
             if isinstance(outcome, InfeasibleDesignError):
@@ -317,185 +240,54 @@ class GeneticSearch:
                 )
         return individuals
 
-    # -- breeding ------------------------------------------------------------------
+    # -- kernel hooks --------------------------------------------------------------
 
-    def _breed(
-        self,
-        population: list[Individual],
-        generation: int,
-        rng: random.Random,
-    ) -> Genome:
-        parent = self._select(population, rng)
-        genome = parent.genome
-        if rng.random() < self.config.crossover_rate:
-            other = self._select(population, rng)
-            for _ in range(8):
-                candidate = self._crossover(parent.genome, other.genome, rng)
-                if self.space.is_feasible(candidate):
-                    genome = candidate
-                    break
-        return self.operators.mutate_feasible(genome, generation, rng)
-
-    # -- incremental API -----------------------------------------------------------
-
-    @property
-    def started(self) -> bool:
-        """Whether :meth:`start` has been called."""
-        return self._rng is not None
-
-    @property
-    def finished(self) -> bool:
-        """Whether a stopping cutoff has fired (see :meth:`step`)."""
-        return self._stop_reason is not None
-
-    @property
-    def stop_reason(self) -> str | None:
-        """Why the search stopped, or ``None`` while it can still step."""
-        return self._stop_reason
-
-    @property
-    def generation(self) -> int:
-        """Index of the last completed generation (0 after :meth:`start`)."""
-        return self._generation
-
-    @property
-    def distinct_evaluations(self) -> int:
-        """Distinct designs evaluated so far (synthesis jobs paid)."""
-        return self._counter.distinct_evaluations
-
-    @property
-    def stack(self) -> EvaluationStack:
-        """The evaluation stack this search charges its synthesis jobs to."""
-        return self._counter
-
-    def eval_stats(self) -> EvalStats:
-        """Snapshot of the evaluation pipeline's counters and timers."""
-        return self._counter.stats()
-
-    @property
-    def records(self) -> list[GenerationRecord]:
-        """Per-generation records accumulated so far (copy)."""
-        return list(self._records)
-
-    def start(self) -> GenerationRecord:
-        """Evaluate the initial population; returns the generation-0 record."""
-        if self.started:
-            raise NautilusError("search already started")
-        self._rng = random.Random(self.config.seed)
-        self._population = self._assess_all(
-            self.space.random_population(self.config.population_size, self._rng)
+    def _initial_genomes(self) -> list[Genome]:
+        return self.space.random_population(
+            self.config.population_size, self.rngs.init
         )
-        self._best = max(self._population, key=lambda ind: ind.score)
-        self._generation = 0
-        record = self._record(0, self._population, self._best)
-        self._records.append(record)
-        return record
 
-    def step(self) -> GenerationRecord | None:
-        """Advance one generation; return its record, or ``None`` when done.
+    def _before_breeding(self, generation: int) -> None:
+        """Hook invoked once per generation before any offspring is bred
+        (the adaptive engine's confidence controller plugs in here)."""
 
-        Cutoffs are checked on entry, in the documented precedence order
-        (budget, horizon, stall — see :class:`GAConfig`): the step *after*
-        the generation that triggered a cutoff returns ``None`` and pins
-        :attr:`stop_reason`.
-        """
-        if not self.started:
-            raise NautilusError("call start() before step()")
-        if self.finished:
-            return None
+    def _propose(
+        self, generation: int, timings: dict[str, list[float]]
+    ) -> list[Genome]:
+        self._before_breeding(generation)
         cfg = self.config
-        if (
-            cfg.max_evaluations is not None
-            and self._counter.distinct_evaluations >= cfg.max_evaluations
-        ):
-            self._finish("budget")
-            return None
-        if self._generation >= cfg.generations:
-            self._finish("horizon")
-            return None
-        if (
-            cfg.stall_generations is not None
-            and self._stalled_generations >= cfg.stall_generations
-        ):
-            self._finish("stall")
-            return None
-        generation = self._generation + 1
         elites = sorted(self._population, key=lambda i: i.score, reverse=True)
-        next_genomes = [e.genome for e in elites[: cfg.elitism]]
-        while len(next_genomes) < cfg.population_size:
-            next_genomes.append(self._breed(self._population, generation, self._rng))
-        self._population = self._assess_all(next_genomes)
+        genomes = [e.genome for e in elites[: cfg.elitism]]
+        while len(genomes) < cfg.population_size:
+            genomes.append(
+                self.pipeline.breed(self._population, generation, self.rngs, timings)
+            )
+        return genomes
+
+    def _observe_start(self) -> None:
+        self._best = max(self._population, key=lambda ind: ind.score)
+
+    def _observe(self, generation: int) -> bool:
         gen_best = max(self._population, key=lambda ind: ind.score)
         if gen_best.score > self._best.score:
             self._best = gen_best
-            self._stalled_generations = 0
-        else:
-            self._stalled_generations += 1
-        self._generation = generation
-        record = self._record(generation, self._population, self._best)
-        self._records.append(record)
-        self._after_generation(record)
-        return record
+            return True
+        return False
 
-    def result(self) -> SearchResult:
-        """Package the search state reached so far into a :class:`SearchResult`.
-
-        Callable at any point after :meth:`start` — a scheduler that cancels
-        a campaign mid-flight still gets the best-so-far and its curve. A
-        result taken before any cutoff fired reports ``"cancelled"``.
-        """
-        if self._best is None:
-            raise NautilusError("search has not started")
-        return SearchResult(
-            self.objective,
-            self._records,
-            self._best,
-            self._counter.distinct_evaluations,
-            label=self.label,
-            stop_reason=self._stop_reason or "cancelled",
-            eval_stats=self._counter.stats(),
-        )
-
-    def _finish(self, reason: str) -> None:
-        self._stop_reason = reason
-        self._on_finish(reason)
-
-    def _after_generation(self, record: GenerationRecord) -> None:
-        """Hook invoked after each completed generation (subclass seam)."""
-
-    def _on_finish(self, reason: str) -> None:
-        """Hook invoked exactly once when a stopping cutoff fires."""
-
-    # -- main loop -----------------------------------------------------------------
-
-    def run(self) -> SearchResult:
-        """Run the configured number of generations and return the result.
-
-        Thin loop over :meth:`start` / :meth:`step` — stepping incrementally
-        yields exactly this result.
-        """
-        if not self.started:
-            self.start()
-        while self.step() is not None:
-            pass
-        return self.result()
-
-    def _record(
-        self, generation: int, population: list[Individual], best: Individual
-    ) -> GenerationRecord:
-        finite = [i.score for i in population if i.score != float("-inf")]
+    def _make_record(self, generation: int) -> GenerationRecord:
+        finite = [i.score for i in self._population if i.score != float("-inf")]
         mean_score = sum(finite) / len(finite) if finite else float("-inf")
         return GenerationRecord(
             generation=generation,
-            best_raw=best.raw,
-            best_score=best.score,
+            best_raw=self._best.raw,
+            best_score=self._best.score,
             mean_score=mean_score,
             distinct_evaluations=self._counter.distinct_evaluations,
-            best_config=best.genome.as_dict(),
+            best_config=self._best.genome.as_dict(),
         )
 
 
-class RandomSearch:
+class RandomSearch(SearchKernel):
     """Uniform random sampling baseline (paper footnote 3).
 
     Samples feasible points without replacement until the budget is spent,
@@ -519,63 +311,22 @@ class RandomSearch:
     ):
         if budget < 1:
             raise NautilusError("budget must be >= 1")
-        self.space = space
-        self.objective = objective
+        super().__init__(space, evaluator, objective, label=label, seed=seed)
         self.budget = budget
-        self.seed = seed
-        self.label = label
-        self._counter = EvaluationStack.wrap(evaluator)
-        self._rng: random.Random | None = None
-        self._best: Individual | None = None
-        self._records: list[GenerationRecord] = []
         self._draws = 0
         self._attempts = 0
         self._max_attempts = budget * 50
-        self._stop_reason: str | None = None
-
-    @property
-    def started(self) -> bool:
-        return self._rng is not None
-
-    @property
-    def finished(self) -> bool:
-        return self._stop_reason is not None
-
-    @property
-    def stop_reason(self) -> str | None:
-        return self._stop_reason
 
     @property
     def generation(self) -> int:
         """Budget-consuming draws so far (the random analogue of a generation)."""
         return self._draws
 
-    @property
-    def distinct_evaluations(self) -> int:
-        return self._counter.distinct_evaluations
-
-    @property
-    def stack(self) -> EvaluationStack:
-        """The evaluation stack this search charges its draws to."""
-        return self._counter
-
-    def eval_stats(self) -> EvalStats:
-        """Snapshot of the evaluation pipeline's counters and timers."""
-        return self._counter.stats()
-
-    @property
-    def records(self) -> list[GenerationRecord]:
-        """Per-draw records accumulated so far (copy)."""
-        return list(self._records)
-
-    def start(self) -> GenerationRecord | None:
+    def _do_start(self) -> None:
         """Initialize the RNG stream; random search has no generation 0."""
-        if self.started:
-            raise NautilusError("search already started")
-        self._rng = random.Random(self.seed)
         return None
 
-    def step(self) -> GenerationRecord | None:
+    def _do_step(self) -> GenerationRecord | None:
         """Consume budget until one feasible draw lands; return its record.
 
         Infeasible draws consume budget (the synthesis attempt was paid
@@ -583,13 +334,10 @@ class RandomSearch:
         design is found or a cutoff fires (``None``: budget spent, or the
         rejection-sampling attempt cap was hit on a near-exhausted space).
         """
-        if not self.started:
-            raise NautilusError("call start() before step()")
-        if self.finished:
-            return None
+        rng = self.rngs.init
         while self._draws < self.budget and self._attempts < self._max_attempts:
             self._attempts += 1
-            genome = self.space.random_genome(self._rng)
+            genome = self.space.random_genome(rng)
             if self._counter.seen(genome):
                 continue
             try:
@@ -603,7 +351,8 @@ class RandomSearch:
                 self._draws += 1
                 continue
             self._draws += 1
-            if self._best is None or individual.score > self._best.score:
+            improved = self._best is None or individual.score > self._best.score
+            if improved:
                 self._best = individual
             record = GenerationRecord(
                 generation=self._draws,
@@ -613,30 +362,21 @@ class RandomSearch:
                 distinct_evaluations=self._counter.distinct_evaluations,
                 best_config=self._best.genome.as_dict(),
             )
-            self._records.append(record)
+            if improved:
+                self._trace.emit(
+                    "best-improved",
+                    self._draws,
+                    {"best_raw": record.best_raw, "best_score": record.best_score},
+                )
+            self._push_record(record)
             return record
-        self._stop_reason = "budget" if self._draws >= self.budget else "exhausted"
+        self._finish("budget" if self._draws >= self.budget else "exhausted")
         return None
 
     def result(self) -> SearchResult:
         if self._best is None:
             raise NautilusError("random search evaluated no feasible design")
-        return SearchResult(
-            self.objective,
-            self._records,
-            self._best,
-            self._counter.distinct_evaluations,
-            label=self.label,
-            stop_reason=self._stop_reason or "cancelled",
-            eval_stats=self._counter.stats(),
-        )
-
-    def run(self) -> SearchResult:
-        if not self.started:
-            self.start()
-        while self.step() is not None:
-            pass
-        return self.result()
+        return super().result()
 
 
 def exhaustive_best(

@@ -1,0 +1,799 @@
+"""The search kernel: one lifecycle, one RNG discipline, one trace.
+
+Every engine in this reproduction — the baseline/guided generational GA,
+the adaptive-confidence variant, the NSGA-II multi-objective search, and
+the random-sampling baseline — is a thin strategy layered on the same
+:class:`SearchKernel`. The kernel owns the three things the engines used to
+re-implement independently:
+
+* **Lifecycle** — the incremental ``start()`` / ``step()`` protocol the
+  service scheduler interleaves, the ``finished`` / ``stop_reason`` state
+  machine, and the documented stopping precedence (evaluation *budget*,
+  then generation *horizon*, then *stall* patience — checked between
+  generations, first match wins).
+
+* **Named RNG streams** — :class:`RngStreams` hands each genetic concern
+  (``init`` / ``selection`` / ``crossover`` / ``mutation``) a named
+  ``random.Random``. In the default ``"shared"`` mode every name aliases
+  one seeded generator, which is bit-identical to the single-RNG engines
+  this kernel replaced (and to the paper's PyEvolve lineage); ``"split"``
+  mode derives an independent stream per name from the one seed, so adding
+  draws to one operator never perturbs another's sequence. Checkpoints
+  capture every stream either way.
+
+* **Structured trace** — every run emits :class:`RunEvent` records
+  (``generation-start`` / ``eval-batch`` / ``operator-applied`` /
+  ``best-improved`` / ``generation-end`` / ``stop``) through pluggable
+  :class:`TraceSink`\\ s. The trace is the source of truth for run history:
+  the per-generation :class:`GenerationRecord` list is a *derived view*
+  over the ``generation-end`` events, and the service persists the same
+  events per campaign as a JSONL log.
+
+:class:`GenerationalEngine` specializes the kernel for population-based
+searches (propose → evaluate → select survivors → record); concrete
+engines only declare their operator pipeline and survivor rule.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from .errors import NautilusError
+from .evalstack import EvalStats, EvaluationStack
+from .fitness import Objective
+from .genome import Genome
+from .selection import Individual
+
+__all__ = [
+    "RUN_EVENT_KINDS",
+    "RunEvent",
+    "TraceSink",
+    "RecordingTraceSink",
+    "JsonlTraceSink",
+    "RunTrace",
+    "RngStreams",
+    "GenerationRecord",
+    "SearchResult",
+    "SearchKernel",
+    "GenerationalEngine",
+]
+
+#: The event vocabulary every engine speaks.
+RUN_EVENT_KINDS = (
+    "generation-start",
+    "generation-end",
+    "eval-batch",
+    "best-improved",
+    "operator-applied",
+    "stop",
+)
+
+
+# ---------------------------------------------------------------------------
+# trace events and sinks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One structured trace event; ``payload`` is always JSON-serializable."""
+
+    seq: int
+    kind: str
+    generation: int
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "generation": self.generation,
+            **self.payload,
+        }
+
+
+class TraceSink:
+    """Receives every emitted :class:`RunEvent`; subclass and override."""
+
+    def emit(self, event: RunEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; emitting after close is a no-op."""
+
+
+class RecordingTraceSink(TraceSink):
+    """Keeps the last ``limit`` events in memory (None keeps everything)."""
+
+    def __init__(self, limit: int | None = 100):
+        self.limit = limit
+        self._events: list[RunEvent] = []
+
+    def emit(self, event: RunEvent) -> None:
+        self._events.append(event)
+        if self.limit is not None and len(self._events) > self.limit:
+            del self._events[: len(self._events) - self.limit]
+
+    def events(self, kind: str | None = None) -> list[RunEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+
+class JsonlTraceSink(TraceSink):
+    """Appends one JSON line per event — the service's per-campaign log.
+
+    The file is opened lazily and appended to (a resumed campaign continues
+    the log it left behind); every line is flushed so a killed daemon loses
+    at most the event being written.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+        self._closed = False
+
+    def emit(self, event: RunEvent) -> None:
+        if self._closed:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(event.as_dict()) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._closed = True
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class RunTrace:
+    """The in-memory event stream of one search run.
+
+    Owns the monotonically increasing sequence numbers, fans events out to
+    attached sinks, and aggregates per-operator call counts and wall time
+    from ``operator-applied`` events (surfaced by ``/metrics`` and
+    ``nautilus status``).
+    """
+
+    def __init__(self, sinks: Sequence[TraceSink] = ()):
+        self.events: list[RunEvent] = []
+        self._sinks: list[TraceSink] = list(sinks)
+        self._seq = 0
+        self._operators: dict[str, dict[str, float]] = {}
+
+    def attach(self, sink: TraceSink) -> None:
+        self._sinks.append(sink)
+
+    def emit(
+        self,
+        kind: str,
+        generation: int,
+        payload: dict[str, Any] | None = None,
+        notify: bool = True,
+    ) -> RunEvent:
+        """Record one event; ``notify=False`` keeps replays out of sinks."""
+        if kind not in RUN_EVENT_KINDS:
+            raise NautilusError(f"unknown run-event kind {kind!r}")
+        event = RunEvent(self._seq, kind, generation, dict(payload or {}))
+        self._seq += 1
+        self.events.append(event)
+        if kind == "operator-applied":
+            totals = self._operators.setdefault(
+                str(event.payload.get("operator", "?")),
+                {"calls": 0, "time_s": 0.0},
+            )
+            totals["calls"] += int(event.payload.get("calls", 0))
+            totals["time_s"] += float(event.payload.get("time_s", 0.0))
+        if notify:
+            for sink in self._sinks:
+                sink.emit(event)
+        return event
+
+    def operator_timings(self) -> dict[str, dict[str, float]]:
+        """Cumulative {operator: {calls, time_s}} over the whole run."""
+        return {name: dict(totals) for name, totals in self._operators.items()}
+
+
+# ---------------------------------------------------------------------------
+# named RNG streams
+# ---------------------------------------------------------------------------
+
+
+def _rng_state_to_json(state) -> list:
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def _rng_state_from_json(payload) -> tuple:
+    version, internal, gauss = payload
+    return (version, tuple(internal), gauss)
+
+
+class RngStreams:
+    """Named ``random.Random`` streams for the genetic concerns of a search.
+
+    ``"shared"`` mode (the default): every name aliases one generator seeded
+    with the configured seed — the draw sequence is bit-identical to the
+    single-RNG engines the kernel replaced, which is what the engine-parity
+    CI job pins. ``"split"`` mode derives an independent stream per name
+    from the same seed (``Random(f"{seed}:{name}")``), so an operator that
+    starts consuming more randomness never shifts another operator's
+    sequence. A seed of ``0`` is a real seed in both modes — only ``None``
+    draws from the entropy pool.
+    """
+
+    NAMES = ("init", "selection", "crossover", "mutation")
+
+    def __init__(self, seed: int | None = None, split: bool = False):
+        self.split = split
+        if split:
+            self._streams = {
+                name: random.Random(None if seed is None else f"{seed}:{name}")
+                for name in self.NAMES
+            }
+        else:
+            master = random.Random(seed)
+            self._streams = {name: master for name in self.NAMES}
+
+    # -- access -----------------------------------------------------------------
+
+    def stream(self, name: str) -> random.Random:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise NautilusError(f"unknown RNG stream {name!r}") from None
+
+    @property
+    def init(self) -> random.Random:
+        return self._streams["init"]
+
+    @property
+    def selection(self) -> random.Random:
+        return self._streams["selection"]
+
+    @property
+    def crossover(self) -> random.Random:
+        return self._streams["crossover"]
+
+    @property
+    def mutation(self) -> random.Random:
+        return self._streams["mutation"]
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def getstate(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of every stream."""
+        if self.split:
+            streams = {
+                name: _rng_state_to_json(rng.getstate())
+                for name, rng in self._streams.items()
+            }
+            return {"mode": "split", "streams": streams}
+        return {
+            "mode": "shared",
+            "streams": {
+                "shared": _rng_state_to_json(self._streams["init"].getstate())
+            },
+        }
+
+    def setstate(self, payload: dict[str, Any]) -> None:
+        mode = payload.get("mode")
+        if mode not in ("shared", "split"):
+            raise NautilusError(f"unknown RNG-stream mode {mode!r}")
+        if (mode == "split") != self.split:
+            raise NautilusError(
+                f"checkpoint was taken in {mode!r} RNG mode, this search is "
+                f"configured for {'split' if self.split else 'shared'!r}"
+            )
+        if self.split:
+            for name in self.NAMES:
+                self._streams[name].setstate(
+                    _rng_state_from_json(payload["streams"][name])
+                )
+        else:
+            self._streams["init"].setstate(
+                _rng_state_from_json(payload["streams"]["shared"])
+            )
+
+    @classmethod
+    def from_state(cls, payload: dict[str, Any]) -> "RngStreams":
+        streams = cls(seed=0, split=payload.get("mode") == "split")
+        streams.setstate(payload)
+        return streams
+
+
+# ---------------------------------------------------------------------------
+# run history: records derived from the trace
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """Snapshot of the search state after one generation.
+
+    Records are a derived view: the kernel emits a ``generation-end`` trace
+    event per generation and :attr:`SearchKernel.records` projects these
+    fields back out of the event payloads.
+    """
+
+    generation: int
+    best_raw: float
+    best_score: float
+    mean_score: float
+    distinct_evaluations: int
+    best_config: dict[str, Any] = field(repr=False, default_factory=dict)
+
+
+_RECORD_FIELDS = (
+    "generation",
+    "best_raw",
+    "best_score",
+    "mean_score",
+    "distinct_evaluations",
+    "best_config",
+)
+
+
+class SearchResult:
+    """The outcome of one search run.
+
+    The result exposes the two quantities the paper evaluates on (Section 2,
+    "Evaluating GAs"): quality of results (best raw metric) and runtime
+    measured as the number of distinct designs evaluated.
+
+    ``stop_reason`` records why the search ended: ``"horizon"`` (configured
+    generations exhausted), ``"budget"`` (``max_evaluations`` reached),
+    ``"stall"`` (``stall_generations`` without improvement), ``"exhausted"``
+    (random search ran out of unseen feasible points), or ``"cancelled"``
+    (an incremental search was finalized before any cutoff fired).
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        records: Sequence[GenerationRecord],
+        best: Individual,
+        distinct_evaluations: int,
+        label: str = "",
+        stop_reason: str = "horizon",
+        eval_stats: EvalStats | None = None,
+        events: Sequence[RunEvent] | None = None,
+    ):
+        self.objective = objective
+        self.records = list(records)
+        self.best = best
+        self.distinct_evaluations = distinct_evaluations
+        self.label = label
+        self.stop_reason = stop_reason
+        #: Full evaluation-pipeline counters/timers at result time (cache
+        #: hits by layer, batch sizes, backend wall time, infeasible rate).
+        self.eval_stats = eval_stats or EvalStats()
+        #: The structured trace of the run (empty for hand-built results).
+        self.events = list(events or ())
+
+    @property
+    def best_raw(self) -> float:
+        """Best raw objective value found."""
+        return self.best.raw
+
+    @property
+    def best_config(self) -> dict[str, Any]:
+        """Parameter assignment of the best design found."""
+        return self.best.genome.as_dict()
+
+    def curve(self) -> list[tuple[int, float]]:
+        """(distinct evals, best raw so far) after each generation."""
+        return [(r.distinct_evaluations, r.best_raw) for r in self.records]
+
+    def generation_curve(self) -> list[tuple[int, float]]:
+        """(generation, best raw so far) pairs."""
+        return [(r.generation, r.best_raw) for r in self.records]
+
+    def operator_timings(self) -> dict[str, dict[str, float]]:
+        """{operator: {calls, time_s}} aggregated from the run's trace."""
+        totals: dict[str, dict[str, float]] = {}
+        for event in self.events:
+            if event.kind != "operator-applied":
+                continue
+            entry = totals.setdefault(
+                str(event.payload.get("operator", "?")),
+                {"calls": 0, "time_s": 0.0},
+            )
+            entry["calls"] += int(event.payload.get("calls", 0))
+            entry["time_s"] += float(event.payload.get("time_s", 0.0))
+        return totals
+
+    def evals_to_reach(self, threshold: float) -> int | None:
+        """Distinct evaluations needed to first reach a raw-metric threshold.
+
+        Returns ``None`` if the run never reached it. Direction comes from
+        the objective (>= threshold for max, <= for min).
+        """
+        for record in self.records:
+            if math.isnan(record.best_raw):
+                continue
+            reached = (
+                record.best_raw >= threshold
+                if self.objective.maximizing
+                else record.best_raw <= threshold
+            )
+            if reached:
+                return record.distinct_evaluations
+        return None
+
+    def generations_to_reach(self, threshold: float) -> int | None:
+        """Generations needed to first reach a raw-metric threshold."""
+        for record in self.records:
+            if math.isnan(record.best_raw):
+                continue
+            reached = (
+                record.best_raw >= threshold
+                if self.objective.maximizing
+                else record.best_raw <= threshold
+            )
+            if reached:
+                return record.generation
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SearchResult({self.label or self.objective.name}: "
+            f"best={self.best_raw:.4g} after {self.distinct_evaluations} evals)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the kernel
+# ---------------------------------------------------------------------------
+
+
+class SearchKernel:
+    """Shared lifecycle, RNG streams, and trace for every search engine.
+
+    Subclasses implement :meth:`_do_start` and :meth:`_do_step`; the kernel
+    wraps them with the start/step guards, the stopping-cutoff precedence
+    (budget → horizon → stall, checked between generations), stop-reason
+    bookkeeping, and trace emission. Cutoffs a subclass leaves as ``None``
+    never fire, so an engine with its own stopping rule (the random
+    baseline's draw budget) simply finishes itself via :meth:`_finish`.
+    """
+
+    def __init__(
+        self,
+        space,
+        evaluator,
+        objective: Objective,
+        label: str = "",
+        seed: int | None = None,
+        max_evaluations: int | None = None,
+        horizon: int | None = None,
+        stall_generations: int | None = None,
+        split_rngs: bool = False,
+        sinks: Sequence[TraceSink] = (),
+    ):
+        self.space = space
+        self.objective = objective
+        self.label = label
+        self.seed = seed
+        self.max_evaluations = max_evaluations
+        self.horizon = horizon
+        self.stall_generations = stall_generations
+        self.split_rngs = split_rngs
+        self._counter = EvaluationStack.wrap(evaluator)
+        self._trace = RunTrace(sinks)
+        self._rngs: RngStreams | None = None
+        self._population: list = []
+        self._best = None
+        self._generation = 0
+        self._stalled_generations = 0
+        self._stop_reason: str | None = None
+
+    # -- shared state surface ----------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has been called."""
+        return self._rngs is not None
+
+    @property
+    def finished(self) -> bool:
+        """Whether a stopping cutoff has fired (see :meth:`step`)."""
+        return self._stop_reason is not None
+
+    @property
+    def stop_reason(self) -> str | None:
+        """Why the search stopped, or ``None`` while it can still step."""
+        return self._stop_reason
+
+    @property
+    def generation(self) -> int:
+        """Index of the last completed generation (0 after :meth:`start`)."""
+        return self._generation
+
+    @property
+    def distinct_evaluations(self) -> int:
+        """Distinct designs evaluated so far (synthesis jobs paid)."""
+        return self._counter.distinct_evaluations
+
+    @property
+    def stack(self) -> EvaluationStack:
+        """The evaluation stack this search charges its synthesis jobs to."""
+        return self._counter
+
+    def eval_stats(self) -> EvalStats:
+        """Snapshot of the evaluation pipeline's counters and timers."""
+        return self._counter.stats()
+
+    @property
+    def rngs(self) -> RngStreams:
+        """The named RNG streams (available once started)."""
+        if self._rngs is None:
+            raise NautilusError("search has not started")
+        return self._rngs
+
+    @property
+    def records(self) -> list[GenerationRecord]:
+        """Per-generation records, derived from ``generation-end`` events."""
+        return [
+            GenerationRecord(**{f: e.payload[f] for f in _RECORD_FIELDS})
+            for e in self._trace.events
+            if e.kind == "generation-end"
+        ]
+
+    @property
+    def trace_events(self) -> list[RunEvent]:
+        """Every event emitted so far (copy)."""
+        return list(self._trace.events)
+
+    def attach_sink(self, sink: TraceSink) -> None:
+        """Subscribe a sink to every event emitted from now on."""
+        self._trace.attach(sink)
+
+    def operator_timings(self) -> dict[str, dict[str, float]]:
+        """Cumulative per-operator call counts and wall time."""
+        return self._trace.operator_timings()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self):
+        """Initialize the run; returns the generation-0 record (or ``None``
+        for engines without one, like the random baseline)."""
+        if self.started:
+            raise NautilusError("search already started")
+        self._rngs = RngStreams(self.seed, split=self.split_rngs)
+        return self._do_start()
+
+    def step(self):
+        """Advance one generation; return its record, or ``None`` when done.
+
+        Cutoffs are checked on entry, in the documented precedence order
+        (budget, horizon, stall): the step *after* the generation that
+        triggered a cutoff returns ``None`` and pins :attr:`stop_reason`.
+        """
+        if not self.started:
+            raise NautilusError("call start() before step()")
+        if self.finished:
+            return None
+        reason = self._cutoff()
+        if reason is not None:
+            self._finish(reason)
+            return None
+        return self._do_step()
+
+    def run(self) -> SearchResult:
+        """Run until a cutoff fires and return the result.
+
+        Thin loop over :meth:`start` / :meth:`step` — stepping incrementally
+        yields exactly this result.
+        """
+        if not self.started:
+            self.start()
+        while self.step() is not None:
+            pass
+        return self.result()
+
+    def stop(self, reason: str = "cancelled") -> None:
+        """Pin a terminal stop reason (no-op if a cutoff already fired)."""
+        if not self.finished:
+            self._finish(reason)
+
+    def result(self) -> SearchResult:
+        """Package the search state reached so far into a :class:`SearchResult`.
+
+        Callable at any point after :meth:`start` — a scheduler that cancels
+        a campaign mid-flight still gets the best-so-far and its curve. A
+        result taken before any cutoff fired reports ``"cancelled"``.
+        """
+        if self._best is None:
+            raise NautilusError("search has not started")
+        return SearchResult(
+            self.objective,
+            self.records,
+            self._best,
+            self._counter.distinct_evaluations,
+            label=self.label,
+            stop_reason=self._stop_reason or "cancelled",
+            eval_stats=self._counter.stats(),
+            events=self.trace_events,
+        )
+
+    # -- kernel plumbing ---------------------------------------------------------
+
+    def _cutoff(self) -> str | None:
+        """First stopping cutoff due, in the documented precedence order."""
+        if (
+            self.max_evaluations is not None
+            and self._counter.distinct_evaluations >= self.max_evaluations
+        ):
+            return "budget"
+        if self.horizon is not None and self._generation >= self.horizon:
+            return "horizon"
+        if (
+            self.stall_generations is not None
+            and self._stalled_generations >= self.stall_generations
+        ):
+            return "stall"
+        return None
+
+    def _finish(self, reason: str) -> None:
+        self._stop_reason = reason
+        self._trace.emit("stop", self._generation, {"reason": reason})
+        self._on_finish(reason)
+
+    def _push_record(self, record: GenerationRecord) -> GenerationRecord:
+        """Emit the generation-end event the record is derived from."""
+        self._trace.emit(
+            "generation-end",
+            record.generation,
+            {f: getattr(record, f) for f in _RECORD_FIELDS},
+        )
+        return record
+
+    def _replay_record(self, payload: dict[str, Any]) -> None:
+        """Re-seed the trace with a checkpointed generation (sinks skipped)."""
+        self._trace.emit(
+            "generation-end",
+            int(payload["generation"]),
+            {f: payload[f] for f in _RECORD_FIELDS},
+            notify=False,
+        )
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def _do_start(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _do_step(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _after_generation(self, record: GenerationRecord) -> None:
+        """Hook invoked after each completed generation (subclass seam)."""
+
+    def _on_finish(self, reason: str) -> None:
+        """Hook invoked exactly once when a stopping cutoff fires."""
+
+
+class GenerationalEngine(SearchKernel):
+    """A kernel specialization for population-based generational searches.
+
+    The loop is fixed — propose offspring through an operator pipeline,
+    evaluate them as one batch, pick survivors, observe progress, record —
+    and each stage is a hook: :meth:`_initial_genomes`,
+    :meth:`_propose`, :meth:`_to_individuals`, :meth:`_survivors`,
+    :meth:`_observe_start` / :meth:`_observe`, and :meth:`_make_record`.
+    """
+
+    def _do_start(self) -> GenerationRecord:
+        self._trace.emit("generation-start", 0)
+        t0 = time.perf_counter()
+        genomes = self._initial_genomes()
+        self._trace.emit(
+            "operator-applied",
+            0,
+            {
+                "operator": "init",
+                "calls": len(genomes),
+                "time_s": time.perf_counter() - t0,
+            },
+        )
+        self._population = self._assess_population(genomes, 0)
+        self._generation = 0
+        self._observe_start()
+        record = self._make_record(0)
+        self._push_record(record)
+        return record
+
+    def _do_step(self) -> GenerationRecord:
+        generation = self._generation + 1
+        self._trace.emit("generation-start", generation)
+        timings: dict[str, list[float]] = {}
+        genomes = self._propose(generation, timings)
+        for operator, (calls, time_s) in timings.items():
+            self._trace.emit(
+                "operator-applied",
+                generation,
+                {"operator": operator, "calls": int(calls), "time_s": time_s},
+            )
+        offspring = self._assess_population(genomes, generation)
+        self._population = self._survivors(offspring)
+        improved = self._observe(generation)
+        if improved:
+            self._stalled_generations = 0
+        else:
+            self._stalled_generations += 1
+        self._generation = generation
+        record = self._make_record(generation)
+        if improved:
+            self._trace.emit(
+                "best-improved",
+                generation,
+                {"best_raw": record.best_raw, "best_score": record.best_score},
+            )
+        self._push_record(record)
+        self._after_generation(record)
+        return record
+
+    def _assess_population(self, genomes: Sequence[Genome], generation: int):
+        """Score a whole generation through the stack's batch primitive.
+
+        When the evaluator exposes a parallel backend the generation's new
+        designs are evaluated concurrently — the population-sized
+        parallelism the paper's Section 2 discusses. Results are identical
+        to the sequential path. Emits one ``eval-batch`` event per batch.
+        """
+        before = self._counter.stats()
+        outcomes = self._counter.evaluate_many(genomes)
+        delta = self._counter.stats().minus(before)
+        self._trace.emit(
+            "eval-batch",
+            generation,
+            {
+                "size": len(genomes),
+                "distinct": delta.distinct,
+                "cache_hits": delta.cache_hits,
+                "infeasible": delta.infeasible,
+                "wall_time_s": delta.wall_time_s,
+            },
+        )
+        return self._to_individuals(genomes, outcomes)
+
+    # -- hooks -------------------------------------------------------------------
+
+    def _initial_genomes(self) -> list[Genome]:
+        """The generation-0 population (draws from the ``init`` stream)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _propose(
+        self, generation: int, timings: dict[str, list[float]]
+    ) -> list[Genome]:
+        """Breed the next generation's genomes (per-operator timings out)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _to_individuals(self, genomes: Sequence[Genome], outcomes: Sequence[Any]):
+        """Convert raw evaluation outcomes into the engine's individuals."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _survivors(self, offspring):
+        """Environmental selection: the population after this generation."""
+        return offspring
+
+    def _observe_start(self) -> None:
+        """Initialize best-so-far tracking from the initial population."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _observe(self, generation: int) -> bool:
+        """Update best-so-far from the new population; True if improved."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _make_record(self, generation: int) -> GenerationRecord:
+        """Summarize the current population into a record."""
+        raise NotImplementedError  # pragma: no cover - abstract

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Sequence
+import time
+from typing import Callable, Sequence
 
 from .genome import Genome
 from .hints import HintSet
@@ -31,6 +32,7 @@ from .space import DesignSpace
 
 __all__ = [
     "GeneticOperators",
+    "BreedingPipeline",
     "uniform_crossover",
     "single_point_crossover",
     "two_point_crossover",
@@ -77,6 +79,85 @@ def two_point_crossover(a: Genome, b: Genome, rng: random.Random) -> Genome:
     for i, name in enumerate(names):
         values[name] = b[name] if lo <= i <= hi else a[name]
     return Genome(a.space, values)
+
+
+class BreedingPipeline:
+    """One offspring = select → crossover → mutate, drawn from named streams.
+
+    This is the declarative operator pipeline every generational engine
+    passes to the kernel: the engine chooses the parent-selection strategy
+    (fitness-proportional for the single-objective GA, rank/crowding
+    tournament for NSGA-II) and the pipeline runs the fixed breeding
+    sequence, drawing each concern from its named RNG stream
+    (``selection`` / ``crossover`` / ``mutation``) and charging per-operator
+    wall time into the caller's ``timings`` accumulator (``{operator:
+    [calls, seconds]}``) so every run can report where breeding time went.
+
+    The draw order is pinned — parent selection, crossover-rate draw,
+    mate selection, up to 8 feasible-crossover attempts, then mutation —
+    because with shared RNG streams (the default) it is the sequence the
+    engine-parity baseline captures.
+    """
+
+    #: Attempts at producing a structurally feasible crossover before
+    #: falling back to the (feasible) first parent.
+    CROSSOVER_ATTEMPTS = 8
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        operators: GeneticOperators,
+        select: Callable,
+        crossover: Callable,
+        crossover_rate: float,
+    ):
+        self.space = space
+        self.operators = operators
+        self.select = select
+        self.crossover = crossover
+        self.crossover_rate = crossover_rate
+
+    @staticmethod
+    def _charge(
+        timings: dict[str, list[float]] | None,
+        operator: str,
+        calls: int,
+        seconds: float,
+    ) -> None:
+        if timings is None:
+            return
+        entry = timings.setdefault(operator, [0, 0.0])
+        entry[0] += calls
+        entry[1] += seconds
+
+    def breed(
+        self,
+        population: Sequence,
+        generation: int,
+        rngs,
+        timings: dict[str, list[float]] | None = None,
+    ) -> Genome:
+        """Produce one offspring genome from the current population."""
+        t0 = time.perf_counter()
+        parent = self.select(population, rngs.selection)
+        genome = parent.genome
+        t1 = time.perf_counter()
+        self._charge(timings, "selection", 1, t1 - t0)
+        if rngs.crossover.random() < self.crossover_rate:
+            t1 = time.perf_counter()
+            other = self.select(population, rngs.selection)
+            t2 = time.perf_counter()
+            self._charge(timings, "selection", 1, t2 - t1)
+            for _ in range(self.CROSSOVER_ATTEMPTS):
+                candidate = self.crossover(parent.genome, other.genome, rngs.crossover)
+                if self.space.is_feasible(candidate):
+                    genome = candidate
+                    break
+            self._charge(timings, "crossover", 1, time.perf_counter() - t2)
+        t3 = time.perf_counter()
+        mutated = self.operators.mutate_feasible(genome, generation, rngs.mutation)
+        self._charge(timings, "mutation", 1, time.perf_counter() - t3)
+        return mutated
 
 
 class GeneticOperators:

@@ -12,22 +12,38 @@ reuses the whole Nautilus substrate:
   steps apply unchanged; bias/target hints, which are inherently directional,
   are taken as authored (pointing at the region of interest);
 * classic fast non-dominated sorting plus crowding-distance selection
-  (Deb et al., 2002).
+  (Deb et al., 2002);
+* the same :class:`~repro.core.kernel.SearchKernel` substrate as the
+  single-objective engines — NSGA-II is just a different selection
+  strategy (rank/crowding tournament) and survivor rule plugged into the
+  shared generational loop, so :class:`ParetoSearch` speaks the full
+  incremental protocol (``start()``/``step()``/``stop_reason``,
+  ``max_evaluations``/``stall_generations`` cutoffs, RNG-stream
+  checkpointing, and the structured :class:`~repro.core.kernel.RunEvent`
+  trace) and the service can schedule and resume Pareto campaigns like any
+  other engine.
+
+Progress bookkeeping: the per-generation :class:`GenerationRecord` curve is
+the projection of the front onto the *first* objective (best raw/score of
+the non-dominated set), so multi-objective campaigns plot on the same axes
+as single-objective ones; stall detection instead watches the whole front —
+a generation "improves" when the non-dominated set changes at all.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Any, Sequence
 
 from .engine import GAConfig, _CROSSOVERS
 from .errors import InfeasibleDesignError, NautilusError
-from .evalstack import EvalStats, EvaluationStack
+from .evalstack import EvalStats
 from .evaluator import Evaluator
 from .fitness import Objective
 from .genome import Genome
 from .hints import HintSet
-from .operators import GeneticOperators
+from .kernel import GenerationalEngine, GenerationRecord, RunEvent
+from .operators import BreedingPipeline, GeneticOperators
+from .selection import Individual
 from .space import DesignSpace
 
 __all__ = [
@@ -150,12 +166,23 @@ class ParetoResult:
         front: list[ParetoIndividual],
         distinct_evaluations: int,
         eval_stats: EvalStats | None = None,
+        label: str = "pareto",
+        stop_reason: str = "horizon",
+        records: Sequence[GenerationRecord] = (),
+        events: Sequence[RunEvent] = (),
     ):
         self.objectives = list(objectives)
         self.front = front
         self.distinct_evaluations = distinct_evaluations
         #: Evaluation-pipeline counters/timers for the whole run.
         self.eval_stats = eval_stats or EvalStats()
+        self.label = label
+        #: Why the search ended (same vocabulary as single-objective runs).
+        self.stop_reason = stop_reason
+        #: First-objective projection of the front, one record per generation.
+        self.records = list(records)
+        #: The structured trace of the run (empty for hand-built results).
+        self.events = list(events)
 
     def front_raws(self) -> list[tuple[float, ...]]:
         """Raw metric tuples of the non-dominated set, sorted by the first."""
@@ -164,6 +191,24 @@ class ParetoResult:
     def front_configs(self) -> list[dict[str, Any]]:
         """Parameter assignments of the non-dominated set."""
         return [ind.genome.as_dict() for ind in self.front]
+
+    def curve(self) -> list[tuple[int, float]]:
+        """(distinct evals, first-objective best raw) after each generation."""
+        return [(r.distinct_evaluations, r.best_raw) for r in self.records]
+
+    def operator_timings(self) -> dict[str, dict[str, float]]:
+        """{operator: {calls, time_s}} aggregated from the run's trace."""
+        totals: dict[str, dict[str, float]] = {}
+        for event in self.events:
+            if event.kind != "operator-applied":
+                continue
+            entry = totals.setdefault(
+                str(event.payload.get("operator", "?")),
+                {"calls": 0, "time_s": 0.0},
+            )
+            entry["calls"] += int(event.payload.get("calls", 0))
+            entry["time_s"] += float(event.payload.get("time_s", 0.0))
+        return totals
 
     def hypervolume(self, reference_raws: tuple[float, float]) -> float:
         """2-objective hypervolume against a reference point in raw units."""
@@ -189,7 +234,7 @@ class ParetoResult:
         )
 
 
-class ParetoSearch:
+class ParetoSearch(GenerationalEngine):
     """NSGA-II-style multi-objective search over a design space.
 
     Args:
@@ -200,8 +245,13 @@ class ParetoSearch:
             :func:`~repro.core.fitness.minimize` or a composite.
         config: Reuses :class:`~repro.core.engine.GAConfig`; multi-objective
             runs usually want a larger population than single-query runs.
+            ``max_evaluations`` and ``stall_generations`` cut the run off
+            with the same budget → horizon → stall precedence as the
+            single-objective engines (a generation counts as *stalled* when
+            the non-dominated front did not change).
         hints: Optional author hints; see the module docstring for how the
             directional hints are interpreted.
+        label: Free-form label carried into the result.
     """
 
     def __init__(
@@ -211,24 +261,49 @@ class ParetoSearch:
         objectives: Sequence[Objective],
         config: GAConfig | None = None,
         hints: HintSet | None = None,
+        label: str = "pareto",
     ):
         if len(objectives) < 2:
             raise NautilusError("ParetoSearch needs at least 2 objectives")
-        self.space = space
         self.objectives = list(objectives)
         self.config = config or GAConfig(population_size=24, elitism=1)
-        self._counter = EvaluationStack.wrap(evaluator)
+        super().__init__(
+            space,
+            evaluator,
+            # Records/curves project onto the first objective.
+            self.objectives[0],
+            label=label,
+            seed=self.config.seed,
+            max_evaluations=self.config.max_evaluations,
+            horizon=self.config.generations,
+            stall_generations=self.config.stall_generations,
+            split_rngs=self.config.rng_streams == "split",
+        )
         self.hints = hints
         self.operators = GeneticOperators(space, self.config.mutation_rate, hints)
-        self._crossover = _CROSSOVERS[self.config.crossover]
+        self.pipeline = BreedingPipeline(
+            space,
+            self.operators,
+            self._tournament,
+            _CROSSOVERS[self.config.crossover],
+            self.config.crossover_rate,
+        )
+        self._front_signature: tuple = ()
+
+    # -- scoring ------------------------------------------------------------------
 
     def _assess(self, genome: Genome) -> ParetoIndividual:
         return self._assess_all([genome])[0]
 
     def _assess_all(self, genomes: Sequence[Genome]) -> list[ParetoIndividual]:
-        """Score a whole generation through the stack's batch primitive."""
+        """Score genomes as one batch, outside the kernel's traced path."""
+        return self._to_individuals(genomes, self._counter.evaluate_many(genomes))
+
+    def _to_individuals(
+        self, genomes: Sequence[Genome], outcomes: Sequence
+    ) -> list[ParetoIndividual]:
         individuals = []
-        for genome, outcome in zip(genomes, self._counter.evaluate_many(genomes)):
+        for genome, outcome in zip(genomes, outcomes):
             if isinstance(outcome, InfeasibleDesignError):
                 worst = tuple(float("-inf") for _ in self.objectives)
                 nan = tuple(float("nan") for _ in self.objectives)
@@ -243,7 +318,7 @@ class ParetoSearch:
 
     @staticmethod
     def _tournament(
-        population: Sequence[ParetoIndividual], rng: random.Random
+        population: Sequence[ParetoIndividual], rng
     ) -> ParetoIndividual:
         a = population[rng.randrange(len(population))]
         b = population[rng.randrange(len(population))]
@@ -251,67 +326,136 @@ class ParetoSearch:
             return a if a.rank < b.rank else b
         return a if a.crowding >= b.crowding else b
 
-    def run(self) -> ParetoResult:
-        """Evolve the population and return the final non-dominated set."""
-        cfg = self.config
-        rng = random.Random(cfg.seed)
-        population = self._assess_all(
-            self.space.random_population(cfg.population_size, rng)
+    # -- kernel hooks --------------------------------------------------------------
+
+    def _initial_genomes(self) -> list[Genome]:
+        return self.space.random_population(
+            self.config.population_size, self.rngs.init
         )
-        self._rank(population)
-        for generation in range(1, cfg.generations + 1):
-            # Breed the whole generation first, then score it as one batch —
-            # breeding never reads fitness of the offspring, so this is
-            # bit-identical to assessing each child as it is bred, and it
-            # gives the stack population-sized batches to fan out.
-            bred: list[Genome] = []
-            while len(bred) < cfg.population_size:
-                parent = self._tournament(population, rng)
-                genome = parent.genome
-                if rng.random() < cfg.crossover_rate:
-                    other = self._tournament(population, rng)
-                    for _ in range(8):
-                        child = self._crossover(parent.genome, other.genome, rng)
-                        if self.space.is_feasible(child):
-                            genome = child
-                            break
-                bred.append(self.operators.mutate_feasible(genome, generation, rng))
-            offspring = self._assess_all(bred)
-            # Environmental selection over the combined pool.
-            pool = population + offspring
-            fronts = non_dominated_sort(pool)
-            survivors: list[ParetoIndividual] = []
-            for front in fronts:
-                crowding_distances(front)
-                if len(survivors) + len(front) <= cfg.population_size:
-                    survivors.extend(front)
-                else:
-                    remaining = cfg.population_size - len(survivors)
-                    survivors.extend(
-                        sorted(front, key=lambda ind: -ind.crowding)[:remaining]
-                    )
-                    break
-            population = survivors
-            self._rank(population)
+
+    def _propose(
+        self, generation: int, timings: dict[str, list[float]]
+    ) -> list[Genome]:
+        # Breed the whole generation first, then score it as one batch —
+        # breeding never reads fitness of the offspring, so this is
+        # bit-identical to assessing each child as it is bred, and it
+        # gives the stack population-sized batches to fan out. NSGA-II's
+        # elitism lives in the survivor rule (parents compete in the pool),
+        # so no individuals are copied here.
+        return [
+            self.pipeline.breed(self._population, generation, self.rngs, timings)
+            for _ in range(self.config.population_size)
+        ]
+
+    def _survivors(self, offspring: list[ParetoIndividual]) -> list[ParetoIndividual]:
+        # Environmental selection over the combined parent+offspring pool.
+        pool = self._population + offspring
+        fronts = non_dominated_sort(pool)
+        survivors: list[ParetoIndividual] = []
+        for front in fronts:
+            crowding_distances(front)
+            if len(survivors) + len(front) <= self.config.population_size:
+                survivors.extend(front)
+            else:
+                remaining = self.config.population_size - len(survivors)
+                survivors.extend(
+                    sorted(front, key=lambda ind: -ind.crowding)[:remaining]
+                )
+                break
+        self._rank(survivors)
+        return survivors
+
+    def _observe_start(self) -> None:
+        self._rank(self._population)
+        self._front_signature = self._signature()
+        self._best = self._projected_best()
+
+    def _observe(self, generation: int) -> bool:
+        signature = self._signature()
+        improved = signature != self._front_signature
+        self._front_signature = signature
+        self._best = self._projected_best()
+        return improved
+
+    def _make_record(self, generation: int) -> GenerationRecord:
+        finite = [
+            ind.scores[0]
+            for ind in self._population
+            if ind.scores[0] != float("-inf")
+        ]
+        mean_score = sum(finite) / len(finite) if finite else float("-inf")
+        return GenerationRecord(
+            generation=generation,
+            best_raw=self._best.raw,
+            best_score=self._best.score,
+            mean_score=mean_score,
+            distinct_evaluations=self._counter.distinct_evaluations,
+            best_config=self._best.genome.as_dict(),
+        )
+
+    # -- front bookkeeping ---------------------------------------------------------
+
+    def _signature(self) -> tuple:
+        """Canonical fingerprint of the current non-dominated set."""
+        return tuple(
+            sorted(
+                (ind.genome.key, ind.scores)
+                for ind in self._finite_front()
+            )
+        )
+
+    def _finite_front(self) -> list[ParetoIndividual]:
+        """Deduplicated feasible front-0 members of the current population."""
         finite = [
             ind
-            for ind in population
+            for ind in self._population
             if all(score != float("-inf") for score in ind.scores)
         ]
         fronts = non_dominated_sort(finite) if finite else [[]]
-        # Deduplicate identical genomes in the final front.
         seen: set[tuple] = set()
         front = []
         for ind in fronts[0]:
             if ind.genome.key not in seen:
                 seen.add(ind.genome.key)
                 front.append(ind)
+        return front
+
+    def _projected_best(self) -> Individual:
+        """The population's best design on the first objective, as an
+        :class:`Individual`, for the record/curve projection."""
+        best = max(self._population, key=lambda ind: ind.scores[0])
+        return Individual(best.genome, best.scores[0], best.raws[0])
+
+    def front(self) -> list[ParetoIndividual]:
+        """The current non-dominated set (live view, callable mid-run)."""
+        if not self.started:
+            raise NautilusError("search has not started")
+        return self._finite_front()
+
+    def front_raws(self) -> list[tuple[float, ...]]:
+        """Raw metric tuples of the current front, sorted by the first."""
+        return sorted(ind.raws for ind in self.front())
+
+    # -- results -------------------------------------------------------------------
+
+    def result(self) -> ParetoResult:
+        """Package the non-dominated set reached so far."""
+        if self._best is None:
+            raise NautilusError("search has not started")
         return ParetoResult(
             self.objectives,
-            front,
+            self._finite_front(),
             self._counter.distinct_evaluations,
             eval_stats=self._counter.stats(),
+            label=self.label,
+            stop_reason=self.stop_reason or "cancelled",
+            records=self.records,
+            events=self.trace_events,
         )
+
+    def run(self) -> ParetoResult:
+        """Evolve the population and return the final non-dominated set."""
+        return super().run()
 
     @staticmethod
     def _rank(population: list[ParetoIndividual]) -> None:

@@ -155,6 +155,21 @@ class MultiRunResult:
 
         return reduce(add, (r.eval_stats for r in self.results), EvalStats())
 
+    def operator_timings(self) -> dict[str, dict[str, float]]:
+        """Per-operator call counts and wall time summed across all runs.
+
+        Each run's :meth:`SearchResult.operator_timings` is already
+        cumulative over that run's trace; summing them describes where the
+        whole experiment spent its breeding time.
+        """
+        merged: dict[str, dict[str, float]] = {}
+        for result in self.results:
+            for operator, entry in result.operator_timings().items():
+                slot = merged.setdefault(operator, {"calls": 0, "time_s": 0.0})
+                slot["calls"] += entry.get("calls", 0)
+                slot["time_s"] += entry.get("time_s", 0.0)
+        return merged
+
     def curve_cross(self, threshold: float) -> float | None:
         """Evals at which the *mean* convergence curve crosses a threshold.
 

@@ -19,7 +19,16 @@ from .core.hints import HintSet
 if TYPE_CHECKING:  # pragma: no cover
     from .dataset import Dataset
 
-__all__ = ["Query", "QUERIES", "load_dataset", "build_hints", "resolve_objective"]
+__all__ = [
+    "Query",
+    "QUERIES",
+    "MultiQuery",
+    "MULTI_QUERIES",
+    "load_dataset",
+    "build_hints",
+    "resolve_objective",
+    "resolve_multi_objectives",
+]
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,31 @@ QUERIES: dict[str, Query] = {
     "fft-luts": Query("fft", "luts", "min", "lut"),
     "fft-throughput-per-lut": Query("fft", "msps_per_lut", "max", "tput"),
     "fir-area": Query("fir", "luts", "min", "fir_area"),
+}
+
+
+@dataclass(frozen=True)
+class MultiQuery:
+    """One named multi-objective (Pareto) trade-off on a bundled dataset.
+
+    The hint kind guides mutation toward the region of interest (hints are
+    authored per metric; the first objective's hints are used, matching the
+    record/curve projection of :class:`~repro.core.pareto.ParetoSearch`).
+    """
+
+    space: str
+    metrics: tuple[str, ...]
+    directions: tuple[str, ...]  # "max" | "min", per metric
+    hint_kind: str | None
+
+
+MULTI_QUERIES: dict[str, MultiQuery] = {
+    "noc-frequency-vs-area-delay": MultiQuery(
+        "noc", ("fmax_mhz", "area_delay"), ("max", "min"), "frequency"
+    ),
+    "fft-luts-vs-throughput": MultiQuery(
+        "fft", ("luts", "msps_per_lut"), ("min", "max"), "lut"
+    ),
 }
 
 
@@ -91,3 +125,14 @@ def resolve_objective(
         else minimize(query.metric)
     )
     return objective, query.hint_kind
+
+
+def resolve_multi_objectives(
+    query: MultiQuery,
+) -> tuple[list[Objective], str | None]:
+    """The objective list for a multi-objective query: ``(objectives, hint_kind)``."""
+    objectives = [
+        maximize(metric) if direction == "max" else minimize(metric)
+        for metric, direction in zip(query.metrics, query.directions)
+    ]
+    return objectives, query.hint_kind

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core import (
+    CheckpointedParetoSearch,
     CheckpointedSearch,
     EvaluationStack,
     GAConfig,
@@ -27,11 +28,29 @@ from ..core import (
 )
 from ..core.evalstack import PersistentCache
 from ..core.evaluator import DatasetEvaluator
-from ..queries import QUERIES, build_hints, resolve_objective
+from ..queries import (
+    MULTI_QUERIES,
+    QUERIES,
+    build_hints,
+    resolve_multi_objectives,
+    resolve_objective,
+)
 
-__all__ = ["CampaignState", "CampaignSpec", "Campaign", "build_search"]
+__all__ = [
+    "CampaignState",
+    "CampaignSpec",
+    "Campaign",
+    "build_search",
+    "query_space",
+]
 
-_ENGINES = ("nautilus", "baseline", "random")
+_ENGINES = ("nautilus", "baseline", "random", "pareto")
+
+
+def query_space(spec: "CampaignSpec") -> str:
+    """The dataset space a spec's query runs against (any engine)."""
+    registry = MULTI_QUERIES if spec.engine == "pareto" else QUERIES
+    return registry[spec.query].space
 
 
 class CampaignState:
@@ -61,14 +80,19 @@ class CampaignSpec:
     """Everything needed to (re)build one search campaign.
 
     Attributes:
-        query: A named query from :data:`repro.queries.QUERIES`.
-        engine: ``"nautilus"`` (guided), ``"baseline"`` (unguided GA) or
-            ``"random"``.
+        query: A named query from :data:`repro.queries.QUERIES` — or, for
+            the ``"pareto"`` engine, from
+            :data:`repro.queries.MULTI_QUERIES`.
+        engine: ``"nautilus"`` (guided), ``"baseline"`` (unguided GA),
+            ``"random"``, or ``"pareto"`` (NSGA-II over a named
+            multi-objective query).
         generations: GA horizon (ignored by the random engine).
         seed: RNG seed — campaigns are deterministic given their spec.
         priority: Higher is served first; campaigns of equal priority share
             the scheduler round-robin fairly.
-        confidence: Optional hint-confidence override (nautilus only).
+        confidence: Optional hint-confidence override (nautilus engine);
+            for the ``pareto`` engine, setting it opts the campaign into
+            the multi-query's hint guidance.
         budget: Random-search draw budget (random engine only).
         max_evaluations: Optional distinct-evaluation cutoff for GA runs.
         label: Free-form tag carried into results.
@@ -85,13 +109,15 @@ class CampaignSpec:
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.query not in QUERIES:
-            raise NautilusError(
-                f"unknown query {self.query!r}; choose from {sorted(QUERIES)}"
-            )
         if self.engine not in _ENGINES:
             raise NautilusError(
                 f"unknown engine {self.engine!r}; choose from {_ENGINES}"
+            )
+        registry = MULTI_QUERIES if self.engine == "pareto" else QUERIES
+        if self.query not in registry:
+            raise NautilusError(
+                f"unknown query {self.query!r} for engine {self.engine!r}; "
+                f"choose from {sorted(registry)}"
             )
         if self.generations < 1:
             raise NautilusError("generations must be >= 1")
@@ -129,14 +155,45 @@ def build_search(
     on-disk cache so campaigns over the same space never re-pay a
     synthesis job, across processes and daemon restarts.
     """
-    query = QUERIES[spec.query]
-    objective, hint_kind = resolve_objective(query)
     evaluator = EvaluationStack(
         DatasetEvaluator(dataset),
         backend="thread" if workers > 1 else "auto",
         workers=workers,
         persistent=persistent,
     )
+    if spec.engine == "pareto":
+        multi = MULTI_QUERIES[spec.query]
+        objectives, hint_kind = resolve_multi_objectives(multi)
+        # Pareto campaigns are unguided by default; an explicit confidence
+        # opts into the query's hint kind (mirroring nautilus-vs-baseline).
+        hints = None
+        if hint_kind and spec.confidence is not None:
+            hints = build_hints(hint_kind, spec.confidence)
+        config = GAConfig(
+            population_size=24,
+            generations=spec.generations,
+            seed=spec.seed,
+            max_evaluations=spec.max_evaluations,
+        )
+        if campaign_dir is None:
+            from ..core import ParetoSearch
+
+            return ParetoSearch(
+                dataset.space, evaluator, objectives, config,
+                hints=hints, label=spec.label or "pareto",
+            )
+        return CheckpointedParetoSearch(
+            dataset.space,
+            evaluator,
+            objectives,
+            config,
+            hints=hints,
+            label=spec.label or "pareto",
+            checkpoint_path=Path(campaign_dir) / "checkpoint.json",
+            checkpoint_every=1,
+        )
+    query = QUERIES[spec.query]
+    objective, hint_kind = resolve_objective(query)
     if spec.engine == "random":
         return RandomSearch(
             dataset.space,
@@ -208,7 +265,7 @@ class Campaign:
             if self.stored_result:
                 for key in (
                     "best_raw", "best_score", "best_config",
-                    "distinct_evaluations", "stop_reason",
+                    "distinct_evaluations", "stop_reason", "front",
                 ):
                     if key in self.stored_result:
                         payload[key] = self.stored_result[key]
@@ -223,6 +280,12 @@ class Campaign:
         stop = getattr(source, "stop_reason", None)
         if self.terminal and stop:
             payload["stop_reason"] = stop
+        front_raws = getattr(source, "front_raws", None)
+        if callable(front_raws):
+            try:
+                payload["front"] = [list(raws) for raws in front_raws()]
+            except NautilusError:  # search built but not started yet
+                pass
         return payload
 
     def curve_payload(self) -> list[dict[str, Any]]:

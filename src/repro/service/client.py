@@ -77,6 +77,15 @@ class ServiceClient:
     def curve(self, campaign_id: str) -> list[dict[str, Any]]:
         return self._request("GET", f"/campaigns/{campaign_id}/curve")
 
+    def trace(
+        self, campaign_id: str, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """A campaign's structured RunEvent log; ``limit`` keeps the last N."""
+        path = f"/campaigns/{campaign_id}/trace"
+        if limit is not None:
+            path += f"?limit={limit}"
+        return self._request("GET", path)
+
     def cancel(self, campaign_id: str) -> dict[str, Any]:
         return self._request("DELETE", f"/campaigns/{campaign_id}")
 

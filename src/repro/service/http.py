@@ -6,6 +6,7 @@ Routes::
     GET    /campaigns            list campaign summaries
     GET    /campaigns/<id>       status: state, progress, best-so-far
     GET    /campaigns/<id>/curve per-generation search curve
+    GET    /campaigns/<id>/trace structured RunEvent log (?limit=N for tail)
     DELETE /campaigns/<id>       request cancellation
     GET    /metrics              live service counters
     GET    /healthz              liveness probe
@@ -20,6 +21,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
 from ..core import NautilusError
 from .campaign import CampaignSpec
@@ -75,6 +77,18 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         return tuple(part for part in path.split("/") if part)
 
+    def _query_int(self, name: str) -> int | None:
+        parts = self.path.split("?", 1)
+        if len(parts) < 2:
+            return None
+        values = parse_qs(parts[1]).get(name)
+        if not values:
+            return None
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise NautilusError(f"query parameter {name!r} must be an integer")
+
     # -- verbs ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -93,6 +107,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(scheduler.get(parts[1]).status_payload())
             elif len(parts) == 3 and parts[:1] == ("campaigns",) and parts[2] == "curve":
                 self._send_json(scheduler.get(parts[1]).curve_payload())
+            elif len(parts) == 3 and parts[:1] == ("campaigns",) and parts[2] == "trace":
+                self._send_json(
+                    scheduler.trace(parts[1], limit=self._query_int("limit"))
+                )
             else:
                 self._send_error_json(404, f"no route {self.path!r}")
         except NautilusError as exc:

@@ -47,6 +47,9 @@ class ServiceMetrics:
         self._campaign_eval_time: dict[str, float] = {}
         #: Per-campaign cumulative distinct evaluations.
         self._campaign_evaluations: dict[str, int] = {}
+        #: Per-campaign {operator: {calls, time_s}} from the engines' traces
+        #: (cumulative over each run; replaced wholesale on every step).
+        self._campaign_operators: dict[str, dict[str, dict[str, float]]] = {}
         # (timestamp, distinct-evaluation delta) samples for the window rate.
         self._samples: deque[tuple[float, int]] = deque()
 
@@ -84,6 +87,19 @@ class ServiceMetrics:
         with self._lock:
             self._campaign_states[campaign_id] = state
 
+    def record_operators(
+        self, campaign_id: str, timings: dict[str, dict[str, float]]
+    ) -> None:
+        """Replace a campaign's cumulative per-operator timing snapshot.
+
+        ``timings`` is :meth:`SearchKernel.operator_timings` — already
+        cumulative over the run, so the latest snapshot wins.
+        """
+        with self._lock:
+            self._campaign_operators[campaign_id] = {
+                operator: dict(entry) for operator, entry in timings.items()
+            }
+
     def _trim(self, now: float) -> None:
         horizon = now - _WINDOW_S
         while self._samples and self._samples[0][0] < horizon:
@@ -106,6 +122,16 @@ class ServiceMetrics:
             states: dict[str, int] = {}
             for state in self._campaign_states.values():
                 states[state] = states.get(state, 0) + 1
+            operator_time: dict[str, float] = {}
+            operator_calls: dict[str, int] = {}
+            for timings in self._campaign_operators.values():
+                for operator, entry in timings.items():
+                    operator_time[operator] = operator_time.get(
+                        operator, 0.0
+                    ) + float(entry.get("time_s", 0.0))
+                    operator_calls[operator] = operator_calls.get(
+                        operator, 0
+                    ) + int(entry.get("calls", 0))
             return {
                 "uptime_s": uptime,
                 "scheduler_steps": self._steps,
@@ -130,4 +156,13 @@ class ServiceMetrics:
                 "campaign_generations": dict(self._generations),
                 "campaign_eval_time_s": dict(self._campaign_eval_time),
                 "campaign_evaluations": dict(self._campaign_evaluations),
+                "operator_time_s": operator_time,
+                "operator_calls": operator_calls,
+                "campaign_operator_time_s": {
+                    cid: {
+                        operator: float(entry.get("time_s", 0.0))
+                        for operator, entry in timings.items()
+                    }
+                    for cid, timings in self._campaign_operators.items()
+                },
             }

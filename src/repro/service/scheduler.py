@@ -25,9 +25,20 @@ import threading
 from collections import deque
 from typing import Any
 
-from ..core import CheckpointedSearch, NautilusError
-from ..queries import QUERIES, load_dataset
-from .campaign import Campaign, CampaignSpec, CampaignState, build_search
+from ..core import (
+    CheckpointedParetoSearch,
+    CheckpointedSearch,
+    JsonlTraceSink,
+    NautilusError,
+)
+from ..queries import load_dataset
+from .campaign import (
+    Campaign,
+    CampaignSpec,
+    CampaignState,
+    build_search,
+    query_space,
+)
 from .metrics import ServiceMetrics
 from .store import CampaignStore
 
@@ -72,6 +83,8 @@ class Scheduler:
         self._dataset_provider = dataset_provider
         self._datasets: dict[str, Any] = {}
         self._campaigns: dict[str, Campaign] = {}
+        #: Live per-campaign JSONL trace sinks, closed on finalize.
+        self._sinks: dict[str, JsonlTraceSink] = {}
         self._queues: dict[int, deque[str]] = {}
         self._lock = threading.RLock()
         self._wake = threading.Event()
@@ -188,7 +201,7 @@ class Scheduler:
         return True
 
     def _build(self, campaign: Campaign) -> None:
-        dataset = self._dataset(QUERIES[campaign.spec.query].space)
+        dataset = self._dataset(query_space(campaign.spec))
         search = build_search(
             campaign.spec,
             dataset,
@@ -197,20 +210,33 @@ class Scheduler:
             persistent=self.persistent,
         )
         checkpoint = self.store.checkpoint_path(campaign.id)
-        if isinstance(search, CheckpointedSearch) and checkpoint.exists():
+        resumable = (CheckpointedSearch, CheckpointedParetoSearch)
+        if isinstance(search, resumable) and checkpoint.exists():
             search.resume(checkpoint)
+        # Every engine streams its structured trace into the campaign's
+        # append-mode event log. On resume the engine replays its recorded
+        # history without notifying sinks, so the log never duplicates
+        # generations across daemon restarts.
+        sink = JsonlTraceSink(self.store.events_path(campaign.id))
+        search.attach_sink(sink)
+        self._sinks[campaign.id] = sink
         campaign.search = search
 
     def _step(self, campaign: Campaign) -> None:
         if campaign.cancel_requested:
-            if campaign.search is not None and campaign.search.started:
-                campaign.result = campaign.search.result()
+            search = campaign.search
+            if search is not None and search.started:
+                if not search.finished:
+                    # Pin the terminal reason and emit the trace's final
+                    # "stop" event before packaging the partial result.
+                    search.stop("cancelled")
+                campaign.result = search.result()
             self._finalize(campaign, CampaignState.CANCELLED)
             return
         if campaign.search is None:
             self._build(campaign)
         search = campaign.search
-        stack = search._counter
+        stack = search.stack
         before = stack.stats()
         if not search.started:
             search.start()
@@ -226,6 +252,7 @@ class Scheduler:
             campaign.generations_done,
             stack.stats().minus(before),
         )
+        self.metrics.record_operators(campaign.id, search.operator_timings())
         if record is None:
             campaign.result = search.result()
             self._finalize(campaign, CampaignState.DONE)
@@ -237,6 +264,18 @@ class Scheduler:
         self.store.save_status(campaign)
         self.store.save_result(campaign)
         self.metrics.record_state(campaign.id, state)
+        sink = self._sinks.pop(campaign.id, None)
+        if sink is not None:
+            sink.close()
+
+    # -- structured trace ---------------------------------------------------------
+
+    def trace(
+        self, campaign_id: str, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """A campaign's persisted RunEvent log (most recent last)."""
+        self.get(campaign_id)  # 404 on unknown campaigns
+        return self.store.load_events(campaign_id, limit=limit)
 
     # -- thread lifecycle -------------------------------------------------------
 

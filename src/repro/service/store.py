@@ -7,6 +7,7 @@ Layout, one directory per campaign under the store root::
         spec.json        # the submitted CampaignSpec, verbatim
         status.json      # state machine + progress records (atomic rewrites)
         checkpoint.json  # SearchCheckpoint (GA engines; written by the engine)
+        events.jsonl     # structured RunEvent trace, one JSON line per event
         result.json      # final curve + best design, once terminal
 
 Every write goes through a temp-file + ``rename`` so a killed daemon never
@@ -120,3 +121,33 @@ class CampaignStore:
 
     def checkpoint_path(self, campaign_id: str) -> Path:
         return self.campaign_dir(campaign_id) / "checkpoint.json"
+
+    # -- structured trace ---------------------------------------------------------
+
+    def events_path(self, campaign_id: str) -> Path:
+        """The campaign's append-only structured event log (JSONL)."""
+        return self.campaign_dir(campaign_id) / "events.jsonl"
+
+    def load_events(
+        self, campaign_id: str, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Read a campaign's RunEvent log; ``limit`` keeps the last N.
+
+        Torn trailing lines (a daemon killed mid-write) are skipped — the
+        sink flushes per event, so at most the final line can be partial.
+        """
+        path = self.events_path(campaign_id)
+        if not path.exists():
+            return []
+        events = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        if limit is not None and limit >= 0:
+            return events[len(events) - limit :] if limit else []
+        return events

@@ -1,0 +1,293 @@
+"""Shared protocol suite for every engine built on the search kernel.
+
+One parametrized battery runs the baseline GA, the guided GA, the adaptive
+variant, NSGA-II Pareto search, and the random baseline through the same
+lifecycle assertions: start/step guards, run == stepping, stop-reason
+vocabulary and precedence, seed handling (0 is a real seed, not falsy),
+structured-trace invariants, and RNG-stream checkpoint round-trips.
+"""
+
+import pytest
+
+from repro.core import (
+    AdaptiveSearch,
+    CallableEvaluator,
+    CheckpointedParetoSearch,
+    GAConfig,
+    GeneticSearch,
+    HintSet,
+    NautilusError,
+    ParamHints,
+    ParetoSearch,
+    RandomSearch,
+    RngStreams,
+    RUN_EVENT_KINDS,
+    SearchCheckpoint,
+    maximize,
+)
+
+ENGINES = ("baseline", "nautilus", "adaptive", "random", "pareto")
+
+_HINTS = HintSet({"a": ParamHints(importance=90, bias=1.0)}, confidence=0.7)
+
+
+def make_engine(name, space, evaluator, seed=0, generations=6, **overrides):
+    """A fresh engine of each supported kind over the toy fixtures."""
+    objective = maximize("m")
+    config = GAConfig(
+        population_size=8, generations=generations, seed=seed, **overrides
+    )
+    if name == "baseline":
+        return GeneticSearch(space, evaluator, objective, config)
+    if name == "nautilus":
+        return GeneticSearch(space, evaluator, objective, config, hints=_HINTS)
+    if name == "adaptive":
+        return AdaptiveSearch(
+            space, evaluator, objective, config, hints=_HINTS, patience=2
+        )
+    if name == "random":
+        return RandomSearch(space, evaluator, objective, budget=30, seed=seed)
+    if name == "pareto":
+        return ParetoSearch(
+            space,
+            evaluator,
+            [maximize("m"), maximize("inverse")],
+            GAConfig(
+                population_size=8, generations=generations, seed=seed,
+                elitism=1, **overrides,
+            ),
+        )
+    raise AssertionError(name)
+
+
+@pytest.fixture(params=ENGINES)
+def engine_name(request):
+    return request.param
+
+
+class TestLifecycleProtocol:
+    def test_step_before_start_raises(self, engine_name, toy_space, toy_evaluator):
+        engine = make_engine(engine_name, toy_space, toy_evaluator)
+        with pytest.raises(NautilusError, match="start"):
+            engine.step()
+
+    def test_double_start_raises(self, engine_name, toy_space, toy_evaluator):
+        engine = make_engine(engine_name, toy_space, toy_evaluator)
+        engine.start()
+        with pytest.raises(NautilusError, match="already started"):
+            engine.start()
+
+    def test_result_before_start_raises(
+        self, engine_name, toy_space, toy_evaluator
+    ):
+        engine = make_engine(engine_name, toy_space, toy_evaluator)
+        with pytest.raises(NautilusError):
+            engine.result()
+
+    def test_run_equals_stepping(self, engine_name, toy_space, toy_evaluator):
+        blocking = make_engine(engine_name, toy_space, toy_evaluator).run()
+        stepped_engine = make_engine(engine_name, toy_space, toy_evaluator)
+        stepped_engine.start()
+        while stepped_engine.step() is not None:
+            pass
+        stepped = stepped_engine.result()
+        assert stepped.records == blocking.records
+        assert stepped.stop_reason == blocking.stop_reason
+        assert stepped.distinct_evaluations == blocking.distinct_evaluations
+        front = getattr(blocking, "front_raws", None)
+        if callable(front):
+            assert stepped.front_raws() == blocking.front_raws()
+
+    def test_finished_state_machine(self, engine_name, toy_space, toy_evaluator):
+        engine = make_engine(engine_name, toy_space, toy_evaluator)
+        assert not engine.started and not engine.finished
+        engine.start()
+        assert engine.started and not engine.finished
+        result = engine.run()
+        assert engine.finished
+        assert result.stop_reason in ("horizon", "budget", "stall", "exhausted")
+        assert engine.stop_reason == result.stop_reason
+        assert engine.step() is None  # stepping past the end stays None
+
+    def test_stop_pins_cancelled(self, engine_name, toy_space, toy_evaluator):
+        engine = make_engine(engine_name, toy_space, toy_evaluator)
+        engine.start()
+        engine.step()
+        engine.stop()
+        assert engine.finished and engine.stop_reason == "cancelled"
+        assert engine.step() is None
+        assert engine.result().stop_reason == "cancelled"
+        engine.stop("ignored")  # no-op once terminal
+        assert engine.stop_reason == "cancelled"
+
+    def test_seed_zero_is_a_real_seed(self, engine_name, toy_space, toy_evaluator):
+        """seed=0 must not be treated as falsy (replaced by entropy)."""
+        first = make_engine(engine_name, toy_space, toy_evaluator, seed=0).run()
+        second = make_engine(engine_name, toy_space, toy_evaluator, seed=0).run()
+        assert first.records == second.records
+        other = make_engine(engine_name, toy_space, toy_evaluator, seed=1).run()
+        assert first.records != other.records
+
+
+class TestTraceInvariants:
+    def test_event_stream_structure(self, engine_name, toy_space, toy_evaluator):
+        result = make_engine(engine_name, toy_space, toy_evaluator).run()
+        events = result.events
+        assert events, "every run must emit a trace"
+        assert all(e.kind in RUN_EVENT_KINDS for e in events)
+        assert [e.seq for e in events] == list(range(len(events)))
+        assert events[-1].kind == "stop"
+        assert events[-1].payload["reason"] == result.stop_reason
+
+    def test_records_derive_from_generation_end(
+        self, engine_name, toy_space, toy_evaluator
+    ):
+        engine = make_engine(engine_name, toy_space, toy_evaluator)
+        result = engine.run()
+        ends = [e for e in result.events if e.kind == "generation-end"]
+        assert len(ends) == len(result.records)
+        for event, record in zip(ends, result.records):
+            assert event.payload["generation"] == record.generation
+            assert event.payload["best_raw"] == record.best_raw
+            assert event.payload["distinct_evaluations"] == (
+                record.distinct_evaluations
+            )
+
+    def test_generational_engines_time_their_operators(
+        self, engine_name, toy_space, toy_evaluator
+    ):
+        if engine_name == "random":
+            pytest.skip("the random baseline has no breeding operators")
+        result = make_engine(engine_name, toy_space, toy_evaluator).run()
+        timings = result.operator_timings()
+        for operator in ("init", "selection", "mutation"):
+            assert timings[operator]["calls"] > 0
+            assert timings[operator]["time_s"] >= 0.0
+
+
+class TestStopPrecedence:
+    def test_budget_fires_before_horizon(self, toy_space, toy_evaluator):
+        engine = make_engine(
+            "baseline", toy_space, toy_evaluator,
+            generations=1, max_evaluations=1,
+        )
+        engine.start()
+        assert engine.step() is None
+        assert engine.stop_reason == "budget"
+
+    def test_horizon_without_budget(self, toy_space, toy_evaluator):
+        result = make_engine(
+            "baseline", toy_space, toy_evaluator, generations=2
+        ).run()
+        assert result.stop_reason == "horizon"
+        assert result.records[-1].generation == 2
+
+    def test_stall_fires_when_flat(self, toy_space):
+        flat = CallableEvaluator(lambda g: {"m": 1.0, "inverse": 1.0})
+        engine = make_engine(
+            "baseline", toy_space, flat, generations=50, stall_generations=2
+        )
+        result = engine.run()
+        assert result.stop_reason == "stall"
+        assert len(result.records) < 10  # stalled long before the horizon
+
+    def test_random_budget_reason(self, toy_space, toy_evaluator):
+        result = make_engine("random", toy_space, toy_evaluator).run()
+        assert result.stop_reason == "budget"
+
+
+class TestRngStreams:
+    def test_shared_mode_aliases_one_generator(self):
+        streams = RngStreams(seed=7)
+        assert streams.init is streams.selection is streams.mutation
+
+    def test_split_mode_streams_are_independent(self):
+        streams = RngStreams(seed=7, split=True)
+        assert streams.init is not streams.selection
+        # Draining one stream must not move another.
+        reference = RngStreams(seed=7, split=True)
+        for _ in range(100):
+            streams.selection.random()
+        assert streams.mutation.random() == reference.mutation.random()
+
+    def test_split_seed_zero_deterministic(self):
+        a = RngStreams(seed=0, split=True)
+        b = RngStreams(seed=0, split=True)
+        assert [a.stream(n).random() for n in RngStreams.NAMES] == [
+            b.stream(n).random() for n in RngStreams.NAMES
+        ]
+
+    @pytest.mark.parametrize("split", (False, True))
+    def test_getstate_round_trip_exact(self, split):
+        streams = RngStreams(seed=3, split=split)
+        for _ in range(17):
+            streams.mutation.random()
+            streams.init.random()
+        state = streams.getstate()
+        expected = [streams.stream(n).random() for n in RngStreams.NAMES]
+        restored = RngStreams.from_state(state)
+        assert [
+            restored.stream(n).random() for n in RngStreams.NAMES
+        ] == expected
+
+    def test_setstate_mode_mismatch_raises(self):
+        shared = RngStreams(seed=1)
+        split_state = RngStreams(seed=1, split=True).getstate()
+        with pytest.raises(NautilusError, match="mode"):
+            shared.setstate(split_state)
+
+    def test_unknown_stream_raises(self):
+        with pytest.raises(NautilusError, match="unknown RNG stream"):
+            RngStreams(seed=1).stream("oops")
+
+
+class TestCheckpointRngRoundTrip:
+    def test_checkpoint_preserves_stream_state_exactly(self, toy_space, tmp_path):
+        streams = RngStreams(seed=5, split=True)
+        for _ in range(9):
+            streams.crossover.random()
+        payload = streams.getstate()
+        checkpoint = SearchCheckpoint(
+            space_name="toy",
+            generation=3,
+            population=[],
+            rng_streams=payload,
+            records=[],
+            cache=[],
+        )
+        path = tmp_path / "ck.json"
+        checkpoint.save(path)
+        loaded = SearchCheckpoint.load(path)
+        assert loaded.rng_streams == payload
+        assert RngStreams.from_state(loaded.rng_streams).crossover.random() == (
+            RngStreams.from_state(payload).crossover.random()
+        )
+
+    def test_pareto_resume_is_bit_identical(
+        self, toy_space, toy_evaluator, tmp_path
+    ):
+        objectives = [maximize("m"), maximize("inverse")]
+        config = GAConfig(population_size=8, generations=8, seed=4, elitism=1)
+        path = tmp_path / "pareto.json"
+        uninterrupted = ParetoSearch(
+            toy_space, toy_evaluator, objectives, config
+        ).run()
+        first = CheckpointedParetoSearch(
+            toy_space, toy_evaluator, objectives, config,
+            checkpoint_path=path, checkpoint_every=1,
+        )
+        first.start()
+        for _ in range(3):
+            first.step()
+        resumed = CheckpointedParetoSearch(
+            toy_space, toy_evaluator, objectives, config,
+            checkpoint_path=path, checkpoint_every=1,
+        )
+        resumed.resume()
+        resumed.start()
+        while resumed.step() is not None:
+            pass
+        result = resumed.result()
+        assert result.records == uninterrupted.records
+        assert result.front_raws() == uninterrupted.front_raws()
+        assert result.stop_reason == uninterrupted.stop_reason

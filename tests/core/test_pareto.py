@@ -207,3 +207,115 @@ class TestParetoSearch:
         configs = result.front_configs()
         keys = [tuple(sorted(c.items())) for c in configs]
         assert len(keys) == len(set(keys))
+
+
+class TestParetoIncremental:
+    """The kernel lifecycle surface the service scheduler depends on."""
+
+    OBJECTIVES = staticmethod(lambda: [maximize("x"), maximize("y")])
+
+    @pytest.fixture
+    def biobjective(self):
+        space = DesignSpace("bi", [IntParam("a", 0, 30), IntParam("b", 0, 30)])
+        evaluator = CallableEvaluator(
+            lambda g: {"x": float(g["a"]), "y": float(30 - g["a"] - 0.2 * g["b"])}
+        )
+        return space, evaluator
+
+    def test_stepping_matches_blocking_run(self, biobjective):
+        space, evaluator = biobjective
+        config = GAConfig(population_size=16, generations=12, seed=9, elitism=1)
+        blocking = ParetoSearch(
+            space, evaluator, self.OBJECTIVES(), config
+        ).run()
+        stepped = ParetoSearch(space, evaluator, self.OBJECTIVES(), config)
+        stepped.start()
+        steps = 0
+        while stepped.step() is not None:
+            steps += 1
+        result = stepped.result()
+        assert steps == 12
+        assert result.front_raws() == blocking.front_raws()
+        assert result.records == blocking.records
+        assert result.distinct_evaluations == blocking.distinct_evaluations
+        assert result.stop_reason == blocking.stop_reason == "horizon"
+
+    def test_records_project_first_objective(self, biobjective):
+        space, evaluator = biobjective
+        result = ParetoSearch(
+            space,
+            evaluator,
+            self.OBJECTIVES(),
+            GAConfig(population_size=16, generations=8, seed=9, elitism=1),
+        ).run()
+        assert len(result.records) == 9  # generation 0 plus the horizon
+        # best-on-first-objective never regresses: the x-extreme individual
+        # has infinite crowding and always survives NSGA-II truncation.
+        raws = [r.best_raw for r in result.records]
+        assert raws == sorted(raws)
+        assert result.curve()[-1][0] == result.distinct_evaluations
+
+    def test_budget_cutoff(self, biobjective):
+        space, evaluator = biobjective
+        search = ParetoSearch(
+            space,
+            evaluator,
+            self.OBJECTIVES(),
+            GAConfig(
+                population_size=16, generations=50, seed=9, elitism=1,
+                max_evaluations=20,
+            ),
+        )
+        result = search.run()
+        assert result.stop_reason == "budget"
+        assert len(result.records) < 51
+
+    def test_stall_cutoff_uses_front_signature(self):
+        # One-point space: the front can never change after generation 0.
+        space = DesignSpace("flat", [IntParam("a", 0, 0)])
+        evaluator = CallableEvaluator(lambda g: {"x": 1.0, "y": 1.0})
+        result = ParetoSearch(
+            space,
+            evaluator,
+            self.OBJECTIVES(),
+            GAConfig(
+                population_size=4, generations=50, seed=1, elitism=1,
+                stall_generations=3,
+            ),
+        ).run()
+        assert result.stop_reason == "stall"
+        assert len(result.records) == 4  # gen 0 + three stalled generations
+
+    def test_front_requires_start(self, biobjective):
+        space, evaluator = biobjective
+        search = ParetoSearch(space, evaluator, self.OBJECTIVES())
+        with pytest.raises(NautilusError, match="not started"):
+            search.front()
+
+    def test_cancelled_mid_flight_result(self, biobjective):
+        space, evaluator = biobjective
+        search = ParetoSearch(
+            space,
+            evaluator,
+            self.OBJECTIVES(),
+            GAConfig(population_size=16, generations=30, seed=9, elitism=1),
+        )
+        search.start()
+        search.step()
+        search.stop()
+        result = search.result()
+        assert result.stop_reason == "cancelled"
+        assert len(result.records) == 2
+        assert result.front_raws()  # best-so-far front still served
+
+    def test_eval_stats_travel_on_result(self, biobjective):
+        space, evaluator = biobjective
+        result = ParetoSearch(
+            space,
+            evaluator,
+            self.OBJECTIVES(),
+            GAConfig(population_size=16, generations=6, seed=9, elitism=1),
+        ).run()
+        stats = result.eval_stats
+        assert stats.distinct == result.distinct_evaluations
+        assert stats.requests >= stats.distinct

@@ -1,0 +1,133 @@
+"""Unit tests for the structured run trace: events, sinks, aggregation."""
+
+import json
+
+import pytest
+
+from repro.analysis import trace_summary
+from repro.core import (
+    JsonlTraceSink,
+    NautilusError,
+    RecordingTraceSink,
+    RunEvent,
+    RunTrace,
+)
+
+
+class TestRunEvent:
+    def test_as_dict_flattens_payload(self):
+        event = RunEvent(3, "eval-batch", 1, {"size": 10, "distinct": 4})
+        assert event.as_dict() == {
+            "seq": 3, "kind": "eval-batch", "generation": 1,
+            "size": 10, "distinct": 4,
+        }
+
+
+class TestRunTrace:
+    def test_sequence_numbers_are_monotonic(self):
+        trace = RunTrace()
+        for generation in range(5):
+            trace.emit("generation-start", generation)
+        assert [e.seq for e in trace.events] == list(range(5))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(NautilusError, match="unknown run-event kind"):
+            RunTrace().emit("telemetry", 0)
+
+    def test_operator_aggregation(self):
+        trace = RunTrace()
+        trace.emit("operator-applied", 1,
+                   {"operator": "mutation", "calls": 8, "time_s": 0.25})
+        trace.emit("operator-applied", 2,
+                   {"operator": "mutation", "calls": 8, "time_s": 0.5})
+        trace.emit("operator-applied", 2,
+                   {"operator": "selection", "calls": 16, "time_s": 0.125})
+        timings = trace.operator_timings()
+        assert timings["mutation"] == {"calls": 16, "time_s": 0.75}
+        assert timings["selection"] == {"calls": 16, "time_s": 0.125}
+
+    def test_notify_false_skips_sinks_but_keeps_event(self):
+        trace = RunTrace()
+        sink = RecordingTraceSink()
+        trace.attach(sink)
+        trace.emit("generation-start", 0, notify=False)
+        trace.emit("generation-start", 1)
+        assert [e.generation for e in trace.events] == [0, 1]
+        assert [e.generation for e in sink.events()] == [1]
+
+
+class TestRecordingTraceSink:
+    def test_keeps_only_last_n(self):
+        trace = RunTrace()
+        sink = RecordingTraceSink(limit=3)
+        trace.attach(sink)
+        for generation in range(10):
+            trace.emit("generation-start", generation)
+        assert [e.generation for e in sink.events()] == [7, 8, 9]
+
+    def test_kind_filter(self):
+        trace = RunTrace()
+        sink = RecordingTraceSink(limit=None)
+        trace.attach(sink)
+        trace.emit("generation-start", 0)
+        trace.emit("stop", 0, {"reason": "horizon"})
+        assert [e.kind for e in sink.events("stop")] == ["stop"]
+
+
+class TestJsonlTraceSink:
+    def test_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "nested" / "events.jsonl"
+        trace = RunTrace([JsonlTraceSink(path)])
+        trace.emit("generation-start", 0)
+        trace.emit("stop", 0, {"reason": "horizon"})
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["generation-start", "stop"]
+        assert lines[1]["reason"] == "horizon"
+
+    def test_appends_across_sinks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        first = JsonlTraceSink(path)
+        first.emit(RunEvent(0, "generation-start", 0))
+        first.close()
+        second = JsonlTraceSink(path)
+        second.emit(RunEvent(1, "stop", 0, {"reason": "cancelled"}))
+        second.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.emit(RunEvent(0, "generation-start", 0))
+        sink.close()
+        sink.emit(RunEvent(1, "generation-start", 1))
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestTraceSummary:
+    EVENTS = [
+        RunEvent(0, "generation-start", 0),
+        RunEvent(1, "eval-batch", 0,
+                 {"size": 10, "distinct": 8, "cache_hits": 2}),
+        RunEvent(2, "generation-end", 0, {"best_score": 5.0}),
+        RunEvent(3, "generation-start", 1),
+        RunEvent(4, "eval-batch", 1,
+                 {"size": 10, "distinct": 3, "cache_hits": 7}),
+        RunEvent(5, "best-improved", 1, {"best_score": 7.0}),
+        RunEvent(6, "generation-end", 1, {"best_score": 7.0}),
+        RunEvent(7, "stop", 1, {"reason": "horizon"}),
+    ]
+
+    def test_summary_from_run_events(self):
+        summary = trace_summary(self.EVENTS)
+        assert summary["events"] == 8
+        assert summary["kinds"]["eval-batch"] == 2
+        assert summary["generations"] == 1
+        assert summary["evaluations"] == {
+            "requested": 20, "distinct": 11, "cache_hits": 9,
+        }
+        assert summary["improvements"] == [(1, 7.0)]
+        assert summary["stop_reason"] == "horizon"
+
+    def test_summary_from_service_dicts(self):
+        payloads = [e.as_dict() for e in self.EVENTS]
+        assert trace_summary(payloads) == trace_summary(self.EVENTS)

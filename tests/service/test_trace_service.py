@@ -1,0 +1,198 @@
+"""Service-level trace coverage: persisted RunEvent logs, the trace
+endpoint/client/CLI, pareto campaigns through the scheduler, and operator
+metrics — all on the instant tiny dataset."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import RUN_EVENT_KINDS
+from repro.service import CampaignSpec, SearchService, ServiceClient, ServiceError
+
+
+@pytest.fixture
+def service(tmp_path, tiny_provider):
+    svc = SearchService(
+        tmp_path / "campaigns", port=0, dataset_provider=tiny_provider
+    )
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(port=service.port)
+
+
+class TestTraceEndpoint:
+    def test_campaign_emits_retrievable_trace(self, service, client):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=5, seed=2)
+        )
+        client.wait(cid, timeout=60)
+        events = client.trace(cid)
+        assert events, "a finished campaign must have a persisted trace"
+        assert all(e["kind"] in RUN_EVENT_KINDS for e in events)
+        assert events[-1]["kind"] == "stop"
+        assert events[-1]["reason"] == "horizon"
+        ends = [e for e in events if e["kind"] == "generation-end"]
+        assert [e["generation"] for e in ends] == list(range(6))
+        # The trace agrees with the served curve.
+        curve = client.curve(cid)
+        assert [e["best_raw"] for e in ends] == [p["best_raw"] for p in curve]
+
+    def test_limit_keeps_the_tail(self, service, client):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="random",
+                         budget=8, seed=2)
+        )
+        client.wait(cid, timeout=60)
+        full = client.trace(cid)
+        tail = client.trace(cid, limit=3)
+        assert tail == full[-3:]
+
+    def test_unknown_campaign_404(self, service, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace("c999999")
+        assert excinfo.value.status == 404
+
+    def test_bad_limit_rejected(self, service, client):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=2, seed=1)
+        )
+        client.wait(cid, timeout=60)
+        with pytest.raises(ServiceError):
+            client._request("GET", f"/campaigns/{cid}/trace?limit=nope")
+
+    def test_events_file_on_disk(self, service, client):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=3, seed=4)
+        )
+        client.wait(cid, timeout=60)
+        path = service.store.events_path(cid)
+        assert path.exists()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines == client.trace(cid)
+
+
+class TestOperatorMetrics:
+    def test_metrics_report_operator_timings(self, service, client):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=4, seed=3)
+        )
+        client.wait(cid, timeout=60)
+        metrics = client.metrics()
+        for operator in ("init", "selection", "mutation"):
+            assert metrics["operator_calls"][operator] > 0
+            assert metrics["operator_time_s"][operator] >= 0.0
+        assert "mutation" in metrics["campaign_operator_time_s"][cid]
+
+
+class TestParetoCampaigns:
+    def test_pareto_campaign_end_to_end(self, service, client):
+        spec = CampaignSpec(
+            query="noc-frequency-vs-area-delay", engine="pareto",
+            generations=5, seed=2,
+        )
+        cid = client.submit(spec)
+        final = client.wait(cid, timeout=60)
+        assert final["state"] == "done"
+        assert final["stop_reason"] == "horizon"
+        assert final["front"], "pareto status must carry the front"
+        for raws in final["front"]:
+            assert len(raws) == 2
+        assert client.curve(cid)  # first-objective projection
+        events = client.trace(cid)
+        assert events[-1]["kind"] == "stop"
+
+    def test_pareto_query_validation(self, service, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"query": "noc-frequency", "engine": "pareto"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(
+                {"query": "noc-frequency-vs-area-delay", "engine": "nautilus"}
+            )
+        assert excinfo.value.status == 400
+
+    def test_pareto_resume_without_duplicate_events(self, tmp_path, tiny_provider):
+        """A daemon restart resumes the pareto campaign and continues the
+        event log without replaying finished generations into it."""
+        root = tmp_path / "campaigns"
+        spec = CampaignSpec(
+            query="fft-luts-vs-throughput", engine="pareto",
+            generations=8, seed=5,
+        )
+        first = SearchService(root, port=0, dataset_provider=tiny_provider)
+        first.start(run_scheduler=False)
+        client = ServiceClient(port=first.port)
+        cid = client.submit(spec)
+        for _ in range(4):
+            first.scheduler.tick()
+        assert 0 < client.status(cid)["generations_done"] < 8
+        first.stop()
+
+        second = SearchService(root, port=0, dataset_provider=tiny_provider)
+        second.start()
+        try:
+            client2 = ServiceClient(port=second.port)
+            final = client2.wait(cid, timeout=60)
+            events = client2.trace(cid)
+        finally:
+            second.stop()
+        assert final["state"] == "done" and final["front"]
+        generations = [
+            e["generation"] for e in events if e["kind"] == "generation-end"
+        ]
+        assert len(generations) == len(set(generations)), (
+            "resume must not duplicate generations in the event log"
+        )
+        assert sorted(generations) == list(range(9))
+
+
+class TestTraceCli:
+    def test_trace_subcommand_dumps_jsonl(self, service, client, capsys):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=3, seed=6)
+        )
+        client.wait(cid, timeout=60)
+        assert main(["trace", cid, "--port", str(service.port)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events == client.trace(cid)
+
+        assert main(
+            ["trace", cid, "--limit", "2", "--port", str(service.port)]
+        ) == 0
+        tail = capsys.readouterr().out.strip().splitlines()
+        assert len(tail) == 2
+
+    def test_status_trace_flag(self, service, client, capsys):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=3, seed=6)
+        )
+        client.wait(cid, timeout=60)
+        assert main(["status", cid, "--trace", "--port", str(service.port)]) == 0
+        out = capsys.readouterr().out
+        assert "operator time:" in out
+        assert "mutation" in out
+        assert "recent events:" in out
+        assert "stop" in out
+
+    def test_submit_pareto_via_cli(self, service, capsys):
+        code = main([
+            "submit", "noc-frequency-vs-area-delay", "--engine", "pareto",
+            "--generations", "3", "--seed", "1",
+            "--port", str(service.port), "--wait",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "front" in out
