@@ -12,6 +12,12 @@ distinct evaluations, best raw metric and best internal score. Any engine
 or kernel refactor must leave all of them bit-identical for a fixed seed;
 a drift here means seeded searches no longer reproduce prior revisions.
 
+The matrix runs with observability (hint attribution + health telemetry)
+at its default, *enabled* — so the pinned baseline also proves telemetry
+never perturbs the search. A second in-process pass re-runs seeded
+GA/adaptive/Pareto searches with ``GAConfig(observability=False)`` and
+demands bit-identical curves: instrumentation must consume zero RNG.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_engine_parity.py             # check
@@ -84,6 +90,71 @@ def run_workload() -> dict[str, dict]:
     return results
 
 
+def _curve(result) -> list[list]:
+    return [
+        [r.generation, r.distinct_evaluations, r.best_raw, r.best_score]
+        for r in result.records
+    ]
+
+
+def check_observability_identity() -> list[str]:
+    """Same seed, observability on vs. off -> bit-identical curves."""
+    from repro.core import ParetoSearch
+    from repro.queries import MULTI_QUERIES, resolve_multi_objectives
+
+    failures = []
+    query = QUERIES["noc-frequency"]
+    dataset = load_dataset(query.space)
+    objective, hint_kind = resolve_objective(query)
+    hints = build_hints(hint_kind)
+    for engine in ("baseline", "nautilus", "adaptive"):
+        curves = {}
+        for enabled in (True, False):
+            config = GAConfig(
+                generations=GENERATIONS, seed=0, observability=enabled
+            )
+            evaluator = DatasetEvaluator(dataset)
+            if engine == "baseline":
+                search = GeneticSearch(
+                    dataset.space, evaluator, objective, config
+                )
+            elif engine == "nautilus":
+                search = GeneticSearch(
+                    dataset.space, evaluator, objective, config, hints=hints
+                )
+            else:
+                search = AdaptiveSearch(
+                    dataset.space, evaluator, objective, config, hints=hints
+                )
+            curves[enabled] = _curve(search.run())
+        if curves[True] != curves[False]:
+            failures.append(f"  noc-frequency/{engine}: observability drift")
+        else:
+            print(f"  ok noc-frequency/{engine}: observability on == off")
+    multi = MULTI_QUERIES["noc-frequency-vs-area-delay"]
+    objectives, __ = resolve_multi_objectives(multi)
+    fronts = {}
+    for enabled in (True, False):
+        search = ParetoSearch(
+            dataset.space,
+            DatasetEvaluator(dataset),
+            objectives,
+            GAConfig(
+                population_size=24,
+                generations=GENERATIONS,
+                seed=0,
+                observability=enabled,
+            ),
+        )
+        result = search.run()
+        fronts[enabled] = (_curve(result), sorted(map(tuple, result.front_raws())))
+    if fronts[True] != fronts[False]:
+        failures.append("  noc pareto: observability drift")
+    else:
+        print("  ok noc pareto: observability on == off")
+    return failures
+
+
 def main(argv: list[str]) -> int:
     results = run_workload()
     if "--update" in argv:
@@ -105,6 +176,7 @@ def main(argv: list[str]) -> int:
     extra = sorted(set(results) - set(expected))
     if extra:
         failures.append(f"  unexpected runs not in baseline: {extra}")
+    failures.extend(check_observability_identity())
     if failures:
         print("seeded engine curves drifted from the baseline:")
         print("\n".join(failures))

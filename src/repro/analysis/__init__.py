@@ -1,4 +1,10 @@
-"""Analysis helpers: figure series, terminal plotting, statistics."""
+"""Analysis helpers: figure series, terminal plotting, statistics.
+
+Hint-attribution aggregation (:class:`~repro.obs.HintEffectReport`) and
+search-health summaries live in :mod:`repro.obs`; the report types are
+re-exported here because they are analysis outputs — built from run
+traces, read next to the stats in this package.
+"""
 
 from .series import FigureSeries
 from .plotting import ascii_plot
@@ -9,6 +15,8 @@ from .stats import (
     mann_whitney_u,
     trace_summary,
 )
+from ..obs.attribution import HintEffectReport, hint_effect_report
+from ..obs.health import population_health, stall_risk
 
 __all__ = [
     "FigureSeries",
@@ -18,4 +26,8 @@ __all__ = [
     "compare_engines",
     "EngineComparison",
     "trace_summary",
+    "HintEffectReport",
+    "hint_effect_report",
+    "population_health",
+    "stall_risk",
 ]

@@ -12,12 +12,18 @@ Subcommands:
 * ``simulate`` — run the flit-level NoC simulator on a topology and print
   the latency/throughput curve.
 * ``report`` — compile the benchmark artifacts in ``results/`` into
-  RESULTS.md.
+  RESULTS.md, or (``--html <id>``) render one campaign's status, curve,
+  health, and hint-attribution report into a standalone HTML file.
 * ``serve`` — run the search-campaign daemon (REST API; see
-  ``docs/service.md``).
+  ``docs/service.md``). ``--log-json`` switches to structured JSON logs,
+  ``--trace-max-events`` caps per-campaign event logs.
 * ``submit`` / ``status`` — submit campaigns to a running daemon and poll
-  their progress and search curves.
+  their progress, search curves, and health diagnostics.
 * ``trace`` — dump a campaign's structured RunEvent log as JSONL.
+* ``hints`` — print a campaign's aggregated hint-attribution report.
+* ``top`` — live terminal dashboard over every campaign the daemon runs.
+
+See ``docs/observability.md`` for the telemetry these commands surface.
 """
 
 from __future__ import annotations
@@ -190,6 +196,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.html:
+        from .obs.htmlreport import render_campaign_html
+        from .service import ServiceClient, ServiceError
+
+        client = ServiceClient(host=args.host, port=args.port)
+        status = client.status(args.html)
+        curve = client.curve(args.html)
+        try:
+            hints = client.hints(args.html)
+        except ServiceError:
+            hints = None
+        output = args.output or f"campaign-{args.html}.html"
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(render_campaign_html(status, curve=curve,
+                                              hint_report=hints))
+        print(f"html report written to {output}")
+        return 0
     from .experiments import generate_report
 
     path = generate_report(args.results_dir, args.output)
@@ -207,13 +230,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         quiet=not args.verbose,
         eval_cache=args.eval_cache,
+        trace_max_events=args.trace_max_events,
+        log_json=args.log_json,
     )
     print(f"nautilus daemon serving on {service.address} (store: {args.dir})")
     if service.eval_cache is not None:
         print(f"persistent eval cache: {service.eval_cache.root}")
     print(
-        "POST /campaigns, GET /campaigns/<id>[/curve|/trace], GET /metrics; "
-        "Ctrl-C stops"
+        "POST /campaigns, GET /campaigns/<id>[/curve|/trace|/hints], "
+        "GET /metrics[?format=prometheus]; Ctrl-C stops"
     )
     service.serve_forever()
     return 0
@@ -231,6 +256,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         priority=args.priority,
         confidence=args.confidence,
         budget=args.budget,
+        trace_max_events=args.trace_max_events,
         label=args.label,
     )
     campaign_id = client.submit(spec)
@@ -286,6 +312,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
         if key in status:
             print(f"{key:21s}: {status[key]}")
     print(f"{'query':21s}: {status['spec']['query']} ({status['spec']['engine']})")
+    health = status.get("health")
+    if health:
+        print(
+            f"{'health':21s}: diversity={health['diversity']:.3f} "
+            f"dup={health['duplicate_rate']:.0%} "
+            f"infeasible={health['infeasible_rate']:.0%} "
+            f"velocity={health['convergence_velocity']:+.4g} "
+            f"stall_risk={health['stall_risk']:.2f} "
+            f"(stalled {health['stalled_generations']} gen)"
+        )
     if "front" in status:
         print(f"{'pareto front':21s}: {len(status['front'])} designs")
         for raws in status["front"]:
@@ -327,6 +363,102 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for event in client.trace(args.id, limit=args.limit):
         print(json.dumps(event, sort_keys=True))
     return 0
+
+
+def _cmd_hints(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    report = client.hints(args.id)
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return 0
+    hinted = "guided" if report.get("hinted") else "unguided"
+    confidence = report.get("confidence")
+    conf = f", confidence {confidence:.2f}" if confidence is not None else ""
+    print(
+        f"{args.id}: {report['generations']} generations, "
+        f"{report['children']} children bred ({hinted}{conf})"
+    )
+    header = (
+        f"{'scope':18s} {'channel':9s} {'proposals':>9s} {'feasible':>8s} "
+        f"{'improved':>8s} {'rate':>6s} {'mean Δ':>10s}"
+    )
+    print(header)
+    for channel, cell in report.get("channels", {}).items():
+        print(
+            f"{'(all params)':18s} {channel:9s} {cell['proposals']:9d} "
+            f"{cell['feasible']:8d} {cell['improved']:8d} "
+            f"{cell['improvement_rate']:6.0%} {cell['mean_delta']:+10.4g}"
+        )
+    for name, param in report.get("params", {}).items():
+        for channel, cell in param.get("channels", {}).items():
+            print(
+                f"{name:18s} {channel:9s} {cell['proposals']:9d} "
+                f"{cell['feasible']:8d} {cell['improved']:8d} "
+                f"{cell['improvement_rate']:6.0%} {cell['mean_delta']:+10.4g}"
+            )
+    importance = report.get("effective_importance", {})
+    if importance:
+        print("effective importance (latest generation):")
+        for name, value in sorted(importance.items()):
+            print(f"  {name:18s} {value:.2f}")
+    return 0
+
+
+def _render_top(campaigns, metrics) -> str:
+    """One frame of the ``nautilus top`` dashboard (plain text)."""
+    health_by_id = metrics.get("campaign_health", {})
+    best_by_id = metrics.get("campaign_best_score", {})
+    evals = metrics.get("campaign_evaluations", {})
+    lines = [
+        f"nautilus top — {metrics['evaluations_total']} evaluations, "
+        f"{metrics['evaluations_per_sec']:.1f}/s, "
+        f"cache hit rate {metrics['cache_hit_rate']:.0%}, "
+        f"queue depth {metrics['queue_depth']}",
+        f"{'id':12s} {'state':9s} {'query/engine':28s} {'gen':>5s} "
+        f"{'evals':>7s} {'best':>10s} {'divers':>6s} {'stall':>5s}",
+    ]
+    for status in campaigns:
+        cid = status["id"]
+        health = health_by_id.get(cid, {})
+        best = best_by_id.get(cid)
+        lines.append(
+            f"{cid:12s} {status['state']:9s} "
+            f"{status['spec']['query'] + '/' + status['spec']['engine']:28s} "
+            f"{status['generations_done']:5d} "
+            f"{evals.get(cid, 0):7d} "
+            + (f"{best:10.4g} " if best is not None else f"{'-':>10s} ")
+            + (
+                f"{health['diversity']:6.2f} {health['stall_risk']:5.2f}"
+                if health
+                else f"{'-':>6s} {'-':>5s}"
+            )
+        )
+    if not campaigns:
+        lines.append("(no campaigns)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .service import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    iteration = 0
+    try:
+        while True:
+            frame = _render_top(client.list_campaigns(), client.metrics())
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame)
+            iteration += 1
+            if args.iterations is not None and iteration >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,9 +517,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=1500)
     p.set_defaults(fn=_cmd_simulate)
 
-    p = sub.add_parser("report", help="compile results/ into RESULTS.md")
+    p = sub.add_parser(
+        "report",
+        help="compile results/ into RESULTS.md, or --html <id> for one campaign",
+    )
     p.add_argument("--results-dir", default=None)
     p.add_argument("--output", default=None)
+    p.add_argument(
+        "--html",
+        metavar="CAMPAIGN_ID",
+        default=None,
+        help="render one campaign (status, curve, health, hint report) "
+        "from a running daemon into a standalone HTML file",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(
@@ -402,6 +546,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="share evaluation results across campaigns and restarts via an "
         "on-disk cache under the store directory",
+    )
+    p.add_argument(
+        "--trace-max-events",
+        type=int,
+        default=None,
+        help="cap each campaign's on-disk event log at N events "
+        "(oldest and newest halves are kept around a truncation marker)",
+    )
+    p.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs (one object per line) with "
+        "campaign-id correlation",
     )
     p.add_argument("--verbose", action="store_true", help="log HTTP requests")
     p.set_defaults(fn=_cmd_serve)
@@ -422,6 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--priority", type=int, default=0, help="higher runs first")
     p.add_argument("--confidence", type=float, default=None)
     p.add_argument("--budget", type=int, default=400, help="random-search budget")
+    p.add_argument(
+        "--trace-max-events",
+        type=int,
+        default=None,
+        help="cap this campaign's event log (overrides the daemon default)",
+    )
     p.add_argument("--label", default="")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
@@ -454,6 +617,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "hints", help="print a campaign's aggregated hint-attribution report"
+    )
+    p.add_argument("id")
+    p.add_argument("--json", action="store_true", help="dump the raw report")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.set_defaults(fn=_cmd_hints)
+
+    p = sub.add_parser(
+        "top", help="live dashboard over a running daemon's campaigns"
+    )
+    p.add_argument("--interval", type=float, default=2.0, help="refresh period, seconds")
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (pipe-friendly)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.set_defaults(fn=_cmd_top)
     return parser
 
 

@@ -80,6 +80,7 @@ from .engine import (
 )
 from .kernel import (
     RUN_EVENT_KINDS,
+    CappedJsonlTraceSink,
     GenerationalEngine,
     JsonlTraceSink,
     RecordingTraceSink,
@@ -174,6 +175,7 @@ __all__ = [
     "RunEvent",
     "RunTrace",
     "RUN_EVENT_KINDS",
+    "CappedJsonlTraceSink",
     "TraceSink",
     "RecordingTraceSink",
     "JsonlTraceSink",

@@ -84,9 +84,13 @@ class AdaptiveSearch(GeneticSearch):
     def _set_confidence(self, confidence: float) -> None:
         clamped = min(max(confidence, self.min_confidence), self._author_confidence)
         self.hints = self.hints.with_confidence(clamped)
+        observer = self.operators.observer
         self.operators = GeneticOperators(
             self.space, self.config.mutation_rate, self.hints
         )
+        # The attribution observer (if any) survives the rebuild — mid-run
+        # confidence changes must not silently stop hint telemetry.
+        self.operators.observer = observer
         # The breeding pipeline mutates through whatever operators it holds;
         # swap in the reweighted ones so the new confidence takes effect on
         # the very next offspring.

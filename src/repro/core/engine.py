@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs.attribution import BreedingObserver
 from .errors import InfeasibleDesignError, NautilusError
 from .evaluator import Evaluator
 from .fitness import Objective
@@ -101,6 +102,11 @@ class GAConfig:
             stream per concern from the same seed, so adding draws to one
             operator never perturbs another's sequence (at the cost of
             changing seeded curves relative to the shared mode).
+        observability: Emit per-generation ``hint-attribution`` and
+            ``health`` trace events (see :mod:`repro.obs`). On by default;
+            the telemetry is derived from already-computed state and
+            consumes no RNG draws, so seeded curves are identical with it
+            on or off — disabling merely slims the trace.
 
     Stopping precedence: cutoffs are evaluated between generations, in a
     fixed order — evaluation budget, then generation horizon, then stall
@@ -122,6 +128,7 @@ class GAConfig:
     max_evaluations: int | None = None
     stall_generations: int | None = None
     rng_streams: str = "shared"
+    observability: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -189,6 +196,7 @@ class GeneticSearch(GenerationalEngine):
             horizon=self.config.generations,
             stall_generations=self.config.stall_generations,
             split_rngs=self.config.rng_streams == "split",
+            observability=self.config.observability,
         )
         oriented = hints
         if oriented is not None and not objective.maximizing:
@@ -198,6 +206,8 @@ class GeneticSearch(GenerationalEngine):
         self.operators = GeneticOperators(
             space, self.config.mutation_rate, self.hints
         )
+        if self.config.observability:
+            self.operators.observer = BreedingObserver()
         self.pipeline = BreedingPipeline(
             space,
             self.operators,
@@ -263,6 +273,14 @@ class GeneticSearch(GenerationalEngine):
                 self.pipeline.breed(self._population, generation, self.rngs, timings)
             )
         return genomes
+
+    def _offspring_attribution(self, offspring) -> list:
+        # The first ``elitism`` offspring are copied elites, not bred —
+        # attribution aligns with the children the pipeline produced.
+        bred = offspring[self.config.elitism:]
+        return [
+            (ind.score, ind.score != float("-inf")) for ind in bred
+        ]
 
     def _observe_start(self) -> None:
         self._best = max(self._population, key=lambda ind: ind.score)

@@ -530,6 +530,62 @@ class PersistentCache:
 # ---------------------------------------------------------------------------
 
 
+class _RegistryMetrics:
+    """Publishes stack counters into a Prometheus-style metrics registry.
+
+    The registry is duck-typed (``counter``/``histogram`` factories with
+    ``inc``/``observe``) so :mod:`repro.core` never imports
+    :mod:`repro.obs`; in practice it is a
+    :class:`repro.obs.registry.MetricsRegistry` shared by every campaign
+    stack of one service daemon.
+    """
+
+    def __init__(self, registry):
+        self.requests = registry.counter(
+            "nautilus_eval_requests_total",
+            "Evaluation requests, including every kind of cache hit.",
+        )
+        self.distinct = registry.counter(
+            "nautilus_eval_distinct_total",
+            "Distinct designs paid for at the backend (synthesis jobs).",
+        )
+        self.memo_hits = registry.counter(
+            "nautilus_eval_memo_hits_total",
+            "Requests served by the in-memory memo cache.",
+        )
+        self.persistent_hits = registry.counter(
+            "nautilus_eval_persistent_hits_total",
+            "Requests served by the persistent on-disk cache.",
+        )
+        self.infeasible = registry.counter(
+            "nautilus_eval_infeasible_total",
+            "Paid evaluations that came back unbuildable.",
+        )
+        self.errors = registry.counter(
+            "nautilus_eval_errors_total",
+            "Paid evaluations that raised a non-infeasibility error.",
+        )
+        self.batch_seconds = registry.histogram(
+            "nautilus_eval_batch_seconds",
+            "Wall time of one evaluation batch through the stack.",
+        )
+
+    def record(self, delta: EvalStats, elapsed_s: float) -> None:
+        if delta.requests:
+            self.requests.inc(delta.requests)
+        if delta.distinct:
+            self.distinct.inc(delta.distinct)
+        if delta.memo_hits:
+            self.memo_hits.inc(delta.memo_hits)
+        if delta.persistent_hits:
+            self.persistent_hits.inc(delta.persistent_hits)
+        if delta.infeasible:
+            self.infeasible.inc(delta.infeasible)
+        if delta.errors:
+            self.errors.inc(delta.errors)
+        self.batch_seconds.observe(elapsed_s)
+
+
 class EvaluationStack:
     """One layered, batch-first evaluation pipeline (see module docstring).
 
@@ -550,6 +606,12 @@ class EvaluationStack:
         fingerprint: Evaluator-content fingerprint override; defaults to
             :func:`evaluator_fingerprint` of ``inner``.
         clock: Timer used for the wall/backend timings (tests inject one).
+        registry: Optional :class:`repro.obs.registry.MetricsRegistry`;
+            when given, the stack also publishes its counters as
+            Prometheus families (``nautilus_eval_*``) after every batch.
+            Duck-typed — the stack never imports :mod:`repro.obs` — and
+            purely additive: the :class:`EvalStats` accounting is
+            byte-for-byte identical with or without a registry.
     """
 
     def __init__(
@@ -562,6 +624,7 @@ class EvaluationStack:
         batch_size: int | None = None,
         fingerprint: str | None = None,
         clock=time.perf_counter,
+        registry=None,
     ):
         if backend not in _BACKENDS:
             raise NautilusError(
@@ -576,6 +639,8 @@ class EvaluationStack:
         self.fingerprint = fingerprint or evaluator_fingerprint(inner)
         self._counters = _Counters()
         self._clock = clock
+        self.registry = registry
+        self._metrics = _RegistryMetrics(registry) if registry is not None else None
 
         if backend in ("thread", "process"):
             tail = _PoolBackend(inner, workers=workers, kind=backend)
@@ -614,9 +679,13 @@ class EvaluationStack:
         or score exceptions as infeasible as appropriate.
         """
         batch = list(genomes)
+        before = self._counters.snapshot() if self._metrics is not None else None
         started = self._clock()
         outcomes = self._memo.evaluate_many(batch)
-        self._counters.wall_time_s += self._clock() - started
+        elapsed = self._clock() - started
+        self._counters.wall_time_s += elapsed
+        if self._metrics is not None and batch:
+            self._metrics.record(self._counters.snapshot().minus(before), elapsed)
         return outcomes
 
     def evaluate(self, genome: Genome) -> Metrics:

@@ -40,10 +40,13 @@ import json
 import math
 import random
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from ..obs.attribution import summarize_generation
+from ..obs.health import population_health
 from .errors import NautilusError
 from .evalstack import EvalStats, EvaluationStack
 from .fitness import Objective
@@ -56,6 +59,7 @@ __all__ = [
     "TraceSink",
     "RecordingTraceSink",
     "JsonlTraceSink",
+    "CappedJsonlTraceSink",
     "RunTrace",
     "RngStreams",
     "GenerationRecord",
@@ -64,15 +68,24 @@ __all__ = [
     "GenerationalEngine",
 ]
 
-#: The event vocabulary every engine speaks.
+#: The event vocabulary every engine speaks. ``hint-attribution`` and
+#: ``health`` are observability events (see :mod:`repro.obs`): emitted
+#: once per generation when observability is enabled, derived purely from
+#: already-computed state, and never consuming RNG draws.
 RUN_EVENT_KINDS = (
     "generation-start",
     "generation-end",
     "eval-batch",
     "best-improved",
     "operator-applied",
+    "hint-attribution",
+    "health",
     "stop",
 )
+
+#: Window (generations) over which the health event's convergence
+#: velocity is measured.
+_HEALTH_WINDOW = 8
 
 
 # ---------------------------------------------------------------------------
@@ -153,6 +166,100 @@ class JsonlTraceSink(TraceSink):
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+
+class CappedJsonlTraceSink(JsonlTraceSink):
+    """A :class:`JsonlTraceSink` that bounds the file's event count.
+
+    Long campaigns would otherwise grow ``events.jsonl`` without bound.
+    When the line count exceeds ``max_events`` (plus a small slack that
+    amortizes the rewrite), the file is compacted to the first
+    ``max_events // 2`` and last ``max_events - max_events // 2`` events
+    with a marker line between them::
+
+        {"kind": "trace-truncated", "generation": <g>, "dropped": <k>}
+
+    ``dropped`` accumulates across compactions, so the marker always
+    reports the total number of events removed from the middle. The
+    marker's kind is deliberately *not* part of :data:`RUN_EVENT_KINDS` —
+    it exists only in persisted logs, never in a live trace.
+    """
+
+    MARKER_KIND = "trace-truncated"
+
+    def __init__(self, path: str | Path, max_events: int):
+        super().__init__(path)
+        if max_events < 4:
+            raise NautilusError("trace_max_events must be >= 4")
+        self.max_events = max_events
+        self._slack = max(max_events // 4, 8)
+        self._lines: int | None = None
+
+    def emit(self, event: RunEvent) -> None:
+        if self._closed:
+            return
+        if self._lines is None:
+            self._lines = self._count_existing()
+        super().emit(event)
+        self._lines += 1
+        if self._lines > self.max_events + self._slack:
+            self._compact()
+
+    def _count_existing(self) -> int:
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                return sum(1 for _ in handle)
+        except FileNotFoundError:
+            return 0
+
+    def _compact(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        rows = []
+        prior_dropped = 0
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a killed writer
+            if payload.get("kind") == self.MARKER_KIND:
+                prior_dropped += int(payload.get("dropped", 0))
+                continue
+            rows.append(line)
+        head_n = self.max_events // 2
+        tail_n = self.max_events - head_n
+        if len(rows) <= head_n + tail_n:
+            # Nothing new to drop (e.g. torn lines inflated the count);
+            # keep what we have, preserving any accumulated marker.
+            if prior_dropped:
+                marker = json.dumps(
+                    {"kind": self.MARKER_KIND, "generation": 0,
+                     "dropped": prior_dropped}
+                )
+                rows = [*rows[:head_n], marker, *rows[head_n:]]
+            self._lines = len(rows)
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text("\n".join(rows) + "\n", encoding="utf-8")
+            tmp.replace(self.path)
+            return
+        head, tail = rows[:head_n], rows[len(rows) - tail_n:]
+        dropped = prior_dropped + max(len(rows) - len(head) - len(tail), 0)
+        try:
+            marker_generation = json.loads(tail[0]).get("generation", 0)
+        except (ValueError, IndexError):
+            marker_generation = 0
+        marker = json.dumps(
+            {
+                "kind": self.MARKER_KIND,
+                "generation": marker_generation,
+                "dropped": dropped,
+            }
+        )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text("\n".join([*head, marker, *tail]) + "\n", encoding="utf-8")
+        tmp.replace(self.path)
+        self._lines = len(head) + 1 + len(tail)
 
 
 class RunTrace:
@@ -479,6 +586,7 @@ class SearchKernel:
         stall_generations: int | None = None,
         split_rngs: bool = False,
         sinks: Sequence[TraceSink] = (),
+        observability: bool = True,
     ):
         self.space = space
         self.objective = objective
@@ -488,6 +596,14 @@ class SearchKernel:
         self.horizon = horizon
         self.stall_generations = stall_generations
         self.split_rngs = split_rngs
+        #: Whether the kernel emits ``hint-attribution`` / ``health``
+        #: events. Purely additive telemetry: enabling it consumes no RNG
+        #: draws, so seeded runs are bit-identical either way (the
+        #: engine-parity CI job asserts this).
+        self.observability = observability
+        #: The most recent ``health`` event payload (``None`` until one
+        #: is emitted); surfaced by campaign status and ``nautilus top``.
+        self.latest_health: dict[str, Any] | None = None
         self._counter = EvaluationStack.wrap(evaluator)
         self._trace = RunTrace(sinks)
         self._rngs: RngStreams | None = None
@@ -496,6 +612,8 @@ class SearchKernel:
         self._generation = 0
         self._stalled_generations = 0
         self._stop_reason: str | None = None
+        self._best_window: deque[float] = deque(maxlen=_HEALTH_WINDOW)
+        self._last_batch: tuple[int, int] = (0, 0)
 
     # -- shared state surface ----------------------------------------------------
 
@@ -523,6 +641,13 @@ class SearchKernel:
     def distinct_evaluations(self) -> int:
         """Distinct designs evaluated so far (synthesis jobs paid)."""
         return self._counter.distinct_evaluations
+
+    @property
+    def best_score(self) -> float | None:
+        """Best internal score so far, or ``None`` before any evaluation."""
+        if self._best is None:
+            return None
+        return self._best.score
 
     @property
     def stack(self) -> EvaluationStack:
@@ -709,6 +834,8 @@ class GenerationalEngine(SearchKernel):
         self._generation = 0
         self._observe_start()
         record = self._make_record(0)
+        self._best_window.append(record.best_score)
+        self._emit_health(0)
         self._push_record(record)
         return record
 
@@ -724,6 +851,7 @@ class GenerationalEngine(SearchKernel):
                 {"operator": operator, "calls": int(calls), "time_s": time_s},
             )
         offspring = self._assess_population(genomes, generation)
+        self._emit_attribution(generation, offspring)
         self._population = self._survivors(offspring)
         improved = self._observe(generation)
         if improved:
@@ -738,6 +866,8 @@ class GenerationalEngine(SearchKernel):
                 generation,
                 {"best_raw": record.best_raw, "best_score": record.best_score},
             )
+        self._best_window.append(record.best_score)
+        self._emit_health(generation)
         self._push_record(record)
         self._after_generation(record)
         return record
@@ -753,6 +883,7 @@ class GenerationalEngine(SearchKernel):
         before = self._counter.stats()
         outcomes = self._counter.evaluate_many(genomes)
         delta = self._counter.stats().minus(before)
+        self._last_batch = (len(genomes), delta.infeasible)
         self._trace.emit(
             "eval-batch",
             generation,
@@ -765,6 +896,67 @@ class GenerationalEngine(SearchKernel):
             },
         )
         return self._to_individuals(genomes, outcomes)
+
+    # -- observability (see repro.obs; read-only w.r.t. the RNG streams) ---------
+
+    def _emit_attribution(self, generation: int, offspring: Sequence[Any]) -> None:
+        """One ``hint-attribution`` event joining breeding provenance with
+        the offspring's freshly computed scores."""
+        observer = self._breeding_observer()
+        if observer is None or not self.observability:
+            return
+        children = observer.drain()
+        confidence, hinted, importance = self._attribution_context(generation)
+        payload = summarize_generation(
+            children,
+            self._offspring_attribution(offspring),
+            confidence=confidence,
+            hinted=hinted,
+            effective_importance=importance,
+        )
+        if payload is not None:
+            self._trace.emit("hint-attribution", generation, payload)
+
+    def _emit_health(self, generation: int) -> None:
+        """One ``health`` event summarizing the surviving population."""
+        if not self.observability or not self._population:
+            return
+        batch_size, batch_infeasible = self._last_batch
+        payload = population_health(
+            [getattr(ind, "genome", ind) for ind in self._population],
+            cardinalities={p.name: p.cardinality for p in self.space.params},
+            best_history=list(self._best_window),
+            stalled_generations=self._stalled_generations,
+            stall_patience=self.stall_generations,
+            batch_size=batch_size,
+            batch_infeasible=batch_infeasible,
+        )
+        self.latest_health = payload
+        self._trace.emit("health", generation, payload)
+
+    def _breeding_observer(self):
+        """The engine's breeding observer, when attribution is wired up."""
+        operators = getattr(self, "operators", None)
+        return getattr(operators, "observer", None)
+
+    def _offspring_attribution(
+        self, offspring: Sequence[Any]
+    ) -> list[tuple[float, bool]]:
+        """Aligned ``(score, feasible)`` per *bred* child, breeding order."""
+        return []
+
+    def _attribution_context(
+        self, generation: int
+    ) -> tuple[float, bool, dict[str, float]]:
+        """(confidence, hinted, effective importance) for the event."""
+        hints = getattr(self, "hints", None)
+        if hints is None:
+            return 0.0, False, {}
+        importance = {
+            name: hints.effective_importance(name, generation)
+            for name in hints.params
+        }
+        return hints.confidence, True, importance
 
     # -- hooks -------------------------------------------------------------------
 

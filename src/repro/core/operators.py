@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import random
 import time
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from .genome import Genome
 from .hints import HintSet
@@ -33,10 +33,27 @@ from .space import DesignSpace
 __all__ = [
     "GeneticOperators",
     "BreedingPipeline",
+    "scalar_score",
     "uniform_crossover",
     "single_point_crossover",
     "two_point_crossover",
 ]
+
+
+def scalar_score(individual) -> float:
+    """The scalar fitness of an individual, engine-agnostic.
+
+    Single-objective individuals expose ``.score``; multi-objective ones
+    expose ``.scores`` (attribution projects onto the first objective,
+    matching the kernel's record/curve projection).
+    """
+    score = getattr(individual, "score", None)
+    if score is not None:
+        return score
+    scores = getattr(individual, "scores", None)
+    if scores:
+        return scores[0]
+    return float("nan")
 
 #: Probability bounds that keep every gene able to mutate (or stay put) no
 #: matter how extreme the importance skew is.
@@ -138,11 +155,14 @@ class BreedingPipeline:
         timings: dict[str, list[float]] | None = None,
     ) -> Genome:
         """Produce one offspring genome from the current population."""
+        observer = self.operators.observer
         t0 = time.perf_counter()
         parent = self.select(population, rngs.selection)
         genome = parent.genome
         t1 = time.perf_counter()
         self._charge(timings, "selection", 1, t1 - t0)
+        if observer is not None:
+            observer.child_started(scalar_score(parent))
         if rngs.crossover.random() < self.crossover_rate:
             t1 = time.perf_counter()
             other = self.select(population, rngs.selection)
@@ -152,11 +172,15 @@ class BreedingPipeline:
                 candidate = self.crossover(parent.genome, other.genome, rngs.crossover)
                 if self.space.is_feasible(candidate):
                     genome = candidate
+                    if observer is not None:
+                        observer.crossover_applied()
                     break
             self._charge(timings, "crossover", 1, time.perf_counter() - t2)
         t3 = time.perf_counter()
         mutated = self.operators.mutate_feasible(genome, generation, rngs.mutation)
         self._charge(timings, "mutation", 1, time.perf_counter() - t3)
+        if observer is not None:
+            observer.child_finished()
         return mutated
 
 
@@ -187,6 +211,11 @@ class GeneticOperators:
         self.space = space
         self.mutation_rate = mutation_rate
         self.hints = hints
+        #: Optional :class:`repro.obs.attribution.BreedingObserver`. When
+        #: set, every mutation reports which params changed and through
+        #: which hint channel. Pure bookkeeping — attaching an observer
+        #: never consumes RNG draws, so seeded runs are unaffected.
+        self.observer = None
 
     # -- gene selection ---------------------------------------------------------
 
@@ -234,27 +263,41 @@ class GeneticOperators:
         step or target pull); otherwise — and always in the baseline — a
         uniform random different value is drawn.
         """
+        return self._mutate_value(param, current, generation, rng)[0]
+
+    def _mutate_value(
+        self, param: Param, current, generation: int, rng: random.Random
+    ) -> tuple[Any, str]:
+        """The value for one gene plus the attribution channel it came from.
+
+        Channels: ``"bias"`` / ``"target"`` (confidence gate passed, guided
+        sampler ran), ``"fallback"`` (the param carries directional hints
+        but the gate lost — or no ordinal axis exists — so the baseline
+        uniform draw ran), ``"uniform"`` (no directional hints for this
+        param), ``"noop"`` (cardinality-1 param; nothing can change). The
+        draw sequence is identical for every channel outcome.
+        """
         if param.cardinality == 1:
-            return current
+            return current, "noop"
         hints = self.hints.for_param(param.name) if self.hints else None
         confidence = self.hints.confidence if self.hints else 0.0
-        guided = (
-            hints is not None
-            and (hints.bias != 0.0 or hints.target is not None)
-            and rng.random() < confidence
+        directional = hints is not None and (
+            hints.bias != 0.0 or hints.target is not None
         )
+        guided = directional and rng.random() < confidence
         if not guided:
-            return param.random_other_value(current, rng)
+            channel = "fallback" if directional else "uniform"
+            return param.random_other_value(current, rng), channel
         axis = self._axis(param)
         if axis is None:
-            return param.random_other_value(current, rng)
+            return param.random_other_value(current, rng), "fallback"
         index = {self._freeze(v): i for i, v in enumerate(axis)}
         cur = index[self._freeze(current)]
         if hints.target is not None:
             new = self._sample_toward_target(cur, index[self._freeze(hints.target)], len(axis), rng)
-        else:
-            new = self._sample_biased_step(cur, hints.bias, hints.step, len(axis), rng)
-        return axis[new]
+            return axis[new], "target"
+        new = self._sample_biased_step(cur, hints.bias, hints.step, len(axis), rng)
+        return axis[new], "bias"
 
     @staticmethod
     def _freeze(value):
@@ -321,11 +364,17 @@ class GeneticOperators:
         """Mutate a genome: each gene flips per its (possibly guided) rate."""
         rates = self.gene_mutation_rates(generation)
         changes = {}
+        channels = [] if self.observer is not None else None
         for param in self.space.params:
             if rng.random() < rates[param.name]:
-                changes[param.name] = self.mutate_value(
+                value, channel = self._mutate_value(
                     param, genome[param.name], generation, rng
                 )
+                changes[param.name] = value
+                if channels is not None:
+                    channels.append((param.name, channel))
+        if channels is not None:
+            self.observer.mutation_attempted(channels)
         if not changes:
             return genome
         return genome.replace(**changes)
@@ -343,8 +392,12 @@ class GeneticOperators:
         an infeasible hole — the operator never manufactures an invalid
         design point.
         """
-        for _ in range(max_attempts):
+        for attempt in range(max_attempts):
             mutated = self.mutate(genome, generation, rng)
             if self.space.is_feasible(mutated):
+                if self.observer is not None:
+                    self.observer.mutation_committed(attempt + 1, fallback=False)
                 return mutated
+        if self.observer is not None:
+            self.observer.mutation_committed(max_attempts, fallback=True)
         return genome

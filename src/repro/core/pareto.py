@@ -278,9 +278,14 @@ class ParetoSearch(GenerationalEngine):
             horizon=self.config.generations,
             stall_generations=self.config.stall_generations,
             split_rngs=self.config.rng_streams == "split",
+            observability=self.config.observability,
         )
         self.hints = hints
         self.operators = GeneticOperators(space, self.config.mutation_rate, hints)
+        if self.config.observability:
+            from ..obs.attribution import BreedingObserver
+
+            self.operators.observer = BreedingObserver()
         self.pipeline = BreedingPipeline(
             space,
             self.operators,
@@ -345,6 +350,14 @@ class ParetoSearch(GenerationalEngine):
         return [
             self.pipeline.breed(self._population, generation, self.rngs, timings)
             for _ in range(self.config.population_size)
+        ]
+
+    def _offspring_attribution(self, offspring) -> list:
+        # Every offspring is bred (NSGA-II elitism lives in the survivor
+        # rule); attribution projects onto the first objective like the
+        # record/curve bookkeeping.
+        return [
+            (ind.scores[0], ind.scores[0] != float("-inf")) for ind in offspring
         ]
 
     def _survivors(self, offspring: list[ParetoIndividual]) -> list[ParetoIndividual]:

@@ -170,6 +170,22 @@ class MultiRunResult:
                 slot["time_s"] += entry.get("time_s", 0.0)
         return merged
 
+    def hint_effect_report(self):
+        """Merged hint-attribution report over every run's trace.
+
+        Folds each run's ``hint-attribution`` events into one
+        :class:`~repro.obs.HintEffectReport` — the multi-run answer to
+        "which hint channels actually improved children on their
+        parents". Empty (zero generations) when the engines ran with
+        observability disabled.
+        """
+        from ..obs.attribution import HintEffectReport
+
+        report = HintEffectReport()
+        for result in self.results:
+            report.merge(HintEffectReport.from_events(result.events))
+        return report
+
     def curve_cross(self, threshold: float) -> float | None:
         """Evals at which the *mean* convergence curve crosses a threshold.
 

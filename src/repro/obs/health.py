@@ -1,0 +1,140 @@
+"""Search-health diagnostics derived from the live population.
+
+One ``health`` trace event per generation summarizes whether the search
+is still exploring or has collapsed, without consuming any RNG:
+
+``diversity``
+    Mean over varying params of the normalized Shannon entropy of the
+    population's values (1.0 = uniform spread, 0.0 = converged).
+    Cardinality-1 params are excluded — they cannot vary.
+``param_entropy`` / ``param_spread``
+    The per-param breakdown: normalized entropy, and the fraction of the
+    *reachable* domain (``min(population, cardinality)``) present in the
+    population.
+``duplicate_rate``
+    Fraction of the population sharing a genome with an earlier member.
+``infeasible_rate``
+    Infeasible share of this generation's evaluation batch.
+``convergence_velocity``
+    Mean best-score improvement per generation over a recent window
+    (internal score scale; 0.0 while flat).
+``stalled_generations`` / ``stall_risk``
+    Generations since the last best-so-far improvement, and a [0, 1]
+    composite: ``min(1, 0.7 * stalled/patience + 0.3 * duplicate_rate)``
+    where ``patience`` is the configured ``stall_generations`` (default
+    10 when none is set). Risk ≥ ~0.7 means the stall cutoff is close or
+    the population has degenerated into copies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+__all__ = ["population_health", "stall_risk", "DEFAULT_STALL_PATIENCE"]
+
+#: Patience assumed by :func:`stall_risk` when no stall cutoff is set.
+DEFAULT_STALL_PATIENCE = 10
+
+
+def _freeze(value):
+    return tuple(value) if isinstance(value, list) else value
+
+
+def _normalized_entropy(values: Sequence, cardinality: int) -> float:
+    """Shannon entropy of the value histogram, normalized to [0, 1]."""
+    ceiling = min(len(values), cardinality)
+    if ceiling <= 1:
+        return 0.0
+    counts: dict = {}
+    for value in values:
+        key = _freeze(value)
+        counts[key] = counts.get(key, 0) + 1
+    total = len(values)
+    entropy = -sum(
+        (n / total) * math.log(n / total) for n in counts.values() if n
+    )
+    return min(1.0, entropy / math.log(ceiling))
+
+
+def stall_risk(
+    stalled_generations: int,
+    patience: int | None,
+    duplicate_rate: float,
+) -> float:
+    """Composite [0, 1] risk that the search has stopped making progress."""
+    effective = patience if patience and patience > 0 else DEFAULT_STALL_PATIENCE
+    pressure = stalled_generations / effective
+    return min(1.0, 0.7 * pressure + 0.3 * min(max(duplicate_rate, 0.0), 1.0))
+
+
+def population_health(
+    genomes: Sequence[Any],
+    *,
+    cardinalities: Mapping[str, int],
+    best_history: Sequence[float] = (),
+    stalled_generations: int = 0,
+    stall_patience: int | None = None,
+    batch_size: int = 0,
+    batch_infeasible: int = 0,
+) -> dict[str, Any]:
+    """Summarize a population into one JSON-ready ``health`` payload.
+
+    Args:
+        genomes: The surviving population's genomes (mapping-style access
+            by param name; :class:`~repro.core.genome.Genome` qualifies).
+        cardinalities: Domain size per param name.
+        best_history: Recent best-so-far scores, oldest first (window for
+            the convergence velocity).
+        stalled_generations: Consecutive generations without improvement.
+        stall_patience: The engine's ``stall_generations`` cutoff, if set.
+        batch_size / batch_infeasible: This generation's evaluation batch
+            totals, for the infeasible rate.
+    """
+    population = len(genomes)
+    param_entropy: dict[str, float] = {}
+    param_spread: dict[str, float] = {}
+    varying: list[float] = []
+    for name, cardinality in cardinalities.items():
+        values = [genome[name] for genome in genomes]
+        reachable = min(population, cardinality)
+        if reachable <= 1:
+            param_entropy[name] = 0.0
+            param_spread[name] = 1.0 if population else 0.0
+            continue
+        entropy = _normalized_entropy(values, cardinality)
+        param_entropy[name] = round(entropy, 6)
+        distinct = len({_freeze(v) for v in values})
+        param_spread[name] = round(distinct / reachable, 6)
+        varying.append(entropy)
+    diversity = sum(varying) / len(varying) if varying else 0.0
+
+    duplicate_rate = 0.0
+    if population:
+        keys = {
+            getattr(genome, "key", None) or tuple(sorted(
+                (name, _freeze(genome[name])) for name in cardinalities
+            ))
+            for genome in genomes
+        }
+        duplicate_rate = 1.0 - len(keys) / population
+
+    velocity = 0.0
+    finite = [s for s in best_history if s == s and abs(s) != float("inf")]
+    if len(finite) > 1:
+        velocity = (finite[-1] - finite[0]) / (len(finite) - 1)
+
+    infeasible_rate = batch_infeasible / batch_size if batch_size else 0.0
+    return {
+        "population": population,
+        "diversity": round(diversity, 6),
+        "param_entropy": param_entropy,
+        "param_spread": param_spread,
+        "duplicate_rate": round(duplicate_rate, 6),
+        "infeasible_rate": round(infeasible_rate, 6),
+        "convergence_velocity": round(velocity, 6),
+        "stalled_generations": stalled_generations,
+        "stall_risk": round(
+            stall_risk(stalled_generations, stall_patience, duplicate_rate), 6
+        ),
+    }

@@ -1,0 +1,172 @@
+"""Self-contained HTML report for one campaign (no dependencies).
+
+``nautilus report --html <id>`` fetches a campaign's status, curve, and
+hint-effect report over the REST API and renders one static HTML file:
+an inline-SVG best-so-far curve, the health panel, and the per-param /
+per-channel hint-effect table (mean deltas colored by sign). No
+JavaScript, no external assets — the file can be attached to a ticket
+or archived next to the campaign directory.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_campaign_html"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin-top: .5rem; font-size: .85rem; }
+th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: right; }
+th { background: #f0f0f5; } td.name { text-align: left; font-family: monospace; }
+.pos { color: #0a7a2f; } .neg { color: #b01030; } .muted { color: #777; }
+.kv { font-size: .9rem; } .kv dt { float: left; clear: left; width: 14rem;
+       font-weight: 600; } .kv dd { margin-left: 15rem; }
+svg { background: #fafaff; border: 1px solid #ddd; }
+"""
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return html.escape(str(value))
+
+
+def _delta_cell(value: float) -> str:
+    cls = "pos" if value > 0 else ("neg" if value < 0 else "muted")
+    return f'<td class="{cls}">{value:+.4g}</td>'
+
+
+def _curve_svg(curve: Sequence[Mapping[str, Any]], width=640, height=220) -> str:
+    points = [
+        (float(p["generation"]), float(p["best_raw"]))
+        for p in curve
+        if p.get("best_raw") == p.get("best_raw")  # drop NaN
+    ]
+    if len(points) < 2:
+        return '<p class="muted">Not enough points for a curve yet.</p>'
+    pad = 30
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(x: float) -> float:
+        return pad + (x - x_lo) / x_span * (width - 2 * pad)
+
+    def sy(y: float) -> float:
+        return height - pad - (y - y_lo) / y_span * (height - 2 * pad)
+
+    path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        'role="img" aria-label="best-so-far curve">'
+        f'<polyline points="{path}" fill="none" stroke="#2a4d9b" stroke-width="2"/>'
+        f'<text x="{pad}" y="{height - 8}" font-size="11">generation {x_lo:g}</text>'
+        f'<text x="{width - pad}" y="{height - 8}" font-size="11" '
+        f'text-anchor="end">generation {x_hi:g}</text>'
+        f'<text x="{pad}" y="16" font-size="11">best {y_hi:g}</text>'
+        f'<text x="{pad}" y="{height - pad}" font-size="11" '
+        f'dy="-4">best {y_lo:g}</text>'
+        "</svg>"
+    )
+
+
+def _hint_table(report: Mapping[str, Any]) -> str:
+    channels = report.get("channels", {})
+    params = report.get("params", {})
+    if not channels and not params:
+        return '<p class="muted">No hint-attribution events in this trace.</p>'
+    rows = ['<table><tr><th>scope</th><th>channel</th><th>proposals</th>'
+            "<th>feasible</th><th>improved</th><th>improvement rate</th>"
+            "<th>mean Δscore</th></tr>"]
+    for channel, cell in channels.items():
+        rows.append(
+            '<tr><td class="name">all params</td>'
+            f'<td class="name">{html.escape(channel)}</td>'
+            f'<td>{cell["proposals"]}</td><td>{cell["feasible"]}</td>'
+            f'<td>{cell["improved"]}</td>'
+            f'<td>{cell["improvement_rate"]:.1%}</td>'
+            f'{_delta_cell(cell["mean_delta"])}</tr>'
+        )
+    for name, param in params.items():
+        for channel, cell in param.get("channels", {}).items():
+            rows.append(
+                f'<tr><td class="name">{html.escape(name)}</td>'
+                f'<td class="name">{html.escape(channel)}</td>'
+                f'<td>{cell["proposals"]}</td><td>{cell["feasible"]}</td>'
+                f'<td>{cell["improved"]}</td>'
+                f'<td>{cell["improvement_rate"]:.1%}</td>'
+                f'{_delta_cell(cell["mean_delta"])}</tr>'
+            )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _health_panel(health: Mapping[str, Any] | None) -> str:
+    if not health:
+        return '<p class="muted">No health data yet.</p>'
+    keys = (
+        "diversity", "duplicate_rate", "infeasible_rate",
+        "convergence_velocity", "stalled_generations", "stall_risk",
+    )
+    items = "".join(
+        f"<dt>{html.escape(key.replace('_', ' '))}</dt><dd>{_fmt(health.get(key, 0))}</dd>"
+        for key in keys
+    )
+    return f'<dl class="kv">{items}</dl>'
+
+
+def render_campaign_html(
+    status: Mapping[str, Any],
+    curve: Sequence[Mapping[str, Any]] = (),
+    hint_report: Mapping[str, Any] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render one campaign into a complete standalone HTML document."""
+    cid = str(status.get("id", "?"))
+    title = title or f"Nautilus campaign {cid}"
+    spec = status.get("spec", {})
+    summary_keys = (
+        ("state", status.get("state")),
+        ("query", spec.get("query")),
+        ("engine", spec.get("engine")),
+        ("seed", spec.get("seed")),
+        ("generations done", status.get("generations_done")),
+        ("best raw", status.get("best_raw")),
+        ("best score", status.get("best_score")),
+        ("distinct evaluations", status.get("distinct_evaluations")),
+        ("stop reason", status.get("stop_reason")),
+    )
+    summary = "".join(
+        f"<dt>{html.escape(str(key))}</dt><dd>{_fmt(value)}</dd>"
+        for key, value in summary_keys
+        if value is not None
+    )
+    best_config = status.get("best_config")
+    config_block = (
+        f"<h2>Best configuration</h2><pre>{html.escape(json.dumps(best_config, indent=2))}</pre>"
+        if best_config
+        else ""
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{html.escape(title)}</title><style>{_CSS}</style></head>
+<body>
+<h1>{html.escape(title)}</h1>
+<dl class="kv">{summary}</dl>
+<h2>Best-so-far curve</h2>
+{_curve_svg(curve)}
+<h2>Search health</h2>
+{_health_panel(status.get("health"))}
+<h2>Hint effect</h2>
+{_hint_table(hint_report or {})}
+{config_block}
+</body></html>
+"""

@@ -1,0 +1,82 @@
+"""Structured JSON logging with campaign-id correlation.
+
+The service's default logging is human lines on stderr; fleet operators
+want one JSON object per line so a collector can index by campaign. The
+formatter serializes every record to a stable envelope::
+
+    {"ts": 1719400000.123, "level": "info", "logger": "nautilus.scheduler",
+     "message": "campaign finished", "campaign": "c000001", "state": "done"}
+
+Any extra attributes passed via ``logging``'s ``extra={...}`` mechanism
+(``campaign``, ``state``, ``event`` …) are lifted into the envelope, so
+call sites stay plain ``log.info("...", extra={"campaign": cid})``.
+
+Enable with ``nautilus serve --log-json`` or programmatically via
+:func:`configure_json_logging`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = ["JsonLogFormatter", "configure_json_logging"]
+
+#: ``LogRecord`` attributes that are plumbing, not payload.
+_STANDARD_ATTRS = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "module", "msecs",
+        "msg", "message", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Formats each record as one JSON line; extras become fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_ATTRS or key in payload:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def configure_json_logging(
+    logger_name: str = "nautilus",
+    level: int = logging.INFO,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Route a logger tree to one-JSON-line-per-record on a stream.
+
+    Replaces any handlers previously installed by this function (safe to
+    call twice, e.g. across daemon restarts in tests) and stops
+    propagation so records are not double-printed by a root handler.
+    """
+    logger = logging.getLogger(logger_name)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    handler.set_name(f"{logger_name}-json")
+    for existing in list(logger.handlers):
+        if existing.get_name() == handler.get_name():
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

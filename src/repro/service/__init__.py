@@ -16,7 +16,9 @@ exactly that, on the standard library alone:
 * :mod:`~repro.service.scheduler` — a priority-aware round-robin scheduler
   stepping one generation per tick on a shared worker pool;
 * :mod:`~repro.service.metrics` — live service counters (evaluation
-  throughput, cache hit rate, queue depth);
+  throughput, cache hit rate, queue depth), doubling as the daemon's
+  :class:`~repro.obs.MetricsRegistry` behind
+  ``GET /metrics?format=prometheus``;
 * :mod:`~repro.service.http` / :mod:`~repro.service.daemon` — a
   ``ThreadingHTTPServer`` REST API around the scheduler;
 * :mod:`~repro.service.client` — a small urllib client used by the

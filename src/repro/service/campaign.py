@@ -95,6 +95,9 @@ class CampaignSpec:
             the multi-query's hint guidance.
         budget: Random-search draw budget (random engine only).
         max_evaluations: Optional distinct-evaluation cutoff for GA runs.
+        trace_max_events: Optional cap on this campaign's persisted event
+            log (see :class:`~repro.core.CappedJsonlTraceSink`); overrides
+            the service-wide default. ``None`` keeps every event.
         label: Free-form tag carried into results.
     """
 
@@ -106,6 +109,7 @@ class CampaignSpec:
     confidence: float | None = None
     budget: int = 400
     max_evaluations: int | None = None
+    trace_max_events: int | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -123,6 +127,8 @@ class CampaignSpec:
             raise NautilusError("generations must be >= 1")
         if self.budget < 1:
             raise NautilusError("budget must be >= 1")
+        if self.trace_max_events is not None and self.trace_max_events < 4:
+            raise NautilusError("trace_max_events must be >= 4")
 
     def to_json(self) -> dict[str, Any]:
         return asdict(self)
@@ -142,6 +148,7 @@ def build_search(
     campaign_dir: str | Path | None = None,
     workers: int = 1,
     persistent: PersistentCache | None = None,
+    registry=None,
 ):
     """Instantiate the engine a spec describes, against a shared dataset.
 
@@ -153,13 +160,16 @@ def build_search(
     and counters, a thread-pool backend when ``workers > 1``
     (population-sized parallelism), and optionally a shared ``persistent``
     on-disk cache so campaigns over the same space never re-pay a
-    synthesis job, across processes and daemon restarts.
+    synthesis job, across processes and daemon restarts. ``registry`` is
+    the daemon's shared metrics registry; each stack publishes its
+    ``nautilus_eval_*`` families there.
     """
     evaluator = EvaluationStack(
         DatasetEvaluator(dataset),
         backend="thread" if workers > 1 else "auto",
         workers=workers,
         persistent=persistent,
+        registry=registry,
     )
     if spec.engine == "pareto":
         multi = MULTI_QUERIES[spec.query]
@@ -265,7 +275,7 @@ class Campaign:
             if self.stored_result:
                 for key in (
                     "best_raw", "best_score", "best_config",
-                    "distinct_evaluations", "stop_reason", "front",
+                    "distinct_evaluations", "stop_reason", "front", "health",
                 ):
                     if key in self.stored_result:
                         payload[key] = self.stored_result[key]
@@ -277,6 +287,9 @@ class Campaign:
             payload["best_score"] = last.best_score
             payload["best_config"] = last.best_config
         payload["distinct_evaluations"] = source.distinct_evaluations
+        health = getattr(self.search, "latest_health", None)
+        if health is not None:
+            payload["health"] = dict(health)
         stop = getattr(source, "stop_reason", None)
         if self.terminal and stop:
             payload["stop_reason"] = stop

@@ -86,6 +86,10 @@ class ServiceClient:
             path += f"?limit={limit}"
         return self._request("GET", path)
 
+    def hints(self, campaign_id: str) -> dict[str, Any]:
+        """Aggregated hint-attribution report for one campaign."""
+        return self._request("GET", f"/campaigns/{campaign_id}/hints")
+
     def cancel(self, campaign_id: str) -> dict[str, Any]:
         return self._request("DELETE", f"/campaigns/{campaign_id}")
 
@@ -94,6 +98,24 @@ class ServiceClient:
 
     def metrics(self) -> dict[str, Any]:
         return self._request("GET", "/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of the daemon's registry."""
+        request = urllib.request.Request(
+            f"{self.base}/metrics?format=prometheus", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"GET /metrics?format=prometheus -> HTTP {exc.code}",
+                status=exc.code,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach daemon at {self.base}: {exc.reason}"
+            ) from None
 
     def healthy(self) -> bool:
         try:

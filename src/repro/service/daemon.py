@@ -38,12 +38,24 @@ class SearchService:
         dataset_provider=None,
         quiet: bool = True,
         eval_cache: bool | str | Path = False,
+        trace_max_events: int | None = None,
+        log_json: bool = False,
     ):
         """``eval_cache`` enables the shared persistent evaluation cache:
         ``True`` stores it under ``<root>/evalcache``, a path stores it
         there. Off by default — with it on, campaigns over the same space
         share results, so their distinct-evaluation counts depend on what
-        ran before (see ``docs/evaluation.md``)."""
+        ran before (see ``docs/evaluation.md``).
+
+        ``trace_max_events`` caps every campaign's on-disk event log (a
+        spec's own setting overrides it); ``None``, the default, keeps
+        every event. ``log_json`` routes the ``nautilus`` logger through
+        :func:`repro.obs.configure_json_logging` — one JSON object per
+        line with campaign-id correlation."""
+        if log_json:
+            from ..obs import configure_json_logging
+
+            configure_json_logging()
         self.store = CampaignStore(root)
         self.metrics = ServiceMetrics()
         self.eval_cache: PersistentCache | None = None
@@ -62,6 +74,7 @@ class SearchService:
             self.metrics,
             workers=workers,
             persistent=self.eval_cache,
+            trace_max_events=trace_max_events,
             **kwargs,
         )
         self.server: ServiceHTTPServer = make_server(

@@ -7,9 +7,15 @@ Routes::
     GET    /campaigns/<id>       status: state, progress, best-so-far
     GET    /campaigns/<id>/curve per-generation search curve
     GET    /campaigns/<id>/trace structured RunEvent log (?limit=N for tail)
+    GET    /campaigns/<id>/hints aggregated hint-attribution report
     DELETE /campaigns/<id>       request cancellation
-    GET    /metrics              live service counters
+    GET    /metrics              live service counters (JSON); add
+                                 ?format=prometheus for text exposition
     GET    /healthz              liveness probe
+
+Malformed query parameters (a non-integer or negative ``limit``, an
+unknown ``format``) are client errors and answer 400 with a JSON body;
+404 is reserved for unknown routes and campaigns.
 
 The server is a ``ThreadingHTTPServer``: request handling is concurrent,
 but every mutation funnels through the scheduler's lock, and engines are
@@ -28,6 +34,10 @@ from .campaign import CampaignSpec
 from .scheduler import Scheduler
 
 __all__ = ["ServiceHTTPServer", "make_server"]
+
+
+class _BadRequest(Exception):
+    """Malformed client input in a query string — rendered as HTTP 400."""
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -77,17 +87,34 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         return tuple(part for part in path.split("/") if part)
 
-    def _query_int(self, name: str) -> int | None:
+    def _query_raw(self, name: str) -> str | None:
         parts = self.path.split("?", 1)
         if len(parts) < 2:
             return None
         values = parse_qs(parts[1]).get(name)
-        if not values:
+        return values[-1] if values else None
+
+    def _query_int(self, name: str, minimum: int | None = None) -> int | None:
+        raw = self._query_raw(name)
+        if raw is None:
             return None
         try:
-            return int(values[-1])
+            value = int(raw)
         except ValueError:
-            raise NautilusError(f"query parameter {name!r} must be an integer")
+            raise _BadRequest(
+                f"query parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+        if minimum is not None and value < minimum:
+            raise _BadRequest(f"query parameter {name!r} must be >= {minimum}")
+        return value
+
+    def _send_text(self, body: str, content_type: str) -> None:
+        data = body.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     # -- verbs ------------------------------------------------------------------
 
@@ -98,7 +125,19 @@ class _Handler(BaseHTTPRequestHandler):
             if parts == ("healthz",):
                 self._send_json({"status": "ok"})
             elif parts == ("metrics",):
-                self._send_json(scheduler.metrics.snapshot())
+                fmt = self._query_raw("format")
+                if fmt is None or fmt == "json":
+                    self._send_json(scheduler.metrics.snapshot())
+                elif fmt == "prometheus":
+                    self._send_text(
+                        scheduler.metrics.registry.render(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    raise _BadRequest(
+                        f"unknown metrics format {fmt!r}; "
+                        "use 'json' or 'prometheus'"
+                    )
             elif parts == ("campaigns",):
                 self._send_json(
                     [c.status_payload() for c in scheduler.list_campaigns()]
@@ -109,10 +148,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(scheduler.get(parts[1]).curve_payload())
             elif len(parts) == 3 and parts[:1] == ("campaigns",) and parts[2] == "trace":
                 self._send_json(
-                    scheduler.trace(parts[1], limit=self._query_int("limit"))
+                    scheduler.trace(
+                        parts[1], limit=self._query_int("limit", minimum=0)
+                    )
                 )
+            elif len(parts) == 3 and parts[:1] == ("campaigns",) and parts[2] == "hints":
+                self._send_json(scheduler.hint_report(parts[1]))
             else:
                 self._send_error_json(404, f"no route {self.path!r}")
+        except _BadRequest as exc:
+            self._send_error_json(400, str(exc))
         except NautilusError as exc:
             self._send_error_json(404, str(exc))
 

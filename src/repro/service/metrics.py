@@ -10,6 +10,15 @@ generation counts expose scheduler health.
 
 All updates take one lock and are O(1); the scheduler calls
 :meth:`ServiceMetrics.record_step` once per generation step.
+
+Besides the JSON snapshot, every instance owns (or shares) a
+:class:`~repro.obs.registry.MetricsRegistry` and mirrors the scheduler-
+and kernel-level families into it (``nautilus_scheduler_steps_total``,
+``nautilus_campaign_states``, ``nautilus_search_generations``,
+``nautilus_search_best_score``); the evaluation-stack families
+(``nautilus_eval_*``) are published by each campaign's
+:class:`~repro.core.EvaluationStack` against the same registry, and
+``GET /metrics?format=prometheus`` renders the whole thing.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from collections import deque
 from typing import Any
 
 from ..core.evalstack import EvalStats
+from ..obs.registry import MetricsRegistry
 
 __all__ = ["ServiceMetrics"]
 
@@ -30,7 +40,7 @@ _WINDOW_S = 60.0
 class ServiceMetrics:
     """Thread-safe counters for one service daemon."""
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic, registry: MetricsRegistry | None = None):
         self._clock = clock
         self._lock = threading.Lock()
         self._started_at = clock()
@@ -50,18 +60,50 @@ class ServiceMetrics:
         #: Per-campaign {operator: {calls, time_s}} from the engines' traces
         #: (cumulative over each run; replaced wholesale on every step).
         self._campaign_operators: dict[str, dict[str, dict[str, float]]] = {}
+        #: Per-campaign latest best internal score / health payload.
+        self._campaign_best: dict[str, float] = {}
+        self._campaign_health: dict[str, dict[str, Any]] = {}
         # (timestamp, distinct-evaluation delta) samples for the window rate.
         self._samples: deque[tuple[float, int]] = deque()
+        #: The Prometheus-style registry this daemon exposes; shared with
+        #: every campaign's evaluation stack by the scheduler.
+        self.registry = registry or MetricsRegistry()
+        self._prom_steps = self.registry.counter(
+            "nautilus_scheduler_steps_total",
+            "Scheduler generation steps across all campaigns.",
+        )
+        self._prom_states = self.registry.gauge(
+            "nautilus_campaign_states",
+            "Number of campaigns currently in each lifecycle state.",
+            labelnames=("state",),
+        )
+        self._prom_generations = self.registry.gauge(
+            "nautilus_search_generations",
+            "Completed generations per campaign.",
+            labelnames=("campaign",),
+        )
+        self._prom_best = self.registry.gauge(
+            "nautilus_search_best_score",
+            "Best internal (higher-is-better) score per campaign.",
+            labelnames=("campaign",),
+        )
 
     # -- updates ----------------------------------------------------------------
 
     def record_step(
-        self, campaign_id: str, generations_done: int, delta: EvalStats
+        self,
+        campaign_id: str,
+        generations_done: int,
+        delta: EvalStats,
+        best_score: float | None = None,
+        health: dict[str, Any] | None = None,
     ) -> None:
         """Fold one scheduler step's evaluation-stack delta into the counters.
 
         ``delta`` is ``stack.stats().minus(before)`` for the stepped
         campaign — the scheduler computes it around each generation step.
+        ``best_score`` and ``health`` are the kernel's current best and
+        latest ``health`` event payload, surfaced by ``nautilus top``.
         """
         now = self._clock()
         with self._lock:
@@ -79,13 +121,26 @@ class ServiceMetrics:
             self._campaign_evaluations[campaign_id] = (
                 self._campaign_evaluations.get(campaign_id, 0) + delta.distinct
             )
+            if best_score is not None and best_score == best_score:
+                self._campaign_best[campaign_id] = best_score
+            if health is not None:
+                self._campaign_health[campaign_id] = dict(health)
             if delta.distinct:
                 self._samples.append((now, delta.distinct))
             self._trim(now)
+        self._prom_steps.inc()
+        self._prom_generations.set(generations_done, campaign=campaign_id)
+        if best_score is not None and best_score == best_score:
+            self._prom_best.set(best_score, campaign=campaign_id)
 
     def record_state(self, campaign_id: str, state: str) -> None:
         with self._lock:
             self._campaign_states[campaign_id] = state
+            counts: dict[str, int] = {}
+            for value in self._campaign_states.values():
+                counts[value] = counts.get(value, 0) + 1
+        for name in ("queued", "running", "done", "failed", "cancelled"):
+            self._prom_states.set(counts.get(name, 0), state=name)
 
     def record_operators(
         self, campaign_id: str, timings: dict[str, dict[str, float]]
@@ -156,6 +211,11 @@ class ServiceMetrics:
                 "campaign_generations": dict(self._generations),
                 "campaign_eval_time_s": dict(self._campaign_eval_time),
                 "campaign_evaluations": dict(self._campaign_evaluations),
+                "campaign_best_score": dict(self._campaign_best),
+                "campaign_health": {
+                    cid: dict(payload)
+                    for cid, payload in self._campaign_health.items()
+                },
                 "operator_time_s": operator_time,
                 "operator_calls": operator_calls,
                 "campaign_operator_time_s": {

@@ -21,16 +21,19 @@ campaign found in the store.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import deque
 from typing import Any
 
 from ..core import (
+    CappedJsonlTraceSink,
     CheckpointedParetoSearch,
     CheckpointedSearch,
     JsonlTraceSink,
     NautilusError,
 )
+from ..obs.attribution import hint_effect_report
 from ..queries import load_dataset
 from .campaign import (
     Campaign,
@@ -43,6 +46,8 @@ from .metrics import ServiceMetrics
 from .store import CampaignStore
 
 __all__ = ["Scheduler"]
+
+_LOG = logging.getLogger("nautilus.scheduler")
 
 
 class Scheduler:
@@ -62,6 +67,11 @@ class Scheduler:
             campaign's evaluation stack, so campaigns over the same space
             never re-pay a synthesis job — across processes and daemon
             restarts.
+        trace_max_events: Service-wide cap on per-campaign event logs
+            (``None`` keeps everything). A spec's own ``trace_max_events``
+            overrides it for that campaign. Capped logs keep the oldest
+            and newest halves and splice a ``trace-truncated`` marker in
+            between.
     """
 
     def __init__(
@@ -72,14 +82,18 @@ class Scheduler:
         dataset_provider=load_dataset,
         poll_interval: float = 0.05,
         persistent=None,
+        trace_max_events: int | None = None,
     ):
         if workers < 1:
             raise NautilusError("workers must be >= 1")
+        if trace_max_events is not None and trace_max_events < 4:
+            raise NautilusError("trace_max_events must be >= 4")
         self.store = store
         self.metrics = metrics or ServiceMetrics()
         self.workers = workers
         self.poll_interval = poll_interval
         self.persistent = persistent
+        self.trace_max_events = trace_max_events
         self._dataset_provider = dataset_provider
         self._datasets: dict[str, Any] = {}
         self._campaigns: dict[str, Campaign] = {}
@@ -108,6 +122,11 @@ class Scheduler:
             self._campaigns[campaign.id] = campaign
             self._enqueue(campaign)
         self.metrics.record_state(campaign.id, campaign.state)
+        _LOG.info(
+            "campaign submitted",
+            extra={"campaign": campaign.id, "query": spec.query,
+                   "engine": spec.engine, "seed": spec.seed},
+        )
         self._wake.set()
         return campaign
 
@@ -208,6 +227,7 @@ class Scheduler:
             campaign_dir=self.store.campaign_dir(campaign.id),
             workers=self.workers,
             persistent=self.persistent,
+            registry=self.metrics.registry,
         )
         checkpoint = self.store.checkpoint_path(campaign.id)
         resumable = (CheckpointedSearch, CheckpointedParetoSearch)
@@ -217,7 +237,12 @@ class Scheduler:
         # append-mode event log. On resume the engine replays its recorded
         # history without notifying sinks, so the log never duplicates
         # generations across daemon restarts.
-        sink = JsonlTraceSink(self.store.events_path(campaign.id))
+        events_path = self.store.events_path(campaign.id)
+        cap = campaign.spec.trace_max_events or self.trace_max_events
+        if cap is not None:
+            sink: JsonlTraceSink = CappedJsonlTraceSink(events_path, cap)
+        else:
+            sink = JsonlTraceSink(events_path)
         search.attach_sink(sink)
         self._sinks[campaign.id] = sink
         campaign.search = search
@@ -251,6 +276,8 @@ class Scheduler:
             campaign.id,
             campaign.generations_done,
             stack.stats().minus(before),
+            best_score=getattr(search, "best_score", None),
+            health=getattr(search, "latest_health", None),
         )
         self.metrics.record_operators(campaign.id, search.operator_timings())
         if record is None:
@@ -264,6 +291,14 @@ class Scheduler:
         self.store.save_status(campaign)
         self.store.save_result(campaign)
         self.metrics.record_state(campaign.id, state)
+        if state == CampaignState.FAILED:
+            _LOG.error(
+                "campaign failed",
+                extra={"campaign": campaign.id, "error": campaign.error},
+            )
+        else:
+            _LOG.info("campaign finished",
+                      extra={"campaign": campaign.id, "state": state})
         sink = self._sinks.pop(campaign.id, None)
         if sink is not None:
             sink.close()
@@ -276,6 +311,17 @@ class Scheduler:
         """A campaign's persisted RunEvent log (most recent last)."""
         self.get(campaign_id)  # 404 on unknown campaigns
         return self.store.load_events(campaign_id, limit=limit)
+
+    def hint_report(self, campaign_id: str) -> dict[str, Any]:
+        """Aggregate hint attribution over a campaign's persisted trace.
+
+        Folds every ``hint-attribution`` event in the campaign's event log
+        into one :class:`~repro.obs.HintEffectReport` dict — the body of
+        ``GET /campaigns/<id>/hints``.
+        """
+        self.get(campaign_id)  # 404 on unknown campaigns
+        events = self.store.load_events(campaign_id)
+        return hint_effect_report(events)
 
     # -- thread lifecycle -------------------------------------------------------
 

@@ -1,0 +1,35 @@
+"""Observability fixtures: the same instant tiny dataset the service tests use."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CallableEvaluator, DesignSpace, IntParam
+from repro.dataset import Dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 16-design space exposing the metrics the noc/fft queries optimize."""
+    space = DesignSpace("tiny", [IntParam("a", 0, 3), IntParam("b", 0, 3)])
+
+    def fn(genome):
+        value = float(3 * genome["a"] + genome["b"])
+        return {
+            "fmax_mhz": value,
+            "area_delay": 100.0 - value,
+            "luts": 100.0 - value,
+            "msps_per_lut": value,
+        }
+
+    return Dataset.characterize(space, CallableEvaluator(fn), name="tiny")
+
+
+@pytest.fixture
+def tiny_provider(tiny_dataset):
+    """dataset_provider hook serving the tiny dataset for every space."""
+
+    def provider(space_name: str):
+        return tiny_dataset
+
+    return provider

@@ -1,0 +1,109 @@
+"""Search-health diagnostics: entropy, stall risk, and the kernel's events."""
+
+import pytest
+
+from repro.core import GAConfig, GeneticSearch, maximize
+from repro.obs import population_health, stall_risk
+from repro.obs.health import DEFAULT_STALL_PATIENCE
+
+
+class TestStallRisk:
+    def test_zero_when_fresh(self):
+        assert stall_risk(0, 10, 0.0) == 0.0
+
+    def test_saturates_at_one(self):
+        assert stall_risk(100, 10, 1.0) == 1.0
+
+    def test_patience_weighting(self):
+        # 0.7 * 5/10 + 0.3 * 0.5 = 0.5
+        assert stall_risk(5, 10, 0.5) == pytest.approx(0.5)
+
+    def test_default_patience_when_unset(self):
+        assert stall_risk(DEFAULT_STALL_PATIENCE, None, 0.0) == pytest.approx(0.7)
+        assert stall_risk(DEFAULT_STALL_PATIENCE, 0, 0.0) == pytest.approx(0.7)
+
+    def test_duplicate_rate_clamped(self):
+        assert stall_risk(0, 10, 2.0) == pytest.approx(0.3)
+        assert stall_risk(0, 10, -1.0) == 0.0
+
+
+class TestPopulationHealth:
+    def test_uniform_population_is_maximally_diverse(self):
+        genomes = [{"a": i} for i in range(4)]
+        health = population_health(genomes, cardinalities={"a": 4})
+        assert health["diversity"] == pytest.approx(1.0)
+        assert health["param_spread"]["a"] == 1.0
+        assert health["duplicate_rate"] == 0.0
+
+    def test_collapsed_population(self):
+        genomes = [{"a": 1} for _ in range(4)]
+        health = population_health(genomes, cardinalities={"a": 4})
+        assert health["diversity"] == 0.0
+        assert health["duplicate_rate"] == pytest.approx(0.75)
+
+    def test_cardinality_one_param_excluded_from_diversity(self):
+        genomes = [{"a": i, "fixed": 0} for i in range(4)]
+        health = population_health(
+            genomes, cardinalities={"a": 4, "fixed": 1}
+        )
+        assert health["param_entropy"]["fixed"] == 0.0
+        assert health["diversity"] == pytest.approx(1.0)  # mean over varying only
+
+    def test_velocity_and_infeasible_rate(self):
+        health = population_health(
+            [{"a": 0}],
+            cardinalities={"a": 2},
+            best_history=[1.0, 2.0, 5.0],
+            batch_size=10,
+            batch_infeasible=3,
+        )
+        assert health["convergence_velocity"] == pytest.approx(2.0)
+        assert health["infeasible_rate"] == pytest.approx(0.3)
+
+    def test_non_finite_history_ignored(self):
+        health = population_health(
+            [{"a": 0}],
+            cardinalities={"a": 2},
+            best_history=[float("-inf"), 1.0, 3.0],
+        )
+        assert health["convergence_velocity"] == pytest.approx(2.0)
+
+
+class TestKernelHealthEvents:
+    def test_health_emitted_each_generation(self, toy_space, toy_evaluator):
+        search = GeneticSearch(
+            toy_space, toy_evaluator, maximize("m"),
+            GAConfig(generations=5, seed=2),
+        )
+        result = search.run()
+        healths = [e for e in result.events if e.kind == "health"]
+        # one on start (generation 0) plus one per stepped generation
+        assert len(healths) == 6
+        for event in healths:
+            payload = event.payload
+            assert 0.0 <= payload["diversity"] <= 1.0
+            assert 0.0 <= payload["stall_risk"] <= 1.0
+            assert payload["population"] == search.config.population_size
+        assert search.latest_health == healths[-1].payload
+
+    def test_latest_health_mirrors_status(self, toy_space, toy_evaluator):
+        search = GeneticSearch(
+            toy_space, toy_evaluator, maximize("m"),
+            GAConfig(generations=3, seed=2),
+        )
+        assert search.latest_health is None
+        search.run()
+        assert search.latest_health is not None
+        assert set(search.latest_health) >= {
+            "diversity", "duplicate_rate", "infeasible_rate",
+            "convergence_velocity", "stalled_generations", "stall_risk",
+        }
+
+    def test_observability_off_emits_no_health(self, toy_space, toy_evaluator):
+        search = GeneticSearch(
+            toy_space, toy_evaluator, maximize("m"),
+            GAConfig(generations=3, seed=2, observability=False),
+        )
+        result = search.run()
+        assert not [e for e in result.events if e.kind == "health"]
+        assert search.latest_health is None

@@ -1,0 +1,69 @@
+"""HTML campaign report: structure, curve SVG, and sign-colored hint table."""
+
+from repro.obs.htmlreport import render_campaign_html
+
+_STATUS = {
+    "id": "c000001",
+    "state": "done",
+    "spec": {"query": "noc-frequency", "engine": "nautilus", "seed": 3},
+    "generations_done": 5,
+    "best_raw": 192.8,
+    "best_score": 192.8,
+    "best_config": {"a": 3, "b": 1},
+    "distinct_evaluations": 38,
+    "stop_reason": "horizon",
+    "health": {
+        "diversity": 0.4, "duplicate_rate": 0.1, "infeasible_rate": 0.0,
+        "convergence_velocity": 1.5, "stalled_generations": 0,
+        "stall_risk": 0.05,
+    },
+}
+
+_CURVE = [
+    {"generation": g, "best_raw": 100.0 + 10 * g} for g in range(6)
+]
+
+_HINTS = {
+    "channels": {
+        "bias": {"proposals": 10, "feasible": 9, "improved": 6,
+                 "improvement_rate": 0.667, "mean_delta": 2.5},
+        "uniform": {"proposals": 4, "feasible": 4, "improved": 1,
+                    "improvement_rate": 0.25, "mean_delta": -0.5},
+    },
+    "params": {
+        "a": {"proposals": 10, "feasible": 9, "improved": 6,
+              "improvement_rate": 0.667, "mean_delta": 2.5,
+              "channels": {
+                  "bias": {"proposals": 10, "feasible": 9, "improved": 6,
+                           "improvement_rate": 0.667, "mean_delta": 2.5},
+              }},
+    },
+}
+
+
+class TestRender:
+    def test_complete_document(self):
+        html = render_campaign_html(_STATUS, curve=_CURVE, hint_report=_HINTS)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Nautilus campaign c000001" in html
+        assert "noc-frequency" in html
+        assert "<svg" in html  # curve rendered
+        assert "stall risk" in html
+        assert "&quot;a&quot;: 3" in html  # best config block
+
+    def test_delta_sign_coloring(self):
+        html = render_campaign_html(_STATUS, curve=_CURVE, hint_report=_HINTS)
+        assert '<td class="pos">+2.5</td>' in html
+        assert '<td class="neg">-0.5</td>' in html
+
+    def test_degrades_without_data(self):
+        html = render_campaign_html({"id": "x", "state": "queued", "spec": {}})
+        assert "Not enough points for a curve" in html
+        assert "No health data yet" in html
+        assert "No hint-attribution events" in html
+
+    def test_escapes_untrusted_strings(self):
+        status = dict(_STATUS, id="<script>alert(1)</script>")
+        html = render_campaign_html(status)
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html

@@ -1,0 +1,98 @@
+"""Structured JSON logging: formatter output and idempotent configuration."""
+
+import io
+import json
+import logging
+
+from repro.obs import JsonLogFormatter, configure_json_logging
+
+
+def _record(**extra):
+    logger = logging.Logger("nautilus.test")
+    record = logger.makeRecord(
+        "nautilus.test", logging.INFO, __file__, 1, "hello %s", ("world",),
+        None, extra=extra or None,
+    )
+    return record
+
+
+class TestFormatter:
+    def test_basic_fields(self):
+        line = JsonLogFormatter().format(_record())
+        payload = json.loads(line)
+        assert payload["level"] == "info"
+        assert payload["logger"] == "nautilus.test"
+        assert payload["message"] == "hello world"
+        assert "ts" in payload
+
+    def test_extras_pass_through(self):
+        payload = json.loads(
+            JsonLogFormatter().format(_record(campaign="c000001", seed=7))
+        )
+        assert payload["campaign"] == "c000001"
+        assert payload["seed"] == 7
+
+    def test_non_json_extra_falls_back_to_repr(self):
+        payload = json.loads(
+            JsonLogFormatter().format(_record(weird={1, 2}))
+        )
+        assert "1" in payload["weird"] and "2" in payload["weird"]
+
+    def test_exception_included(self):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+
+            record = _record()
+            record.exc_info = sys.exc_info()
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "ValueError: boom" in payload["exc"]
+
+
+class TestConfigure:
+    def test_idempotent_single_handler(self):
+        name = "nautilus-logtest"
+        stream = io.StringIO()
+        logger = configure_json_logging(name, stream=stream)
+        logger2 = configure_json_logging(name, stream=stream)
+        try:
+            assert logger is logger2
+            handlers = [
+                h for h in logger.handlers if h.name == f"{name}-json"
+            ]
+            assert len(handlers) == 1
+            logger.info("scheduled", extra={"campaign": "c1"})
+            payload = json.loads(stream.getvalue().strip())
+            assert payload["message"] == "scheduled"
+            assert payload["campaign"] == "c1"
+        finally:
+            logger.handlers.clear()
+
+    def test_scheduler_logs_are_json_parseable(self, tmp_path, tiny_provider):
+        """The daemon's own log lines round-trip through the formatter."""
+        from repro.service import CampaignSpec, SearchService
+
+        name = "nautilus"
+        stream = io.StringIO()
+        logger = configure_json_logging(name, stream=stream)
+        try:
+            service = SearchService(
+                tmp_path / "campaigns", port=0, dataset_provider=tiny_provider
+            )
+            service.start(run_scheduler=False)
+            cid = service.scheduler.submit(
+                CampaignSpec(query="noc-frequency", engine="baseline",
+                             generations=2, seed=1)
+            ).id
+            while service.scheduler.tick():
+                pass
+            service.stop()
+            lines = [json.loads(l) for l in stream.getvalue().splitlines()]
+            assert any(
+                l["message"] == "campaign submitted" and l["campaign"] == cid
+                for l in lines
+            )
+            assert any(l["message"] == "campaign finished" for l in lines)
+        finally:
+            logger.handlers.clear()

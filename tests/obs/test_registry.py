@@ -1,0 +1,115 @@
+"""Metrics registry: counters/gauges/histograms and the text exposition."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, parse_prometheus
+
+
+class TestFamilies:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("nautilus_jobs_total", "jobs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("nautilus_x_total", "x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_remove(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("nautilus_depth", "d", labelnames=("q",))
+        gauge.set(3, q="a")
+        gauge.inc(2, q="a")
+        gauge.set(7, q="b")
+        assert gauge.value(q="a") == 5
+        gauge.remove(q="a")
+        assert gauge.value(q="a") == 0.0
+        assert 'nautilus_depth{q="a"}' not in registry.render()
+        assert gauge.value(q="b") == 7
+
+    def test_label_mismatch_rejected(self):
+        gauge = MetricsRegistry().gauge("nautilus_g", "g", labelnames=("a",))
+        with pytest.raises(ValueError):
+            gauge.set(1, b=2)
+        with pytest.raises(ValueError):
+            gauge.set(1)
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = MetricsRegistry().histogram(
+            "nautilus_lat_seconds", "lat", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+        assert snap["counts"] == [1, 2]  # cumulative: <=0.1, <=1.0
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("nautilus_c_total", "c")
+        assert registry.counter("nautilus_c_total", "c") is a
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("nautilus_thing_total", "t")
+        with pytest.raises(ValueError):
+            registry.gauge("nautilus_thing_total", "t")
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("nautilus_reqs_total", "requests").inc(12)
+        gauge = registry.gauge("nautilus_states", "states", labelnames=("state",))
+        gauge.set(2, state="queued")
+        gauge.set(1, state="running")
+        registry.histogram(
+            "nautilus_wait_seconds", "wait", buckets=(0.5,)
+        ).observe(0.25)
+        return registry
+
+    def test_render_parse_round_trip(self):
+        registry = self._populated()
+        parsed = parse_prometheus(registry.render())
+        assert parsed["nautilus_reqs_total"]["type"] == "counter"
+        assert parsed["nautilus_states"]["type"] == "gauge"
+        assert parsed["nautilus_wait_seconds"]["type"] == "histogram"
+        samples = parsed["nautilus_states"]["samples"]
+        assert samples[("nautilus_states", (("state", "queued"),))] == 2
+        assert samples[("nautilus_states", (("state", "running"),))] == 1
+        buckets = parsed["nautilus_wait_seconds"]["samples"]
+        assert buckets[("nautilus_wait_seconds_count", ())] == 1
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("nautilus_g", "g", labelnames=("name",))
+        gauge.set(1, name='we"ird\\')
+        assert 'name="we\\"ird\\\\"' in registry.render()
+
+    def test_histogram_exposition_shape(self):
+        text = self._populated().render()
+        assert 'nautilus_wait_seconds_bucket{le="0.5"} 1' in text
+        assert 'nautilus_wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "nautilus_wait_seconds_sum 0.25" in text
+        assert "nautilus_wait_seconds_count 1" in text
+
+    def test_type_lines_precede_samples(self):
+        lines = self._populated().render().splitlines()
+        seen_type = set()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                seen_type.add(line.split()[2])
+            elif line and not line.startswith("#"):
+                family = line.split("{")[0].split(" ")[0]
+                base = family
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if family.endswith(suffix) and family[: -len(suffix)] in seen_type:
+                        base = family[: -len(suffix)]
+                assert base in seen_type
+
+    def test_empty_registry_renders_empty(self):
+        assert parse_prometheus(MetricsRegistry().render()) == {}

@@ -65,8 +65,13 @@ class TestTraceEndpoint:
                          generations=2, seed=1)
         )
         client.wait(cid, timeout=60)
-        with pytest.raises(ServiceError):
+        # Malformed query parameters are client errors (400), not 404s.
+        with pytest.raises(ServiceError) as excinfo:
             client._request("GET", f"/campaigns/{cid}/trace?limit=nope")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace(cid, limit=-1)
+        assert excinfo.value.status == 400
 
     def test_events_file_on_disk(self, service, client):
         cid = client.submit(
