@@ -1,0 +1,158 @@
+"""Fleet throughput scaling: 1 vs 2 vs 4 workers on the NoC router space.
+
+Dispatches batches of distinct NoC router designs through a live
+:class:`~repro.distributed.FleetCoordinator` with in-process workers whose
+evaluators carry a fixed per-design cost (simulating a synthesis job —
+the bundled analytical models answer in microseconds, which would only
+measure protocol overhead). Reports wall-clock throughput per fleet size
+and the speedup over the single-worker fleet, and asserts scaling is real:
+two workers must beat one, four must beat two.
+
+Emits ``results/BENCH_fleet.json``::
+
+    {
+      "task_cost_s": 0.02,
+      "tasks_per_round": 128,
+      "rounds": [
+        {"workers": 1, "elapsed_s": ..., "throughput_per_s": ..., "speedup": 1.0},
+        {"workers": 2, ...},
+        {"workers": 4, ...}
+      ]
+    }
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scaling.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core import DatasetEvaluator
+from repro.core.evalstack import EvaluationStack
+from repro.distributed import FleetCoordinator, FleetWorker, RetryPolicy
+from repro.queries import load_dataset
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_fleet.json"
+FLEET_SIZES = (1, 2, 4)
+TASKS_PER_ROUND = 128
+TASK_COST_S = 0.02
+SEED = 7
+
+
+def _delayed_provider(dataset):
+    """Evaluator provider adding a fixed per-design synthesis cost."""
+
+    def provider(alias):
+        inner = DatasetEvaluator(dataset)
+
+        class _Slow:
+            fingerprint = inner.fingerprint
+
+            @staticmethod
+            def evaluate(genome):
+                time.sleep(TASK_COST_S)
+                return inner.evaluate(genome)
+
+        return dataset.space, _Slow()
+
+    return provider
+
+
+def _start_workers(coordinator, dataset, count):
+    provider = _delayed_provider(dataset)
+    handles = []
+    for index in range(count):
+        worker = FleetWorker(
+            coordinator.host,
+            coordinator.port,
+            spaces=["noc"],
+            name=f"bench-w{index}",
+            evaluator_provider=provider,
+        )
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        handles.append((worker, thread))
+    deadline = time.monotonic() + 10.0
+    while len(coordinator.workers) < count:
+        assert time.monotonic() < deadline, "workers never registered"
+        time.sleep(0.01)
+    return handles
+
+
+def _measure(dataset, genomes, workers: int) -> dict:
+    coordinator = FleetCoordinator(
+        policy=RetryPolicy(task_timeout_s=60.0)
+    ).start()
+    handles = _start_workers(coordinator, dataset, workers)
+    try:
+        stack = EvaluationStack(
+            DatasetEvaluator(dataset), backend="fleet", fleet=coordinator
+        )
+        started = time.perf_counter()
+        outcomes = stack.evaluate_many(genomes)
+        elapsed = time.perf_counter() - started
+        assert all(isinstance(o, dict) for o in outcomes), "evaluation failed"
+        status = coordinator.status()
+        assert status["totals"]["completed"] == len(genomes)
+        assert status["totals"]["local_fallback"] == 0
+        return {
+            "workers": workers,
+            "elapsed_s": round(elapsed, 4),
+            "throughput_per_s": round(len(genomes) / elapsed, 2),
+        }
+    finally:
+        for worker, thread in handles:
+            worker.stop()
+            thread.join(5.0)
+        coordinator.stop()
+
+
+def main() -> int:
+    dataset = load_dataset("noc")
+    rng = random.Random(SEED)
+    seen: dict = {}
+    while len(seen) < TASKS_PER_ROUND:
+        genome = dataset.space.random_genome(rng)
+        seen[genome.key] = genome
+    genomes = list(seen.values())
+
+    rounds = []
+    for workers in FLEET_SIZES:
+        row = _measure(dataset, genomes, workers)
+        base = rounds[0]["throughput_per_s"] if rounds else row["throughput_per_s"]
+        row["speedup"] = round(row["throughput_per_s"] / base, 2)
+        rounds.append(row)
+        print(
+            f"  {workers} worker(s): {row['throughput_per_s']:.1f} evals/s "
+            f"({row['elapsed_s']}s, speedup x{row['speedup']})"
+        )
+
+    by_size = {row["workers"]: row["throughput_per_s"] for row in rounds}
+    assert by_size[2] > by_size[1] * 1.3, "2 workers did not beat 1"
+    assert by_size[4] > by_size[2] * 1.3, "4 workers did not beat 2"
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "task_cost_s": TASK_COST_S,
+                "tasks_per_round": TASKS_PER_ROUND,
+                "rounds": rounds,
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+    print(f"  wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""CI smoke check: a lossy fleet must not change seeded search results.
+
+Runs the same seeded guided-GA campaign (noc-frequency) twice:
+
+1. inline, single process — the reference run;
+2. through a live :class:`~repro.distributed.FleetCoordinator` with two
+   real ``nautilus worker`` subprocesses, one of which is SIGKILLed the
+   moment it is holding dispatched tasks.
+
+The fleet run must finish despite the mid-batch kill, with a best score,
+best raw metric, distinct-evaluation count, and full convergence curve
+bit-identical to the inline run — fault-tolerant re-dispatch may change
+*where* an evaluation runs, never *what* the search sees. The eval-stack
+accounting invariant (requests == distinct + memo + persistent + dedup)
+is asserted on both runs: a killed worker loses nothing and double-pays
+nothing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_fleet.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core import DatasetEvaluator, GAConfig, GeneticSearch
+from repro.core.evalstack import EvaluationStack
+from repro.distributed import FleetCoordinator, RetryPolicy
+from repro.queries import QUERIES, build_hints, load_dataset, resolve_objective
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+QUERY = "noc-frequency"
+SEED = 3
+GENERATIONS = 10
+
+
+def _build_search(dataset, evaluator):
+    query = QUERIES[QUERY]
+    objective, hint_kind = resolve_objective(query)
+    return GeneticSearch(
+        dataset.space,
+        evaluator,
+        objective,
+        GAConfig(generations=GENERATIONS, seed=SEED),
+        hints=build_hints(hint_kind),
+    )
+
+
+def _curve(result):
+    return [
+        (r.generation, r.distinct_evaluations, r.best_raw, r.best_score)
+        for r in result.records
+    ]
+
+
+def _assert_invariant(stats):
+    assert stats.requests == (
+        stats.distinct
+        + stats.memo_hits
+        + stats.persistent_hits
+        + stats.batch_dedup_hits
+    ), f"eval accounting broken: {stats}"
+
+
+def _spawn_worker(coordinator, name: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(SRC_DIR))
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--connect", coordinator.address,
+            "--spaces", "noc", "--name", name,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30.0
+    while name not in coordinator.workers:
+        if time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError(f"worker {name} never registered")
+        time.sleep(0.01)
+    return process
+
+
+def _kill_mid_run(coordinator, victim: subprocess.Popen, done: threading.Event):
+    """SIGKILL the victim once it is actually holding dispatched tasks."""
+    while not done.is_set():
+        info = coordinator.workers.get("victim")
+        if info is not None and info.in_flight > 0:
+            break
+        time.sleep(0.001)
+    os.kill(victim.pid, signal.SIGKILL)
+
+
+def main() -> int:
+    dataset = load_dataset(QUERY.split("-")[0])
+
+    inline_stack = EvaluationStack(DatasetEvaluator(dataset))
+    inline = _build_search(dataset, inline_stack).run()
+    _assert_invariant(inline_stack.stats())
+    print(
+        f"  inline:  best={inline.best.score:.6g} "
+        f"distinct={inline.distinct_evaluations}"
+    )
+
+    coordinator = FleetCoordinator(
+        policy=RetryPolicy(
+            task_timeout_s=30.0,
+            heartbeat_interval_s=0.1,
+            heartbeat_timeout_s=2.0,
+        )
+    ).start()
+    victim = survivor = None
+    try:
+        victim = _spawn_worker(coordinator, "victim")
+        survivor = _spawn_worker(coordinator, "survivor")
+        fleet_stack = EvaluationStack(
+            DatasetEvaluator(dataset), backend="fleet", fleet=coordinator
+        )
+        done = threading.Event()
+        killer = threading.Thread(
+            target=_kill_mid_run, args=(coordinator, victim, done), daemon=True
+        )
+        killer.start()
+        fleet = _build_search(dataset, fleet_stack).run()
+        done.set()
+        killer.join(10.0)
+        victim.wait(10.0)
+        _assert_invariant(fleet_stack.stats())
+
+        assert fleet.best.score == inline.best.score, (
+            f"best score drifted: fleet={fleet.best.score!r} "
+            f"inline={inline.best.score!r}"
+        )
+        assert fleet.best_raw == inline.best_raw
+        assert fleet.distinct_evaluations == inline.distinct_evaluations
+        assert _curve(fleet) == _curve(inline), "convergence curve drifted"
+
+        status = coordinator.status()
+        served = status["totals"]["completed"] + status["totals"]["unavailable"]
+        assert served >= fleet.distinct_evaluations, (
+            f"evaluations lost: served {served} < "
+            f"{fleet.distinct_evaluations} distinct"
+        )
+        deadline = time.monotonic() + 10.0
+        while "victim" not in {
+            d["name"] for d in coordinator.status()["departed"]
+        }:
+            assert time.monotonic() < deadline, "victim was never dropped"
+            time.sleep(0.05)
+        print(
+            f"  fleet:   best={fleet.best.score:.6g} "
+            f"distinct={fleet.distinct_evaluations} "
+            f"requeued={status['totals']['requeued']} "
+            f"duplicates-dropped={status['totals']['duplicate_results']}"
+        )
+        print(
+            "  ok: SIGKILLed worker mid-run; curves bit-identical, "
+            "nothing lost, nothing double-paid"
+        )
+    finally:
+        for process in (victim, survivor):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(10.0)
+        coordinator.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

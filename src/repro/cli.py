@@ -16,7 +16,12 @@ Subcommands:
   health, and hint-attribution report into a standalone HTML file.
 * ``serve`` — run the search-campaign daemon (REST API; see
   ``docs/service.md``). ``--log-json`` switches to structured JSON logs,
-  ``--trace-max-events`` caps per-campaign event logs.
+  ``--trace-max-events`` caps per-campaign event logs, ``--fleet`` opens
+  a coordinator for distributed evaluation workers.
+* ``worker`` — run one evaluation-fleet worker daemon against a
+  coordinator (see ``docs/distributed.md``).
+* ``fleet`` — show a daemon's evaluation-fleet status (workers, queue
+  depth, retry/requeue counters).
 * ``submit`` / ``status`` — submit campaigns to a running daemon and poll
   their progress, search curves, and health diagnostics.
 * ``trace`` — dump a campaign's structured RunEvent log as JSONL.
@@ -38,6 +43,7 @@ from .core import (
     DatasetEvaluator,
     GAConfig,
     GeneticSearch,
+    NautilusError,
     RandomSearch,
     estimate_hints,
     maximize,
@@ -232,15 +238,101 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         eval_cache=args.eval_cache,
         trace_max_events=args.trace_max_events,
         log_json=args.log_json,
+        fleet=args.fleet,
+        fleet_host=args.host,
+        fleet_port=args.fleet_port,
     )
     print(f"nautilus daemon serving on {service.address} (store: {args.dir})")
     if service.eval_cache is not None:
         print(f"persistent eval cache: {service.eval_cache.root}")
+    if service.fleet is not None:
+        print(
+            f"evaluation fleet on {service.fleet_address} — connect workers "
+            f"with: nautilus worker --connect {service.fleet_address}"
+        )
     print(
         "POST /campaigns, GET /campaigns/<id>[/curve|/trace|/hints], "
-        "GET /metrics[?format=prometheus]; Ctrl-C stops"
+        "GET /fleet, GET /metrics[?format=prometheus]; Ctrl-C stops"
     )
     service.serve_forever()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .distributed import FleetWorker
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(
+            f"error: --connect must be host:port, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    worker = FleetWorker(
+        host,
+        int(port),
+        spaces=args.spaces,
+        name=args.name,
+        slots=args.slots,
+    )
+    print(
+        f"worker {worker.name} connecting to {args.connect} "
+        f"(slots={worker.slots})"
+    )
+    try:
+        worker.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        worker.stop()
+    except Exception as exc:
+        print(f"worker stopped: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"worker {worker.name} disconnected after "
+        f"{worker.tasks_served} evaluations in {worker.batches_served} batches"
+    )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    status = client.fleet()
+    if args.json:
+        json.dump(status, sys.stdout, indent=2)
+        print()
+        return 0
+    if not status.get("enabled"):
+        print("fleet: disabled (start the daemon with --fleet)")
+        return 0
+    totals = status.get("totals", {})
+    print(
+        f"fleet on {status['address']}: {status['live_workers']} worker(s), "
+        f"{status['queue_depth']} queued, {status['in_flight']} in flight"
+    )
+    print(
+        f"totals: {totals.get('dispatched', 0)} dispatched, "
+        f"{totals.get('completed', 0)} completed, "
+        f"{totals.get('retried', 0)} retried, "
+        f"{totals.get('requeued', 0)} requeued, "
+        f"{totals.get('exhausted', 0)} exhausted, "
+        f"{totals.get('local_fallback', 0)} served locally"
+    )
+    rows = status.get("workers", []) + status.get("departed", [])
+    if rows:
+        print(
+            f"{'worker':24s} {'state':10s} {'spaces':20s} {'done':>6s} "
+            f"{'fail':>5s} {'retry':>5s} {'requeue':>7s} {'hb age':>7s} "
+            f"{'rate/s':>8s}"
+        )
+    for row in rows:
+        state = row.get("departed") or "live"
+        print(
+            f"{row['name']:24s} {state:10s} "
+            f"{','.join(row['spaces']):20s} {row['completed']:6d} "
+            f"{row['failed']:5d} {row['retried']:5d} {row['requeued']:7d} "
+            f"{row['heartbeat_age_s']:7.1f} {row['throughput_per_s']:8.2f}"
+        )
     return 0
 
 
@@ -259,7 +351,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         trace_max_events=args.trace_max_events,
         label=args.label,
     )
-    campaign_id = client.submit(spec)
+    payload = spec.to_json()
+    # --workers rides as a raw field so validation happens server-side (a
+    # bad value answers 400 with a JSON error, not a local traceback).
+    if args.workers is not None:
+        payload["workers"] = args.workers
+    campaign_id = client.submit(payload)
     print(campaign_id)
     if args.wait:
         status = client.wait(campaign_id, timeout=args.timeout)
@@ -560,8 +657,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit structured JSON logs (one object per line) with "
         "campaign-id correlation",
     )
+    p.add_argument(
+        "--fleet",
+        action="store_true",
+        help="open a distributed-evaluation coordinator; workers join with "
+        "'nautilus worker --connect host:port'",
+    )
+    p.add_argument(
+        "--fleet-port",
+        type=int,
+        default=8766,
+        help="coordinator TCP port (0 picks an ephemeral port)",
+    )
     p.add_argument("--verbose", action="store_true", help="log HTTP requests")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker", help="run one evaluation-fleet worker daemon"
+    )
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address printed by 'nautilus serve --fleet'",
+    )
+    p.add_argument(
+        "--spaces",
+        nargs="+",
+        default=None,
+        metavar="SPACE",
+        choices=("noc", "fft", "fir"),
+        help="dataset spaces this worker serves (default: all bundled)",
+    )
+    p.add_argument("--name", default=None, help="worker name (default host-pid)")
+    p.add_argument(
+        "--slots", type=int, default=1, help="concurrent evaluations per batch"
+    )
+    p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "fleet", help="show a daemon's evaluation-fleet status"
+    )
+    p.add_argument("--json", action="store_true", help="dump the raw status")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.set_defaults(fn=_cmd_fleet)
 
     p = sub.add_parser("submit", help="submit a campaign to a running daemon")
     p.add_argument(
@@ -579,6 +719,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--priority", type=int, default=0, help="higher runs first")
     p.add_argument("--confidence", type=float, default=None)
     p.add_argument("--budget", type=int, default=400, help="random-search budget")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="per-campaign evaluation pool size (overrides the daemon "
+        "default; validated server-side, must be >= 1)",
+    )
     p.add_argument(
         "--trace-max-events",
         type=int,
@@ -652,6 +799,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except NautilusError as exc:
+        # Covers ServiceError too: a daemon's 400/404 answer (bad spec,
+        # unknown campaign) is a user error, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; exit quietly instead of
         # tracebacking. Redirect stdout so interpreter teardown can't

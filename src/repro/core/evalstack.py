@@ -69,7 +69,7 @@ __all__ = [
 #: An evaluation outcome: the metrics dict, or the exception the run raised.
 Outcome = Any
 
-_BACKENDS = ("auto", "inline", "thread", "process")
+_BACKENDS = ("auto", "inline", "thread", "process", "fleet")
 
 
 # ---------------------------------------------------------------------------
@@ -595,8 +595,12 @@ class EvaluationStack:
             inner ``evaluate_many`` when it has one), ``"inline"`` (strictly
             sequential), ``"thread"`` or ``"process"`` (pool fan-out; the
             useful pool size is the GA population — the paper's parallelism
-            cap).
+            cap), or ``"fleet"`` (dispatch batches to the distributed
+            worker fleet of ``fleet``, degrading to inline execution when
+            no worker can serve the space — see :mod:`repro.distributed`).
         workers: Pool size for the thread/process backends.
+        fleet: The :class:`repro.distributed.FleetCoordinator` backing the
+            ``"fleet"`` backend (required for it, ignored otherwise).
         persistent: Optional shared :class:`PersistentCache`; campaigns over
             the same space then never re-pay a synthesis job, across
             processes and daemon restarts.
@@ -625,6 +629,7 @@ class EvaluationStack:
         fingerprint: str | None = None,
         clock=time.perf_counter,
         registry=None,
+        fleet=None,
     ):
         if backend not in _BACKENDS:
             raise NautilusError(
@@ -642,10 +647,20 @@ class EvaluationStack:
         self.registry = registry
         self._metrics = _RegistryMetrics(registry) if registry is not None else None
 
-        if backend in ("thread", "process"):
+        if backend == "fleet":
+            if fleet is None:
+                raise NautilusError(
+                    "backend='fleet' requires a FleetCoordinator via fleet="
+                )
+            # Imported lazily: repro.distributed depends on this module.
+            from ..distributed.fleetbackend import FleetBackend
+
+            tail = FleetBackend(inner, fleet, self.fingerprint)
+        elif backend in ("thread", "process"):
             tail = _PoolBackend(inner, workers=workers, kind=backend)
         else:
             tail = _InlineBackend(inner, delegate_batches=backend == "auto")
+        self._tail = tail
         layer = _Instrumentation(tail, self._counters, clock=clock)
         layer = _Batcher(layer, self._counters, batch_size=batch_size)
         if persistent is not None:
@@ -725,6 +740,20 @@ class EvaluationStack:
     def stats(self) -> EvalStats:
         """A consistent snapshot of every layer's counters and timers."""
         return self._counters.snapshot()
+
+    def pop_annotations(self) -> dict[str, Any] | None:
+        """Backend-specific trace annotations since the last call, or None.
+
+        Duck-typed on the tail backend: the fleet backend reports which
+        workers served the recent evaluations (``{"workers": {name: n}}``)
+        so run traces can attribute eval batches; local backends have
+        nothing to add and the kernel emits its events unchanged.
+        """
+        pop = getattr(self._tail, "pop_dispatch_log", None)
+        if pop is None:
+            return None
+        log = pop()
+        return {"workers": log} if log else None
 
     # -- memo import/export (checkpointing) -------------------------------------
 

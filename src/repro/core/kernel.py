@@ -884,17 +884,21 @@ class GenerationalEngine(SearchKernel):
         outcomes = self._counter.evaluate_many(genomes)
         delta = self._counter.stats().minus(before)
         self._last_batch = (len(genomes), delta.infeasible)
-        self._trace.emit(
-            "eval-batch",
-            generation,
-            {
-                "size": len(genomes),
-                "distinct": delta.distinct,
-                "cache_hits": delta.cache_hits,
-                "infeasible": delta.infeasible,
-                "wall_time_s": delta.wall_time_s,
-            },
-        )
+        payload = {
+            "size": len(genomes),
+            "distinct": delta.distinct,
+            "cache_hits": delta.cache_hits,
+            "infeasible": delta.infeasible,
+            "wall_time_s": delta.wall_time_s,
+        }
+        # Backend-specific annotations (e.g. which fleet workers served the
+        # batch); local backends return None and the payload is unchanged.
+        annotate = getattr(self._counter, "pop_annotations", None)
+        if annotate is not None:
+            extra = annotate()
+            if extra:
+                payload.update(extra)
+        self._trace.emit("eval-batch", generation, payload)
         return self._to_individuals(genomes, outcomes)
 
     # -- observability (see repro.obs; read-only w.r.t. the RNG streams) ---------

@@ -1,0 +1,41 @@
+"""repro.distributed — the networked, fault-tolerant evaluation fleet.
+
+The paper characterized its design spaces on a synthesis cluster; this
+package is that cluster's runtime half. A :class:`FleetCoordinator`
+accepts TCP connections from ``nautilus worker`` daemons, shards
+evaluation batches across them proportional to observed throughput, and
+survives worker death via heartbeats, per-task timeouts and bounded
+deterministic-backoff retry. A :class:`FleetBackend` slots the fleet in
+as the backend layer of an :class:`~repro.core.EvaluationStack`, keeping
+every cache layer and the EvalStats accounting invariant intact.
+
+See ``docs/distributed.md`` for the wire protocol and failure matrix.
+"""
+
+from .coordinator import FleetCoordinator
+from .fleetbackend import FleetBackend
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteEvaluationError,
+    task_id,
+    task_payload,
+)
+from .registry import WorkerInfo, WorkerRegistry, plan_shards
+from .retry import RetryPolicy
+from .worker import FleetWorker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteEvaluationError",
+    "FleetCoordinator",
+    "FleetBackend",
+    "FleetWorker",
+    "RetryPolicy",
+    "WorkerInfo",
+    "WorkerRegistry",
+    "plan_shards",
+    "task_id",
+    "task_payload",
+]

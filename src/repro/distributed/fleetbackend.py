@@ -1,0 +1,92 @@
+"""FleetBackend — the evaluation stack's bridge onto the worker fleet.
+
+Slots in as the *backend* (tail) layer of an
+:class:`~repro.core.evalstack.EvaluationStack`, beneath memoization, the
+persistent cache, batching and instrumentation — so every caching layer
+and the :class:`~repro.core.evalstack.EvalStats` accounting invariant
+behave exactly as they do inline; only the place where a distinct
+evaluation is *paid for* moves onto the network.
+
+Graceful degradation is this layer's job: when no live worker can serve
+the batch's space (fleet still warming up, or every worker just died) the
+batch runs on a local inline backend instead — a campaign never blocks on
+an empty fleet, and no evaluation is ever lost. The coordinator hands
+back per-task ``FleetUnavailable`` markers for the race where the fleet
+empties *after* dispatch, and those tasks are re-run locally too.
+
+Worker attribution for run traces is exposed via :meth:`pop_dispatch_log`
+(``{worker_name_or_"local": evaluation_count}`` since the last call),
+which the stack surfaces to the kernel's ``eval-batch`` events.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from ..core.evalstack import _InlineBackend
+from ..core.genome import Genome
+from .coordinator import FleetCoordinator
+from .protocol import decode_outcome, task_payload
+
+__all__ = ["FleetBackend"]
+
+#: Dispatch-log key for evaluations served by the local fallback.
+LOCAL = "local"
+
+
+class FleetBackend:
+    """Dispatch stack batches to a :class:`FleetCoordinator`'s workers."""
+
+    def __init__(self, inner, coordinator: FleetCoordinator, fingerprint: str):
+        self.inner = inner
+        self._coordinator = coordinator
+        self._fingerprint = fingerprint
+        self._local = _InlineBackend(inner)
+        self._lock = threading.Lock()
+        self._dispatch_log: dict[str, int] = {}
+
+    def evaluate_many(self, genomes: Sequence[Genome]) -> list:
+        if not genomes:
+            return []
+        space = genomes[0].space.name
+        if not self._coordinator.has_worker_for(space):
+            # Nothing can serve this space right now: degrade to local
+            # execution rather than stalling the campaign.
+            self._coordinator.note_local_fallback(len(genomes))
+            self._log(LOCAL, len(genomes))
+            return self._local.evaluate_many(genomes)
+        payloads = [task_payload(g, self._fingerprint) for g in genomes]
+        outcomes = self._coordinator.submit_batch(payloads)
+        results: list = [None] * len(genomes)
+        local_indices: list[int] = []
+        for i, payload in enumerate(payloads):
+            fragment = outcomes.get(payload["id"], {})
+            if fragment.get("error_type") == "FleetUnavailable":
+                local_indices.append(i)
+                continue
+            worker = fragment.get("worker")
+            if worker:
+                self._log(worker, 1)
+            results[i] = decode_outcome(fragment)
+        if local_indices:
+            # The fleet emptied between dispatch and service; finish the
+            # stragglers locally so the batch still completes in order.
+            self._coordinator.note_local_fallback(len(local_indices))
+            self._log(LOCAL, len(local_indices))
+            local = self._local.evaluate_many([genomes[i] for i in local_indices])
+            for i, outcome in zip(local_indices, local):
+                results[i] = outcome
+        return results
+
+    def pop_dispatch_log(self) -> dict[str, int]:
+        """Worker -> evaluation count since the last call (then reset)."""
+        with self._lock:
+            log, self._dispatch_log = self._dispatch_log, {}
+        return log
+
+    def _log(self, worker: str, count: int) -> None:
+        with self._lock:
+            self._dispatch_log[worker] = (
+                self._dispatch_log.get(worker, 0) + count
+            )

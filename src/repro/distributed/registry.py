@@ -1,0 +1,257 @@
+"""The coordinator's view of its worker fleet.
+
+A :class:`WorkerRegistry` tracks every connected worker daemon: its
+capability tags (which design spaces it can serve), its heartbeat
+freshness, its per-worker counters (dispatched / completed / failed /
+retried / requeued), and an exponentially-weighted throughput estimate the
+dispatcher uses to shard batches proportionally — a worker that completes
+tasks twice as fast receives roughly twice the tasks.
+
+The registry is bookkeeping only: it never touches sockets. The
+coordinator owns the connections and calls in here under its own lock
+discipline (all registry methods take the registry lock, so it is also
+safe to snapshot from HTTP handler threads).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["WorkerInfo", "WorkerRegistry", "plan_shards"]
+
+#: Capability tag meaning "serves every space".
+ANY_SPACE = "*"
+
+#: Smoothing factor of the throughput EWMA (per completed batch).
+_EWMA_ALPHA = 0.3
+
+
+@dataclass
+class WorkerInfo:
+    """Live state of one registered worker daemon."""
+
+    name: str
+    spaces: tuple[str, ...] = (ANY_SPACE,)
+    slots: int = 1
+    connected_at: float = 0.0
+    last_heartbeat: float = 0.0
+    dispatched: int = 0
+    completed: int = 0
+    failed: int = 0
+    infeasible: int = 0
+    retried: int = 0
+    requeued: int = 0
+    in_flight: int = 0
+    #: Tasks/second over recent completed batches (EWMA); 0 = no history.
+    throughput: float = 0.0
+    #: Why the worker left the registry, once it has ("" while live).
+    departed: str = field(default="", repr=False)
+
+    def serves(self, space: str) -> bool:
+        return ANY_SPACE in self.spaces or space in self.spaces
+
+    def heartbeat_age(self, now: float) -> float:
+        return max(0.0, now - self.last_heartbeat)
+
+    def snapshot(self, now: float) -> dict[str, Any]:
+        """JSON-ready view for ``GET /fleet`` and ``nautilus fleet``."""
+        return {
+            "name": self.name,
+            "spaces": list(self.spaces),
+            "slots": self.slots,
+            "uptime_s": max(0.0, now - self.connected_at),
+            "heartbeat_age_s": self.heartbeat_age(now),
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "failed": self.failed,
+            "infeasible": self.infeasible,
+            "retried": self.retried,
+            "requeued": self.requeued,
+            "in_flight": self.in_flight,
+            "throughput_per_s": self.throughput,
+        }
+
+
+class WorkerRegistry:
+    """Thread-safe directory of live (and recently departed) workers."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerInfo] = {}
+        #: Terminal stats of departed workers, kept for status reporting.
+        self._departed: dict[str, WorkerInfo] = {}
+
+    # -- membership -------------------------------------------------------------
+
+    def add(
+        self, name: str, spaces: Sequence[str] = (ANY_SPACE,), slots: int = 1
+    ) -> WorkerInfo:
+        now = self._clock()
+        info = WorkerInfo(
+            name=name,
+            spaces=tuple(spaces) or (ANY_SPACE,),
+            slots=max(1, int(slots)),
+            connected_at=now,
+            last_heartbeat=now,
+        )
+        with self._lock:
+            self._workers[name] = info
+            self._departed.pop(name, None)
+        return info
+
+    def remove(self, name: str, reason: str = "disconnected") -> WorkerInfo | None:
+        """Drop a worker; its counters stay visible in :meth:`snapshot`."""
+        with self._lock:
+            info = self._workers.pop(name, None)
+            if info is not None:
+                info.departed = reason
+                self._departed[name] = info
+            return info
+
+    def get(self, name: str) -> WorkerInfo | None:
+        with self._lock:
+            return self._workers.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._workers
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    # -- heartbeats -------------------------------------------------------------
+
+    def touch(self, name: str) -> None:
+        with self._lock:
+            info = self._workers.get(name)
+            if info is not None:
+                info.last_heartbeat = self._clock()
+
+    def expired(self, timeout_s: float) -> list[WorkerInfo]:
+        """Workers whose heartbeat is older than ``timeout_s`` (not removed)."""
+        now = self._clock()
+        with self._lock:
+            return [
+                info
+                for info in self._workers.values()
+                if info.heartbeat_age(now) > timeout_s
+            ]
+
+    # -- capability queries -------------------------------------------------------
+
+    def serving(self, space: str) -> list[WorkerInfo]:
+        """Live workers able to serve a space (insertion order)."""
+        with self._lock:
+            return [w for w in self._workers.values() if w.serves(space)]
+
+    def has_worker_for(self, space: str) -> bool:
+        with self._lock:
+            return any(w.serves(space) for w in self._workers.values())
+
+    # -- accounting -------------------------------------------------------------
+
+    def record_dispatch(self, name: str, count: int) -> None:
+        with self._lock:
+            info = self._workers.get(name)
+            if info is not None:
+                info.dispatched += count
+                info.in_flight += count
+
+    def record_completed(
+        self, name: str, count: int, elapsed_s: float,
+        failed: int = 0, infeasible: int = 0,
+    ) -> None:
+        """Fold one finished batch into the counters and throughput EWMA."""
+        with self._lock:
+            info = self._workers.get(name) or self._departed.get(name)
+            if info is None:
+                return
+            info.completed += count
+            info.failed += failed
+            info.infeasible += infeasible
+            info.in_flight = max(0, info.in_flight - count)
+            if count and elapsed_s > 0:
+                rate = count / elapsed_s
+                info.throughput = (
+                    rate
+                    if info.throughput == 0.0
+                    else (1 - _EWMA_ALPHA) * info.throughput + _EWMA_ALPHA * rate
+                )
+
+    def record_requeued(self, name: str, count: int, retried: bool = False) -> None:
+        """Tasks taken back from a worker (death or per-task timeout)."""
+        with self._lock:
+            info = self._workers.get(name) or self._departed.get(name)
+            if info is None:
+                return
+            if retried:
+                info.retried += count
+            else:
+                info.requeued += count
+            info.in_flight = max(0, info.in_flight - count)
+
+    # -- readout ----------------------------------------------------------------
+
+    def workers(self) -> list[WorkerInfo]:
+        with self._lock:
+            return list(self._workers.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready registry view: live workers first, then departed."""
+        now = self._clock()
+        with self._lock:
+            live = [w.snapshot(now) for w in self._workers.values()]
+            gone = [
+                dict(w.snapshot(now), departed=w.departed)
+                for w in self._departed.values()
+            ]
+        return {"workers": live, "departed": gone, "live_workers": len(live)}
+
+
+def plan_shards(count: int, workers: Iterable[WorkerInfo]) -> dict[str, int]:
+    """Split ``count`` tasks across workers proportional to throughput.
+
+    Workers without history (throughput 0) weigh as the mean observed rate
+    (or equally when nobody has history), so a fresh worker is neither
+    starved nor flooded. Slots scale the weight: a 4-slot worker is assumed
+    to move 4× one slot's rate until its own EWMA says otherwise. Every
+    live worker receives at least one task while tasks remain — observed
+    throughput can only be updated by work.
+    """
+    pool = list(workers)
+    if not pool or count <= 0:
+        return {}
+    observed = [w.throughput for w in pool if w.throughput > 0]
+    default = (sum(observed) / len(observed)) if observed else 1.0
+    weights = [
+        (w.throughput if w.throughput > 0 else default) * max(1, w.slots)
+        for w in pool
+    ]
+    total = sum(weights)
+    shares = [count * weight / total for weight in weights]
+    plan = {w.name: int(share) for w, share in zip(pool, shares)}
+    # Distribute the rounding remainder by largest fractional part.
+    remainder = count - sum(plan.values())
+    order = sorted(
+        range(len(pool)),
+        key=lambda i: shares[i] - int(shares[i]),
+        reverse=True,
+    )
+    for i in order:
+        if remainder <= 0:
+            break
+        plan[pool[i].name] += 1
+        remainder -= 1
+    # Floor of one task per worker while any remain unassigned elsewhere.
+    for i, worker in enumerate(pool):
+        if plan[worker.name] == 0:
+            donor = max(plan, key=plan.get)
+            if plan[donor] > 1:
+                plan[donor] -= 1
+                plan[worker.name] = 1
+    return {name: n for name, n in plan.items() if n > 0}

@@ -1,0 +1,92 @@
+"""Fault-tolerance policy: per-task timeouts, bounded retry, backoff.
+
+A fleet task can fail three ways, and the policy treats them differently:
+
+* **The evaluation itself fails** (dataset miss, fingerprint mismatch) —
+  the worker reports a structured error outcome. That is a *completed*
+  evaluation: deterministic, delivered to the caller as the exception it
+  is, never retried (retrying a deterministic failure just pays twice).
+* **The worker dies mid-batch** (SIGKILL, network partition, heartbeat
+  expiry) — its in-flight tasks are requeued immediately and count one
+  attempt. Re-dispatch is delayed by :meth:`RetryPolicy.backoff_s`.
+* **A task times out on a live worker** — requeued the same way, counted
+  as a retry against that worker.
+
+Backoff is exponential with **deterministic jitter**: the jitter fraction
+is derived from a hash of the task id and attempt number, not from any
+``random`` state, so fleet scheduling never consumes RNG draws and a
+seeded campaign stays bit-identical whether or not its evaluations were
+retried (the invariant the whole observability layer is built on).
+
+After :attr:`RetryPolicy.max_attempts` the task surfaces as a structured
+campaign error rather than looping forever — exhaustion is an operator
+signal (fleet too small, workers flapping), not something to hide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/backoff knobs of one coordinator.
+
+    Attributes:
+        max_attempts: Dispatch attempts per task before surfacing a
+            retry-exhaustion error (first dispatch counts as attempt 1).
+        task_timeout_s: How long one dispatched task may stay in flight
+            before it is requeued. Sized for the backend: analytical
+            evaluators finish in microseconds, real synthesis jobs take
+            minutes — tune per deployment.
+        backoff_base_s: First re-dispatch delay; doubles per attempt.
+        backoff_max_s: Ceiling on the re-dispatch delay.
+        jitter: Fraction of the delay randomized (deterministically, per
+            task id) to de-synchronize thundering retries.
+        heartbeat_interval_s: How often workers announce liveness.
+        heartbeat_timeout_s: Heartbeat age after which a worker is
+            declared dead and its in-flight tasks are requeued.
+    """
+
+    max_attempts: int = 3
+    task_timeout_s: float = 60.0
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be > 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s"
+            )
+
+    def backoff_s(self, attempt: int, key: str = "") -> float:
+        """Delay before re-dispatching ``key`` for the given attempt (1-based).
+
+        Exponential in the attempt number, capped, with ±``jitter``/2
+        spread derived from ``sha1(key, attempt)`` — stable across runs,
+        different across tasks, zero RNG draws.
+        """
+        base = min(
+            self.backoff_base_s * (2 ** max(0, attempt - 1)),
+            self.backoff_max_s,
+        )
+        if not self.jitter:
+            return base
+        digest = hashlib.sha1(f"{key}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF  # [0, 1]
+        return base * (1.0 + self.jitter * (unit - 0.5))
+
+    def exhausted(self, attempts: int) -> bool:
+        return attempts >= self.max_attempts

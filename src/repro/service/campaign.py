@@ -95,6 +95,10 @@ class CampaignSpec:
             the multi-query's hint guidance.
         budget: Random-search draw budget (random engine only).
         max_evaluations: Optional distinct-evaluation cutoff for GA runs.
+        workers: Optional per-campaign evaluation pool size, overriding the
+            daemon-wide default (``nautilus submit --workers N``). Must be
+            >= 1 — validated here so a bad value is a 400 at submission,
+            not a failed campaign later.
         trace_max_events: Optional cap on this campaign's persisted event
             log (see :class:`~repro.core.CappedJsonlTraceSink`); overrides
             the service-wide default. ``None`` keeps every event.
@@ -109,6 +113,7 @@ class CampaignSpec:
     confidence: float | None = None
     budget: int = 400
     max_evaluations: int | None = None
+    workers: int | None = None
     trace_max_events: int | None = None
     label: str = ""
 
@@ -127,6 +132,8 @@ class CampaignSpec:
             raise NautilusError("generations must be >= 1")
         if self.budget < 1:
             raise NautilusError("budget must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise NautilusError("workers must be >= 1")
         if self.trace_max_events is not None and self.trace_max_events < 4:
             raise NautilusError("trace_max_events must be >= 4")
 
@@ -149,6 +156,7 @@ def build_search(
     workers: int = 1,
     persistent: PersistentCache | None = None,
     registry=None,
+    fleet=None,
 ):
     """Instantiate the engine a spec describes, against a shared dataset.
 
@@ -162,14 +170,26 @@ def build_search(
     on-disk cache so campaigns over the same space never re-pay a
     synthesis job, across processes and daemon restarts. ``registry`` is
     the daemon's shared metrics registry; each stack publishes its
-    ``nautilus_eval_*`` families there.
+    ``nautilus_eval_*`` families there. ``fleet`` is an optional
+    :class:`~repro.distributed.FleetCoordinator`; when given, the stack's
+    backend dispatches distinct evaluations to the worker fleet instead of
+    a local pool (degrading to inline execution while the fleet is empty).
+    A spec's own ``workers`` overrides the daemon-wide default.
     """
+    effective_workers = spec.workers or workers
+    if fleet is not None:
+        backend = "fleet"
+    elif effective_workers > 1:
+        backend = "thread"
+    else:
+        backend = "auto"
     evaluator = EvaluationStack(
         DatasetEvaluator(dataset),
-        backend="thread" if workers > 1 else "auto",
-        workers=workers,
+        backend=backend,
+        workers=effective_workers,
         persistent=persistent,
         registry=registry,
+        fleet=fleet,
     )
     if spec.engine == "pareto":
         multi = MULTI_QUERIES[spec.query]

@@ -99,6 +99,10 @@ class ServiceClient:
     def metrics(self) -> dict[str, Any]:
         return self._request("GET", "/metrics")
 
+    def fleet(self) -> dict[str, Any]:
+        """Evaluation-fleet status (``{"enabled": False}`` without one)."""
+        return self._request("GET", "/fleet")
+
     def metrics_prometheus(self) -> str:
         """The Prometheus text exposition of the daemon's registry."""
         request = urllib.request.Request(

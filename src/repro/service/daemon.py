@@ -40,6 +40,10 @@ class SearchService:
         eval_cache: bool | str | Path = False,
         trace_max_events: int | None = None,
         log_json: bool = False,
+        fleet: bool = False,
+        fleet_host: str = "127.0.0.1",
+        fleet_port: int = 0,
+        fleet_policy=None,
     ):
         """``eval_cache`` enables the shared persistent evaluation cache:
         ``True`` stores it under ``<root>/evalcache``, a path stores it
@@ -51,7 +55,15 @@ class SearchService:
         spec's own setting overrides it); ``None``, the default, keeps
         every event. ``log_json`` routes the ``nautilus`` logger through
         :func:`repro.obs.configure_json_logging` — one JSON object per
-        line with campaign-id correlation."""
+        line with campaign-id correlation.
+
+        ``fleet=True`` starts a
+        :class:`~repro.distributed.FleetCoordinator` listening on
+        ``fleet_host:fleet_port`` (0 = ephemeral; ``fleet_address``
+        reports the real endpoint) and routes every campaign's distinct
+        evaluations through the worker fleet, degrading to local inline
+        execution while no worker is connected. ``fleet_policy`` overrides
+        the default :class:`~repro.distributed.RetryPolicy`."""
         if log_json:
             from ..obs import configure_json_logging
 
@@ -66,6 +78,16 @@ class SearchService:
                 else Path(eval_cache)
             )
             self.eval_cache = PersistentCache(cache_root)
+        self.fleet = None
+        if fleet:
+            from ..distributed import FleetCoordinator
+
+            self.fleet = FleetCoordinator(
+                host=fleet_host,
+                port=fleet_port,
+                policy=fleet_policy,
+                registry=self.metrics.registry,
+            )
         kwargs = {}
         if dataset_provider is not None:
             kwargs["dataset_provider"] = dataset_provider
@@ -75,6 +97,7 @@ class SearchService:
             workers=workers,
             persistent=self.eval_cache,
             trace_max_events=trace_max_events,
+            fleet=self.fleet,
             **kwargs,
         )
         self.server: ServiceHTTPServer = make_server(
@@ -95,6 +118,11 @@ class SearchService:
     def address(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def fleet_address(self) -> str | None:
+        """``host:port`` workers should dial, or None without a fleet."""
+        return self.fleet.address if self.fleet is not None else None
+
     def start(self, run_scheduler: bool = True) -> "SearchService":
         """Recover stored campaigns and serve; returns self for chaining.
 
@@ -102,6 +130,8 @@ class SearchService:
         ``service.scheduler.tick()`` calls — the deterministic mode the
         restart tests use.
         """
+        if self.fleet is not None:
+            self.fleet.start()
         self.scheduler.recover()
         if run_scheduler:
             self.scheduler.start()
@@ -115,6 +145,8 @@ class SearchService:
 
     def serve_forever(self) -> None:
         """Blocking variant for the CLI: Ctrl-C shuts down gracefully."""
+        if self.fleet is not None:
+            self.fleet.start()
         self.scheduler.recover()
         self.scheduler.start()
         try:
@@ -134,3 +166,7 @@ class SearchService:
             self._http_thread = None
         self.server.server_close()
         self.scheduler.shutdown()
+        if self.fleet is not None:
+            # After the scheduler: a mid-generation fleet batch must drain
+            # before the coordinator tears its worker connections down.
+            self.fleet.stop()

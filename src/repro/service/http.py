@@ -11,6 +11,8 @@ Routes::
     DELETE /campaigns/<id>       request cancellation
     GET    /metrics              live service counters (JSON); add
                                  ?format=prometheus for text exposition
+    GET    /fleet                evaluation-fleet status: workers, queue
+                                 depth, dispatch/retry/requeue counters
     GET    /healthz              liveness probe
 
 Malformed query parameters (a non-integer or negative ``limit``, an
@@ -138,6 +140,8 @@ class _Handler(BaseHTTPRequestHandler):
                         f"unknown metrics format {fmt!r}; "
                         "use 'json' or 'prometheus'"
                     )
+            elif parts == ("fleet",):
+                self._send_json(scheduler.fleet_status())
             elif parts == ("campaigns",):
                 self._send_json(
                     [c.status_payload() for c in scheduler.list_campaigns()]

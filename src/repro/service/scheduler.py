@@ -72,6 +72,11 @@ class Scheduler:
             overrides it for that campaign. Capped logs keep the oldest
             and newest halves and splice a ``trace-truncated`` marker in
             between.
+        fleet: Optional :class:`~repro.distributed.FleetCoordinator`; when
+            given, every campaign's evaluation stack dispatches its
+            distinct evaluations to the worker fleet (degrading to local
+            inline execution while the fleet is empty). The scheduler does
+            not own the coordinator's lifecycle — the daemon does.
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class Scheduler:
         poll_interval: float = 0.05,
         persistent=None,
         trace_max_events: int | None = None,
+        fleet=None,
     ):
         if workers < 1:
             raise NautilusError("workers must be >= 1")
@@ -94,6 +100,7 @@ class Scheduler:
         self.poll_interval = poll_interval
         self.persistent = persistent
         self.trace_max_events = trace_max_events
+        self.fleet = fleet
         self._dataset_provider = dataset_provider
         self._datasets: dict[str, Any] = {}
         self._campaigns: dict[str, Campaign] = {}
@@ -228,6 +235,7 @@ class Scheduler:
             workers=self.workers,
             persistent=self.persistent,
             registry=self.metrics.registry,
+            fleet=self.fleet,
         )
         checkpoint = self.store.checkpoint_path(campaign.id)
         resumable = (CheckpointedSearch, CheckpointedParetoSearch)
@@ -323,12 +331,31 @@ class Scheduler:
         events = self.store.load_events(campaign_id)
         return hint_effect_report(events)
 
+    # -- fleet ------------------------------------------------------------------
+
+    def fleet_status(self) -> dict[str, Any]:
+        """The coordinator snapshot behind ``GET /fleet``."""
+        if self.fleet is None:
+            return {"enabled": False}
+        return self.fleet.status()
+
     # -- thread lifecycle -------------------------------------------------------
 
     def start(self) -> None:
-        """Launch the scheduler thread (idempotent)."""
+        """Launch the scheduler thread (idempotent).
+
+        The run queues are rebuilt from scratch — every known non-terminal
+        campaign, in id order — so a scheduler stopped by :meth:`shutdown`
+        (which drains the queues) resumes deterministically.
+        """
         if self._thread is not None and self._thread.is_alive():
             return
+        with self._lock:
+            self._queues.clear()
+            for cid in sorted(self._campaigns):
+                campaign = self._campaigns[cid]
+                if not campaign.terminal:
+                    self._enqueue(campaign)
         self._stop.clear()
         self._thread = threading.Thread(
             target=self._loop, name="nautilus-scheduler", daemon=True
@@ -342,14 +369,43 @@ class Scheduler:
                 self._wake.clear()
 
     def shutdown(self, timeout: float = 10.0) -> None:
-        """Graceful stop: finish the in-flight generation, then persist.
+        """Graceful, *complete* stop: no queue entries or threads survive.
 
-        Campaign checkpoints/statuses are already written per generation,
-        so after the thread joins the store is consistent and a new daemon
-        can :meth:`recover` everything.
+        Finishes the in-flight generation, joins the scheduler thread (a
+        thread that refuses to die raises — leaking it silently would turn
+        every later shutdown into a slow drift of zombie threads), drains
+        the run queues, closes every live trace sink, and detaches engine
+        objects of unfinished campaigns. Checkpoints/statuses are already
+        written per generation, so the store stays consistent and
+        :meth:`start` / :meth:`recover` resume everything losslessly.
+
+        Raises:
+            NautilusError: The scheduler thread did not terminate within
+                ``timeout`` seconds.
         """
         self._stop.set()
         self._wake.set()
-        if self._thread is not None:
-            self._thread.join(timeout)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise NautilusError(
+                    f"scheduler thread failed to stop within {timeout}s; "
+                    "a campaign step is wedged"
+                )
             self._thread = None
+        with self._lock:
+            # Drain the queues: nothing must reference a stopped scheduler.
+            self._queues.clear()
+            # Close live trace sinks (open fds) and detach the engines that
+            # write to them; unfinished campaigns rebuild from their
+            # checkpoint on the next start()/recover(), so dropping the
+            # in-memory object loses nothing.
+            for cid, sink in list(self._sinks.items()):
+                sink.close()
+                campaign = self._campaigns.get(cid)
+                if campaign is not None and not campaign.terminal:
+                    campaign.search = None
+                    campaign.result = None
+            self._sinks.clear()
+        self._wake.clear()

@@ -1,0 +1,127 @@
+"""Fleet-test fixtures: a tiny space, in-process workers, live coordinators.
+
+The unit tests run coordinator and workers inside one process (threads +
+real sockets on 127.0.0.1) so they are fast and deterministic; the fault
+tests in ``test_faults.py`` additionally spawn real worker subprocesses so
+SIGKILL means SIGKILL.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import CallableEvaluator, DesignSpace, IntParam
+from repro.distributed import FleetCoordinator, FleetWorker, RetryPolicy
+
+#: The fixed evaluator fingerprint shared by every side of the fleet tests
+#: (coordinator-side stacks and worker-side evaluators must agree for the
+#: content-addressed task ids to match).
+TINY_FP = "tiny-fp"
+
+
+def tiny_space() -> DesignSpace:
+    return DesignSpace("tiny", [IntParam("a", 0, 3), IntParam("b", 0, 3)])
+
+
+def tiny_metrics(genome) -> dict:
+    value = float(3 * genome["a"] + genome["b"])
+    return {
+        "fmax_mhz": value,
+        "area_delay": 100.0 - value,
+        "luts": 100.0 - value,
+        "msps_per_lut": value,
+    }
+
+
+def tiny_evaluator(delay_s: float = 0.0):
+    """A fixed-fingerprint evaluator over the tiny space."""
+
+    def fn(genome):
+        if delay_s:
+            time.sleep(delay_s)
+        return tiny_metrics(genome)
+
+    evaluator = CallableEvaluator(fn)
+    evaluator.fingerprint = TINY_FP
+    return evaluator
+
+
+def tiny_provider(delay_s: float = 0.0):
+    """An ``alias -> (space, evaluator)`` provider for FleetWorker.
+
+    The returned space is *named after the alias* so capability tags work
+    the same way they do with the real dataset provider.
+    """
+
+    def provider(alias):
+        space = DesignSpace(alias, [IntParam("a", 0, 3), IntParam("b", 0, 3)])
+        return space, tiny_evaluator(delay_s)
+
+    return provider
+
+
+class WorkerHandle:
+    """One in-process FleetWorker running on its own thread."""
+
+    def __init__(self, worker: FleetWorker, thread: threading.Thread):
+        self.worker = worker
+        self.thread = thread
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self.worker.stop()
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "worker thread failed to stop"
+
+
+def start_worker(
+    coordinator: FleetCoordinator,
+    name: str,
+    delay_s: float = 0.0,
+    slots: int = 1,
+    spaces=("tiny",),
+) -> WorkerHandle:
+    worker = FleetWorker(
+        coordinator.host,
+        coordinator.port,
+        spaces=list(spaces),
+        name=name,
+        slots=slots,
+        evaluator_provider=tiny_provider(delay_s),
+    )
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if name in coordinator.workers or worker.name in coordinator.workers:
+            return WorkerHandle(worker, thread)
+        time.sleep(0.005)
+    raise AssertionError(f"worker {name} never registered")
+
+
+def tiny_dataset():
+    """A characterized 16-design dataset with noc-query metric names.
+
+    Mirrors the service-test fixture: space name ``tiny`` is irrelevant to
+    the scheduler (the dataset provider maps query spaces to it), and the
+    content fingerprint is deterministic, so a coordinator-side
+    :class:`~repro.core.DatasetEvaluator` and a worker-side one over an
+    identically characterized dataset agree on every task id.
+    """
+    from repro.dataset import Dataset
+
+    return Dataset.characterize(
+        tiny_space(), CallableEvaluator(tiny_metrics), name="tiny"
+    )
+
+
+@pytest.fixture
+def coordinator():
+    coord = FleetCoordinator(
+        policy=RetryPolicy(task_timeout_s=5.0, heartbeat_interval_s=0.1,
+                           heartbeat_timeout_s=1.0)
+    ).start()
+    yield coord
+    coord.stop()

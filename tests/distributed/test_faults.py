@@ -1,0 +1,321 @@
+"""Fault-path tests: SIGKILLed workers, dead heartbeats, retry exhaustion.
+
+Every test asserts the EvalStats accounting invariant — a fleet failure
+must never lose an evaluation or double-count one::
+
+    requests == distinct + memo_hits + persistent_hits + batch_dedup_hits
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core import CallableEvaluator, Genome
+from repro.core.evalstack import EvaluationStack
+from repro.distributed import (
+    FleetCoordinator,
+    RemoteEvaluationError,
+    RetryPolicy,
+)
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    connect_stream,
+    read_message,
+    send_message,
+)
+
+from .conftest import TINY_FP, start_worker, tiny_metrics, tiny_space
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+#: A standalone fleet worker with the tests' fixed-fingerprint evaluator.
+WORKER_SCRIPT = """
+import sys, time
+
+sys.path.insert(0, {src!r})
+from repro.core import CallableEvaluator, DesignSpace, IntParam
+from repro.distributed import FleetWorker
+
+host, port, name, delay = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], float(sys.argv[4])
+)
+
+
+def provider(alias):
+    space = DesignSpace(alias, [IntParam("a", 0, 3), IntParam("b", 0, 3)])
+
+    def fn(genome):
+        time.sleep(delay)
+        value = float(3 * genome["a"] + genome["b"])
+        return {{
+            "fmax_mhz": value,
+            "area_delay": 100.0 - value,
+            "luts": 100.0 - value,
+            "msps_per_lut": value,
+        }}
+
+    evaluator = CallableEvaluator(fn)
+    evaluator.fingerprint = "tiny-fp"
+    return space, evaluator
+
+
+FleetWorker(
+    host, port, spaces=["tiny"], name=name, evaluator_provider=provider
+).run()
+"""
+
+
+def _assert_invariant(stats):
+    assert stats.requests == (
+        stats.distinct
+        + stats.memo_hits
+        + stats.persistent_hits
+        + stats.batch_dedup_hits
+    )
+
+
+def _genomes(n=8):
+    space = tiny_space()
+    return [
+        Genome(space, {"a": a, "b": b}) for a in range(4) for b in range(4)
+    ][:n]
+
+
+def _fleet_stack(coordinator):
+    evaluator = CallableEvaluator(tiny_metrics)
+    evaluator.fingerprint = TINY_FP
+    return EvaluationStack(evaluator, backend="fleet", fleet=coordinator)
+
+
+def _spawn_worker_process(coordinator, name, delay_s, tmp_path):
+    script = tmp_path / f"{name}.py"
+    script.write_text(WORKER_SCRIPT.format(src=SRC_DIR))
+    process = subprocess.Popen(
+        [
+            sys.executable, str(script),
+            coordinator.host, str(coordinator.port), name, str(delay_s),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 15.0
+    while name not in coordinator.workers:
+        if time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError(f"worker process {name} never registered")
+        time.sleep(0.01)
+    return process
+
+
+class _StubWorker:
+    """A raw-socket fake worker for pathological behaviors.
+
+    Registers properly, then does exactly what the test asks: heartbeat or
+    not, read batches, never answer them.
+    """
+
+    def __init__(self, coordinator, name, heartbeat: bool):
+        self._sock, self._rfile = connect_stream(
+            coordinator.host, coordinator.port, timeout=5.0
+        )
+        self._sock.settimeout(None)
+        send_message(
+            self._sock,
+            {
+                "type": "register",
+                "version": PROTOCOL_VERSION,
+                "worker": name,
+                "spaces": ["tiny"],
+                "slots": 1,
+            },
+        )
+        welcome = read_message(self._rfile)
+        assert welcome["type"] == "welcome"
+        self.name = welcome["worker"]
+        self.batches_seen = 0
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+        self._beater = None
+        if heartbeat:
+            self._beater = threading.Thread(target=self._beat, daemon=True)
+            self._beater.start()
+
+    def _drain(self):
+        try:
+            while not self._stop.is_set():
+                message = read_message(self._rfile)
+                if message is None:
+                    return
+                if message.get("type") == "batch":
+                    self.batches_seen += 1
+        except OSError:
+            pass
+
+    def _beat(self):
+        while not self._stop.wait(0.1):
+            try:
+                with self._lock:
+                    send_message(
+                        self._sock, {"type": "heartbeat", "worker": self.name}
+                    )
+            except OSError:
+                return
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._sock.shutdown(2)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(2.0)
+        if self._beater is not None:
+            self._beater.join(2.0)
+
+
+class TestWorkerSigkill:
+    def test_sigkilled_worker_mid_batch_loses_nothing(self, tmp_path):
+        coordinator = FleetCoordinator(
+            policy=RetryPolicy(
+                task_timeout_s=30.0,
+                heartbeat_interval_s=0.1,
+                heartbeat_timeout_s=2.0,
+            )
+        ).start()
+        try:
+            victim = _spawn_worker_process(
+                coordinator, "victim", delay_s=0.25, tmp_path=tmp_path
+            )
+            survivor = start_worker(coordinator, "survivor")
+            stack = _fleet_stack(coordinator)
+            genomes = _genomes(8)
+            outcomes: list = []
+
+            def run():
+                outcomes.extend(stack.evaluate_many(genomes))
+
+            runner = threading.Thread(target=run, daemon=True)
+            runner.start()
+            # Kill -9 the victim once it is actually holding tasks.
+            deadline = time.monotonic() + 15.0
+            while True:
+                info = coordinator.workers.get("victim")
+                if info is not None and info.in_flight > 0:
+                    break
+                assert time.monotonic() < deadline, "victim never got tasks"
+                time.sleep(0.01)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(10.0)
+            runner.join(30.0)
+            assert not runner.is_alive(), "batch never completed after kill"
+
+            # Zero lost: every design served, correct, exactly once.
+            assert outcomes == [tiny_metrics(g) for g in genomes]
+            stats = stack.stats()
+            _assert_invariant(stats)
+            assert stats.distinct == len(genomes)
+            status = coordinator.status()
+            # Zero double-counted: each task delivered exactly once.
+            assert status["totals"]["completed"] == len(genomes)
+            assert status["totals"]["requeued"] >= 1
+            departed = {d["name"]: d for d in status["departed"]}
+            assert "victim" in departed
+            survivor.stop()
+        finally:
+            coordinator.stop()
+
+
+class TestHeartbeatExpiry:
+    def test_dead_heartbeat_requeues_to_live_worker(self, coordinator):
+        stub = _StubWorker(coordinator, "silent", heartbeat=False)
+        live = start_worker(coordinator, "live")
+        stack = _fleet_stack(coordinator)
+        genomes = _genomes(6)
+        # Some tasks land on the silent stub; its heartbeat (never sent)
+        # expires after 1s and they move to the live worker.
+        outcomes = stack.evaluate_many(genomes)
+        assert outcomes == [tiny_metrics(g) for g in genomes]
+        _assert_invariant(stack.stats())
+        status = coordinator.status()
+        assert status["totals"]["completed"] == len(genomes)
+        departed = {d["name"]: d for d in status["departed"]}
+        assert departed["silent"]["departed"] == "heartbeat-expired"
+        stub.close()
+        live.stop()
+
+
+class TestRetryExhaustion:
+    def test_exhaustion_surfaces_as_structured_error(self):
+        coordinator = FleetCoordinator(
+            policy=RetryPolicy(
+                max_attempts=2,
+                task_timeout_s=0.25,
+                backoff_base_s=0.02,
+                backoff_max_s=0.05,
+                heartbeat_interval_s=0.1,
+                heartbeat_timeout_s=30.0,  # liveness is not the failure here
+            )
+        ).start()
+        try:
+            # The only worker accepts batches, heartbeats dutifully, and
+            # never answers — every attempt times out.
+            stub = _StubWorker(coordinator, "blackhole", heartbeat=True)
+            stack = _fleet_stack(coordinator)
+            genomes = _genomes(2)
+            outcomes = stack.evaluate_many(genomes)
+            for outcome in outcomes:
+                assert isinstance(outcome, RemoteEvaluationError)
+                assert "RetryExhausted" in str(outcome)
+            stats = stack.stats()
+            _assert_invariant(stats)
+            assert stats.errors == len(genomes)
+            status = coordinator.status()
+            assert status["totals"]["exhausted"] == len(genomes)
+            assert status["totals"]["retried"] >= len(genomes)
+            assert stub.batches_seen >= 2  # it really was re-dispatched
+            stub.close()
+        finally:
+            coordinator.stop()
+
+
+class TestFleetEmptiesMidRun:
+    def test_worker_death_with_no_survivors_falls_back_locally(
+        self, coordinator
+    ):
+        handle = start_worker(coordinator, "only", delay_s=0.2)
+        stack = _fleet_stack(coordinator)
+        genomes = _genomes(4)
+        outcomes: list = []
+
+        def run():
+            outcomes.extend(stack.evaluate_many(genomes))
+
+        runner = threading.Thread(target=run, daemon=True)
+        runner.start()
+        deadline = time.monotonic() + 10.0
+        while True:
+            info = coordinator.workers.get("only")
+            if info is not None and info.in_flight > 0:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        handle.stop()  # tears the connection down mid-batch
+        runner.join(30.0)
+        assert not runner.is_alive()
+        assert outcomes == [tiny_metrics(g) for g in genomes]
+        _assert_invariant(stack.stats())
+        log = stack.pop_annotations()["workers"]
+        # Requeued tasks went local once the fleet emptied; nothing lost.
+        assert log.get("local", 0) >= 1
+        assert coordinator.status()["totals"]["unavailable"] >= 1

@@ -1,0 +1,286 @@
+"""In-process fleet tests: dispatch, dedup, stack integration, fallback.
+
+Coordinator and workers run in one process (threads + real TCP sockets on
+loopback) so these are fast; the subprocess/SIGKILL fault paths live in
+``test_faults.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import CallableEvaluator, Genome, InfeasibleDesignError
+from repro.core.evalstack import EvaluationStack
+from repro.distributed import (
+    FleetCoordinator,
+    RemoteEvaluationError,
+    RetryPolicy,
+    task_payload,
+)
+
+from .conftest import TINY_FP, start_worker, tiny_metrics, tiny_space
+
+
+def _assert_invariant(stats):
+    assert stats.requests == (
+        stats.distinct
+        + stats.memo_hits
+        + stats.persistent_hits
+        + stats.batch_dedup_hits
+    )
+
+
+def _genomes(space, n=16):
+    return [
+        Genome(space, {"a": a, "b": b}) for a in range(4) for b in range(4)
+    ][:n]
+
+
+class TestSubmitBatch:
+    def test_round_trip_through_one_worker(self, coordinator):
+        handle = start_worker(coordinator, "w1")
+        space = tiny_space()
+        payloads = [task_payload(g, TINY_FP) for g in _genomes(space, 6)]
+        outcomes = coordinator.submit_batch(payloads)
+        assert set(outcomes) == {p["id"] for p in payloads}
+        for payload, genome in zip(payloads, _genomes(space, 6)):
+            assert outcomes[payload["id"]]["metrics"] == tiny_metrics(genome)
+            assert outcomes[payload["id"]]["worker"] == "w1"
+        handle.stop()
+
+    def test_batch_spreads_across_workers(self, coordinator):
+        handles = [
+            start_worker(coordinator, "w1"),
+            start_worker(coordinator, "w2"),
+        ]
+        payloads = [task_payload(g, TINY_FP) for g in _genomes(tiny_space())]
+        outcomes = coordinator.submit_batch(payloads)
+        served_by = {o["worker"] for o in outcomes.values()}
+        assert served_by == {"w1", "w2"}
+        for handle in handles:
+            handle.stop()
+
+    def test_concurrent_identical_submissions_coalesce(self, coordinator):
+        # Two "campaigns" ask for the same designs at once: the fleet must
+        # pay exactly once per design (content-addressed dedup).
+        handle = start_worker(coordinator, "w1", delay_s=0.05)
+        payloads = [task_payload(g, TINY_FP) for g in _genomes(tiny_space(), 4)]
+        results = [None, None]
+
+        def submit(slot):
+            results[slot] = coordinator.submit_batch(list(payloads))
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert results[0] == results[1]
+        assert handle.worker.tasks_served == len(payloads)
+        assert coordinator.status()["totals"]["dispatched"] == len(payloads)
+        handle.stop()
+
+    def test_empty_batch_is_a_no_op(self, coordinator):
+        assert coordinator.submit_batch([]) == {}
+
+    def test_stopped_coordinator_fails_fast(self):
+        coord = FleetCoordinator().start()
+        coord.stop()
+        payloads = [task_payload(_genomes(tiny_space(), 1)[0], TINY_FP)]
+        outcomes = coord.submit_batch(payloads)
+        assert all(
+            o["error_type"] == "CoordinatorStopped" for o in outcomes.values()
+        )
+
+
+class TestEvaluationStackIntegration:
+    def test_fleet_backend_matches_inline_bit_for_bit(self, coordinator):
+        handle = start_worker(coordinator, "w1")
+        space = tiny_space()
+        genomes = _genomes(space)
+
+        def fn(genome):
+            return tiny_metrics(genome)
+
+        inline_ev = CallableEvaluator(fn)
+        inline_ev.fingerprint = TINY_FP
+        inline = EvaluationStack(inline_ev).evaluate_many(genomes)
+
+        fleet_ev = CallableEvaluator(fn)
+        fleet_ev.fingerprint = TINY_FP
+        stack = EvaluationStack(fleet_ev, backend="fleet", fleet=coordinator)
+        remote = stack.evaluate_many(genomes)
+        assert remote == inline  # bit-identical metrics through the wire
+        _assert_invariant(stack.stats())
+        assert stack.stats().distinct == len(genomes)
+        handle.stop()
+
+    def test_memo_and_dedup_layers_still_apply(self, coordinator):
+        handle = start_worker(coordinator, "w1")
+        space = tiny_space()
+        ev = CallableEvaluator(tiny_metrics)
+        ev.fingerprint = TINY_FP
+        stack = EvaluationStack(ev, backend="fleet", fleet=coordinator)
+        g = _genomes(space, 2)
+        stack.evaluate_many([g[0], g[0], g[1]])  # in-batch duplicate
+        stack.evaluate_many([g[0]])  # memo revisit
+        stats = stack.stats()
+        _assert_invariant(stats)
+        assert stats.distinct == 2
+        assert stats.batch_dedup_hits == 1
+        assert stats.memo_hits == 1
+        # The worker only ever saw the two distinct designs.
+        assert handle.worker.tasks_served == 2
+        handle.stop()
+
+    def test_worker_attribution_via_pop_annotations(self, coordinator):
+        handle = start_worker(coordinator, "w1")
+        ev = CallableEvaluator(tiny_metrics)
+        ev.fingerprint = TINY_FP
+        stack = EvaluationStack(ev, backend="fleet", fleet=coordinator)
+        stack.evaluate_many(_genomes(tiny_space(), 3))
+        assert stack.pop_annotations() == {"workers": {"w1": 3}}
+        assert stack.pop_annotations() is None  # drained
+        handle.stop()
+
+    def test_local_stack_has_no_annotations(self):
+        stack = EvaluationStack(CallableEvaluator(tiny_metrics))
+        stack.evaluate_many(_genomes(tiny_space(), 2))
+        assert stack.pop_annotations() is None
+
+    def test_infeasible_and_errors_cross_the_wire(self, coordinator):
+        space = tiny_space()
+
+        def moody(genome):
+            if genome["a"] == 0:
+                raise InfeasibleDesignError("a=0 unbuildable")
+            if genome["a"] == 1:
+                raise RuntimeError("tool crashed")
+            return tiny_metrics(genome)
+
+        def provider(alias):
+            ev = CallableEvaluator(moody)
+            ev.fingerprint = TINY_FP
+            return space, ev
+
+        from repro.distributed import FleetWorker
+
+        worker = FleetWorker(
+            coordinator.host, coordinator.port, spaces=["tiny"],
+            name="moody", evaluator_provider=provider,
+        )
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while "moody" not in coordinator.workers:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        ev = CallableEvaluator(moody)
+        ev.fingerprint = TINY_FP
+        stack = EvaluationStack(ev, backend="fleet", fleet=coordinator)
+        genomes = [Genome(space, {"a": a, "b": 0}) for a in range(3)]
+        outcomes = stack.evaluate_many(genomes)
+        assert isinstance(outcomes[0], InfeasibleDesignError)
+        assert isinstance(outcomes[1], RemoteEvaluationError)
+        assert "RuntimeError" in str(outcomes[1])
+        assert outcomes[2] == tiny_metrics(genomes[2])
+        stats = stack.stats()
+        _assert_invariant(stats)
+        assert stats.infeasible == 1
+        assert stats.errors == 1
+        # Deterministic failures are completed evaluations — never retried.
+        assert coordinator.status()["totals"]["retried"] == 0
+        worker.stop()
+        thread.join(5.0)
+
+    def test_fleet_backend_requires_a_coordinator(self):
+        from repro.core import NautilusError
+
+        with pytest.raises(NautilusError):
+            EvaluationStack(CallableEvaluator(tiny_metrics), backend="fleet")
+
+
+class TestGracefulDegradation:
+    def test_empty_fleet_falls_back_to_local(self, coordinator):
+        ev = CallableEvaluator(tiny_metrics)
+        ev.fingerprint = TINY_FP
+        stack = EvaluationStack(ev, backend="fleet", fleet=coordinator)
+        genomes = _genomes(tiny_space(), 4)
+        outcomes = stack.evaluate_many(genomes)
+        assert outcomes == [tiny_metrics(g) for g in genomes]
+        _assert_invariant(stack.stats())
+        assert stack.pop_annotations() == {"workers": {"local": 4}}
+        assert coordinator.status()["totals"]["local_fallback"] == 4
+
+    def test_unserved_space_falls_back_despite_live_workers(self, coordinator):
+        handle = start_worker(coordinator, "w1", spaces=("other",))
+        ev = CallableEvaluator(tiny_metrics)
+        ev.fingerprint = TINY_FP
+        stack = EvaluationStack(ev, backend="fleet", fleet=coordinator)
+        outcomes = stack.evaluate_many(_genomes(tiny_space(), 2))
+        assert all(isinstance(o, dict) for o in outcomes)
+        assert stack.pop_annotations() == {"workers": {"local": 2}}
+        handle.stop()
+
+
+class TestCoordinatorLifecycle:
+    def test_stop_joins_every_thread(self):
+        before = threading.active_count()
+        coord = FleetCoordinator(
+            policy=RetryPolicy(heartbeat_interval_s=0.05,
+                               heartbeat_timeout_s=0.5)
+        ).start()
+        handles = [start_worker(coord, f"w{i}") for i in range(3)]
+        payloads = [task_payload(g, TINY_FP) for g in _genomes(tiny_space(), 8)]
+        coord.submit_batch(payloads)
+        for handle in handles:
+            handle.stop()
+        coord.stop()
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > before and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
+
+    def test_stop_is_idempotent(self, coordinator):
+        coordinator.stop()
+        coordinator.stop()
+
+    def test_duplicate_worker_names_are_uniquified(self, coordinator):
+        first = start_worker(coordinator, "twin")
+        second = start_worker(coordinator, "twin")
+        deadline = time.monotonic() + 5.0
+        while len(coordinator.workers) < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        names = {w.name for w in coordinator.workers.workers()}
+        assert "twin" in names and len(names) == 2
+        # The renamed worker learns its real name from the welcome frame
+        # (adopted on the worker thread, so poll).
+        while second.worker.name == "twin" and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert second.worker.name != "twin"
+        assert second.worker.name in names
+        first.stop()
+        second.stop()
+
+
+class TestStatus:
+    def test_status_shape(self, coordinator):
+        handle = start_worker(coordinator, "w1")
+        payloads = [task_payload(g, TINY_FP) for g in _genomes(tiny_space(), 4)]
+        coordinator.submit_batch(payloads)
+        status = coordinator.status()
+        assert status["enabled"] is True
+        assert status["live_workers"] == 1
+        assert status["totals"]["dispatched"] == 4
+        assert status["totals"]["completed"] == 4
+        (row,) = status["workers"]
+        assert row["name"] == "w1"
+        assert row["completed"] == 4
+        assert row["throughput_per_s"] > 0
+        assert status["policy"]["max_attempts"] >= 1
+        handle.stop()

@@ -1,0 +1,118 @@
+"""Wire-protocol unit tests: identity, outcome codecs, framing."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core import Genome, InfeasibleDesignError
+from repro.core.errors import DatasetError
+from repro.distributed import (
+    ProtocolError,
+    RemoteEvaluationError,
+    task_id,
+    task_payload,
+)
+from repro.distributed.protocol import (
+    MAX_FRAME_BYTES,
+    decode_outcome,
+    encode_outcome,
+    read_message,
+    values_from_wire,
+)
+
+from .conftest import TINY_FP, tiny_space
+
+
+class TestTaskIdentity:
+    def test_same_design_same_id(self):
+        space = tiny_space()
+        a = Genome(space, {"a": 1, "b": 2})
+        b = Genome(space, {"b": 2, "a": 1})  # key order must not matter
+        assert task_id("tiny", TINY_FP, a.key[1]) == task_id(
+            "tiny", TINY_FP, b.key[1]
+        )
+
+    def test_id_distinguishes_space_fingerprint_and_values(self):
+        space = tiny_space()
+        g = Genome(space, {"a": 1, "b": 2})
+        base = task_id("tiny", TINY_FP, g.key[1])
+        assert task_id("other", TINY_FP, g.key[1]) != base
+        assert task_id("tiny", "other-fp", g.key[1]) != base
+        other = Genome(space, {"a": 2, "b": 2})
+        assert task_id("tiny", TINY_FP, other.key[1]) != base
+
+    def test_payload_round_trips_through_json(self):
+        g = Genome(tiny_space(), {"a": 3, "b": 0})
+        payload = task_payload(g, TINY_FP)
+        wired = json.loads(json.dumps(payload))
+        assert wired == payload
+        assert task_id(
+            wired["space"], wired["fingerprint"],
+            values_from_wire(wired["values"]),
+        ) == payload["id"]
+
+    def test_tuple_values_survive_the_wire(self):
+        # A tuple-valued parameter serializes as a JSON list; both framings
+        # must hash to the same id or remote ids would never match local.
+        values = [(1, 2), 3]
+        assert task_id("s", "fp", values) == task_id(
+            "s", "fp", values_from_wire(json.loads(json.dumps(values)))
+        )
+
+
+class TestOutcomeCodec:
+    def test_metrics_round_trip(self):
+        fragment = encode_outcome({"fmax_mhz": 3.5})
+        assert decode_outcome(json.loads(json.dumps(fragment))) == {
+            "fmax_mhz": 3.5
+        }
+
+    def test_float_round_trip_is_bit_exact(self):
+        value = 0.1 + 0.2  # a float whose repr needs full precision
+        fragment = json.loads(json.dumps(encode_outcome({"m": value})))
+        assert decode_outcome(fragment)["m"] == value
+
+    def test_infeasible_round_trips_as_completed_outcome(self):
+        fragment = encode_outcome(InfeasibleDesignError("too wide"))
+        assert fragment["metrics"] is None
+        outcome = decode_outcome(json.loads(json.dumps(fragment)))
+        assert isinstance(outcome, InfeasibleDesignError)
+        assert "too wide" in str(outcome)
+
+    def test_error_decodes_as_remote_evaluation_error(self):
+        fragment = encode_outcome(DatasetError("missing point"))
+        fragment["worker"] = "w1"
+        outcome = decode_outcome(fragment)
+        assert isinstance(outcome, RemoteEvaluationError)
+        assert not isinstance(outcome, InfeasibleDesignError)
+        assert "DatasetError" in str(outcome)
+        assert "w1" in str(outcome)
+
+
+class TestFraming:
+    def test_read_message_eof_returns_none(self):
+        assert read_message(io.BytesIO(b"")) is None
+
+    def test_read_message_parses_one_frame(self):
+        stream = io.BytesIO(b'{"type":"heartbeat","worker":"w"}\n')
+        assert read_message(stream) == {"type": "heartbeat", "worker": "w"}
+
+    def test_malformed_frame_raises(self):
+        with pytest.raises(ProtocolError):
+            read_message(io.BytesIO(b"not json\n"))
+
+    def test_non_object_frame_raises(self):
+        with pytest.raises(ProtocolError):
+            read_message(io.BytesIO(b"[1,2]\n"))
+
+    def test_frame_without_type_raises(self):
+        with pytest.raises(ProtocolError):
+            read_message(io.BytesIO(b'{"worker":"w"}\n'))
+
+    def test_oversized_frame_raises(self):
+        frame = b'{"type":"x","pad":"' + b"a" * MAX_FRAME_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError):
+            read_message(io.BytesIO(frame))

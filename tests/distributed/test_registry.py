@@ -1,0 +1,138 @@
+"""Worker registry, shard planning, and retry-policy unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import RetryPolicy, WorkerInfo, WorkerRegistry, plan_shards
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRegistry:
+    def test_membership_and_capabilities(self):
+        registry = WorkerRegistry(clock=FakeClock())
+        registry.add("w1", spaces=("noc",))
+        registry.add("w2", spaces=("*",))
+        assert "w1" in registry and len(registry) == 2
+        assert registry.has_worker_for("noc")
+        assert registry.has_worker_for("fft")  # via the wildcard worker
+        assert [w.name for w in registry.serving("noc")] == ["w1", "w2"]
+        assert [w.name for w in registry.serving("fft")] == ["w2"]
+
+    def test_heartbeat_expiry(self):
+        clock = FakeClock()
+        registry = WorkerRegistry(clock=clock)
+        registry.add("w1")
+        registry.add("w2")
+        clock.now += 3.0
+        registry.touch("w2")
+        expired = registry.expired(2.0)
+        assert [w.name for w in expired] == ["w1"]
+
+    def test_departed_workers_keep_their_stats(self):
+        registry = WorkerRegistry(clock=FakeClock())
+        registry.add("w1")
+        registry.record_dispatch("w1", 5)
+        registry.record_completed("w1", 5, elapsed_s=1.0)
+        registry.remove("w1", reason="heartbeat-expired")
+        assert not registry.has_worker_for("noc")
+        snapshot = registry.snapshot()
+        assert snapshot["live_workers"] == 0
+        assert snapshot["departed"][0]["name"] == "w1"
+        assert snapshot["departed"][0]["completed"] == 5
+        assert snapshot["departed"][0]["departed"] == "heartbeat-expired"
+
+    def test_throughput_ewma_tracks_completed_batches(self):
+        registry = WorkerRegistry(clock=FakeClock())
+        registry.add("w1")
+        registry.record_dispatch("w1", 10)
+        registry.record_completed("w1", 10, elapsed_s=1.0)  # 10/s
+        first = registry.get("w1").throughput
+        assert first == pytest.approx(10.0)
+        registry.record_dispatch("w1", 10)
+        registry.record_completed("w1", 10, elapsed_s=0.5)  # 20/s
+        assert first < registry.get("w1").throughput < 20.0
+
+
+class TestPlanShards:
+    def test_no_history_splits_evenly(self):
+        workers = [WorkerInfo("a"), WorkerInfo("b")]
+        assert plan_shards(10, workers) == {"a": 5, "b": 5}
+
+    def test_throughput_proportional(self):
+        workers = [
+            WorkerInfo("fast", throughput=30.0),
+            WorkerInfo("slow", throughput=10.0),
+        ]
+        plan = plan_shards(8, workers)
+        assert plan == {"fast": 6, "slow": 2}
+
+    def test_fresh_worker_weighs_as_mean_observed_rate(self):
+        workers = [WorkerInfo("vet", throughput=10.0), WorkerInfo("fresh")]
+        assert plan_shards(10, workers) == {"vet": 5, "fresh": 5}
+
+    def test_every_worker_gets_at_least_one_task(self):
+        workers = [
+            WorkerInfo("fast", throughput=1000.0),
+            WorkerInfo("slow", throughput=1.0),
+        ]
+        plan = plan_shards(5, workers)
+        assert plan["slow"] >= 1
+        assert sum(plan.values()) == 5
+
+    def test_slots_scale_fresh_weight(self):
+        workers = [WorkerInfo("one", slots=1), WorkerInfo("four", slots=4)]
+        plan = plan_shards(10, workers)
+        assert plan["four"] == 8 and plan["one"] == 2
+
+    def test_counts_are_conserved(self):
+        workers = [
+            WorkerInfo("a", throughput=3.0),
+            WorkerInfo("b", throughput=7.0),
+            WorkerInfo("c"),
+        ]
+        for count in (1, 2, 5, 17, 100):
+            assert sum(plan_shards(count, workers).values()) == count
+
+    def test_empty_inputs(self):
+        assert plan_shards(5, []) == {}
+        assert plan_shards(0, [WorkerInfo("a")]) == {}
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(task_timeout_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(heartbeat_interval_s=2.0, heartbeat_timeout_s=1.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=0.4, jitter=0.0)
+        delays = [policy.backoff_s(n) for n in (1, 2, 3, 4, 10)]
+        assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_max_s=1.0, jitter=0.5)
+        a = policy.backoff_s(1, key="task-a")
+        assert a == policy.backoff_s(1, key="task-a")  # pure function
+        assert a != policy.backoff_s(1, key="task-b")  # spread across tasks
+        for key in ("t1", "t2", "t3", "t4"):
+            delay = policy.backoff_s(1, key=key)
+            assert 0.75 <= delay <= 1.25  # within ±jitter/2
+
+    def test_exhaustion_threshold(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)

@@ -1,0 +1,233 @@
+"""Service-level fleet tests: daemon + coordinator + workers, end to end.
+
+The acceptance bar: a seeded campaign routed through the fleet must finish
+bit-identical to its inline (no-fleet) run, fleet status must be visible
+over HTTP, bad ``workers`` values must be a 400 at submission time, retry
+exhaustion must fail the campaign with a structured error, and spinning
+the whole daemon up and down must leak no threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.evaluator import DatasetEvaluator
+from repro.distributed import FleetWorker, RetryPolicy
+from repro.service import (
+    CampaignSpec,
+    SearchService,
+    ServiceClient,
+    ServiceError,
+    build_search,
+)
+
+from .conftest import tiny_dataset
+
+SPEC = CampaignSpec(
+    query="noc-frequency", engine="baseline", generations=6, seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset()
+
+
+@pytest.fixture
+def provider(dataset):
+    return lambda space_name: dataset
+
+
+def _start_fleet_worker(service, dataset, name):
+    """An in-process worker serving the same dataset the daemon searches.
+
+    Sharing one characterized dataset means the worker-side evaluator
+    fingerprint matches the coordinator-side one exactly — the same
+    agreement real deployments get from identical dataset files.
+    """
+
+    def evaluator_provider(alias):
+        return dataset.space, DatasetEvaluator(dataset)
+
+    host, port = service.fleet_address.rsplit(":", 1)
+    worker = FleetWorker(
+        host, int(port), spaces=["tiny"], name=name,
+        evaluator_provider=evaluator_provider,
+    )
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while name not in service.fleet.workers:
+        assert time.monotonic() < deadline, f"worker {name} never registered"
+        time.sleep(0.01)
+    return worker, thread
+
+
+class TestFleetCampaign:
+    def test_fleet_campaign_matches_inline_run(
+        self, tmp_path, provider, dataset
+    ):
+        service = SearchService(
+            tmp_path / "campaigns", port=0, dataset_provider=provider,
+            fleet=True,
+        ).start()
+        try:
+            worker, thread = _start_fleet_worker(service, dataset, "w1")
+            client = ServiceClient(port=service.port)
+            status = client.wait(client.submit(SPEC), timeout=120)
+            assert status["state"] == "done"
+
+            inline = build_search(SPEC, dataset).run()
+            assert status["best_score"] == inline.best.score
+            assert status["best_raw"] == inline.best_raw
+            assert (
+                status["distinct_evaluations"] == inline.distinct_evaluations
+            )
+
+            # The worker actually served the campaign, and the trace says so.
+            fleet = client.fleet()
+            assert fleet["enabled"] is True
+            assert fleet["totals"]["completed"] > 0
+            (row,) = fleet["workers"]
+            assert row["name"] == "w1" and row["completed"] > 0
+            trace = client.trace(status["id"])
+            batches = [e for e in trace if e["kind"] == "eval-batch"]
+            assert any(e.get("workers") == {"w1": e["size"]} for e in batches)
+
+            worker.stop()
+            thread.join(5.0)
+        finally:
+            service.stop()
+
+    def test_empty_fleet_degrades_to_local_inline(self, tmp_path, provider,
+                                                  dataset):
+        # No worker ever connects: the campaign must still finish, locally,
+        # with the exact same outcome.
+        service = SearchService(
+            tmp_path / "campaigns", port=0, dataset_provider=provider,
+            fleet=True,
+        ).start()
+        try:
+            client = ServiceClient(port=service.port)
+            status = client.wait(client.submit(SPEC), timeout=120)
+            assert status["state"] == "done"
+            inline = build_search(SPEC, dataset).run()
+            assert status["best_score"] == inline.best.score
+            fleet = client.fleet()
+            assert fleet["totals"]["local_fallback"] > 0
+            assert fleet["totals"]["completed"] == 0
+        finally:
+            service.stop()
+
+
+class TestFleetEndpoint:
+    def test_fleet_status_disabled_without_fleet(self, tmp_path, provider):
+        service = SearchService(
+            tmp_path / "campaigns", port=0, dataset_provider=provider
+        ).start()
+        try:
+            assert ServiceClient(port=service.port).fleet() == {
+                "enabled": False
+            }
+        finally:
+            service.stop()
+
+    def test_fleet_metrics_reach_prometheus_exposition(
+        self, tmp_path, provider, dataset
+    ):
+        service = SearchService(
+            tmp_path / "campaigns", port=0, dataset_provider=provider,
+            fleet=True,
+        ).start()
+        try:
+            worker, thread = _start_fleet_worker(service, dataset, "w1")
+            client = ServiceClient(port=service.port)
+            status = client.wait(client.submit(SPEC), timeout=120)
+            assert status["state"] == "done"
+            text = client.metrics_prometheus()
+            assert 'nautilus_fleet_completed_total{worker="w1"}' in text
+            assert "nautilus_fleet_workers" in text
+            worker.stop()
+            thread.join(5.0)
+        finally:
+            service.stop()
+
+
+class TestServerSideValidation:
+    def test_submit_rejects_bad_workers_with_400(self, tmp_path, provider):
+        service = SearchService(
+            tmp_path / "campaigns", port=0, dataset_provider=provider
+        ).start()
+        try:
+            client = ServiceClient(port=service.port)
+            payload = dict(SPEC.to_json(), workers=0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(payload)
+            assert excinfo.value.status == 400
+            assert "workers" in str(excinfo.value)
+        finally:
+            service.stop()
+
+
+class TestRetryExhaustionFailsCampaign:
+    def test_exhaustion_surfaces_as_campaign_error(self, tmp_path, provider):
+        from .test_faults import _StubWorker
+
+        service = SearchService(
+            tmp_path / "campaigns", port=0, dataset_provider=provider,
+            fleet=True,
+            fleet_policy=RetryPolicy(
+                max_attempts=2,
+                task_timeout_s=0.25,
+                backoff_base_s=0.02,
+                backoff_max_s=0.05,
+                heartbeat_interval_s=0.1,
+                heartbeat_timeout_s=30.0,
+            ),
+        ).start()
+        try:
+            # The fleet's only worker heartbeats but never answers — every
+            # attempt times out, and the campaign must FAIL loudly rather
+            # than hang or silently fall back.
+            stub = _StubWorker(service.fleet, "blackhole", heartbeat=True)
+            client = ServiceClient(port=service.port)
+            status = client.wait(client.submit(SPEC), timeout=120)
+            assert status["state"] == "failed"
+            assert "RetryExhausted" in status["error"]
+            assert client.fleet()["totals"]["exhausted"] > 0
+            stub.close()
+        finally:
+            service.stop()
+
+
+class TestLifecycleLeaks:
+    def test_twenty_service_cycles_leak_no_threads(self, tmp_path, provider):
+        """Satellite regression: start/stop the daemon 20x, thread-flat."""
+        baseline = threading.active_count()
+        for cycle in range(20):
+            service = SearchService(
+                tmp_path / f"c{cycle}", port=0, dataset_provider=provider,
+                fleet=True,
+            ).start()
+            if cycle % 5 == 0:  # some cycles do real work first
+                client = ServiceClient(port=service.port)
+                client.wait(
+                    client.submit(
+                        CampaignSpec(
+                            query="noc-frequency", engine="baseline",
+                            generations=2, seed=cycle,
+                        )
+                    ),
+                    timeout=60,
+                )
+            service.stop()
+        deadline = time.monotonic() + 5.0
+        while (
+            threading.active_count() > baseline
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert threading.active_count() <= baseline
