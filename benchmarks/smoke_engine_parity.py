@@ -155,6 +155,52 @@ def check_observability_identity() -> list[str]:
     return failures
 
 
+def check_guidance_identity() -> list[str]:
+    """Explicit providers must match the hints= shorthand bit-for-bit.
+
+    ``GeneticSearch(hints=h)`` and ``GeneticSearch(guidance=StaticHints(h))``
+    are two spellings of the same search; likewise ``AdaptiveSearch`` and a
+    plain GA composed with an ``AdaptiveConfidence`` provider. Any drift
+    means the guidance refactor changed engine behavior.
+    """
+    from repro.core import AdaptiveConfidence, StaticHints
+
+    failures = []
+    query = QUERIES["noc-frequency"]
+    dataset = load_dataset(query.space)
+    objective, hint_kind = resolve_objective(query)
+    hints = build_hints(hint_kind)
+    config = GAConfig(generations=GENERATIONS, seed=0)
+    pairs = {
+        "static": (
+            GeneticSearch(
+                dataset.space, DatasetEvaluator(dataset), objective, config,
+                hints=hints,
+            ),
+            GeneticSearch(
+                dataset.space, DatasetEvaluator(dataset), objective, config,
+                guidance=StaticHints(hints),
+            ),
+        ),
+        "adaptive": (
+            AdaptiveSearch(
+                dataset.space, DatasetEvaluator(dataset), objective, config,
+                hints=hints,
+            ),
+            GeneticSearch(
+                dataset.space, DatasetEvaluator(dataset), objective, config,
+                guidance=AdaptiveConfidence(hints),
+            ),
+        ),
+    }
+    for kind, (shorthand, explicit) in pairs.items():
+        if _curve(shorthand.run()) != _curve(explicit.run()):
+            failures.append(f"  noc-frequency/{kind}: provider drift")
+        else:
+            print(f"  ok noc-frequency/{kind}: provider == shorthand")
+    return failures
+
+
 def main(argv: list[str]) -> int:
     results = run_workload()
     if "--update" in argv:
@@ -177,6 +223,7 @@ def main(argv: list[str]) -> int:
     if extra:
         failures.append(f"  unexpected runs not in baseline: {extra}")
     failures.extend(check_observability_identity())
+    failures.extend(check_guidance_identity())
     if failures:
         print("seeded engine curves drifted from the baseline:")
         print("\n".join(failures))

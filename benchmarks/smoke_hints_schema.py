@@ -1,0 +1,58 @@
+"""CI smoke check: every bundled hint set survives the JSON wire format.
+
+Round-trips each hint kind in the query registry through
+serialize -> validate-against-its-space -> deserialize and demands full
+structural equality, at the default confidence and at an override. A
+failure means the schema can no longer express something a bundled hint
+factory produces (a new channel, a non-JSON-safe domain value), which
+would silently break ``nautilus submit --hints`` and inline campaign
+hints before any test that exercises the service notices.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_hints_schema.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.core import hintset_from_json, hintset_to_json
+from repro.queries import QUERIES, build_hints, load_dataset
+
+
+def main() -> int:
+    failures = []
+    checked = 0
+    for query_name in sorted(QUERIES):
+        query = QUERIES[query_name]
+        dataset = load_dataset(query.space)
+        for confidence in (None, 0.25):
+            hints = build_hints(query.hint_kind, confidence)
+            # Through real JSON text, not just dicts — what rides over HTTP
+            # and hints files.
+            wire = json.loads(json.dumps(hintset_to_json(hints)))
+            restored = hintset_from_json(wire, space=dataset.space)
+            label = (
+                f"{query_name}/{query.hint_kind}"
+                f"{'' if confidence is None else f'@{confidence}'}"
+            )
+            if restored != hints:
+                failures.append(f"  {label}: round trip not lossless")
+                continue
+            checked += 1
+            print(
+                f"  ok {label}: {len(hints.params)} hinted params "
+                f"round-trip losslessly"
+            )
+    if failures:
+        print("hint sets no longer survive the JSON schema:")
+        print("\n".join(failures))
+        return 1
+    print(f"all {checked} hint-set round trips match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

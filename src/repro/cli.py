@@ -46,6 +46,8 @@ from .core import (
     NautilusError,
     RandomSearch,
     estimate_hints,
+    hintset_from_json,
+    hintset_to_json,
     maximize,
     minimize,
 )
@@ -60,6 +62,23 @@ from .queries import (
 __all__ = ["main"]
 
 _FIGURES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def _read_hints_file(path: str) -> dict:
+    """Load a hints JSON file (as written by ``nautilus estimate --output``)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise NautilusError(f"cannot read hints file {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise NautilusError(f"hints file {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise NautilusError(
+            f"hints file {path!r} must contain a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -81,13 +100,21 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     dataset = load_dataset(query.space)
     objective, hint_kind = resolve_objective(query, args.metric, args.direction)
     evaluator = DatasetEvaluator(dataset)
+    if args.hints is not None and args.engine != "nautilus":
+        raise NautilusError(
+            f"--hints requires the nautilus engine, not {args.engine!r}"
+        )
     if args.engine == "random":
         search = RandomSearch(
             dataset.space, evaluator, objective, budget=args.budget, seed=args.seed
         )
     else:
         hints = None
-        if args.engine == "nautilus" and hint_kind is not None:
+        if args.hints is not None:
+            hints = hintset_from_json(_read_hints_file(args.hints), dataset.space)
+            if args.confidence is not None:
+                hints = hints.with_confidence(args.confidence)
+        elif args.engine == "nautilus" and hint_kind is not None:
             hints = build_hints(hint_kind, args.confidence)
         search = GeneticSearch(
             dataset.space,
@@ -157,6 +184,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         budget=args.budget,
         seed=args.seed,
     )
+    if args.confidence is not None:
+        hints = hints.with_confidence(args.confidence)
     print(f"estimated hints for {args.query} using {used} designs:")
     for name in dataset.space.param_names:
         if name in hints.params:
@@ -164,6 +193,15 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             print(f"  {name:18s} importance={h.importance:3d} bias={h.bias:+.2f}")
         else:
             print(f"  {name:18s} (no signal)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(hintset_to_json(hints), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"hints written to {args.output} — feed them back with "
+            f"'nautilus optimize {args.query} --hints {args.output}' or "
+            f"'nautilus submit {args.query} --hints {args.output}'"
+        )
     return 0
 
 
@@ -352,10 +390,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         label=args.label,
     )
     payload = spec.to_json()
-    # --workers rides as a raw field so validation happens server-side (a
-    # bad value answers 400 with a JSON error, not a local traceback).
+    # --workers and --hints ride as raw fields so validation happens
+    # server-side (a bad value answers 400 with a JSON error — field-level
+    # for hints — not a local traceback).
     if args.workers is not None:
         payload["workers"] = args.workers
+    if args.hints is not None:
+        payload["hints"] = _read_hints_file(args.hints)
     campaign_id = client.submit(payload)
     print(campaign_id)
     if args.wait:
@@ -581,6 +622,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--direction", choices=("max", "min"), default=None)
     p.add_argument("--confidence", type=float, default=None)
+    p.add_argument(
+        "--hints",
+        metavar="HINTS_JSON",
+        default=None,
+        help="JSON hints file (e.g. from 'nautilus estimate --output') "
+        "replacing the query's bundled hint set; nautilus engine only",
+    )
     p.add_argument("--generations", type=int, default=80)
     p.add_argument("--budget", type=int, default=400, help="random-search budget")
     p.add_argument("--seed", type=int, default=0)
@@ -597,6 +645,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query", choices=sorted(QUERIES))
     p.add_argument("--budget", type=int, default=80)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        help="confidence written into the derived hint set "
+        "(default: the estimator's own)",
+    )
+    p.add_argument(
+        "--output",
+        metavar="HINTS_JSON",
+        default=None,
+        help="write the derived hints as schema-versioned JSON, ready for "
+        "'nautilus optimize --hints' / 'nautilus submit --hints'",
+    )
     p.set_defaults(fn=_cmd_estimate)
 
     p = sub.add_parser("simulate", help="flit-level NoC simulation")
@@ -718,6 +780,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--priority", type=int, default=0, help="higher runs first")
     p.add_argument("--confidence", type=float, default=None)
+    p.add_argument(
+        "--hints",
+        metavar="HINTS_JSON",
+        default=None,
+        help="inline JSON hints file replacing the query's bundled hint "
+        "set (guided engines; validated server-side with field-level "
+        "errors)",
+    )
     p.add_argument("--budget", type=int, default=400, help="random-search budget")
     p.add_argument(
         "--workers",

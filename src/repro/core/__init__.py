@@ -44,9 +44,22 @@ from .params import (
 from .genome import Genome
 from .space import DesignSpace
 from .hints import DEFAULT_IMPORTANCE, HintSet, ParamHints
+from .guidance import (
+    HINTS_SCHEMA_VERSION,
+    AdaptiveConfidence,
+    EstimatedHints,
+    GuidanceProvider,
+    GuidanceState,
+    HintSpecError,
+    StaticHints,
+    hintset_from_json,
+    hintset_to_json,
+    provider_from_spec,
+)
 from .operators import (
     BreedingPipeline,
     GeneticOperators,
+    scalar_score,
     single_point_crossover,
     two_point_crossover,
     uniform_crossover,
@@ -137,9 +150,21 @@ __all__ = [
     "ParamHints",
     "HintSet",
     "DEFAULT_IMPORTANCE",
+    # guidance stack
+    "GuidanceState",
+    "GuidanceProvider",
+    "StaticHints",
+    "AdaptiveConfidence",
+    "EstimatedHints",
+    "HintSpecError",
+    "HINTS_SCHEMA_VERSION",
+    "hintset_to_json",
+    "hintset_from_json",
+    "provider_from_spec",
     # operators / selection
     "GeneticOperators",
     "BreedingPipeline",
+    "scalar_score",
     "uniform_crossover",
     "single_point_crossover",
     "two_point_crossover",

@@ -15,7 +15,11 @@ Policy (deliberately simple and conservative):
   hands control back to the baseline GA's unbiased exploration;
 * confidence never leaves ``[min_confidence, initial]``.
 
-With good hints the schedule stays near the author's confidence and matches
+The policy itself lives in
+:class:`~repro.core.guidance.AdaptiveConfidence`, a guidance provider any
+generational engine can compose; :class:`AdaptiveSearch` is the thin engine
+alias that pairs it with :class:`~repro.core.engine.GeneticSearch`. With
+good hints the schedule stays near the author's confidence and matches
 plain Nautilus; with adversarially wrong hints it decays toward baseline
 behaviour instead of staying trapped — see
 ``benchmarks/bench_ablation_adaptive.py``.
@@ -27,8 +31,8 @@ from .engine import GAConfig, GeneticSearch
 from .errors import NautilusError
 from .evaluator import Evaluator
 from .fitness import Objective
+from .guidance import AdaptiveConfidence
 from .hints import HintSet
-from .operators import GeneticOperators
 from .space import DesignSpace
 
 __all__ = ["AdaptiveSearch"]
@@ -36,6 +40,11 @@ __all__ = ["AdaptiveSearch"]
 
 class AdaptiveSearch(GeneticSearch):
     """A Nautilus engine whose confidence reacts to search progress.
+
+    Composes :class:`~repro.core.guidance.AdaptiveConfidence` with the
+    generational GA; the kernel feeds the provider the best population
+    score once per generation (the controller consumes no RNG, so seeded
+    runs are unaffected by the adaptation bookkeeping).
 
     Args:
         patience: Generations without best-so-far improvement before the
@@ -62,51 +71,27 @@ class AdaptiveSearch(GeneticSearch):
     ):
         if hints is None:
             raise NautilusError("AdaptiveSearch requires hints to adapt")
-        if patience < 1:
-            raise NautilusError("patience must be >= 1")
-        if not 0.0 < backoff < 1.0:
-            raise NautilusError("backoff must be in (0, 1)")
-        if recovery < 1.0:
-            raise NautilusError("recovery must be >= 1")
+        controller = AdaptiveConfidence(
+            hints,
+            patience=patience,
+            backoff=backoff,
+            recovery=recovery,
+            min_confidence=min_confidence,
+        )
         super().__init__(
-            space, evaluator, objective, config, hints, label or "nautilus-adaptive"
+            space,
+            evaluator,
+            objective,
+            config,
+            label=label or "nautilus-adaptive",
+            guidance=controller,
         )
         self.patience = patience
         self.backoff = backoff
         self.recovery = recovery
         self.min_confidence = min_confidence
-        self._author_confidence = self.hints.confidence
-        self._stall = 0
-        self._last_best = float("-inf")
-        #: (generation, confidence) trace for analysis/plots.
-        self.confidence_trace: list[tuple[int, float]] = []
 
-    def _set_confidence(self, confidence: float) -> None:
-        clamped = min(max(confidence, self.min_confidence), self._author_confidence)
-        self.hints = self.hints.with_confidence(clamped)
-        observer = self.operators.observer
-        self.operators = GeneticOperators(
-            self.space, self.config.mutation_rate, self.hints
-        )
-        # The attribution observer (if any) survives the rebuild — mid-run
-        # confidence changes must not silently stop hint telemetry.
-        self.operators.observer = observer
-        # The breeding pipeline mutates through whatever operators it holds;
-        # swap in the reweighted ones so the new confidence takes effect on
-        # the very next offspring.
-        self.pipeline.operators = self.operators
-
-    def _before_breeding(self, generation: int) -> None:
-        # Adapt once per generation, before any offspring is bred (the
-        # controller consumes no RNG, so seeded runs are unaffected).
-        best = max(ind.score for ind in self._population)
-        if best > self._last_best:
-            self._last_best = best
-            self._stall = 0
-            self._set_confidence(self.hints.confidence * self.recovery)
-        else:
-            self._stall += 1
-            if self._stall >= self.patience:
-                self._stall = 0
-                self._set_confidence(self.hints.confidence * self.backoff)
-        self.confidence_trace.append((generation, self.hints.confidence))
+    @property
+    def confidence_trace(self) -> list[tuple[int, float]]:
+        """(generation, confidence) trace for analysis/plots."""
+        return self._guidance.confidence_trace

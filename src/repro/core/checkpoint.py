@@ -9,9 +9,12 @@ the stall counter, and (crucially) the evaluation cache, so resumed runs
 never re-pay for a synthesized design.
 
 Snapshots are plain JSON: portable, inspectable, and independent of Python
-pickling across versions. Format 2 (current) stores the full
-:class:`~repro.core.kernel.RngStreams` payload and the explicit stall
-counter; format-1 snapshots (single shared RNG state) are still loadable.
+pickling across versions. Format 3 (current) adds the guidance provider's
+mutable state (an adaptive controller's confidence, an estimated hint
+sweep's result), so guided searches resume bit-identically; format 2 (full
+:class:`~repro.core.kernel.RngStreams` payload, explicit stall counter) and
+format 1 (single shared RNG state) snapshots are still loadable — their
+missing guidance state simply leaves the provider at its constructed state.
 
 Both the single-objective GA (:class:`CheckpointedSearch`) and the NSGA-II
 engine (:class:`CheckpointedParetoSearch`) checkpoint through the same
@@ -28,6 +31,7 @@ from .engine import GAConfig, GenerationRecord, GeneticSearch
 from .errors import NautilusError
 from .evaluator import Evaluator
 from .fitness import Objective
+from .guidance import GuidanceProvider, GuidanceState
 from .hints import HintSet
 from .kernel import RngStreams
 from .pareto import ParetoSearch
@@ -35,7 +39,7 @@ from .space import DesignSpace
 
 __all__ = ["SearchCheckpoint", "CheckpointedSearch", "CheckpointedParetoSearch"]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 
 _RECORD_KEYS = (
     "generation",
@@ -59,6 +63,7 @@ class SearchCheckpoint:
         records: list[dict[str, Any]],
         cache: list[dict[str, Any]],
         stalled: int | None = None,
+        guidance: dict[str, Any] | None = None,
     ):
         self.space_name = space_name
         self.generation = generation
@@ -70,6 +75,9 @@ class SearchCheckpoint:
         #: Consecutive no-improvement generations at snapshot time;
         #: ``None`` for format-1 snapshots (replayed from the records).
         self.stalled = stalled
+        #: :meth:`GuidanceProvider.state_dict` payload at snapshot time;
+        #: ``None`` for unguided runs and pre-format-3 snapshots.
+        self.guidance = guidance
 
     def save(self, path: str | Path) -> None:
         payload = {
@@ -81,6 +89,7 @@ class SearchCheckpoint:
             "records": self.records,
             "cache": self.cache,
             "stalled": self.stalled,
+            "guidance": self.guidance,
         }
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -99,7 +108,7 @@ class SearchCheckpoint:
                 "streams": {"shared": payload["rng_state"]},
             }
             stalled = None
-        elif version == _FORMAT_VERSION:
+        elif version in (2, _FORMAT_VERSION):
             rng_streams = payload["rng_streams"]
             stalled = payload.get("stalled")
         else:
@@ -112,6 +121,8 @@ class SearchCheckpoint:
             records=payload["records"],
             cache=payload["cache"],
             stalled=stalled,
+            # Pre-format-3 snapshots carry no provider state.
+            guidance=payload.get("guidance"),
         )
 
 
@@ -157,6 +168,9 @@ class _CheckpointMixin:
             ],
             cache=cache_rows,
             stalled=self._stalled_generations,
+            guidance=(
+                self._guidance.state_dict() if self._guidance is not None else None
+            ),
         ).save(self.checkpoint_path)
 
     def resume(self, path: str | Path | None = None):
@@ -218,6 +232,14 @@ class _CheckpointMixin:
                     0 if current.best_score > previous.best_score else stalled + 1
                 )
             self._stalled_generations = stalled
+        if self._guidance is not None:
+            if checkpoint.guidance is not None:
+                self._guidance.load_state_dict(checkpoint.guidance)
+            # Rebuild the in-force state for the checkpointed generation so
+            # the next step's advance() continues the provider's sequence.
+            self._guidance_state = self._guidance.peek(checkpoint.generation)
+        else:
+            self._guidance_state = GuidanceState.neutral(checkpoint.generation)
         records = self.records
         return records[-1] if records else self._make_record(self._generation)
 
@@ -257,8 +279,11 @@ class CheckpointedSearch(_CheckpointMixin, GeneticSearch):
         label: str = "",
         checkpoint_path: str | Path = "nautilus.ckpt.json",
         checkpoint_every: int = 5,
+        guidance: GuidanceProvider | None = None,
     ):
-        super().__init__(space, evaluator, objective, config, hints, label)
+        super().__init__(
+            space, evaluator, objective, config, hints, label, guidance=guidance
+        )
         self._init_checkpointing(checkpoint_path, checkpoint_every)
 
     def _restore_population(self, checkpoint: SearchCheckpoint) -> None:
@@ -293,8 +318,11 @@ class CheckpointedParetoSearch(_CheckpointMixin, ParetoSearch):
         label: str = "pareto",
         checkpoint_path: str | Path = "nautilus.ckpt.json",
         checkpoint_every: int = 5,
+        guidance: GuidanceProvider | None = None,
     ):
-        super().__init__(space, evaluator, objectives, config, hints, label)
+        super().__init__(
+            space, evaluator, objectives, config, hints, label, guidance=guidance
+        )
         self._init_checkpointing(checkpoint_path, checkpoint_every)
 
     def _restore_population(self, checkpoint: SearchCheckpoint) -> None:

@@ -34,6 +34,7 @@ from .errors import InfeasibleDesignError, NautilusError
 from .evaluator import Evaluator
 from .fitness import Objective
 from .genome import Genome
+from .guidance import GuidanceProvider, StaticHints
 from .hints import HintSet
 from .kernel import (
     GenerationalEngine,
@@ -173,7 +174,11 @@ class GeneticSearch(GenerationalEngine):
         objective: What to optimize.
         config: GA hyper-parameters.
         hints: IP-author hints; ``None`` gives the paper's baseline GA.
+            Shorthand for ``guidance=StaticHints(hints)``.
         label: Free-form label carried into the result (for plots).
+        guidance: A :class:`~repro.core.guidance.GuidanceProvider` steering
+            the operators generation by generation. Mutually exclusive with
+            ``hints``.
     """
 
     def __init__(
@@ -184,13 +189,19 @@ class GeneticSearch(GenerationalEngine):
         config: GAConfig | None = None,
         hints: HintSet | None = None,
         label: str = "",
+        guidance: GuidanceProvider | None = None,
     ):
+        if hints is not None and guidance is not None:
+            raise NautilusError(
+                "pass either hints or a guidance provider, not both"
+            )
         self.config = config or GAConfig()
+        guided = hints is not None or guidance is not None
         super().__init__(
             space,
             evaluator,
             objective,
-            label=label or ("nautilus" if hints else "baseline"),
+            label=label or ("nautilus" if guided else "baseline"),
             seed=self.config.seed,
             max_evaluations=self.config.max_evaluations,
             horizon=self.config.generations,
@@ -198,14 +209,15 @@ class GeneticSearch(GenerationalEngine):
             split_rngs=self.config.rng_streams == "split",
             observability=self.config.observability,
         )
-        oriented = hints
-        if oriented is not None and not objective.maximizing:
-            # Authors state bias w.r.t. the raw metric; flip for minimization.
-            oriented = oriented.for_minimization()
-        self.hints = oriented
-        self.operators = GeneticOperators(
-            space, self.config.mutation_rate, self.hints
+        provider = guidance if guidance is not None else (
+            StaticHints(hints) if hints is not None else None
         )
+        if provider is not None:
+            # Binding validates the hints against the space and orients
+            # author biases (stated w.r.t. the raw metric) for minimization.
+            provider.bind(space, objective, self._counter)
+        self._guidance = provider
+        self.operators = GeneticOperators(space, self.config.mutation_rate)
         if self.config.observability:
             self.operators.observer = BreedingObserver()
         self.pipeline = BreedingPipeline(
@@ -215,6 +227,11 @@ class GeneticSearch(GenerationalEngine):
             _CROSSOVERS[self.config.crossover],
             self.config.crossover_rate,
         )
+
+    @property
+    def hints(self) -> HintSet | None:
+        """The oriented hint set in force, or None on an unguided run."""
+        return self._guidance.hints if self._guidance is not None else None
 
     # -- scoring ------------------------------------------------------------------
 
@@ -257,20 +274,22 @@ class GeneticSearch(GenerationalEngine):
             self.config.population_size, self.rngs.init
         )
 
-    def _before_breeding(self, generation: int) -> None:
-        """Hook invoked once per generation before any offspring is bred
-        (the adaptive engine's confidence controller plugs in here)."""
+    def _guidance_feedback(self) -> float | None:
+        if not self._population:
+            return None
+        return max(ind.score for ind in self._population)
 
     def _propose(
         self, generation: int, timings: dict[str, list[float]]
     ) -> list[Genome]:
-        self._before_breeding(generation)
         cfg = self.config
         elites = sorted(self._population, key=lambda i: i.score, reverse=True)
         genomes = [e.genome for e in elites[: cfg.elitism]]
         while len(genomes) < cfg.population_size:
             genomes.append(
-                self.pipeline.breed(self._population, generation, self.rngs, timings)
+                self.pipeline.breed(
+                    self._population, self._guidance_state, self.rngs, timings
+                )
             )
         return genomes
 

@@ -205,7 +205,24 @@ class HintSet:
             )
         if hints.ordering is not None:
             ordering = hints.ordering
-            if sorted(map(repr, ordering)) != sorted(map(repr, param.values)):
+            # Each ordering entry must be an actual member of the domain
+            # (same value AND same type — ``1`` is not ``True``), and the
+            # entries must cover every domain index exactly once. Comparing
+            # reprs, as an earlier version did, wrongly accepted foreign
+            # values whose repr collides with a domain member's.
+            positions: set[int] = set()
+            valid = len(ordering) == param.cardinality
+            if valid:
+                for value in ordering:
+                    if not param.contains(value):
+                        valid = False
+                        break
+                    position = param.index_of(value)
+                    if position in positions or type(param.values[position]) is not type(value):
+                        valid = False
+                        break
+                    positions.add(position)
+            if not valid:
                 raise HintError(
                     f"ordering hint for {param.name!r} must be a permutation "
                     f"of its domain; got {ordering!r}"
@@ -227,6 +244,16 @@ class HintSet:
             return base
         shrink = (1.0 - self.importance_decay) ** generation
         return DEFAULT_IMPORTANCE + (base - DEFAULT_IMPORTANCE) * shrink
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality — what JSON round-tripping must preserve."""
+        if not isinstance(other, HintSet):
+            return NotImplemented
+        return (
+            self.params == other.params
+            and self.confidence == other.confidence
+            and self.importance_decay == other.importance_decay
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -51,6 +51,7 @@ from .errors import NautilusError
 from .evalstack import EvalStats, EvaluationStack
 from .fitness import Objective
 from .genome import Genome
+from .guidance import GuidanceProvider, GuidanceState
 from .selection import Individual
 
 __all__ = [
@@ -606,6 +607,13 @@ class SearchKernel:
         self.latest_health: dict[str, Any] | None = None
         self._counter = EvaluationStack.wrap(evaluator)
         self._trace = RunTrace(sinks)
+        #: The guidance provider steering this search (None for unguided
+        #: engines) and the per-generation state it last produced. The
+        #: kernel owns the provider's lifecycle: ``start()`` at generation
+        #: 0, one ``advance()`` per subsequent generation, and checkpoint
+        #: save/restore of its mutable state.
+        self._guidance: GuidanceProvider | None = None
+        self._guidance_state: GuidanceState | None = None
         self._rngs: RngStreams | None = None
         self._population: list = []
         self._best = None
@@ -657,6 +665,16 @@ class SearchKernel:
     def eval_stats(self) -> EvalStats:
         """Snapshot of the evaluation pipeline's counters and timers."""
         return self._counter.stats()
+
+    @property
+    def guidance(self) -> GuidanceProvider | None:
+        """The guidance provider steering this search, if any."""
+        return self._guidance
+
+    @property
+    def guidance_state(self) -> GuidanceState | None:
+        """The guidance state in force for the current generation."""
+        return self._guidance_state
 
     @property
     def rngs(self) -> RngStreams:
@@ -819,6 +837,11 @@ class GenerationalEngine(SearchKernel):
 
     def _do_start(self) -> GenerationRecord:
         self._trace.emit("generation-start", 0)
+        self._guidance_state = (
+            self._guidance.start()
+            if self._guidance is not None
+            else GuidanceState.neutral(0)
+        )
         t0 = time.perf_counter()
         genomes = self._initial_genomes()
         self._trace.emit(
@@ -842,6 +865,14 @@ class GenerationalEngine(SearchKernel):
     def _do_step(self) -> GenerationRecord:
         generation = self._generation + 1
         self._trace.emit("generation-start", generation)
+        # The kernel — not the engines — advances guidance: exactly one
+        # provider step per generation, fed the population's best score
+        # before breeding (what the adaptive controller watches).
+        self._guidance_state = (
+            self._guidance.advance(generation, self._guidance_feedback())
+            if self._guidance is not None
+            else GuidanceState.neutral(generation)
+        )
         timings: dict[str, list[float]] = {}
         genomes = self._propose(generation, timings)
         for operator, (calls, time_s) in timings.items():
@@ -952,17 +983,23 @@ class GenerationalEngine(SearchKernel):
     def _attribution_context(
         self, generation: int
     ) -> tuple[float, bool, dict[str, float]]:
-        """(confidence, hinted, effective importance) for the event."""
-        hints = getattr(self, "hints", None)
-        if hints is None:
+        """(confidence, hinted, effective importance) for the event.
+
+        Read straight off the generation's :class:`GuidanceState` — the
+        same channel provenance the operators acted on — rather than
+        recomputed from a hint set.
+        """
+        state = self._guidance_state
+        if state is None or state.hints is None:
             return 0.0, False, {}
-        importance = {
-            name: hints.effective_importance(name, generation)
-            for name in hints.params
-        }
-        return hints.confidence, True, importance
+        return state.confidence, True, dict(state.effective_importance)
 
     # -- hooks -------------------------------------------------------------------
+
+    def _guidance_feedback(self) -> float | None:
+        """Best score of the incoming population, fed to the provider's
+        ``advance``; None when the engine has no scalar notion of best."""
+        return None
 
     def _initial_genomes(self) -> list[Genome]:
         """The generation-0 population (draws from the ``init`` stream)."""

@@ -25,8 +25,9 @@ import random
 import time
 from typing import Any, Callable, Sequence
 
+from .errors import NautilusError
 from .genome import Genome
-from .hints import HintSet
+from .guidance import GuidanceState
 from .params import Param
 from .space import DesignSpace
 
@@ -45,7 +46,10 @@ def scalar_score(individual) -> float:
 
     Single-objective individuals expose ``.score``; multi-objective ones
     expose ``.scores`` (attribution projects onto the first objective,
-    matching the kernel's record/curve projection).
+    matching the kernel's record/curve projection). An individual with
+    neither — or an empty ``scores`` tuple — is a caller bug; raising here
+    beats silently returning ``NaN``, which would poison every attribution
+    delta computed from it downstream.
     """
     score = getattr(individual, "score", None)
     if score is not None:
@@ -53,12 +57,19 @@ def scalar_score(individual) -> float:
     scores = getattr(individual, "scores", None)
     if scores:
         return scores[0]
-    return float("nan")
+    raise NautilusError(
+        "cannot take a scalar fitness: individual has neither a .score "
+        "nor a non-empty .scores"
+    )
 
 #: Probability bounds that keep every gene able to mutate (or stay put) no
 #: matter how extreme the importance skew is.
 _MIN_GENE_RATE = 0.002
 _MAX_GENE_RATE = 0.95
+
+#: Effective importance of parameters the guidance state does not mention —
+#: both decayed and undecayed paths yield exactly this for unhinted params.
+_NEUTRAL_IMPORTANCE = 50.0
 
 #: Geometric tail used when sampling guided step magnitudes and when pulling
 #: values toward a target. 0.5 halves the probability per extra index step.
@@ -150,11 +161,11 @@ class BreedingPipeline:
     def breed(
         self,
         population: Sequence,
-        generation: int,
+        guidance: GuidanceState,
         rngs,
         timings: dict[str, list[float]] | None = None,
     ) -> Genome:
-        """Produce one offspring genome from the current population."""
+        """Produce one offspring genome under this generation's guidance."""
         observer = self.operators.observer
         t0 = time.perf_counter()
         parent = self.select(population, rngs.selection)
@@ -177,7 +188,7 @@ class BreedingPipeline:
                     break
             self._charge(timings, "crossover", 1, time.perf_counter() - t2)
         t3 = time.perf_counter()
-        mutated = self.operators.mutate_feasible(genome, generation, rngs.mutation)
+        mutated = self.operators.mutate_feasible(genome, guidance, rngs.mutation)
         self._charge(timings, "mutation", 1, time.perf_counter() - t3)
         if observer is not None:
             observer.child_finished()
@@ -185,32 +196,27 @@ class BreedingPipeline:
 
 
 class GeneticOperators:
-    """Mutation machinery for a design space, optionally guided by hints.
+    """Mutation machinery for a design space, guided per-generation.
 
-    With ``hints=None`` (or ``confidence == 0``) this degenerates exactly to
+    Every guided decision reads a :class:`~repro.core.guidance.GuidanceState`
+    — the per-generation snapshot a guidance provider produced. With a
+    neutral state (no hints, zero confidence) this degenerates exactly to
     the baseline GA's operators: every gene mutates with probability
     ``mutation_rate`` and mutated genes receive a uniform random new value.
+
+    Hint-vs-space validation happens when the guidance provider binds to
+    the engine, not here — the operators trust the states they are handed.
 
     Args:
         space: The design space being searched.
         mutation_rate: Per-gene mutation probability (paper default 0.1).
-        hints: Author hints for the metric being optimized, already oriented
-            for maximization (see :meth:`HintSet.for_minimization`).
     """
 
-    def __init__(
-        self,
-        space: DesignSpace,
-        mutation_rate: float = 0.1,
-        hints: HintSet | None = None,
-    ):
+    def __init__(self, space: DesignSpace, mutation_rate: float = 0.1):
         if not 0.0 <= mutation_rate <= 1.0:
             raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
-        if hints is not None:
-            hints.validate(space)
         self.space = space
         self.mutation_rate = mutation_rate
-        self.hints = hints
         #: Optional :class:`repro.obs.attribution.BreedingObserver`. When
         #: set, every mutation reports which params changed and through
         #: which hint channel. Pure bookkeeping — attaching an observer
@@ -219,24 +225,25 @@ class GeneticOperators:
 
     # -- gene selection ---------------------------------------------------------
 
-    def gene_mutation_rates(self, generation: int) -> dict[str, float]:
-        """Per-gene mutation probabilities at a given generation.
+    def gene_mutation_rates(self, guidance: GuidanceState | None) -> dict[str, float]:
+        """Per-gene mutation probabilities under one generation's guidance.
 
         Importance weights are normalized so the *expected number of
         mutations per genome* equals ``mutation_rate * num_params`` exactly
         as in the baseline; only the distribution over genes changes. The
         guided distribution is then blended with the flat baseline one
-        according to the hint confidence.
+        according to the state's confidence.
         """
         names = self.space.param_names
-        if self.hints is None or not self.hints.params:
+        hints = guidance.hints if guidance is not None else None
+        if hints is None or not hints.params:
             return {name: self.mutation_rate for name in names}
+        importance = guidance.effective_importance
         weights = [
-            max(self.hints.effective_importance(name, generation), 1e-9)
-            for name in names
+            max(importance.get(name, _NEUTRAL_IMPORTANCE), 1e-9) for name in names
         ]
         mean_weight = sum(weights) / len(weights)
-        confidence = self.hints.confidence
+        confidence = guidance.confidence
         rates = {}
         for name, weight in zip(names, weights):
             guided = self.mutation_rate * weight / mean_weight
@@ -246,27 +253,29 @@ class GeneticOperators:
 
     # -- value assignment ---------------------------------------------------------
 
-    def _axis(self, param: Param) -> tuple | None:
+    def _axis(self, param: Param, guidance: GuidanceState | None) -> tuple | None:
         """Ordinal axis for guided assignment, or None when undefined."""
-        if self.hints is not None:
-            ordering = self.hints.for_param(param.name).ordering
+        if guidance is not None and guidance.hints is not None:
+            ordering = guidance.hints.for_param(param.name).ordering
             if ordering is not None:
                 return ordering
         if param.ordered:
             return param.values
         return None
 
-    def mutate_value(self, param: Param, current, generation: int, rng: random.Random):
+    def mutate_value(
+        self, param: Param, current, guidance: GuidanceState | None, rng: random.Random
+    ):
         """Pick a new value for one gene.
 
         With probability ``confidence`` the guided sampler runs (bias-tilted
         step or target pull); otherwise — and always in the baseline — a
         uniform random different value is drawn.
         """
-        return self._mutate_value(param, current, generation, rng)[0]
+        return self._mutate_value(param, current, guidance, rng)[0]
 
     def _mutate_value(
-        self, param: Param, current, generation: int, rng: random.Random
+        self, param: Param, current, guidance: GuidanceState | None, rng: random.Random
     ) -> tuple[Any, str]:
         """The value for one gene plus the attribution channel it came from.
 
@@ -279,8 +288,8 @@ class GeneticOperators:
         """
         if param.cardinality == 1:
             return current, "noop"
-        hints = self.hints.for_param(param.name) if self.hints else None
-        confidence = self.hints.confidence if self.hints else 0.0
+        hints = guidance.for_param(param.name) if guidance is not None else None
+        confidence = guidance.confidence if guidance is not None else 0.0
         directional = hints is not None and (
             hints.bias != 0.0 or hints.target is not None
         )
@@ -288,7 +297,7 @@ class GeneticOperators:
         if not guided:
             channel = "fallback" if directional else "uniform"
             return param.random_other_value(current, rng), channel
-        axis = self._axis(param)
+        axis = self._axis(param, guidance)
         if axis is None:
             return param.random_other_value(current, rng), "fallback"
         index = {self._freeze(v): i for i, v in enumerate(axis)}
@@ -360,15 +369,17 @@ class GeneticOperators:
 
     # -- whole-genome mutation --------------------------------------------------
 
-    def mutate(self, genome: Genome, generation: int, rng: random.Random) -> Genome:
+    def mutate(
+        self, genome: Genome, guidance: GuidanceState | None, rng: random.Random
+    ) -> Genome:
         """Mutate a genome: each gene flips per its (possibly guided) rate."""
-        rates = self.gene_mutation_rates(generation)
+        rates = self.gene_mutation_rates(guidance)
         changes = {}
         channels = [] if self.observer is not None else None
         for param in self.space.params:
             if rng.random() < rates[param.name]:
                 value, channel = self._mutate_value(
-                    param, genome[param.name], generation, rng
+                    param, genome[param.name], guidance, rng
                 )
                 changes[param.name] = value
                 if channels is not None:
@@ -382,7 +393,7 @@ class GeneticOperators:
     def mutate_feasible(
         self,
         genome: Genome,
-        generation: int,
+        guidance: GuidanceState | None,
         rng: random.Random,
         max_attempts: int = 32,
     ) -> Genome:
@@ -393,7 +404,7 @@ class GeneticOperators:
         design point.
         """
         for attempt in range(max_attempts):
-            mutated = self.mutate(genome, generation, rng)
+            mutated = self.mutate(genome, guidance, rng)
             if self.space.is_feasible(mutated):
                 if self.observer is not None:
                     self.observer.mutation_committed(attempt + 1, fallback=False)

@@ -40,6 +40,7 @@ from .evalstack import EvalStats
 from .evaluator import Evaluator
 from .fitness import Objective
 from .genome import Genome
+from .guidance import GuidanceProvider, StaticHints
 from .hints import HintSet
 from .kernel import GenerationalEngine, GenerationRecord, RunEvent
 from .operators import BreedingPipeline, GeneticOperators
@@ -250,8 +251,13 @@ class ParetoSearch(GenerationalEngine):
             single-objective engines (a generation counts as *stalled* when
             the non-dominated front did not change).
         hints: Optional author hints; see the module docstring for how the
-            directional hints are interpreted.
+            directional hints are interpreted. Shorthand for
+            ``guidance=StaticHints(hints)``.
         label: Free-form label carried into the result.
+        guidance: A :class:`~repro.core.guidance.GuidanceProvider`;
+            mutually exclusive with ``hints``. Providers are bound without
+            an orienting objective — multi-objective hints are taken as
+            authored (see the module docstring).
     """
 
     def __init__(
@@ -262,9 +268,14 @@ class ParetoSearch(GenerationalEngine):
         config: GAConfig | None = None,
         hints: HintSet | None = None,
         label: str = "pareto",
+        guidance: GuidanceProvider | None = None,
     ):
         if len(objectives) < 2:
             raise NautilusError("ParetoSearch needs at least 2 objectives")
+        if hints is not None and guidance is not None:
+            raise NautilusError(
+                "pass either hints or a guidance provider, not both"
+            )
         self.objectives = list(objectives)
         self.config = config or GAConfig(population_size=24, elitism=1)
         super().__init__(
@@ -280,8 +291,15 @@ class ParetoSearch(GenerationalEngine):
             split_rngs=self.config.rng_streams == "split",
             observability=self.config.observability,
         )
-        self.hints = hints
-        self.operators = GeneticOperators(space, self.config.mutation_rate, hints)
+        provider = guidance if guidance is not None else (
+            StaticHints(hints) if hints is not None else None
+        )
+        if provider is not None:
+            # No orienting objective: directional hints point at the region
+            # of interest as authored (module docstring), so only validate.
+            provider.bind(space, None, self._counter)
+        self._guidance = provider
+        self.operators = GeneticOperators(space, self.config.mutation_rate)
         if self.config.observability:
             from ..obs.attribution import BreedingObserver
 
@@ -294,6 +312,11 @@ class ParetoSearch(GenerationalEngine):
             self.config.crossover_rate,
         )
         self._front_signature: tuple = ()
+
+    @property
+    def hints(self) -> HintSet | None:
+        """The hint set in force, or None on an unguided run."""
+        return self._guidance.hints if self._guidance is not None else None
 
     # -- scoring ------------------------------------------------------------------
 
@@ -333,6 +356,12 @@ class ParetoSearch(GenerationalEngine):
 
     # -- kernel hooks --------------------------------------------------------------
 
+    def _guidance_feedback(self) -> float | None:
+        # Project onto the first objective, like the record/curve bookkeeping.
+        if not self._population:
+            return None
+        return max(ind.scores[0] for ind in self._population)
+
     def _initial_genomes(self) -> list[Genome]:
         return self.space.random_population(
             self.config.population_size, self.rngs.init
@@ -348,7 +377,9 @@ class ParetoSearch(GenerationalEngine):
         # elitism lives in the survivor rule (parents compete in the pool),
         # so no individuals are copied here.
         return [
-            self.pipeline.breed(self._population, generation, self.rngs, timings)
+            self.pipeline.breed(
+                self._population, self._guidance_state, self.rngs, timings
+            )
             for _ in range(self.config.population_size)
         ]
 

@@ -87,7 +87,14 @@ def load_dataset(space_name: str) -> "Dataset":
 
 
 def build_hints(kind: str, confidence: float | None = None) -> HintSet:
-    """Instantiate a query's IP-author hint set, optionally re-weighted."""
+    """Instantiate a query's IP-author hint set, optionally re-weighted.
+
+    Every bundled hint set resolves through the JSON wire format (a
+    serialize/deserialize round trip), so a named ``hint_kind`` and an
+    inline ``hints`` payload travel the exact same code path — the factories
+    cannot produce anything the schema cannot express.
+    """
+    from .core import hintset_from_json, hintset_to_json
     from .dsp import fir_area_hints
     from .fft import lut_hints, throughput_per_lut_hints
     from .noc import area_delay_hints, frequency_hints
@@ -103,7 +110,8 @@ def build_hints(kind: str, confidence: float | None = None) -> HintSet:
         factory = factories[kind]
     except KeyError:
         raise NautilusError(f"unknown hint kind {kind!r}") from None
-    return factory(confidence) if confidence is not None else factory()
+    authored = factory(confidence) if confidence is not None else factory()
+    return hintset_from_json(hintset_to_json(authored))
 
 
 def resolve_objective(

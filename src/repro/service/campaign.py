@@ -25,6 +25,7 @@ from ..core import (
     GAConfig,
     NautilusError,
     RandomSearch,
+    hintset_from_json,
 )
 from ..core.evalstack import PersistentCache
 from ..core.evaluator import DatasetEvaluator
@@ -93,6 +94,12 @@ class CampaignSpec:
         confidence: Optional hint-confidence override (nautilus engine);
             for the ``pareto`` engine, setting it opts the campaign into
             the multi-query's hint guidance.
+        hints: Optional inline hint set in the schema-versioned JSON wire
+            format (see :func:`repro.core.hintset_to_json`), replacing the
+            query's bundled ``hint_kind``. Guided engines only (nautilus /
+            pareto). Structure is validated here (a 400 at submission);
+            the scheduler additionally validates against the query's
+            design space before enqueueing.
         budget: Random-search draw budget (random engine only).
         max_evaluations: Optional distinct-evaluation cutoff for GA runs.
         workers: Optional per-campaign evaluation pool size, overriding the
@@ -111,6 +118,7 @@ class CampaignSpec:
     seed: int = 0
     priority: int = 0
     confidence: float | None = None
+    hints: dict | None = None
     budget: int = 400
     max_evaluations: int | None = None
     workers: int | None = None
@@ -136,6 +144,16 @@ class CampaignSpec:
             raise NautilusError("workers must be >= 1")
         if self.trace_max_events is not None and self.trace_max_events < 4:
             raise NautilusError("trace_max_events must be >= 4")
+        if self.hints is not None:
+            if self.engine not in ("nautilus", "pareto"):
+                raise NautilusError(
+                    f"inline hints require a guided engine (nautilus or "
+                    f"pareto), not {self.engine!r}"
+                )
+            # Structural validation only — raises HintSpecError with
+            # field-level errors. Space-level validation needs the dataset
+            # and happens in Scheduler.validate_spec.
+            hintset_from_json(self.hints)
 
     def to_json(self) -> dict[str, Any]:
         return asdict(self)
@@ -147,6 +165,18 @@ class CampaignSpec:
         if unknown:
             raise NautilusError(f"unknown campaign spec fields: {sorted(unknown)}")
         return cls(**payload)
+
+
+def _inline_hints(spec: CampaignSpec, dataset):
+    """Deserialize a spec's inline hints, validated against the space.
+
+    A spec-level ``confidence`` composes with inline hints the same way it
+    re-weights a bundled hint kind.
+    """
+    hints = hintset_from_json(spec.hints, dataset.space)
+    if spec.confidence is not None:
+        hints = hints.with_confidence(spec.confidence)
+    return hints
 
 
 def build_search(
@@ -194,10 +224,13 @@ def build_search(
     if spec.engine == "pareto":
         multi = MULTI_QUERIES[spec.query]
         objectives, hint_kind = resolve_multi_objectives(multi)
-        # Pareto campaigns are unguided by default; an explicit confidence
-        # opts into the query's hint kind (mirroring nautilus-vs-baseline).
+        # Pareto campaigns are unguided by default; inline hints or an
+        # explicit confidence (opting into the query's hint kind, mirroring
+        # nautilus-vs-baseline) turn guidance on.
         hints = None
-        if hint_kind and spec.confidence is not None:
+        if spec.hints is not None:
+            hints = _inline_hints(spec, dataset)
+        elif hint_kind and spec.confidence is not None:
             hints = build_hints(hint_kind, spec.confidence)
         config = GAConfig(
             population_size=24,
@@ -235,7 +268,10 @@ def build_search(
         )
     hints = None
     if spec.engine == "nautilus":
-        hints = build_hints(hint_kind, spec.confidence)
+        if spec.hints is not None:
+            hints = _inline_hints(spec, dataset)
+        else:
+            hints = build_hints(hint_kind, spec.confidence)
     config = GAConfig(
         generations=spec.generations,
         seed=spec.seed,

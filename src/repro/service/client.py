@@ -24,11 +24,21 @@ __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(NautilusError):
-    """An API call failed; carries the HTTP status when one was received."""
+    """An API call failed; carries the HTTP status when one was received.
 
-    def __init__(self, message: str, status: int | None = None):
+    ``fields`` holds the server's field-level error list (bad inline
+    hints), empty for every other failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        fields: list[dict[str, str]] | None = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.fields = fields or []
 
 
 class ServiceClient:
@@ -52,12 +62,17 @@ class ServiceClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read() or b"null")
         except urllib.error.HTTPError as exc:
+            fields: list[dict[str, str]] = []
             try:
-                detail = json.loads(exc.read()).get("error", "")
+                payload = json.loads(exc.read())
+                detail = payload.get("error", "")
+                fields = payload.get("fields") or []
             except Exception:
                 detail = ""
             raise ServiceError(
-                detail or f"{method} {path} -> HTTP {exc.code}", status=exc.code
+                detail or f"{method} {path} -> HTTP {exc.code}",
+                status=exc.code,
+                fields=fields,
             ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(

@@ -17,7 +17,9 @@ Routes::
 
 Malformed query parameters (a non-integer or negative ``limit``, an
 unknown ``format``) are client errors and answer 400 with a JSON body;
-404 is reserved for unknown routes and campaigns.
+404 is reserved for unknown routes and campaigns. A spec with invalid
+inline ``hints`` answers 400 with a ``fields`` list attributing every
+error to its offending field (``params.<name>.bias``, say).
 
 The server is a ``ThreadingHTTPServer``: request handling is concurrent,
 but every mutation funnels through the scheduler's lock, and engines are
@@ -31,7 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs
 
-from ..core import NautilusError
+from ..core import HintSpecError, NautilusError
 from .campaign import CampaignSpec
 from .scheduler import Scheduler
 
@@ -172,10 +174,19 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             spec = CampaignSpec.from_json(self._read_body())
+            campaign = scheduler.submit(spec)
+        except HintSpecError as exc:
+            # Inline hints failed validation (structural or against the
+            # query's space): surface every offending field so the client
+            # can fix them all in one round trip.
+            self._send_json(
+                {"error": f"bad campaign spec: {exc}", "fields": exc.errors},
+                status=400,
+            )
+            return
         except (NautilusError, TypeError, ValueError) as exc:
             self._send_error_json(400, f"bad campaign spec: {exc}")
             return
-        campaign = scheduler.submit(spec)
         self._send_json({"id": campaign.id, "state": campaign.state}, status=201)
 
     def do_DELETE(self) -> None:  # noqa: N802

@@ -32,6 +32,7 @@ from ..core import (
     CheckpointedSearch,
     JsonlTraceSink,
     NautilusError,
+    hintset_from_json,
 )
 from ..obs.attribution import hint_effect_report
 from ..queries import load_dataset
@@ -122,8 +123,26 @@ class Scheduler:
 
     # -- submission / queries ---------------------------------------------------
 
+    def validate_spec(self, spec: CampaignSpec) -> None:
+        """Space-level validation a bare spec cannot do for itself.
+
+        Inline hints are structurally validated by the spec's constructor;
+        here they are additionally checked against the query's design space
+        (unknown parameters, out-of-domain targets, bad orderings), so a
+        bad submission is rejected with field-level errors *before* the
+        campaign is persisted — not failed generations later when the
+        scheduler first builds the engine.
+
+        Raises:
+            HintSpecError: The inline hints do not fit the query's space.
+        """
+        if spec.hints is not None:
+            dataset = self._dataset(query_space(spec))
+            hintset_from_json(spec.hints, dataset.space)
+
     def submit(self, spec: CampaignSpec) -> Campaign:
         """Persist and enqueue a new campaign; wakes the scheduler thread."""
+        self.validate_spec(spec)
         campaign = self.store.create(spec)
         with self._lock:
             self._campaigns[campaign.id] = campaign

@@ -91,6 +91,30 @@ class TestHintSetValidation:
         )
         hints.validate(space)
 
+    def test_ordering_rejects_duplicates(self, space):
+        hints = HintSet(
+            {"mode": ParamHints(ordering=("alpha", "alpha", "beta"))}
+        )
+        with pytest.raises(HintError, match="permutation"):
+            hints.validate(space)
+
+    def test_ordering_rejects_repr_collisions(self):
+        # Regression: the permutation check used to compare sorted reprs, so
+        # a foreign value whose repr matches a domain member's (an int
+        # subclass here) validated as if it were the member itself.
+        class FakeInt(int):
+            def __repr__(self):
+                return repr(int(self))
+
+        space = DesignSpace("r", [ChoiceParam("n", (1, 2, 3))])
+        hints = HintSet({"n": ParamHints(ordering=(FakeInt(1), 2, 3))})
+        with pytest.raises(HintError, match="permutation"):
+            hints.validate(space)
+
+    def test_ordering_accepts_genuine_permutation(self):
+        space = DesignSpace("r", [ChoiceParam("n", (1, 2, 3))])
+        HintSet({"n": ParamHints(ordering=(3, 1, 2))}).validate(space)
+
     def test_confidence_range(self):
         with pytest.raises(HintError):
             HintSet({}, confidence=1.5)
@@ -124,6 +148,33 @@ class TestDerivation:
         h = HintSet({})
         assert h.for_param("anything") == ParamHints()
 
+    def test_for_minimization_preserves_confidence_and_decay(self):
+        h = HintSet(
+            {"a": ParamHints(bias=0.5)}, confidence=0.7, importance_decay=0.2
+        )
+        flipped = h.for_minimization()
+        assert flipped.confidence == 0.7
+        assert flipped.importance_decay == 0.2
+
+    def test_restricted_to_preserves_confidence_and_decay(self):
+        h = HintSet(
+            {"a": ParamHints(bias=1.0), "b": ParamHints(bias=-1.0)},
+            confidence=0.9,
+            importance_decay=0.3,
+        )
+        only_b = h.restricted_to(["b"])
+        assert only_b.confidence == 0.9
+        assert only_b.importance_decay == 0.3
+
+    def test_equality_is_structural(self):
+        a = HintSet({"a": ParamHints(bias=1.0)}, confidence=0.6)
+        b = HintSet({"a": ParamHints(bias=1.0)}, confidence=0.6)
+        assert a == b
+        assert a != b.with_confidence(0.5)
+        assert a != b.with_decay(0.1)
+        assert a != HintSet({"a": ParamHints(bias=-1.0)}, confidence=0.6)
+        assert a.__eq__(object()) is NotImplemented
+
 
 class TestImportanceDecay:
     def test_no_decay(self):
@@ -143,3 +194,40 @@ class TestImportanceDecay:
         # default, increasing their late-phase mutation share.
         h = HintSet({"a": ParamHints(importance=1)}, importance_decay=0.1)
         assert h.effective_importance("a", 30) > 1
+
+    def test_generation_zero_is_undecayed(self):
+        h = HintSet({"a": ParamHints(importance=90)}, importance_decay=0.9)
+        assert h.effective_importance("a", 0) == 90.0
+
+    def test_negative_generation_treated_as_zero(self):
+        h = HintSet({"a": ParamHints(importance=90)}, importance_decay=0.9)
+        assert h.effective_importance("a", -3) == 90.0
+
+    def test_full_decay_snaps_to_default_after_one_generation(self):
+        h = HintSet(
+            {"a": ParamHints(importance=100), "b": ParamHints(importance=1)},
+            importance_decay=1.0,
+        )
+        assert h.effective_importance("a", 1) == float(DEFAULT_IMPORTANCE)
+        assert h.effective_importance("b", 1) == float(DEFAULT_IMPORTANCE)
+
+    def test_extreme_importances_stay_clamped_under_decay(self):
+        # Decay only shrinks differences toward the default, so effective
+        # values never leave the authored [min, max] envelope.
+        h = HintSet(
+            {"hi": ParamHints(importance=100), "lo": ParamHints(importance=1)},
+            importance_decay=0.05,
+        )
+        for g in range(0, 120, 7):
+            hi = h.effective_importance("hi", g)
+            lo = h.effective_importance("lo", g)
+            assert DEFAULT_IMPORTANCE <= hi <= 100
+            assert 1 <= lo <= DEFAULT_IMPORTANCE
+
+    def test_unhinted_param_is_neutral_both_paths(self):
+        # The float the operators assume for unhinted params: identical
+        # whether or not decay is configured.
+        plain = HintSet({}, importance_decay=0.0)
+        decayed = HintSet({}, importance_decay=0.4)
+        assert plain.effective_importance("x", 9) == 50.0
+        assert decayed.effective_importance("x", 9) == 50.0

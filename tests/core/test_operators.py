@@ -9,14 +9,22 @@ from repro.core import (
     ChoiceParam,
     DesignSpace,
     GeneticOperators,
+    GuidanceState,
     HintSet,
     IntParam,
+    NautilusError,
     OrderedParam,
     ParamHints,
+    scalar_score,
     single_point_crossover,
     two_point_crossover,
     uniform_crossover,
 )
+
+
+def state(hints, generation=0):
+    """The GuidanceState a StaticHints provider would produce."""
+    return GuidanceState.from_hints(hints, generation)
 
 
 @pytest.fixture
@@ -35,7 +43,12 @@ def space():
 class TestGeneRates:
     def test_baseline_uniform(self, space):
         ops = GeneticOperators(space, mutation_rate=0.1)
-        rates = ops.gene_mutation_rates(0)
+        rates = ops.gene_mutation_rates(GuidanceState.neutral())
+        assert all(abs(r - 0.1) < 1e-12 for r in rates.values())
+
+    def test_no_guidance_state_is_baseline(self, space):
+        ops = GeneticOperators(space, mutation_rate=0.1)
+        rates = ops.gene_mutation_rates(None)
         assert all(abs(r - 0.1) < 1e-12 for r in rates.values())
 
     def test_importance_preserves_expected_mutations(self, space):
@@ -43,16 +56,16 @@ class TestGeneRates:
             {"a": ParamHints(importance=100), "b": ParamHints(importance=1)},
             confidence=1.0,
         )
-        ops = GeneticOperators(space, mutation_rate=0.1, hints=hints)
-        rates = ops.gene_mutation_rates(0)
+        ops = GeneticOperators(space, mutation_rate=0.1)
+        rates = ops.gene_mutation_rates(state(hints))
         # Sum of rates == base rate * num params (expected mutations kept).
         assert abs(sum(rates.values()) - 0.1 * 4) < 0.02
         assert rates["a"] > rates["b"]
 
     def test_zero_confidence_is_baseline(self, space):
         hints = HintSet({"a": ParamHints(importance=100)}, confidence=0.0)
-        ops = GeneticOperators(space, 0.1, hints)
-        rates = ops.gene_mutation_rates(0)
+        ops = GeneticOperators(space, 0.1)
+        rates = ops.gene_mutation_rates(state(hints))
         assert all(abs(r - 0.1) < 1e-12 for r in rates.values())
 
     def test_decay_flattens_rates_over_generations(self, space):
@@ -61,21 +74,15 @@ class TestGeneRates:
             confidence=1.0,
             importance_decay=0.1,
         )
-        ops = GeneticOperators(space, 0.1, hints)
-        early = ops.gene_mutation_rates(0)["a"]
-        late = ops.gene_mutation_rates(60)["a"]
+        ops = GeneticOperators(space, 0.1)
+        early = ops.gene_mutation_rates(state(hints, 0))["a"]
+        late = ops.gene_mutation_rates(state(hints, 60))["a"]
         assert early > late
         assert abs(late - 0.1) < 0.02
 
     def test_invalid_mutation_rate(self, space):
         with pytest.raises(ValueError):
             GeneticOperators(space, mutation_rate=1.5)
-
-    def test_hints_validated_on_construction(self, space):
-        from repro.core import HintError
-
-        with pytest.raises(HintError):
-            GeneticOperators(space, 0.1, HintSet({"zz": ParamHints(bias=1)}))
 
 
 class TestValueMutation:
@@ -84,40 +91,46 @@ class TestValueMutation:
         rng = random.Random(0)
         param = space.param("a")
         for _ in range(100):
-            assert ops.mutate_value(param, 5, 0, rng) != 5
+            assert ops.mutate_value(param, 5, GuidanceState.neutral(), rng) != 5
 
     def test_strong_positive_bias_moves_up(self, space):
         hints = HintSet({"a": ParamHints(bias=1.0)}, confidence=1.0)
-        ops = GeneticOperators(space, 0.1, hints)
+        ops = GeneticOperators(space, 0.1)
         rng = random.Random(0)
         param = space.param("a")
-        ups = sum(ops.mutate_value(param, 4, 0, rng) > 4 for _ in range(200))
+        ups = sum(
+            ops.mutate_value(param, 4, state(hints), rng) > 4 for _ in range(200)
+        )
         assert ups == 200
 
     def test_strong_negative_bias_moves_down(self, space):
         hints = HintSet({"a": ParamHints(bias=-1.0)}, confidence=1.0)
-        ops = GeneticOperators(space, 0.1, hints)
+        ops = GeneticOperators(space, 0.1)
         rng = random.Random(0)
         param = space.param("a")
-        downs = sum(ops.mutate_value(param, 4, 0, rng) < 4 for _ in range(200))
+        downs = sum(
+            ops.mutate_value(param, 4, state(hints), rng) < 4 for _ in range(200)
+        )
         assert downs == 200
 
     def test_bias_at_boundary_clamps_to_no_op(self, space):
         # A converged gene re-proposes its value; the cached evaluator makes
         # that free — the "Nautilus lines stop earlier" mechanism.
         hints = HintSet({"a": ParamHints(bias=1.0)}, confidence=1.0)
-        ops = GeneticOperators(space, 0.1, hints)
+        ops = GeneticOperators(space, 0.1)
         rng = random.Random(0)
         param = space.param("a")
-        results = {ops.mutate_value(param, 9, 0, rng) for _ in range(100)}
+        results = {ops.mutate_value(param, 9, state(hints), rng) for _ in range(100)}
         assert results == {9}
 
     def test_target_pulls_samples(self, space):
         hints = HintSet({"a": ParamHints(target=7)}, confidence=1.0)
-        ops = GeneticOperators(space, 0.1, hints)
+        ops = GeneticOperators(space, 0.1)
         rng = random.Random(0)
         param = space.param("a")
-        samples = [ops.mutate_value(param, 0, 0, rng) for _ in range(500)]
+        samples = [
+            ops.mutate_value(param, 0, state(hints), rng) for _ in range(500)
+        ]
         mean = sum(samples) / len(samples)
         assert 5.5 < mean <= 7.5
         # Stochasticity preserved: not every sample is the target itself.
@@ -125,34 +138,56 @@ class TestValueMutation:
 
     def test_half_confidence_mixes_guided_and_uniform(self, space):
         hints = HintSet({"a": ParamHints(bias=1.0)}, confidence=0.5)
-        ops = GeneticOperators(space, 0.1, hints)
+        ops = GeneticOperators(space, 0.1)
         rng = random.Random(0)
         param = space.param("a")
-        downs = sum(ops.mutate_value(param, 8, 0, rng) < 8 for _ in range(400))
+        downs = sum(
+            ops.mutate_value(param, 8, state(hints), rng) < 8 for _ in range(400)
+        )
         assert 50 < downs < 300  # some uniform draws go down
+
+    def test_adaptive_confidence_override_wins(self, space):
+        # GuidanceState carries the confidence in force, which an adaptive
+        # provider may have backed off below the author's value.
+        hints = HintSet({"a": ParamHints(bias=1.0)}, confidence=1.0)
+        backed_off = GuidanceState.from_hints(hints, 0, confidence=0.0)
+        ops = GeneticOperators(space, 0.1)
+        rng = random.Random(0)
+        param = space.param("a")
+        # Zero effective confidence: pure uniform draws, some go down.
+        downs = sum(
+            ops.mutate_value(param, 8, backed_off, rng) < 8 for _ in range(200)
+        )
+        assert downs > 50
 
     def test_unordered_param_without_ordering_uniform(self, space):
         hints = HintSet({"c": ParamHints(importance=90)}, confidence=1.0)
-        ops = GeneticOperators(space, 0.1, hints)
+        ops = GeneticOperators(space, 0.1)
         rng = random.Random(0)
         param = space.param("c")
-        assert ops.mutate_value(param, "p", 0, rng) == "q"
+        assert ops.mutate_value(param, "p", state(hints), rng) == "q"
 
     def test_ordering_hint_gives_axis_to_choice_param(self, space):
         hints = HintSet(
             {"c": ParamHints(bias=1.0, ordering=("p", "q"))}, confidence=1.0
         )
-        ops = GeneticOperators(space, 0.1, hints)
+        ops = GeneticOperators(space, 0.1)
         rng = random.Random(0)
         param = space.param("c")
         assert all(
-            ops.mutate_value(param, "p", 0, rng) == "q" for _ in range(50)
+            ops.mutate_value(param, "p", state(hints), rng) == "q"
+            for _ in range(50)
         )
 
     def test_single_value_param_unchanged(self):
         space = DesignSpace("one", [IntParam("a", 5, 5), IntParam("b", 0, 1)])
         ops = GeneticOperators(space, 0.1)
-        assert ops.mutate_value(space.param("a"), 5, 0, random.Random(0)) == 5
+        assert (
+            ops.mutate_value(
+                space.param("a"), 5, GuidanceState.neutral(), random.Random(0)
+            )
+            == 5
+        )
 
 
 class TestGenomeMutation:
@@ -160,14 +195,14 @@ class TestGenomeMutation:
         ops = GeneticOperators(space, 0.5)
         genome = space.random_genome(rng)
         for _ in range(50):
-            genome = ops.mutate(genome, 0, rng)
+            genome = ops.mutate(genome, GuidanceState.neutral(), rng)
             for param in space.params:
                 assert param.contains(genome[param.name])
 
     def test_zero_rate_never_mutates(self, space, rng):
         ops = GeneticOperators(space, 0.0)
         genome = space.random_genome(rng)
-        assert ops.mutate(genome, 0, rng) == genome
+        assert ops.mutate(genome, GuidanceState.neutral(), rng) == genome
 
     def test_mutate_feasible_respects_constraints(self, rng):
         space = DesignSpace(
@@ -178,8 +213,34 @@ class TestGenomeMutation:
         ops = GeneticOperators(space, 0.9)
         genome = space.genome(a=0, b=9)
         for _ in range(100):
-            genome = ops.mutate_feasible(genome, 0, rng)
+            genome = ops.mutate_feasible(genome, GuidanceState.neutral(), rng)
             assert genome["a"] <= genome["b"]
+
+
+class TestScalarScore:
+    class _Single:
+        def __init__(self, score):
+            self.score = score
+
+    class _Multi:
+        def __init__(self, scores):
+            self.scores = scores
+
+    def test_single_objective_score(self):
+        assert scalar_score(self._Single(3.5)) == 3.5
+
+    def test_multi_objective_projects_first(self):
+        assert scalar_score(self._Multi((2.0, 9.0))) == 2.0
+
+    def test_empty_scores_raises(self):
+        # An empty scores tuple used to yield NaN, silently poisoning every
+        # attribution delta computed from it.
+        with pytest.raises(NautilusError, match="scalar fitness"):
+            scalar_score(self._Multi(()))
+
+    def test_no_fitness_attributes_raises(self):
+        with pytest.raises(NautilusError, match="scalar fitness"):
+            scalar_score(object())
 
 
 class TestCrossover:
@@ -220,10 +281,10 @@ class TestCrossover:
 def test_guided_mutation_always_in_domain_property(seed, bias, confidence):
     space = DesignSpace("prop", [IntParam("a", 0, 6), IntParam("b", 0, 6)])
     hints = HintSet({"a": ParamHints(bias=bias)}, confidence=confidence)
-    ops = GeneticOperators(space, 0.5, hints)
+    ops = GeneticOperators(space, 0.5)
     rng = random.Random(seed)
     genome = space.random_genome(rng)
     for generation in range(10):
-        genome = ops.mutate(genome, generation, rng)
+        genome = ops.mutate(genome, state(hints, generation), rng)
         assert 0 <= genome["a"] <= 6
         assert 0 <= genome["b"] <= 6

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.core import CheckpointedSearch, GeneticSearch, NautilusError, RandomSearch
+from repro.core import (
+    CheckpointedSearch,
+    GeneticSearch,
+    HintSpecError,
+    NautilusError,
+    RandomSearch,
+    hintset_to_json,
+)
 from repro.service import CampaignSpec, CampaignState, build_search
 
 
@@ -29,6 +36,29 @@ class TestCampaignSpec:
         with pytest.raises(NautilusError):
             CampaignSpec(query="fft-luts", budget=0)
 
+    def test_inline_hints_structurally_validated(self):
+        with pytest.raises(HintSpecError) as excinfo:
+            CampaignSpec(
+                query="noc-frequency",
+                hints={"schema": 1, "params": {"a": {"importance": 500}}},
+            )
+        assert {e["field"] for e in excinfo.value.errors} == {"params.a"}
+
+    def test_inline_hints_need_guided_engine(self):
+        payload = {"schema": 1, "params": {}}
+        with pytest.raises(NautilusError, match="guided engine"):
+            CampaignSpec(query="noc-frequency", engine="random", hints=payload)
+        with pytest.raises(NautilusError, match="guided engine"):
+            CampaignSpec(query="noc-frequency", engine="baseline", hints=payload)
+
+    def test_inline_hints_roundtrip_from_json(self):
+        from repro.queries import build_hints
+
+        spec = CampaignSpec(
+            query="noc-frequency", hints=hintset_to_json(build_hints("frequency"))
+        )
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
     def test_state_partitions(self):
         terminal = set(CampaignState.TERMINAL)
         in_flight = set(CampaignState.IN_FLIGHT)
@@ -53,6 +83,28 @@ class TestBuildSearch:
         spec = CampaignSpec(query="noc-frequency", engine="random", budget=5)
         search = build_search(spec, tiny_dataset, campaign_dir=tmp_path)
         assert isinstance(search, RandomSearch)
+
+    def test_inline_hints_guide_the_engine(self, tiny_dataset):
+        spec = CampaignSpec(
+            query="noc-frequency",
+            generations=3,
+            confidence=0.9,
+            hints={"schema": 1, "params": {"a": {"importance": 80, "bias": 1.0}}},
+        )
+        search = build_search(spec, tiny_dataset)
+        assert search.label == "nautilus"
+        assert search.hints.for_param("a").bias == 1.0
+        # Spec-level confidence re-weights inline hints like a bundled kind.
+        assert search.hints.confidence == 0.9
+
+    def test_inline_hints_space_mismatch_fails_at_build(self, tiny_dataset):
+        spec = CampaignSpec(
+            query="noc-frequency",
+            hints={"schema": 1, "params": {"num_vcs": {"bias": 1.0}}},
+        )
+        with pytest.raises(HintSpecError) as excinfo:
+            build_search(spec, tiny_dataset)
+        assert {e["field"] for e in excinfo.value.errors} == {"params.num_vcs"}
 
     def test_spec_seed_determinism(self, tiny_dataset):
         spec = CampaignSpec(query="noc-frequency", engine="baseline",

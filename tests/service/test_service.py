@@ -9,8 +9,13 @@ in-flight campaigns from the store without re-paying for cached
 evaluations.
 """
 
+import json
+
 import pytest
 
+from repro.cli import main
+from repro.core import hintset_to_json
+from repro.queries import build_hints
 from repro.service import (
     CampaignSpec,
     SearchService,
@@ -110,6 +115,113 @@ class TestConcurrentCampaigns:
         client.wait(cid, timeout=120)
         listed = client.list_campaigns()
         assert [c["id"] for c in listed] == [cid]
+
+
+class TestInlineHints:
+    def test_inline_hints_campaign_matches_bundled_kind(
+        self, service, client, datasets
+    ):
+        """An inline hints payload equal to the bundled kind's serialization
+        runs the exact same campaign."""
+        inline = CampaignSpec(
+            query="noc-frequency",
+            engine="nautilus",
+            generations=8,
+            seed=21,
+            hints=hintset_to_json(build_hints("frequency")),
+        )
+        bundled = CampaignSpec(
+            query="noc-frequency", engine="nautilus", generations=8, seed=21
+        )
+        ids = [client.submit(spec) for spec in (inline, bundled)]
+        statuses = [client.wait(cid, timeout=300) for cid in ids]
+        assert [s["state"] for s in statuses] == ["done", "done"]
+        assert statuses[0]["best_raw"] == statuses[1]["best_raw"]
+        assert (
+            statuses[0]["distinct_evaluations"]
+            == statuses[1]["distinct_evaluations"]
+        )
+        sequential = build_search(inline, datasets["noc"]).run()
+        assert statuses[0]["best_raw"] == sequential.best_raw
+
+    def test_bad_inline_hints_answer_400_with_fields(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({
+                "query": "noc-frequency",
+                "engine": "nautilus",
+                "hints": {
+                    "schema": 1,
+                    "confidence": "high",
+                    "params": {"num_vcs": {"importance": 500}},
+                },
+            })
+        assert excinfo.value.status == 400
+        fields = {e["field"] for e in excinfo.value.fields}
+        assert fields == {"confidence", "params.num_vcs"}
+
+    def test_space_mismatched_hints_rejected_at_submission(self, client):
+        # Structurally fine, but the parameter does not exist in the noc
+        # space — caught by the scheduler before the campaign is persisted.
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({
+                "query": "noc-frequency",
+                "engine": "nautilus",
+                "hints": {"schema": 1, "params": {"warp_factor": {"bias": 1.0}}},
+            })
+        assert excinfo.value.status == 400
+        assert {e["field"] for e in excinfo.value.fields} == {
+            "params.warp_factor"
+        }
+        assert client.list_campaigns() == []
+
+
+class TestEstimateToSubmit:
+    def test_cli_estimate_output_feeds_submit_hints(
+        self, service, tmp_path, capsys
+    ):
+        """Acceptance: nautilus estimate --output -> nautilus submit --hints
+        against a live daemon."""
+        hints_path = tmp_path / "estimated.json"
+        code = main([
+            "estimate", "noc-frequency", "--budget", "40",
+            "--confidence", "0.8", "--output", str(hints_path),
+        ])
+        assert code == 0
+        assert "hints written to" in capsys.readouterr().out
+        payload = json.loads(hints_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["confidence"] == 0.8
+
+        port = str(service.port)
+        code = main([
+            "submit", "noc-frequency", "--engine", "nautilus",
+            "--hints", str(hints_path), "--generations", "6", "--seed", "13",
+            "--port", port, "--wait",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out.splitlines()
+        campaign_id = out[0].strip()
+        assert campaign_id.startswith("c")
+        assert any("state      : done" in line for line in out)
+
+        client = ServiceClient(port=service.port)
+        status = client.status(campaign_id)
+        assert status["spec"]["hints"] == payload
+
+    def test_cli_submit_bad_hints_file_is_a_clean_error(
+        self, service, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"schema": 1, "params": {"num_vcs": {"bias": 7.0}}}
+        ))
+        code = main([
+            "submit", "noc-frequency", "--hints", str(bad),
+            "--port", str(service.port),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "params.num_vcs" in err
 
 
 class TestDaemonRestart:
