@@ -201,6 +201,59 @@ def check_guidance_identity() -> list[str]:
     return failures
 
 
+def check_encoded_identity() -> list[str]:
+    """Trusted code vectors must agree with the validating decode path.
+
+    Every genome a seeded search produces travels the trusted fast path
+    (codes recombined/stepped without re-validation). Round-tripping each
+    one through the validating boundary — decode to a config dict, re-encode
+    via ``space.genome`` — must land on identical codes, keys and equality;
+    any divergence means the fast path can manufacture a design the
+    validating path would reject or key differently.
+    """
+    import random as _random
+
+    from repro.core import Genome
+    from repro.core.params import values_key
+
+    failures = []
+    query = QUERIES["noc-frequency"]
+    dataset = load_dataset(query.space)
+    space = dataset.space
+    objective, hint_kind = resolve_objective(query)
+    search = _build("nautilus", dataset, objective, hint_kind, seed=0)
+    result = search.run()
+    genomes = [ind.genome for ind in search._population]
+    genomes.append(space.genome(result.best_config))
+    rng = _random.Random(2024)
+    genomes.extend(space.random_genome(rng) for _ in range(64))
+    bad = 0
+    for genome in genomes:
+        revalidated = space.genome(genome.as_dict())
+        ok = (
+            revalidated.codes == genome.codes
+            and revalidated == genome
+            and revalidated.key == genome.key
+            and hash(revalidated) == hash(genome)
+            and space.codec.values_key(genome.codes)
+            == values_key(genome.as_dict().values())
+            and Genome.from_codes(space, genome.codes).as_dict()
+            == genome.as_dict()
+        )
+        bad += not ok
+    if bad:
+        failures.append(
+            f"  noc-frequency/encoded: {bad}/{len(genomes)} genomes diverge "
+            "between trusted codes and the validating path"
+        )
+    else:
+        print(
+            f"  ok noc-frequency/encoded: {len(genomes)} genomes identical "
+            "via codes and validating re-encode"
+        )
+    return failures
+
+
 def main(argv: list[str]) -> int:
     results = run_workload()
     if "--update" in argv:
@@ -224,6 +277,7 @@ def main(argv: list[str]) -> int:
         failures.append(f"  unexpected runs not in baseline: {extra}")
     failures.extend(check_observability_identity())
     failures.extend(check_guidance_identity())
+    failures.extend(check_encoded_identity())
     if failures:
         print("seeded engine curves drifted from the baseline:")
         print("\n".join(failures))

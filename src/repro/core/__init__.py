@@ -40,8 +40,12 @@ from .params import (
     OrderedParam,
     Param,
     PowOfTwoParam,
+    freeze_value,
+    values_key,
 )
 from .genome import Genome
+from .codec import SpaceCodec
+from .population import Population
 from .space import DesignSpace
 from .hints import DEFAULT_IMPORTANCE, HintSet, ParamHints
 from .guidance import (
@@ -144,7 +148,11 @@ __all__ = [
     "OrderedParam",
     "ChoiceParam",
     "BoolParam",
+    "freeze_value",
+    "values_key",
     "Genome",
+    "SpaceCodec",
+    "Population",
     "DesignSpace",
     # hints
     "ParamHints",

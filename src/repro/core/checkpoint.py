@@ -9,12 +9,27 @@ the stall counter, and (crucially) the evaluation cache, so resumed runs
 never re-pay for a synthesized design.
 
 Snapshots are plain JSON: portable, inspectable, and independent of Python
-pickling across versions. Format 3 (current) adds the guidance provider's
-mutable state (an adaptive controller's confidence, an estimated hint
-sweep's result), so guided searches resume bit-identically; format 2 (full
-:class:`~repro.core.kernel.RngStreams` payload, explicit stall counter) and
-format 1 (single shared RNG state) snapshots are still loadable — their
-missing guidance state simply leaves the provider at its constructed state.
+pickling across versions. Format 4 (current) stores the population as
+*code vectors* (ordinal domain indices, one per parameter in declaration
+order) and cache rows as ordered value lists, alongside the parameter-name
+order as a corruption guard — matching the encoded genome core, smaller on
+disk, and restored through the range-checked
+:meth:`~repro.core.space.DesignSpace.genome_from_indices` boundary. All
+earlier formats still load:
+
+====== ======================================================================
+Format Contents / migration
+====== ======================================================================
+4      Population as code vectors; cache rows as ``{"values": [...]}``;
+       ``params`` order guard. Current.
+3      Population as config dicts; cache rows as ``{"config": {...}}``;
+       guidance provider state. Loadable — configs re-encode through the
+       validating path.
+2      Format 3 without guidance state (provider stays at its constructed
+       state on resume).
+1      Single shared RNG state, no stall counter (counter replayed from the
+       recorded best-score curve).
+====== ======================================================================
 
 Both the single-objective GA (:class:`CheckpointedSearch`) and the NSGA-II
 engine (:class:`CheckpointedParetoSearch`) checkpoint through the same
@@ -31,15 +46,17 @@ from .engine import GAConfig, GenerationRecord, GeneticSearch
 from .errors import NautilusError
 from .evaluator import Evaluator
 from .fitness import Objective
+from .genome import Genome
 from .guidance import GuidanceProvider, GuidanceState
 from .hints import HintSet
 from .kernel import RngStreams
 from .pareto import ParetoSearch
+from .population import Population
 from .space import DesignSpace
 
 __all__ = ["SearchCheckpoint", "CheckpointedSearch", "CheckpointedParetoSearch"]
 
-_FORMAT_VERSION = 3
+_FORMAT_VERSION = 4
 
 _RECORD_KEYS = (
     "generation",
@@ -58,16 +75,23 @@ class SearchCheckpoint:
         self,
         space_name: str,
         generation: int,
-        population: list[dict[str, Any]],
+        population: list,
         rng_streams: dict[str, Any],
         records: list[dict[str, Any]],
         cache: list[dict[str, Any]],
         stalled: int | None = None,
         guidance: dict[str, Any] | None = None,
+        params: list[str] | None = None,
     ):
         self.space_name = space_name
         self.generation = generation
+        #: Format 4: code vectors (``list[list[int]]``); formats 1-3:
+        #: config dicts. Use :meth:`population_genomes` to materialize.
         self.population = population
+        #: Parameter names in the order the code vectors index — a guard
+        #: against resuming into a space whose declaration order changed.
+        #: ``None`` for pre-format-4 snapshots (configs carry names).
+        self.params = params
         #: :meth:`RngStreams.getstate` payload — every named stream.
         self.rng_streams = rng_streams
         self.records = records
@@ -83,6 +107,7 @@ class SearchCheckpoint:
         payload = {
             "format": _FORMAT_VERSION,
             "space": self.space_name,
+            "params": self.params,
             "generation": self.generation,
             "population": self.population,
             "rng_streams": self.rng_streams,
@@ -108,7 +133,7 @@ class SearchCheckpoint:
                 "streams": {"shared": payload["rng_state"]},
             }
             stalled = None
-        elif version in (2, _FORMAT_VERSION):
+        elif version in (2, 3, _FORMAT_VERSION):
             rng_streams = payload["rng_streams"]
             stalled = payload.get("stalled")
         else:
@@ -123,7 +148,41 @@ class SearchCheckpoint:
             stalled=stalled,
             # Pre-format-3 snapshots carry no provider state.
             guidance=payload.get("guidance"),
+            # Pre-format-4 snapshots carry no code vectors, hence no guard.
+            params=payload.get("params"),
         )
+
+    # -- materialization ---------------------------------------------------------
+
+    def population_genomes(self, space: DesignSpace) -> list[Genome]:
+        """Rebuild the checkpointed population against a live space.
+
+        Format-4 entries (code vectors) go through the range-checked
+        :meth:`~repro.core.space.DesignSpace.genome_from_indices` boundary;
+        pre-format-4 entries (config dicts) go through the validating
+        ``space.genome`` path.
+        """
+        genomes = []
+        for entry in self.population:
+            if isinstance(entry, dict):
+                genomes.append(space.genome(entry))
+            else:
+                genomes.append(space.genome_from_indices(entry))
+        return genomes
+
+    def cache_configs(self, space: DesignSpace):
+        """Yield ``(config dict, metrics)`` for every cached evaluation.
+
+        Handles both format-4 rows (``{"values": [...]}`` in parameter
+        declaration order) and earlier ``{"config": {...}}`` rows.
+        """
+        names = tuple(self.params) if self.params else space.param_names
+        for row in self.cache:
+            values = row.get("values")
+            if values is not None:
+                yield dict(zip(names, values)), row["metrics"]
+            else:
+                yield row["config"], row["metrics"]
 
 
 class _CheckpointMixin:
@@ -152,15 +211,15 @@ class _CheckpointMixin:
         cache_rows = []
         for key, value in self._counter.memo_items():
             __, values = key
-            config = dict(zip(self.space.param_names, values))
             if isinstance(value, Exception):
-                cache_rows.append({"config": config, "metrics": None})
+                cache_rows.append({"values": list(values), "metrics": None})
             else:
-                cache_rows.append({"config": config, "metrics": dict(value)})
+                cache_rows.append({"values": list(values), "metrics": dict(value)})
         SearchCheckpoint(
             space_name=self.space.name,
             generation=self._generation,
-            population=[ind.genome.as_dict() for ind in self._population],
+            population=[list(ind.genome.codes) for ind in self._population],
+            params=list(self.space.param_names),
             rng_streams=self.rngs.getstate(),
             records=[
                 {key: getattr(r, key) for key in _RECORD_KEYS}
@@ -186,11 +245,17 @@ class _CheckpointMixin:
                 f"checkpoint is for space {checkpoint.space_name!r}, "
                 f"not {self.space.name!r}"
             )
+        if checkpoint.params is not None and tuple(checkpoint.params) != self.space.param_names:
+            raise NautilusError(
+                f"checkpoint parameter order {tuple(checkpoint.params)!r} does "
+                f"not match space {self.space.name!r} parameters "
+                f"{self.space.param_names!r}"
+            )
         # Restored entries are charged as distinct evaluations — they were
         # paid for before the interruption.
-        for row in checkpoint.cache:
-            genome = self.space.genome(row["config"])
-            self._counter.preload(genome, row["metrics"], charge=True)
+        for config, metrics in checkpoint.cache_configs(self.space):
+            genome = self.space.genome(config)
+            self._counter.preload(genome, metrics, charge=True)
         self._resume_from = checkpoint
         return self
 
@@ -288,10 +353,9 @@ class CheckpointedSearch(_CheckpointMixin, GeneticSearch):
 
     def _restore_population(self, checkpoint: SearchCheckpoint) -> None:
         # Cached, so re-assessing the population costs no synthesis jobs.
-        self._population = [
-            self._assess(self.space.genome(config))
-            for config in checkpoint.population
-        ]
+        self._population = Population(
+            [self._assess(g) for g in checkpoint.population_genomes(self.space)]
+        )
         best = max(self._population, key=lambda ind: ind.score)
         for row in checkpoint.records:
             if row["best_score"] > best.score:
@@ -327,7 +391,7 @@ class CheckpointedParetoSearch(_CheckpointMixin, ParetoSearch):
 
     def _restore_population(self, checkpoint: SearchCheckpoint) -> None:
         self._population = self._assess_all(
-            [self.space.genome(config) for config in checkpoint.population]
+            checkpoint.population_genomes(self.space)
         )
         self._rank(self._population)
         self._front_signature = self._signature()

@@ -49,6 +49,7 @@ from .operators import (
     two_point_crossover,
     uniform_crossover,
 )
+from .population import Population
 from .selection import SELECTION_STRATEGIES, Individual
 from .space import DesignSpace
 
@@ -244,13 +245,13 @@ class GeneticSearch(GenerationalEngine):
             genome, self.objective.score(metrics), self.objective.raw(metrics)
         )
 
-    def _assess_all(self, genomes: Sequence[Genome]) -> list[Individual]:
+    def _assess_all(self, genomes: Sequence[Genome]) -> Population[Individual]:
         """Score genomes as one batch, outside the kernel's traced path."""
         return self._to_individuals(genomes, self._counter.evaluate_many(genomes))
 
     def _to_individuals(
         self, genomes: Sequence[Genome], outcomes: Sequence
-    ) -> list[Individual]:
+    ) -> Population[Individual]:
         individuals = []
         for genome, outcome in zip(genomes, outcomes):
             if isinstance(outcome, InfeasibleDesignError):
@@ -265,7 +266,10 @@ class GeneticSearch(GenerationalEngine):
                         self.objective.raw(outcome),
                     )
                 )
-        return individuals
+        # Columnar wrapper: selection strategies read the cached score
+        # column; every list-style consumer (elites, records, checkpoints)
+        # sees an unchanged Sequence.
+        return Population(individuals)
 
     # -- kernel hooks --------------------------------------------------------------
 

@@ -53,6 +53,7 @@ from typing import Any, Iterator, Sequence, TYPE_CHECKING
 from .errors import InfeasibleDesignError, NautilusError
 from .fitness import Metrics
 from .genome import Genome
+from .params import values_key
 
 if TYPE_CHECKING:  # pragma: no cover
     from .evaluator import Evaluator
@@ -417,10 +418,11 @@ class PersistentCache:
         digest = hashlib.sha1(fingerprint.encode("utf-8")).hexdigest()[:12]
         return self.root / f"{space_name}-{digest}.jsonl"
 
-    @staticmethod
-    def _values_key(values: Sequence[Any]) -> tuple:
-        # Mirror Genome._values_key: JSON round-trips tuples as lists.
-        return tuple(tuple(v) if isinstance(v, list) else v for v in values)
+    # The canonical key (repro.core.params.values_key) — the same frozen
+    # form Genome.key carries, so JSON round-trips (tuples → lists) land
+    # back on identical keys. This *is* the on-disk key format; changing it
+    # orphans every existing cache file.
+    _values_key = staticmethod(values_key)
 
     def _load(self, space: "DesignSpace", fingerprint: str) -> dict[tuple, dict | None]:
         slot = (space.name, fingerprint)

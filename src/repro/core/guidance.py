@@ -78,6 +78,11 @@ _NEUTRAL_IMPORTANCE = float(DEFAULT_IMPORTANCE)
 class GuidanceState:
     """Everything the operators need to know about guidance, one generation.
 
+    States are immutable snapshots and providers emit a *fresh* object every
+    generation (even when nothing changed) — the operators rely on this,
+    resolving each state against the space codec once and caching the
+    resolution by object identity for the generation's whole breeding pass.
+
     Attributes:
         generation: The generation this state applies to.
         confidence: The confidence in force (0..1). May differ from the

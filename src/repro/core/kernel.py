@@ -1012,7 +1012,12 @@ class GenerationalEngine(SearchKernel):
         raise NotImplementedError  # pragma: no cover - abstract
 
     def _to_individuals(self, genomes: Sequence[Genome], outcomes: Sequence[Any]):
-        """Convert raw evaluation outcomes into the engine's individuals."""
+        """Convert raw evaluation outcomes into the engine's individuals.
+
+        Engines may return any sequence; single-objective engines return a
+        columnar :class:`~repro.core.population.Population` so the selection
+        strategies can read cached score columns in the breeding hot loop.
+        """
         raise NotImplementedError  # pragma: no cover - abstract
 
     def _survivors(self, offspring):

@@ -28,7 +28,7 @@ from typing import Any, Callable, Sequence
 from .errors import NautilusError
 from .genome import Genome
 from .guidance import GuidanceState
-from .params import Param
+from .params import Param, freeze_value
 from .space import DesignSpace
 
 __all__ = [
@@ -76,37 +76,233 @@ _NEUTRAL_IMPORTANCE = 50.0
 _STEP_TAIL = 0.5
 
 
+def _blended_gene_rates(
+    names: Sequence[str], guidance: GuidanceState | None, mutation_rate: float
+) -> list[float]:
+    """Per-gene mutation probabilities, one float per declaration position.
+
+    The single source of the rate arithmetic: both the public
+    :meth:`GeneticOperators.gene_mutation_rates` dict view and the resolved
+    per-generation tables read from here, so the floats are bit-identical
+    no matter which path computes them.
+    """
+    hints = guidance.hints if guidance is not None else None
+    if hints is None or not hints.params:
+        return [mutation_rate] * len(names)
+    importance = guidance.effective_importance
+    weights = [
+        max(importance.get(name, _NEUTRAL_IMPORTANCE), 1e-9) for name in names
+    ]
+    mean_weight = sum(weights) / len(weights)
+    confidence = guidance.confidence
+    rates = []
+    for weight in weights:
+        guided = mutation_rate * weight / mean_weight
+        blended = (1.0 - confidence) * mutation_rate + confidence * guided
+        rates.append(min(max(blended, _MIN_GENE_RATE), _MAX_GENE_RATE))
+    return rates
+
+
+class _GeneGuide:
+    """Everything one gene's mutation needs, resolved to codes.
+
+    Built once per (guidance state, mutation rate) by
+    :class:`_ResolvedGuidance`; the hot loop then touches only plain
+    attribute loads — no hint lookups, no axis dict builds, no weight
+    recomputation per offspring.
+    """
+
+    __slots__ = (
+        "name",
+        "rate",
+        "cardinality",
+        "directional",
+        "has_axis",
+        "identity_axis",
+        "axis_size",
+        "code_to_axis",
+        "axis_to_code",
+        "target_weights",
+        "target_total",
+        "p_up",
+        "continue_prob",
+    )
+
+
+class _ResolvedGuidance:
+    """One guidance state, resolved against a space codec.
+
+    Guidance providers emit one fresh :class:`~repro.core.guidance.GuidanceState`
+    per generation (even a neutral one), so :class:`GeneticOperators` caches
+    the resolution by state identity — the whole generation's breeding reads
+    a single resolution.
+    """
+
+    __slots__ = ("confidence", "genes")
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        guidance: GuidanceState | None,
+        mutation_rate: float,
+    ):
+        codec = space.codec
+        names = codec.names
+        self.confidence = guidance.confidence if guidance is not None else 0.0
+        rates = _blended_gene_rates(names, guidance, mutation_rate)
+        genes = []
+        for pos, name in enumerate(names):
+            guide = _GeneGuide()
+            guide.name = name
+            guide.rate = rates[pos]
+            card = codec.cardinalities[pos]
+            guide.cardinality = card
+            hints_p = guidance.for_param(name) if guidance is not None else None
+            directional = hints_p is not None and (
+                hints_p.bias != 0.0 or hints_p.target is not None
+            )
+            guide.directional = directional
+            guide.has_axis = False
+            guide.identity_axis = False
+            guide.axis_size = 0
+            guide.code_to_axis = None
+            guide.axis_to_code = None
+            guide.target_weights = None
+            guide.target_total = 0.0
+            guide.p_up = 0.0
+            guide.continue_prob = 0.0
+            if directional and card > 1:
+                ordering = hints_p.ordering
+                if ordering is not None:
+                    index_map = codec.index_maps[pos]
+                    axis_codes = tuple(
+                        index_map[freeze_value(v)] for v in ordering
+                    )
+                    guide.has_axis = True
+                    guide.axis_size = len(axis_codes)
+                    guide.axis_to_code = axis_codes
+                    guide.code_to_axis = {
+                        code: i for i, code in enumerate(axis_codes)
+                    }
+                elif codec.ordered[pos]:
+                    # The domain order is the axis: code == axis position.
+                    guide.has_axis = True
+                    guide.identity_axis = True
+                    guide.axis_size = card
+                if guide.has_axis:
+                    if hints_p.target is not None:
+                        target_code = codec.index_maps[pos][
+                            freeze_value(hints_p.target)
+                        ]
+                        target_axis = (
+                            target_code
+                            if guide.identity_axis
+                            else guide.code_to_axis[target_code]
+                        )
+                        # Same expressions, same summation order as the
+                        # historical per-call computation — the floats (and
+                        # therefore every seeded draw consuming them) are
+                        # bit-identical.
+                        weights = [
+                            _STEP_TAIL ** abs(i - target_axis)
+                            for i in range(guide.axis_size)
+                        ]
+                        guide.target_weights = weights
+                        guide.target_total = sum(weights)
+                    else:
+                        guide.p_up = (1.0 + hints_p.bias) / 2.0
+                        step_hint = hints_p.step
+                        if step_hint is None:
+                            guide.continue_prob = _STEP_TAIL
+                        else:
+                            # Geometric with mean ``step_hint``: mean = 1 / (1 - q).
+                            guide.continue_prob = max(
+                                0.0, min(0.9, 1.0 - 1.0 / max(step_hint, 1))
+                            )
+            genes.append(guide)
+        self.genes: tuple[_GeneGuide, ...] = tuple(genes)
+
+
+def _mutate_code(
+    guide: _GeneGuide, cur: int, confidence: float, rng: random.Random
+) -> tuple[int, str]:
+    """New code for one fired gene plus its attribution channel.
+
+    The draw sequence replicates the value-based ``_mutate_value`` exactly:
+    a confidence-gate ``random()`` only when the gene is directional, then
+    either the uniform different-code draw (one ``randrange``), the target
+    scan (one ``random()``), or the biased step (one direction ``random()``
+    plus the geometric continuation draws).
+    """
+    if guide.cardinality == 1:
+        return cur, "noop"
+    guided = guide.directional and rng.random() < confidence
+    if not guided:
+        channel = "fallback" if guide.directional else "uniform"
+        idx = rng.randrange(guide.cardinality - 1)
+        if idx >= cur:
+            idx += 1
+        return idx, channel
+    if not guide.has_axis:
+        idx = rng.randrange(guide.cardinality - 1)
+        if idx >= cur:
+            idx += 1
+        return idx, "fallback"
+    cur_axis = cur if guide.identity_axis else guide.code_to_axis[cur]
+    if guide.target_weights is not None:
+        pick = rng.random() * guide.target_total
+        acc = 0.0
+        new_axis = guide.axis_size - 1
+        for i, w in enumerate(guide.target_weights):
+            acc += w
+            if pick <= acc:
+                new_axis = i
+                break
+        channel = "target"
+    else:
+        direction = 1 if rng.random() < guide.p_up else -1
+        magnitude = 1
+        size = guide.axis_size
+        while rng.random() < guide.continue_prob and magnitude < size:
+            magnitude += 1
+        new_axis = min(max(cur_axis + direction * magnitude, 0), size - 1)
+        channel = "bias"
+    if guide.identity_axis:
+        return new_axis, channel
+    return guide.axis_to_code[new_axis], channel
+
+
 def uniform_crossover(a: Genome, b: Genome, rng: random.Random) -> Genome:
-    """Combine two parents gene-by-gene with independent fair coin flips."""
-    values = {
-        name: (a[name] if rng.random() < 0.5 else b[name])
-        for name in a.space.param_names
-    }
-    return Genome(a.space, values)
+    """Combine two parents gene-by-gene with independent fair coin flips.
+
+    Operates on code vectors: one draw per gene (the historical sequence),
+    recombined codes wrapped through the trusted fast path — both parents'
+    codes are in-domain, so the child needs no re-validation.
+    """
+    ac, bc = a.codes, b.codes
+    codes = tuple(
+        ac[i] if rng.random() < 0.5 else bc[i] for i in range(len(ac))
+    )
+    return Genome.from_codes(a.space, codes)
 
 
 def single_point_crossover(a: Genome, b: Genome, rng: random.Random) -> Genome:
     """Take a prefix of genes from one parent and the suffix from the other."""
-    names = a.space.param_names
-    point = rng.randrange(1, len(names)) if len(names) > 1 else 0
-    values = {}
-    for i, name in enumerate(names):
-        values[name] = a[name] if i < point else b[name]
-    return Genome(a.space, values)
+    ac, bc = a.codes, b.codes
+    n = len(ac)
+    point = rng.randrange(1, n) if n > 1 else 0
+    return Genome.from_codes(a.space, ac[:point] + bc[point:])
 
 
 def two_point_crossover(a: Genome, b: Genome, rng: random.Random) -> Genome:
     """Take a middle slice of genes from parent ``b``, the rest from ``a``."""
-    names = a.space.param_names
-    n = len(names)
+    ac, bc = a.codes, b.codes
+    n = len(ac)
     if n < 3:
         return uniform_crossover(a, b, rng)
     lo = rng.randrange(0, n - 1)
     hi = rng.randrange(lo + 1, n)
-    values = {}
-    for i, name in enumerate(names):
-        values[name] = b[name] if lo <= i <= hi else a[name]
-    return Genome(a.space, values)
+    return Genome.from_codes(a.space, ac[:lo] + bc[lo : hi + 1] + ac[hi + 1:])
 
 
 class BreedingPipeline:
@@ -167,6 +363,28 @@ class BreedingPipeline:
     ) -> Genome:
         """Produce one offspring genome under this generation's guidance."""
         observer = self.operators.observer
+        if timings is None:
+            # Untimed fast path: identical logic and draw order, no
+            # perf_counter traffic per offspring.
+            parent = self.select(population, rngs.selection)
+            genome = parent.genome
+            if observer is not None:
+                observer.child_started(scalar_score(parent))
+            if rngs.crossover.random() < self.crossover_rate:
+                other = self.select(population, rngs.selection)
+                for _ in range(self.CROSSOVER_ATTEMPTS):
+                    candidate = self.crossover(
+                        parent.genome, other.genome, rngs.crossover
+                    )
+                    if self.space.is_feasible(candidate):
+                        genome = candidate
+                        if observer is not None:
+                            observer.crossover_applied()
+                        break
+            mutated = self.operators.mutate_feasible(genome, guidance, rngs.mutation)
+            if observer is not None:
+                observer.child_finished()
+            return mutated
         t0 = time.perf_counter()
         parent = self.select(population, rngs.selection)
         genome = parent.genome
@@ -222,6 +440,11 @@ class GeneticOperators:
         #: which hint channel. Pure bookkeeping — attaching an observer
         #: never consumes RNG draws, so seeded runs are unaffected.
         self.observer = None
+        # Identity-keyed cache of the last resolved guidance state: providers
+        # emit one state object per generation, so one resolution serves the
+        # whole generation's breeding. Keyed on mutation_rate too, so callers
+        # that tweak the rate mid-run get a fresh resolution.
+        self._resolved: tuple | None = None
 
     # -- gene selection ---------------------------------------------------------
 
@@ -235,21 +458,20 @@ class GeneticOperators:
         according to the state's confidence.
         """
         names = self.space.param_names
-        hints = guidance.hints if guidance is not None else None
-        if hints is None or not hints.params:
-            return {name: self.mutation_rate for name in names}
-        importance = guidance.effective_importance
-        weights = [
-            max(importance.get(name, _NEUTRAL_IMPORTANCE), 1e-9) for name in names
-        ]
-        mean_weight = sum(weights) / len(weights)
-        confidence = guidance.confidence
-        rates = {}
-        for name, weight in zip(names, weights):
-            guided = self.mutation_rate * weight / mean_weight
-            blended = (1.0 - confidence) * self.mutation_rate + confidence * guided
-            rates[name] = min(max(blended, _MIN_GENE_RATE), _MAX_GENE_RATE)
-        return rates
+        return dict(zip(names, _blended_gene_rates(names, guidance, self.mutation_rate)))
+
+    def _resolve(self, guidance: GuidanceState | None) -> _ResolvedGuidance:
+        """The codec-resolved form of a guidance state, cached by identity."""
+        cached = self._resolved
+        if (
+            cached is not None
+            and cached[0] is guidance
+            and cached[1] == self.mutation_rate
+        ):
+            return cached[2]
+        resolved = _ResolvedGuidance(self.space, guidance, self.mutation_rate)
+        self._resolved = (guidance, self.mutation_rate, resolved)
+        return resolved
 
     # -- value assignment ---------------------------------------------------------
 
@@ -372,23 +594,35 @@ class GeneticOperators:
     def mutate(
         self, genome: Genome, guidance: GuidanceState | None, rng: random.Random
     ) -> Genome:
-        """Mutate a genome: each gene flips per its (possibly guided) rate."""
-        rates = self.gene_mutation_rates(guidance)
-        changes = {}
-        channels = [] if self.observer is not None else None
-        for param in self.space.params:
-            if rng.random() < rates[param.name]:
-                value, channel = self._mutate_value(
-                    param, genome[param.name], guidance, rng
-                )
-                changes[param.name] = value
+        """Mutate a genome: each gene flips per its (possibly guided) rate.
+
+        Runs entirely on the genome's code vector against the resolved
+        guidance tables. A fired gene always records a change (even when the
+        sampled code equals the current one — the historical ``replace``
+        semantics), so the result is a *new* genome whenever any gate fired;
+        with no fired genes the input genome is returned unchanged.
+        """
+        resolved = self._resolve(guidance)
+        observer = self.observer
+        codes = genome.codes
+        new_codes: list[int] | None = None
+        channels = [] if observer is not None else None
+        confidence = resolved.confidence
+        for pos, guide in enumerate(resolved.genes):
+            if rng.random() < guide.rate:
+                # Fired genes read the *original* code, matching the
+                # historical read from the input genome.
+                code, channel = _mutate_code(guide, codes[pos], confidence, rng)
+                if new_codes is None:
+                    new_codes = list(codes)
+                new_codes[pos] = code
                 if channels is not None:
-                    channels.append((param.name, channel))
+                    channels.append((guide.name, channel))
         if channels is not None:
-            self.observer.mutation_attempted(channels)
-        if not changes:
+            observer.mutation_attempted(channels)
+        if new_codes is None:
             return genome
-        return genome.replace(**changes)
+        return Genome.from_codes(genome.space, tuple(new_codes))
 
     def mutate_feasible(
         self,

@@ -26,6 +26,8 @@ import random
 from .errors import ParameterError
 
 __all__ = [
+    "freeze_value",
+    "values_key",
     "Param",
     "IntParam",
     "PowOfTwoParam",
@@ -33,6 +35,31 @@ __all__ = [
     "ChoiceParam",
     "BoolParam",
 ]
+
+
+def freeze_value(value: Any) -> Any:
+    """The canonical hashable form of one domain value.
+
+    Lists freeze to tuples (JSON round-trips tuples as lists, so both spell
+    the same domain member). Every layer that keys on values — genome
+    identity, the persistent on-disk cache, datasets — must agree on this
+    one function, or a design point cached under one spelling would be
+    re-synthesized under the other.
+    """
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def values_key(values: Sequence[Any]) -> tuple:
+    """The canonical frozen key for an ordered run of domain values.
+
+    This is THE values-key format: ``Genome.key[1]``, the persistent
+    cache's on-disk row identity, and dataset row keys are all this tuple.
+    Changing it silently invalidates every on-disk cache — a test freezes
+    the format.
+    """
+    return tuple(freeze_value(v) for v in values)
 
 
 class Param:
@@ -65,12 +92,8 @@ class Param:
         self._values = tuple(values)
         self._index = {self._freeze(v): i for i, v in enumerate(self._values)}
 
-    @staticmethod
-    def _freeze(value: Any) -> Any:
-        """Return a hashable key for a domain value."""
-        if isinstance(value, list):
-            return tuple(value)
-        return value
+    #: Hashable key for a domain value — the canonical :func:`freeze_value`.
+    _freeze = staticmethod(freeze_value)
 
     # -- domain accessors ---------------------------------------------------
 
@@ -83,6 +106,11 @@ class Param:
     def cardinality(self) -> int:
         """Number of values in the domain."""
         return len(self._values)
+
+    @property
+    def index_map(self) -> dict:
+        """``{frozen value: ordinal index}`` over the domain (do not mutate)."""
+        return self._index
 
     def value_at(self, index: int) -> Any:
         """Return the domain value at ordinal ``index``."""

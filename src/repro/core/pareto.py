@@ -440,10 +440,15 @@ class ParetoSearch(GenerationalEngine):
     # -- front bookkeeping ---------------------------------------------------------
 
     def _signature(self) -> tuple:
-        """Canonical fingerprint of the current non-dominated set."""
+        """Canonical fingerprint of the current non-dominated set.
+
+        Built on code vectors: signatures are only ever compared for
+        equality (stall detection), and within one space codes identify a
+        design exactly — no value decode needed.
+        """
         return tuple(
             sorted(
-                (ind.genome.key, ind.scores)
+                (ind.genome.codes, ind.scores)
                 for ind in self._finite_front()
             )
         )
@@ -459,8 +464,8 @@ class ParetoSearch(GenerationalEngine):
         seen: set[tuple] = set()
         front = []
         for ind in fronts[0]:
-            if ind.genome.key not in seen:
-                seen.add(ind.genome.key)
+            if ind.genome.codes not in seen:
+                seen.add(ind.genome.codes)
                 front.append(ind)
         return front
 

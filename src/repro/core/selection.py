@@ -4,6 +4,11 @@ The paper (Section 2) describes a classic generational GA where fitness
 scores "are used during the ranking and selection process"; we provide the
 standard strategies, all operating on *already-scored* individuals so the
 selection layer never touches the evaluator.
+
+Strategies accept any sequence of individuals. When handed a columnar
+:class:`~repro.core.population.Population` they read its cached ``scores``
+column instead of walking ``ind.score`` attribute loads per draw — same
+arithmetic, same RNG consumption, fewer Python-level loads in the hot loop.
 """
 
 from __future__ import annotations
@@ -47,6 +52,26 @@ def rank_selection(
     1), which is robust to wildly different fitness scales — important here
     because raw metrics span orders of magnitude (LUTs vs MHz vs MSPS/LUT).
     """
+    scores = getattr(population, "scores", None)
+    if scores is not None:
+        # Columnar fast path: sort index positions by the cached score
+        # column, memoized per population — the generation's draws share
+        # one table. sorted() is stable either way, so the permutation
+        # (and hence every seeded pick) matches the row-based sort exactly.
+        cache = population.selection_cache
+        table = cache.get("rank")
+        if table is None:
+            n = len(scores)
+            order = sorted(range(n), key=scores.__getitem__)
+            table = cache["rank"] = (order, n * (n + 1) // 2)
+        order, total = table
+        pick = rng.random() * total
+        acc = 0.0
+        for rank, idx in enumerate(order, start=1):
+            acc += rank
+            if pick <= acc:
+                return population[idx]
+        return population[order[-1]]
     ranked = sorted(population, key=lambda ind: ind.score)
     n = len(ranked)
     total = n * (n + 1) // 2
@@ -83,23 +108,40 @@ def roulette_selection(
     Infeasible individuals (score ``-inf``) get zero weight. If every score
     is identical (or everything is infeasible) the draw is uniform.
     """
-    finite = [ind.score for ind in population if ind.score != float("-inf")]
-    if not finite:
+    # Columnar fast path: the weight table is built once per population
+    # (rows are immutable after assessment) and memoized; every draw of
+    # the generation then runs only its rng draw and accumulation scan.
+    # The arithmetic (floor, weights, accumulation order) is identical to
+    # the row-based path, so seeded picks are bit-for-bit unchanged.
+    scores = getattr(population, "scores", None)
+    cache = (
+        population.selection_cache if scores is not None else None
+    )
+    table = cache.get("roulette") if cache is not None else None
+    if table is None:
+        if scores is None:
+            scores = [ind.score for ind in population]
+        neg_inf = float("-inf")
+        finite = [s for s in scores if s != neg_inf]
+        if not finite:
+            table = (None, 0.0)
+        else:
+            floor = min(finite)
+            weights = [(s - floor) if s != neg_inf else 0.0 for s in scores]
+            table = (weights, sum(weights))
+        if cache is not None:
+            cache["roulette"] = table
+    weights, total = table
+    if weights is None:
         return population[rng.randrange(len(population))]
-    floor = min(finite)
-    weights = [
-        (ind.score - floor) if ind.score != float("-inf") else 0.0
-        for ind in population
-    ]
-    total = sum(weights)
     if total <= 0.0:
         return population[rng.randrange(len(population))]
     pick = rng.random() * total
     acc = 0.0
-    for individual, weight in zip(population, weights):
+    for idx, weight in enumerate(weights):
         acc += weight
         if pick <= acc:
-            return individual
+            return population[idx]
     return population[-1]
 
 

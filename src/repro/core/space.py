@@ -12,10 +12,10 @@ to be unbuildable at generation time.
 
 from __future__ import annotations
 
-import itertools
 import random
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from .codec import SpaceCodec
 from .errors import SpaceError
 from .genome import Genome
 from .params import Param
@@ -54,6 +54,10 @@ class DesignSpace:
         self.params: tuple[Param, ...] = tuple(params)
         self.constraints: tuple[Constraint, ...] = tuple(constraints)
         self._name_to_pos = {p.name: i for i, p in enumerate(self.params)}
+        #: Precomputed ordinal encode/decode tables (see repro.core.codec).
+        #: Built eagerly — params and constraints are immutable after this
+        #: point, so the codec shares the space's lifetime.
+        self.codec = SpaceCodec(self)
 
     # -- parameter lookup -----------------------------------------------------
 
@@ -103,27 +107,40 @@ class DesignSpace:
         return Genome(self, merged)
 
     def genome_from_indices(self, indices: Sequence[int]) -> Genome:
-        """Build a genome from ordinal indices into each parameter domain."""
+        """Build a genome from ordinal indices into each parameter domain.
+
+        Indices are range-checked (this is a trust boundary — checkpoints
+        and external callers come through here), then wrapped via the
+        codec's trusted fast path.
+        """
         if len(indices) != len(self.params):
             raise SpaceError(
                 f"expected {len(self.params)} indices, got {len(indices)}"
             )
-        values = {
-            p.name: p.value_at(i) for p, i in zip(self.params, indices)
-        }
-        return Genome(self, values)
+        for p, i in zip(self.params, indices):
+            p.value_at(i)  # raises ParameterError on out-of-range indices
+        return Genome.from_codes(self, tuple(int(i) for i in indices))
 
     def is_feasible(self, genome: Genome | Mapping[str, Any]) -> bool:
-        """Whether a config satisfies all structural constraints."""
-        config = genome.as_dict() if isinstance(genome, Genome) else dict(genome)
+        """Whether a config satisfies all structural constraints.
+
+        A :class:`Genome` is passed to the constraint predicates directly
+        (it is a Mapping; values decode lazily) — no intermediate dict.
+        """
+        if not self.constraints:
+            return True
+        config = genome if isinstance(genome, Genome) else dict(genome)
         return all(constraint(config) for constraint in self.constraints)
 
     def random_genome(self, rng: random.Random) -> Genome:
         """Draw a uniform random *feasible* genome by rejection sampling."""
+        codec = self.codec
         for _ in range(_MAX_SAMPLING_ATTEMPTS):
-            values = {p.name: p.random_value(rng) for p in self.params}
-            if self.is_feasible(values):
-                return Genome(self, values)
+            # One randrange per parameter — the same draws (count, order,
+            # arguments) Param.random_value consumed historically.
+            codes = codec.random_codes(rng)
+            if codec.is_feasible_codes(codes):
+                return Genome.from_codes(self, codes)
         raise SpaceError(
             f"could not sample a feasible point from {self.name!r} after "
             f"{_MAX_SAMPLING_ATTEMPTS} attempts; the space may be empty"
@@ -137,9 +154,9 @@ class DesignSpace:
         while len(population) < count and attempts < _MAX_SAMPLING_ATTEMPTS:
             attempts += 1
             genome = self.random_genome(rng)
-            if genome.key in seen:
+            if genome.codes in seen:
                 continue
-            seen.add(genome.key)
+            seen.add(genome.codes)
             population.append(genome)
         while len(population) < count:
             # The space is smaller than the population; allow duplicates.
@@ -150,12 +167,10 @@ class DesignSpace:
 
     def iter_genomes(self) -> Iterator[Genome]:
         """Yield every structurally feasible genome (in lexicographic order)."""
-        domains = [p.values for p in self.params]
-        names = self.param_names
-        for combo in itertools.product(*domains):
-            values = dict(zip(names, combo))
-            if self.is_feasible(values):
-                yield Genome(self, values)
+        codec = self.codec
+        for codes in codec.iter_codes():
+            if codec.is_feasible_codes(codes):
+                yield Genome.from_codes(self, codes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

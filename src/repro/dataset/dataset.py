@@ -28,8 +28,13 @@ __all__ = ["Dataset"]
 
 
 def _freeze_config(space: DesignSpace, config: Mapping[str, Any]) -> tuple:
-    genome = config if isinstance(config, Genome) else Genome(space, config)
-    return genome.key
+    if isinstance(config, Genome):
+        return config.key
+    # Validating encode straight to the cache key — the codec's frozen
+    # tables skip the Genome allocation per row, which matters when loading
+    # a 30k-row characterized dataset.
+    codec = space.codec
+    return codec.genome_key(codec.encode_mapping(config))
 
 
 class Dataset:

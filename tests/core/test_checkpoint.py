@@ -151,6 +151,80 @@ class TestResume:
             SearchCheckpoint.load(path)
 
 
+class TestLegacyFormats:
+    """Checkpoints written by formats 1-3 must still resume correctly.
+
+    A current (format 4) snapshot is down-converted on disk into each
+    historical shape — config-dict population, ``{"config": ...}`` cache
+    rows, and for format 1 a single shared RNG state — and the resumed run
+    must land on the uninterrupted run's exact curve.
+    """
+
+    def _downconvert(self, payload: dict, space: DesignSpace, version: int) -> dict:
+        legacy = dict(payload)
+        legacy["format"] = version
+        names = legacy.pop("params")
+        legacy["population"] = [
+            space.genome_from_indices(codes).as_dict()
+            for codes in payload["population"]
+        ]
+        legacy["cache"] = [
+            {"config": dict(zip(names, row["values"])), "metrics": row["metrics"]}
+            for row in payload["cache"]
+        ]
+        if version < 3:
+            legacy.pop("guidance", None)
+        if version == 1:
+            legacy["rng_state"] = payload["rng_streams"]["streams"]["shared"]
+            del legacy["rng_streams"]
+            del legacy["stalled"]
+        return legacy
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_legacy_checkpoint_resumes_identically(
+        self, space, counting_evaluator, tmp_path, version
+    ):
+        evaluator, __ = counting_evaluator
+        reference = CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=11, generations=18),
+            checkpoint_path=tmp_path / "ref.json", checkpoint_every=1000,
+        ).run()
+        path = tmp_path / "interrupted.json"
+        CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=11, generations=6),
+            checkpoint_path=path, checkpoint_every=2,
+        ).run()
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 4
+        path.write_text(json.dumps(self._downconvert(payload, space, version)))
+        resumed = CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=11, generations=18),
+            checkpoint_path=path, checkpoint_every=1000,
+        ).resume().run()
+        assert resumed.curve() == reference.curve()
+        assert resumed.best_config == reference.best_config
+        assert resumed.distinct_evaluations == reference.distinct_evaluations
+
+    def test_param_order_guard(self, space, counting_evaluator, tmp_path):
+        """A v4 checkpoint refuses to resume into a reordered space."""
+        evaluator, __ = counting_evaluator
+        path = tmp_path / "guard.json"
+        CheckpointedSearch(
+            space, evaluator, maximize("m"),
+            GAConfig(seed=1, generations=2), checkpoint_path=path,
+        ).run()
+        reordered = DesignSpace(
+            "ck", [IntParam("b", 0, 63), IntParam("a", 0, 63)]
+        )
+        with pytest.raises(NautilusError, match="parameter order"):
+            CheckpointedSearch(
+                reordered, evaluator, maximize("m"), checkpoint_path=path
+            ).resume()
+
+
 class TestKillAndResume:
     """A run killed mid-flight, resumed from its last snapshot, must land on
     the uninterrupted run's exact result — and the restored evaluation

@@ -282,7 +282,7 @@ class TestCheckpointedGuidance:
             full.guidance.confidence_trace[-1]
         )
 
-    def test_checkpoint_payload_is_format_3_with_guidance(
+    def test_checkpoint_payload_is_format_4_with_guidance(
         self, space, evaluator, tmp_path
     ):
         path = tmp_path / "ga.ckpt.json"
@@ -297,7 +297,7 @@ class TestCheckpointedGuidance:
         )
         search.run()
         payload = json.loads(path.read_text())
-        assert payload["format"] == 3
+        assert payload["format"] == 4
         assert payload["guidance"] == {"kind": "static"}
 
     def test_v2_checkpoint_still_loads(self, space, evaluator, tmp_path):
