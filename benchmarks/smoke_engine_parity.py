@@ -17,6 +17,9 @@ at its default, *enabled* — so the pinned baseline also proves telemetry
 never perturbs the search. A second in-process pass re-runs seeded
 GA/adaptive/Pareto searches with ``GAConfig(observability=False)`` and
 demands bit-identical curves: instrumentation must consume zero RNG.
+A third pass re-runs the full matrix with ``GAConfig(tracing=True)``
+against the same baseline — span tracing is held to the same zero-RNG
+bar — and checks one traced run's span tree closes its accounting.
 
 Usage::
 
@@ -47,12 +50,16 @@ GENERATIONS = 15
 RANDOM_BUDGET = 120
 
 
-def _build(engine: str, dataset, objective, hint_kind: str, seed: int):
+def _build(
+    engine: str, dataset, objective, hint_kind: str, seed: int,
+    tracing: bool = False,
+):
     evaluator = DatasetEvaluator(dataset)
-    config = GAConfig(generations=GENERATIONS, seed=seed)
+    config = GAConfig(generations=GENERATIONS, seed=seed, tracing=tracing)
     if engine == "random":
         return RandomSearch(
-            dataset.space, evaluator, objective, budget=RANDOM_BUDGET, seed=seed
+            dataset.space, evaluator, objective, budget=RANDOM_BUDGET,
+            seed=seed, tracing=tracing,
         )
     if engine == "baseline":
         return GeneticSearch(dataset.space, evaluator, objective, config)
@@ -64,7 +71,7 @@ def _build(engine: str, dataset, objective, hint_kind: str, seed: int):
     return AdaptiveSearch(dataset.space, evaluator, objective, config, hints=hints)
 
 
-def run_workload() -> dict[str, dict]:
+def run_workload(tracing: bool = False) -> dict[str, dict]:
     results = {}
     for query_name in WORKLOADS:
         query = QUERIES[query_name]
@@ -72,7 +79,10 @@ def run_workload() -> dict[str, dict]:
         objective, hint_kind = resolve_objective(query)
         for engine in ENGINES:
             for seed in SEEDS:
-                search = _build(engine, dataset, objective, hint_kind, seed)
+                search = _build(
+                    engine, dataset, objective, hint_kind, seed,
+                    tracing=tracing,
+                )
                 result = search.run()
                 results[f"{query_name}/{engine}/{seed}"] = {
                     "stop_reason": result.stop_reason,
@@ -152,6 +162,47 @@ def check_observability_identity() -> list[str]:
         failures.append("  noc pareto: observability drift")
     else:
         print("  ok noc pareto: observability on == off")
+    return failures
+
+
+def check_tracing_identity() -> list[str]:
+    """Span tracing on -> the whole 16-run matrix stays bit-identical.
+
+    Re-runs every workload/engine/seed cell with ``GAConfig(tracing=True)``
+    (and ``RandomSearch(tracing=True)``) and compares each curve against
+    the same checked-in baseline the untraced matrix is pinned to: the
+    span layer must consume zero RNG draws. One traced run's tree is then
+    checked structurally — all spans closed, accounting invariants hold.
+    """
+    from repro.obs import validate_accounting
+
+    failures = []
+    expected = json.loads(BASELINE_PATH.read_text())
+    traced = run_workload(tracing=True)
+    drifted = sorted(key for key in expected if traced.get(key) != expected[key])
+    if drifted:
+        failures.extend(f"  {key}: tracing perturbed the curve" for key in drifted)
+    else:
+        print(f"  ok tracing: all {len(expected)} traced runs match baseline")
+    query = QUERIES["noc-frequency"]
+    dataset = load_dataset(query.space)
+    objective, hint_kind = resolve_objective(query)
+    search = _build(
+        "nautilus", dataset, objective, hint_kind, seed=0, tracing=True
+    )
+    search.run()
+    report = validate_accounting(search.spans())
+    if not report["ok"] or report["open_spans"]:
+        failures.append(
+            "  noc-frequency/nautilus: span accounting broken: "
+            + "; ".join(report["errors"])
+            + f" ({report['open_spans']} open)"
+        )
+    else:
+        print(
+            f"  ok tracing: {report['spans']} spans, accounting closed "
+            f"({report['task_spans']} task spans)"
+        )
     return failures
 
 
@@ -276,6 +327,7 @@ def main(argv: list[str]) -> int:
     if extra:
         failures.append(f"  unexpected runs not in baseline: {extra}")
     failures.extend(check_observability_identity())
+    failures.extend(check_tracing_identity())
     failures.extend(check_guidance_identity())
     failures.extend(check_encoded_identity())
     if failures:

@@ -25,6 +25,9 @@ Subcommands:
 * ``submit`` / ``status`` — submit campaigns to a running daemon and poll
   their progress, search curves, and health diagnostics.
 * ``trace`` — dump a campaign's structured RunEvent log as JSONL.
+* ``profile`` — phase budget, straggler report and critical path over a
+  tracing campaign's span tree; ``--perfetto`` exports Chrome trace-event
+  JSON loadable at https://ui.perfetto.dev.
 * ``hints`` — print a campaign's aggregated hint-attribution report.
 * ``top`` — live terminal dashboard over every campaign the daemon runs.
 
@@ -251,10 +254,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
             hints = client.hints(args.html)
         except ServiceError:
             hints = None
+        try:
+            spans = client.spans(args.html)
+        except ServiceError:
+            spans = None
         output = args.output or f"campaign-{args.html}.html"
         with open(output, "w", encoding="utf-8") as handle:
             handle.write(render_campaign_html(status, curve=curve,
-                                              hint_report=hints))
+                                              hint_report=hints,
+                                              spans=spans))
         print(f"html report written to {output}")
         return 0
     from .experiments import generate_report
@@ -289,7 +297,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"with: nautilus worker --connect {service.fleet_address}"
         )
     print(
-        "POST /campaigns, GET /campaigns/<id>[/curve|/trace|/hints], "
+        "POST /campaigns, GET /campaigns/<id>[/curve|/trace|/spans|/hints], "
         "GET /fleet, GET /metrics[?format=prometheus]; Ctrl-C stops"
     )
     service.serve_forever()
@@ -387,6 +395,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         confidence=args.confidence,
         budget=args.budget,
         trace_max_events=args.trace_max_events,
+        tracing=args.tracing,
         label=args.label,
     )
     payload = spec.to_json()
@@ -500,6 +509,97 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     client = ServiceClient(host=args.host, port=args.port)
     for event in client.trace(args.id, limit=args.limit):
         print(json.dumps(event, sort_keys=True))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.tracing import (
+        critical_path,
+        perfetto_export,
+        phase_budget,
+        straggler_report,
+        validate_accounting,
+    )
+    from .service import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    spans = client.spans(args.id)
+    if not spans:
+        print(
+            f"{args.id}: no spans recorded — submit the campaign with "
+            f"--tracing to profile it",
+            file=sys.stderr,
+        )
+        return 1
+    budget = phase_budget(spans)
+    stragglers = straggler_report(spans)
+    path = critical_path(spans)
+    accounting = validate_accounting(spans)
+    if args.perfetto:
+        with open(args.perfetto, "w", encoding="utf-8") as handle:
+            json.dump(perfetto_export(spans), handle)
+        print(
+            f"perfetto trace written to {args.perfetto} — load it at "
+            f"https://ui.perfetto.dev or chrome://tracing"
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "phase_budget": budget,
+                    "stragglers": stragglers,
+                    "critical_path": path,
+                    "accounting": accounting,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
+    generations = budget["generations"]
+    print(
+        f"{args.id}: {len(spans)} spans, {len(generations)} generation(s), "
+        f"{budget['wall_time_s']:.3f}s wall "
+        f"(phase coverage {budget['coverage']:.0%})"
+    )
+    if not accounting["ok"]:
+        print(f"accounting: {len(accounting['errors'])} violation(s)")
+        for error in accounting["errors"][:5]:
+            print(f"  {error}")
+    total_wall = budget["wall_time_s"] or 1.0
+    print("phase budget:")
+    for label, seconds in sorted(
+        budget["phases"].items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {label:12s} {seconds:9.3f}s {seconds / total_wall:6.1%}")
+    if stragglers:
+        print("eval batches (slowest task per batch):")
+        print(
+            f"  {'gen':>4s} {'tasks':>5s} {'wall':>8s} {'worker':20s} "
+            f"{'total':>8s} {'exec':>8s} {'queue':>8s} {'retry':>5s}"
+        )
+        for entry in stragglers:
+            slow = entry["slowest"]
+            gen = entry["generation"]
+            print(
+                f"  {gen if gen is not None else '?':>4} "
+                f"{entry['tasks']:5d} {entry['wall_time_s']:8.3f} "
+                f"{slow['worker']:20s} {slow['total_s']:8.3f} "
+                f"{slow['exec_s']:8.3f} {slow['queue_s']:8.3f} "
+                f"{slow['retries']:5d}"
+            )
+    if path:
+        print("critical path:")
+        for node in path:
+            attrs = node["attrs"]
+            detail = ""
+            if node["name"] == "generation":
+                detail = f" #{attrs.get('generation', '?')}"
+            elif node["name"] == "phase":
+                detail = f" {attrs.get('phase', '?')}"
+            elif attrs.get("worker"):
+                detail = f" on {attrs['worker']}"
+            print(f"  {node['name']}{detail}  {node['duration_s']:.3f}s")
     return 0
 
 
@@ -802,6 +902,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap this campaign's event log (overrides the daemon default)",
     )
+    p.add_argument(
+        "--tracing",
+        action="store_true",
+        help="record a span tree for the campaign (inspect with "
+        "'nautilus profile'); zero RNG cost, results stay bit-identical",
+    )
     p.add_argument("--label", default="")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
@@ -834,6 +940,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="phase budget, stragglers and critical path of a tracing campaign",
+    )
+    p.add_argument("id")
+    p.add_argument(
+        "--perfetto",
+        metavar="OUT_JSON",
+        default=None,
+        help="also write Chrome trace-event JSON (open at ui.perfetto.dev)",
+    )
+    p.add_argument("--json", action="store_true", help="dump the raw reports")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
         "hints", help="print a campaign's aggregated hint-attribution report"

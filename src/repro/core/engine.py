@@ -109,6 +109,12 @@ class GAConfig:
             the telemetry is derived from already-computed state and
             consumes no RNG draws, so seeded curves are identical with it
             on or off — disabling merely slims the trace.
+        tracing: Record a span tree for the run (see
+            :mod:`repro.obs.tracing`): run → generation → phase →
+            eval-batch → task, plus a per-generation ``phase-budget``
+            event. Off by default. Same guarantee as observability: span
+            ids come from counters, not RNG, so seeded curves are
+            bit-identical with tracing on or off.
 
     Stopping precedence: cutoffs are evaluated between generations, in a
     fixed order — evaluation budget, then generation horizon, then stall
@@ -131,6 +137,7 @@ class GAConfig:
     stall_generations: int | None = None
     rng_streams: str = "shared"
     observability: bool = True
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -191,6 +198,7 @@ class GeneticSearch(GenerationalEngine):
         hints: HintSet | None = None,
         label: str = "",
         guidance: GuidanceProvider | None = None,
+        clock=None,
     ):
         if hints is not None and guidance is not None:
             raise NautilusError(
@@ -209,6 +217,8 @@ class GeneticSearch(GenerationalEngine):
             stall_generations=self.config.stall_generations,
             split_rngs=self.config.rng_streams == "split",
             observability=self.config.observability,
+            tracing=self.config.tracing,
+            clock=clock,
         )
         provider = guidance if guidance is not None else (
             StaticHints(hints) if hints is not None else None
@@ -227,6 +237,7 @@ class GeneticSearch(GenerationalEngine):
             SELECTION_STRATEGIES[self.config.selection],
             _CROSSOVERS[self.config.crossover],
             self.config.crossover_rate,
+            clock=self._clock,
         )
 
     @property
@@ -349,10 +360,15 @@ class RandomSearch(SearchKernel):
         budget: int,
         seed: int | None = None,
         label: str = "random",
+        tracing: bool = False,
+        clock=None,
     ):
         if budget < 1:
             raise NautilusError("budget must be >= 1")
-        super().__init__(space, evaluator, objective, label=label, seed=seed)
+        super().__init__(
+            space, evaluator, objective, label=label, seed=seed,
+            tracing=tracing, clock=clock,
+        )
         self.budget = budget
         self._draws = 0
         self._attempts = 0

@@ -326,11 +326,16 @@ class _PersistentLayer:
         cache: "PersistentCache",
         fingerprint: str,
         counters: _Counters,
+        clock=time.perf_counter,
     ):
         self.next = next_layer
         self.cache = cache
         self.fingerprint = fingerprint
         self._counters = counters
+        self._clock = clock
+        #: Timed write-backs since the last :meth:`pop_writes` — surfaced
+        #: to tracing kernels as ``cache-write`` spans.
+        self._writes: list[dict] = []
 
     def evaluate_many(self, genomes: Sequence[Genome]) -> list[Outcome]:
         results: list[Outcome] = [None] * len(genomes)
@@ -352,12 +357,21 @@ class _PersistentLayer:
                 positions.append(i)
         if misses:
             outcomes = self.next.evaluate_many(misses)
+            started = self._clock()
             self.cache.put_many(
                 zip(misses, outcomes), self.fingerprint
+            )
+            self._writes.append(
+                {"entries": len(misses), "duration_s": self._clock() - started}
             )
             for position, outcome in zip(positions, outcomes):
                 results[position] = outcome
         return results
+
+    def pop_writes(self) -> list[dict]:
+        """Timed cache write-backs since the last call (then reset)."""
+        writes, self._writes = self._writes, []
+        return writes
 
 
 class _MemoCache:
@@ -665,10 +679,12 @@ class EvaluationStack:
         self._tail = tail
         layer = _Instrumentation(tail, self._counters, clock=clock)
         layer = _Batcher(layer, self._counters, batch_size=batch_size)
+        self._persistent_layer: _PersistentLayer | None = None
         if persistent is not None:
             layer = _PersistentLayer(
-                layer, persistent, self.fingerprint, self._counters
+                layer, persistent, self.fingerprint, self._counters, clock=clock
             )
+            self._persistent_layer = layer
         self._memo = _MemoCache(layer, self._counters)
 
     # -- construction helpers ---------------------------------------------------
@@ -756,6 +772,29 @@ class EvaluationStack:
             return None
         log = pop()
         return {"workers": log} if log else None
+
+    # -- span tracing pass-throughs (duck-typed; see repro.obs.tracing) ----------
+
+    def push_trace_context(self, ctx: dict[str, Any]) -> None:
+        """Forward a span context to the tail backend for the next batch.
+
+        Only the fleet backend consumes it (the context travels in the
+        protocol's batch frames); other backends have no hook and the call
+        is a no-op, so tracing kernels can push unconditionally.
+        """
+        push = getattr(self._tail, "push_trace_context", None)
+        if push is not None:
+            push(ctx)
+
+    def pop_task_traces(self) -> list[dict[str, Any]]:
+        """Per-task fleet timelines since the last call (empty inline)."""
+        pop = getattr(self._tail, "pop_task_traces", None)
+        return pop() if pop is not None else []
+
+    def pop_cache_writes(self) -> list[dict[str, Any]]:
+        """Timed persistent-cache write-backs since the last call."""
+        layer = self._persistent_layer
+        return layer.pop_writes() if layer is not None else []
 
     # -- memo import/export (checkpointing) -------------------------------------
 

@@ -46,7 +46,9 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..obs.attribution import summarize_generation
+from ..obs.clock import DEFAULT_CLOCK
 from ..obs.health import population_health
+from ..obs.tracing import SpanRecorder
 from .errors import NautilusError
 from .evalstack import EvalStats, EvaluationStack
 from .fitness import Objective
@@ -81,6 +83,7 @@ RUN_EVENT_KINDS = (
     "operator-applied",
     "hint-attribution",
     "health",
+    "phase-budget",
     "stop",
 )
 
@@ -588,6 +591,8 @@ class SearchKernel:
         split_rngs: bool = False,
         sinks: Sequence[TraceSink] = (),
         observability: bool = True,
+        tracing: bool = False,
+        clock: Callable[[], float] | None = None,
     ):
         self.space = space
         self.objective = objective
@@ -602,6 +607,18 @@ class SearchKernel:
         #: draws, so seeded runs are bit-identical either way (the
         #: engine-parity CI job asserts this).
         self.observability = observability
+        #: Whether the kernel records a span tree (see
+        #: :mod:`repro.obs.tracing`). Same contract as observability:
+        #: tracing consumes zero RNG draws (span ids are counters), so
+        #: seeded runs stay bit-identical with it on or off.
+        self.tracing = tracing
+        #: The injectable time source every timed path below shares —
+        #: operator timing, span boundaries, eval wall-clock. Tests pass
+        #: a FakeClock; production uses DEFAULT_CLOCK (perf_counter).
+        self._clock = clock if clock is not None else DEFAULT_CLOCK
+        self._tracer = SpanRecorder(clock=self._clock) if tracing else None
+        self._run_span = None
+        self._eval_phase = None
         #: The most recent ``health`` event payload (``None`` until one
         #: is emitted); surfaced by campaign status and ``nautilus top``.
         self.latest_health: dict[str, Any] | None = None
@@ -705,6 +722,18 @@ class SearchKernel:
         """Cumulative per-operator call counts and wall time."""
         return self._trace.operator_timings()
 
+    @property
+    def tracer(self) -> SpanRecorder | None:
+        """The span recorder, or ``None`` when tracing is off."""
+        return self._tracer
+
+    def spans(self) -> list[dict[str, Any]]:
+        """Every span recorded so far as JSON-ready dicts (empty when
+        tracing is off)."""
+        if self._tracer is None:
+            return []
+        return self._tracer.export()
+
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self):
@@ -713,6 +742,10 @@ class SearchKernel:
         if self.started:
             raise NautilusError("search already started")
         self._rngs = RngStreams(self.seed, split=self.split_rngs)
+        if self._tracer is not None:
+            self._run_span = self._tracer.begin(
+                "run", label=self.label, seed=self.seed
+            )
         return self._do_start()
 
     def step(self):
@@ -790,6 +823,10 @@ class SearchKernel:
     def _finish(self, reason: str) -> None:
         self._stop_reason = reason
         self._trace.emit("stop", self._generation, {"reason": reason})
+        if self._tracer is not None and self._run_span is not None:
+            self._tracer.end(
+                self._run_span, generations=self._generation, stop_reason=reason
+            )
         self._on_finish(reason)
 
     def _push_record(self, record: GenerationRecord) -> GenerationRecord:
@@ -836,34 +873,61 @@ class GenerationalEngine(SearchKernel):
     """
 
     def _do_start(self) -> GenerationRecord:
+        tr = self._tracer
+        gen_span = (
+            tr.begin("generation", parent=self._run_span, generation=0)
+            if tr is not None
+            else None
+        )
         self._trace.emit("generation-start", 0)
         self._guidance_state = (
             self._guidance.start()
             if self._guidance is not None
             else GuidanceState.neutral(0)
         )
-        t0 = time.perf_counter()
+        t0 = self._clock()
         genomes = self._initial_genomes()
+        t1 = self._clock()
         self._trace.emit(
             "operator-applied",
             0,
-            {
-                "operator": "init",
-                "calls": len(genomes),
-                "time_s": time.perf_counter() - t0,
-            },
+            {"operator": "init", "calls": len(genomes), "time_s": t1 - t0},
         )
+        if tr is not None:
+            # Phase spans tile the generation window edge to edge via
+            # shared boundary timestamps, so the phase budget covers the
+            # wall-clock by construction (the "init" segment absorbs
+            # guidance start and event emission alongside sampling).
+            tr.record("phase", gen_span.start_s, t1, parent=gen_span, phase="init")
+            self._eval_phase = tr.begin(
+                "phase", parent=gen_span, at=t1, phase="evaluate"
+            )
         self._population = self._assess_population(genomes, 0)
+        if tr is not None:
+            b2 = self._clock()
+            tr.end(self._eval_phase, at=b2)
+            self._eval_phase = None
         self._generation = 0
         self._observe_start()
         record = self._make_record(0)
         self._best_window.append(record.best_score)
         self._emit_health(0)
         self._push_record(record)
+        if tr is not None:
+            b3 = self._clock()
+            tr.record("phase", b2, b3, parent=gen_span, phase="observe")
+            tr.end(gen_span, at=b3)
+            self._emit_phase_budget(0, gen_span)
         return record
 
     def _do_step(self) -> GenerationRecord:
         generation = self._generation + 1
+        tr = self._tracer
+        gen_span = (
+            tr.begin("generation", parent=self._run_span, generation=generation)
+            if tr is not None
+            else None
+        )
         self._trace.emit("generation-start", generation)
         # The kernel — not the engines — advances guidance: exactly one
         # provider step per generation, fed the population's best score
@@ -881,7 +945,17 @@ class GenerationalEngine(SearchKernel):
                 generation,
                 {"operator": operator, "calls": int(calls), "time_s": time_s},
             )
+        if tr is not None:
+            b1 = self._clock()
+            self._record_breed_phases(gen_span, gen_span.start_s, b1, timings)
+            self._eval_phase = tr.begin(
+                "phase", parent=gen_span, at=b1, phase="evaluate"
+            )
         offspring = self._assess_population(genomes, generation)
+        if tr is not None:
+            b2 = self._clock()
+            tr.end(self._eval_phase, at=b2)
+            self._eval_phase = None
         self._emit_attribution(generation, offspring)
         self._population = self._survivors(offspring)
         improved = self._observe(generation)
@@ -900,7 +974,15 @@ class GenerationalEngine(SearchKernel):
         self._best_window.append(record.best_score)
         self._emit_health(generation)
         self._push_record(record)
+        if tr is not None:
+            b3 = self._clock()
+            tr.record("phase", b2, b3, parent=gen_span, phase="observe")
         self._after_generation(record)
+        if tr is not None:
+            b4 = self._clock()
+            tr.record("phase", b3, b4, parent=gen_span, phase="checkpoint")
+            tr.end(gen_span, at=b4)
+            self._emit_phase_budget(generation, gen_span)
         return record
 
     def _assess_population(self, genomes: Sequence[Genome], generation: int):
@@ -909,8 +991,22 @@ class GenerationalEngine(SearchKernel):
         When the evaluator exposes a parallel backend the generation's new
         designs are evaluated concurrently — the population-sized
         parallelism the paper's Section 2 discusses. Results are identical
-        to the sequential path. Emits one ``eval-batch`` event per batch.
+        to the sequential path. Emits one ``eval-batch`` event per batch;
+        with tracing on, also one ``eval-batch`` span (under the evaluate
+        phase) carrying per-task child spans stitched from the fleet.
         """
+        tr = self._tracer
+        batch_span = None
+        if tr is not None:
+            batch_span = tr.begin(
+                "eval-batch", parent=self._eval_phase, size=len(genomes)
+            )
+            # Hand the span context to the evaluation stack so the fleet
+            # backend can propagate it through the protocol frames (local
+            # backends have no hook and simply ignore it).
+            push = getattr(self._counter, "push_trace_context", None)
+            if push is not None:
+                push({"trace": tr.trace_id, "parent": batch_span.span_id})
         before = self._counter.stats()
         outcomes = self._counter.evaluate_many(genomes)
         delta = self._counter.stats().minus(before)
@@ -930,7 +1026,154 @@ class GenerationalEngine(SearchKernel):
             if extra:
                 payload.update(extra)
         self._trace.emit("eval-batch", generation, payload)
+        if tr is not None:
+            tr.end(
+                batch_span,
+                distinct=delta.distinct,
+                cache_hits=delta.cache_hits,
+                infeasible=delta.infeasible,
+            )
+            self._materialize_eval_spans(batch_span)
         return self._to_individuals(genomes, outcomes)
+
+    # -- tracing (see repro.obs.tracing; zero RNG draws by construction) ---------
+
+    #: Trace phase label per operator-timing key.
+    _PHASE_LABELS = {
+        "selection": "select",
+        "crossover": "crossover",
+        "mutation": "mutate",
+    }
+
+    def _record_breed_phases(
+        self,
+        gen_span,
+        start_s: float,
+        end_s: float,
+        timings: dict[str, list[float]],
+    ) -> None:
+        """Tile the breeding window into select/crossover/mutate phases.
+
+        The window (generation start → evaluation start) also contains
+        guidance advance and event emission; the operator timings say how
+        breeding time split between operators, so the window is divided
+        *proportionally* to those measurements. This keeps the phase
+        partition gap-free (coverage stays ~1.0) while still reflecting
+        the measured operator balance.
+        """
+        weights = [
+            (self._PHASE_LABELS.get(op, op), max(float(t[1]), 0.0))
+            for op, t in sorted(timings.items())
+        ]
+        total = sum(w for _, w in weights)
+        window = end_s - start_s
+        if total <= 0 or window <= 0:
+            self._tracer.record(
+                "phase", start_s, end_s, parent=gen_span, phase="select"
+            )
+            return
+        edge = start_s
+        for i, (label, weight) in enumerate(weights):
+            nxt = end_s if i == len(weights) - 1 else edge + window * (weight / total)
+            self._tracer.record("phase", edge, nxt, parent=gen_span, phase=label)
+            edge = nxt
+
+    def _emit_phase_budget(self, generation: int, gen_span) -> None:
+        """One ``phase-budget`` event (and Prometheus observation) per
+        generation: where its wall-clock went, by phase."""
+        phases: dict[str, float] = {}
+        for span in self._tracer.spans():
+            if span.parent_id == gen_span.span_id and span.name == "phase":
+                label = str(span.attrs.get("phase", "?"))
+                phases[label] = phases.get(label, 0.0) + (span.duration_s or 0.0)
+        wall = gen_span.duration_s or 0.0
+        payload = {
+            "phases": phases,
+            "wall_time_s": wall,
+            "coverage": (sum(phases.values()) / wall) if wall > 0 else 1.0,
+        }
+        self._trace.emit("phase-budget", generation, payload)
+        registry = getattr(self._counter, "registry", None)
+        if registry is not None:
+            histogram = registry.histogram(
+                "nautilus_phase_seconds",
+                "Wall-clock seconds per generation phase.",
+                labelnames=("phase",),
+            )
+            for label, seconds in phases.items():
+                histogram.observe(seconds, phase=label)
+
+    def _materialize_eval_spans(self, batch_span) -> None:
+        """Stitch fleet task timelines and cache writes into the batch span.
+
+        The coordinator reports each task's dispatch/retry/completion as
+        *offsets relative to batch submission* (worker and coordinator
+        clocks share no epoch with ours); anchoring those offsets at the
+        batch span's start and clamping into its window guarantees child
+        durations never exceed their parent. Retries and first-result-wins
+        duplicates become children/attributes of the one owning task span.
+        """
+        tr = self._tracer
+        lo, hi = batch_span.start_s, batch_span.end_s
+
+        def _at(offset) -> float:
+            return min(max(lo + float(offset), lo), hi)
+
+        pop_traces = getattr(self._counter, "pop_task_traces", None)
+        for trace in pop_traces() if pop_traces is not None else ():
+            events = trace.get("events") or []
+            first = events[0]["offset_s"] if events else 0.0
+            last = events[-1]["offset_s"] if events else 0.0
+            task_span = tr.record(
+                "task",
+                _at(first),
+                _at(last),
+                parent=batch_span,
+                task=trace.get("task", ""),
+                worker=trace.get("worker", ""),
+                attempts=int(trace.get("attempts", 1)),
+                duplicate_results=int(trace.get("duplicates", 0)),
+            )
+            for i, event in enumerate(events):
+                kind = event.get("event")
+                start = _at(event.get("offset_s", 0.0))
+                nxt = (
+                    _at(events[i + 1].get("offset_s", 0.0))
+                    if i + 1 < len(events)
+                    else task_span.end_s
+                )
+                if kind == "dispatch":
+                    tr.record(
+                        "dispatch", start, nxt, parent=task_span,
+                        worker=event.get("worker", ""),
+                    )
+                elif kind == "retry":
+                    tr.record(
+                        "retry", start, nxt, parent=task_span,
+                        worker=event.get("worker", ""),
+                        reason=event.get("reason", ""),
+                    )
+                elif kind == "done":
+                    exec_s = float(event.get("exec_s", 0.0))
+                    tr.record(
+                        "worker-exec",
+                        max(start - exec_s, lo),
+                        start,
+                        parent=task_span,
+                        worker=event.get("worker", ""),
+                        queue_s=float(event.get("queue_s", 0.0)),
+                        exec_s=exec_s,
+                    )
+        pop_writes = getattr(self._counter, "pop_cache_writes", None)
+        for write in pop_writes() if pop_writes is not None else ():
+            duration = max(float(write.get("duration_s", 0.0)), 0.0)
+            tr.record(
+                "cache-write",
+                max(hi - duration, lo),
+                hi,
+                parent=batch_span,
+                entries=int(write.get("entries", 0)),
+            )
 
     # -- observability (see repro.obs; read-only w.r.t. the RNG streams) ---------
 

@@ -334,12 +334,16 @@ class BreedingPipeline:
         select: Callable,
         crossover: Callable,
         crossover_rate: float,
+        clock: Callable[[], float] | None = None,
     ):
         self.space = space
         self.operators = operators
         self.select = select
         self.crossover = crossover
         self.crossover_rate = crossover_rate
+        #: Injectable time source for the timed breeding path (engines
+        #: pass the kernel's clock; tests pass a FakeClock).
+        self.clock = clock if clock is not None else time.perf_counter
 
     @staticmethod
     def _charge(
@@ -385,17 +389,18 @@ class BreedingPipeline:
             if observer is not None:
                 observer.child_finished()
             return mutated
-        t0 = time.perf_counter()
+        clock = self.clock
+        t0 = clock()
         parent = self.select(population, rngs.selection)
         genome = parent.genome
-        t1 = time.perf_counter()
+        t1 = clock()
         self._charge(timings, "selection", 1, t1 - t0)
         if observer is not None:
             observer.child_started(scalar_score(parent))
         if rngs.crossover.random() < self.crossover_rate:
-            t1 = time.perf_counter()
+            t1 = clock()
             other = self.select(population, rngs.selection)
-            t2 = time.perf_counter()
+            t2 = clock()
             self._charge(timings, "selection", 1, t2 - t1)
             for _ in range(self.CROSSOVER_ATTEMPTS):
                 candidate = self.crossover(parent.genome, other.genome, rngs.crossover)
@@ -404,10 +409,10 @@ class BreedingPipeline:
                     if observer is not None:
                         observer.crossover_applied()
                     break
-            self._charge(timings, "crossover", 1, time.perf_counter() - t2)
-        t3 = time.perf_counter()
+            self._charge(timings, "crossover", 1, clock() - t2)
+        t3 = clock()
         mutated = self.operators.mutate_feasible(genome, guidance, rngs.mutation)
-        self._charge(timings, "mutation", 1, time.perf_counter() - t3)
+        self._charge(timings, "mutation", 1, clock() - t3)
         if observer is not None:
             observer.child_finished()
         return mutated

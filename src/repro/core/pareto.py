@@ -269,6 +269,7 @@ class ParetoSearch(GenerationalEngine):
         hints: HintSet | None = None,
         label: str = "pareto",
         guidance: GuidanceProvider | None = None,
+        clock=None,
     ):
         if len(objectives) < 2:
             raise NautilusError("ParetoSearch needs at least 2 objectives")
@@ -290,6 +291,8 @@ class ParetoSearch(GenerationalEngine):
             stall_generations=self.config.stall_generations,
             split_rngs=self.config.rng_streams == "split",
             observability=self.config.observability,
+            tracing=self.config.tracing,
+            clock=clock,
         )
         provider = guidance if guidance is not None else (
             StaticHints(hints) if hints is not None else None
@@ -310,6 +313,7 @@ class ParetoSearch(GenerationalEngine):
             self._tournament,
             _CROSSOVERS[self.config.crossover],
             self.config.crossover_rate,
+            clock=self._clock,
         )
         self._front_signature: tuple = ()
 

@@ -34,11 +34,12 @@ from __future__ import annotations
 import logging
 import socket
 import threading
-import time
 from typing import Any, Sequence
 
+from ..obs.clock import DEFAULT_CLOCK
 from .protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     ProtocolError,
     read_message,
     send_message,
@@ -60,6 +61,7 @@ class _Task:
     __slots__ = (
         "id", "space", "fingerprint", "values", "refs", "attempts",
         "state", "worker", "eligible_at", "deadline", "outcome",
+        "events", "trace_ctx",
     )
 
     PENDING = "pending"
@@ -78,6 +80,19 @@ class _Task:
         self.eligible_at = 0.0
         self.deadline = 0.0
         self.outcome: dict[str, Any] | None = None
+        #: Span-tracing event log (dispatch / retry / done / duplicate),
+        #: with absolute coordinator-clock stamps; ``None`` unless a
+        #: tracing submitter asked for it (zero overhead otherwise).
+        self.events: list[dict[str, Any]] | None = None
+        #: Span context of the tracing submitter, forwarded in the batch
+        #: frame so v2 workers can echo it back.
+        self.trace_ctx: dict[str, Any] | None = None
+
+    def note(self, event: str, worker: str | None, at: float, **extra) -> None:
+        if self.events is not None:
+            self.events.append(
+                {"event": event, "worker": worker or "", "at": at, **extra}
+            )
 
     def wire_payload(self) -> dict[str, Any]:
         return {
@@ -181,6 +196,19 @@ class _FleetMetrics:
             "Evaluations served by the local backend (fleet unavailable).",
         )
 
+    def remove_worker(self, name: str) -> None:
+        """Drop every per-worker label set when a worker leaves the fleet.
+
+        Without this, a long-lived daemon's ``/metrics`` page accretes one
+        series per worker that ever registered — the heartbeat-age gauge
+        most visibly, since it is only ever *set* for live workers.
+        """
+        for family in (
+            self.dispatched, self.completed, self.failed, self.retried,
+            self.requeued, self.task_seconds, self.heartbeat_age,
+        ):
+            family.remove(worker=name)
+
 
 class FleetCoordinator:
     """TCP coordinator for a fleet of ``nautilus worker`` daemons.
@@ -201,9 +229,10 @@ class FleetCoordinator:
         port: int = 0,
         policy: RetryPolicy | None = None,
         registry=None,
-        clock=time.monotonic,
+        clock=None,
     ):
         self.policy = policy or RetryPolicy()
+        clock = clock if clock is not None else DEFAULT_CLOCK
         self.workers = WorkerRegistry(clock=clock)
         self._clock = clock
         self._metrics = _FleetMetrics(registry) if registry is not None else None
@@ -290,7 +319,9 @@ class FleetCoordinator:
         return self.workers.has_worker_for(space)
 
     def submit_batch(
-        self, tasks: Sequence[dict[str, Any]]
+        self,
+        tasks: Sequence[dict[str, Any]],
+        trace: dict[str, Any] | None = None,
     ) -> dict[str, dict[str, Any]]:
         """Dispatch tasks to the fleet; block until each has an outcome.
 
@@ -301,10 +332,20 @@ class FleetCoordinator:
         for tasks no live worker could serve (the caller evaluates those
         locally). Termination is bounded by the retry policy: every task
         either completes, exhausts its attempts, or goes unavailable.
+
+        ``trace`` is an optional span context (``{"trace": ..., "parent":
+        ...}``) from a tracing caller. It turns on the per-task event log
+        (dispatches, retries, completion, dropped duplicates) and rides
+        the batch frames to v2 workers; each returned outcome then carries
+        a ``"trace"`` payload whose event times are *offsets in seconds
+        relative to this submission* — the caller anchors them inside its
+        own eval-batch span, so coordinator and campaign clocks never need
+        a shared epoch.
         """
         if not tasks:
             return {}
         ids: list[str] = []
+        submitted_at = self._clock()
         with self._cond:
             if self._stopped:
                 return {
@@ -319,6 +360,10 @@ class FleetCoordinator:
                 if task is None:
                     task = _Task(payload)
                     self._tasks[task.id] = task
+                if trace is not None:
+                    if task.events is None:
+                        task.events = []
+                    task.trace_ctx = dict(trace)
                 task.refs += 1
                 ids.append(task.id)
             self._cond.notify_all()
@@ -329,10 +374,33 @@ class FleetCoordinator:
             for task_id in ids:
                 task = self._tasks[task_id]
                 outcomes[task_id] = dict(task.outcome or {})
+                if trace is not None and task.events is not None:
+                    outcomes[task_id]["trace"] = self._trace_payload(
+                        task, submitted_at
+                    )
                 task.refs -= 1
                 if task.refs <= 0:
                     del self._tasks[task_id]
             return outcomes
+
+    @staticmethod
+    def _trace_payload(task: _Task, submitted_at: float) -> dict[str, Any]:
+        """One task's event log as submission-relative offsets (lock held)."""
+        events = []
+        for event in sorted(task.events or (), key=lambda e: e["at"]):
+            entry = {k: v for k, v in event.items() if k != "at"}
+            entry["offset_s"] = max(event["at"] - submitted_at, 0.0)
+            events.append(entry)
+        outcome = task.outcome or {}
+        return {
+            "task": task.id,
+            "worker": outcome.get("worker", ""),
+            "attempts": task.attempts,
+            "duplicates": sum(
+                1 for e in events if e["event"] == "duplicate-result"
+            ),
+            "events": events,
+        }
 
     def note_local_fallback(self, count: int) -> None:
         """Record evaluations a backend served locally (fleet empty)."""
@@ -403,7 +471,7 @@ class FleetCoordinator:
             if (
                 hello is None
                 or hello.get("type") != "register"
-                or hello.get("version") != PROTOCOL_VERSION
+                or hello.get("version") not in SUPPORTED_VERSIONS
             ):
                 sock.close()
                 return
@@ -474,16 +542,19 @@ class FleetCoordinator:
         results = message.get("results") or []
         completed = failed = infeasible = duplicates = 0
         with self._cond:
+            now = self._clock()
             batch = self._batches.pop(batch_id, None)
             elapsed = (
-                max(self._clock() - batch.sent_at, 1e-9)
-                if batch is not None
-                else 0.0
+                max(now - batch.sent_at, 1e-9) if batch is not None else 0.0
             )
             for payload in results:
                 task = self._tasks.get(payload.get("id"))
                 if task is None or task.state == _Task.DONE:
                     duplicates += 1
+                    if task is not None:
+                        # Attributed to the one owning task span — a late
+                        # answer from a presumed-dead worker, not a new task.
+                        task.note("duplicate-result", worker, now)
                     continue
                 # First result wins, even if the task was requeued in the
                 # meantime (a presumed-dead worker answering late): the
@@ -492,6 +563,13 @@ class FleetCoordinator:
                 task.state = _Task.DONE
                 task.outcome = dict(payload, worker=worker)
                 task.worker = None
+                task.note(
+                    "done",
+                    worker,
+                    now,
+                    exec_s=float(payload.get("exec_s") or 0.0),
+                    queue_s=float(payload.get("queue_s") or 0.0),
+                )
                 completed += 1
                 if payload.get("error") is not None:
                     failed += 1
@@ -533,8 +611,11 @@ class FleetCoordinator:
             "fleet worker left",
             extra={"worker": name, "reason": reason, "requeued": requeued},
         )
-        if self._metrics is not None and requeued:
-            self._metrics.requeued.inc(requeued, worker=name)
+        if self._metrics is not None:
+            if requeued:
+                self._metrics.requeued.inc(requeued, worker=name)
+            # Departed workers must not leak label sets into /metrics.
+            self._metrics.remove_worker(name)
         self.workers.record_requeued(name, requeued, retried=False)
 
     def _requeue_worker_tasks(self, name: str, retried: bool) -> int:
@@ -546,6 +627,7 @@ class FleetCoordinator:
                 continue
             count += 1
             task.worker = None
+            task.note("retry", name, now, reason="worker-died")
             if self.policy.exhausted(task.attempts):
                 task.state = _Task.DONE
                 task.outcome = {
@@ -622,6 +704,7 @@ class FleetCoordinator:
                 continue
             count += 1
             task.worker = None
+            task.note("retry", name, now, reason="timeout")
             if self.policy.exhausted(task.attempts):
                 task.state = _Task.DONE
                 task.outcome = {
@@ -684,25 +767,29 @@ class FleetCoordinator:
                         continue
                     self._next_batch += 1
                     batch_id = self._next_batch
+                    trace_ctx = None
                     for task in shard:
                         task.state = _Task.INFLIGHT
                         task.worker = info.name
                         task.attempts += 1
                         task.deadline = now + self.policy.task_timeout_s
+                        task.note("dispatch", info.name, now)
+                        if trace_ctx is None and task.trace_ctx is not None:
+                            trace_ctx = task.trace_ctx
                     self._batches[batch_id] = _Batch(
                         info.name, {t.id for t in shard}, now
                     )
                     self._totals["dispatched"] += len(shard)
-                    sends.append(
-                        (
-                            self._conns[info.name],
-                            {
-                                "type": "batch",
-                                "batch": batch_id,
-                                "tasks": [t.wire_payload() for t in shard],
-                            },
-                        )
-                    )
+                    frame = {
+                        "type": "batch",
+                        "batch": batch_id,
+                        "tasks": [t.wire_payload() for t in shard],
+                    }
+                    # Span context rides to v2 workers (v1 workers ignore
+                    # unknown keys; the batch still serves).
+                    if trace_ctx is not None:
+                        frame["trace"] = trace_ctx
+                    sends.append((self._conns[info.name], frame))
             if sends or marked_unavailable:
                 self._cond.notify_all()
         for conn, frame in sends:

@@ -17,6 +17,13 @@ empties *after* dispatch, and those tasks are re-run locally too.
 Worker attribution for run traces is exposed via :meth:`pop_dispatch_log`
 (``{worker_name_or_"local": evaluation_count}`` since the last call),
 which the stack surfaces to the kernel's ``eval-batch`` events.
+
+Span tracing rides the same duck-typed seam: a tracing kernel pushes its
+eval-batch span context down via :meth:`push_trace_context`; the backend
+forwards it to :meth:`FleetCoordinator.submit_batch`, collects the
+per-task event timelines the coordinator returns (offsets relative to
+submission), and hands them back up via :meth:`pop_task_traces` for the
+kernel to anchor as ``task`` spans inside the eval-batch span.
 """
 
 from __future__ import annotations
@@ -45,10 +52,25 @@ class FleetBackend:
         self._local = _InlineBackend(inner)
         self._lock = threading.Lock()
         self._dispatch_log: dict[str, int] = {}
+        self._trace_ctx: dict | None = None
+        self._task_traces: list[dict] = []
+
+    def push_trace_context(self, ctx: dict) -> None:
+        """Adopt a span context for the next batch (tracing kernels only)."""
+        with self._lock:
+            self._trace_ctx = dict(ctx)
+
+    def pop_task_traces(self) -> list[dict]:
+        """Per-task event timelines since the last call (then reset)."""
+        with self._lock:
+            traces, self._task_traces = self._task_traces, []
+        return traces
 
     def evaluate_many(self, genomes: Sequence[Genome]) -> list:
         if not genomes:
             return []
+        with self._lock:
+            trace_ctx, self._trace_ctx = self._trace_ctx, None
         space = genomes[0].space.name
         if not self._coordinator.has_worker_for(space):
             # Nothing can serve this space right now: degrade to local
@@ -57,7 +79,7 @@ class FleetBackend:
             self._log(LOCAL, len(genomes))
             return self._local.evaluate_many(genomes)
         payloads = [task_payload(g, self._fingerprint) for g in genomes]
-        outcomes = self._coordinator.submit_batch(payloads)
+        outcomes = self._coordinator.submit_batch(payloads, trace=trace_ctx)
         results: list = [None] * len(genomes)
         local_indices: list[int] = []
         for i, payload in enumerate(payloads):
@@ -68,6 +90,10 @@ class FleetBackend:
             worker = fragment.get("worker")
             if worker:
                 self._log(worker, 1)
+            trace = fragment.get("trace")
+            if trace is not None:
+                with self._lock:
+                    self._task_traces.append(trace)
             results[i] = decode_outcome(fragment)
         if local_indices:
             # The fleet emptied between dispatch and service; finish the

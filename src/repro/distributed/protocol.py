@@ -10,7 +10,7 @@ Frames (``type`` discriminates; unknown keys are ignored for forward
 compatibility)::
 
     worker -> coordinator
-      {"type": "register", "version": 1, "worker": "w1",
+      {"type": "register", "version": 2, "worker": "w1",
        "spaces": ["noc"], "slots": 2}
       {"type": "heartbeat", "worker": "w1"}
       {"type": "result", "batch": 7,
@@ -19,11 +19,20 @@ compatibility)::
                    {"id": "...", "error": "...", "error_type": "DatasetError"}]}
 
     coordinator -> worker
-      {"type": "welcome", "version": 1, "heartbeat_interval_s": 1.0}
+      {"type": "welcome", "version": 2, "heartbeat_interval_s": 1.0}
       {"type": "batch", "batch": 7,
        "tasks": [{"id": "...", "space": "noc_router",
                   "fingerprint": "dataset:...", "values": [2, 4, ...]}]}
       {"type": "shutdown"}
+
+Version 2 (tracing) extends version 1 without breaking it. A ``batch``
+frame may carry a span context (``"trace": {"trace": "...", "parent":
+"..."}``) which version-2 workers echo back in the ``result`` frame, and
+each result fragment may add worker-side timing (``"queue_s"``: seconds
+the task sat between batch receipt and execution start; ``"exec_s"``:
+execution wall seconds). Because unknown keys are ignored, v1 workers
+serve v2 coordinators (no timing, spans degrade gracefully) and vice
+versa; both sides accept any version in :data:`SUPPORTED_VERSIONS`.
 
 Task identity is **content-addressed**: :func:`task_id` hashes the space
 name, the evaluator fingerprint, and the genome's canonical value vector —
@@ -50,6 +59,7 @@ from ..core.genome import Genome
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "ProtocolError",
     "RemoteEvaluationError",
     "task_id",
@@ -62,7 +72,12 @@ __all__ = [
     "connect_stream",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Peer versions both sides still serve. Version 1 predates span tracing:
+#: a v1 peer neither sends nor expects trace context or task timing, and
+#: the extra v2 keys ride through its unknown-key tolerance.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Cap on one frame, bytes. A batch of a few hundred tasks is ~100 KB; a
 #: frame beyond this is a protocol violation, not a big batch.

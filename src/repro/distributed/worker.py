@@ -26,8 +26,10 @@ from typing import Any, Callable, Sequence
 
 from ..core.evalstack import evaluator_fingerprint
 from ..core.genome import Genome
+from ..obs.clock import DEFAULT_CLOCK
 from .protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     ProtocolError,
     encode_outcome,
     connect_stream,
@@ -154,10 +156,11 @@ class FleetWorker:
             welcome = read_message(rfile)
             if welcome is None or welcome.get("type") != "welcome":
                 raise ProtocolError("coordinator did not send a welcome frame")
-            if welcome.get("version") != PROTOCOL_VERSION:
+            if welcome.get("version") not in SUPPORTED_VERSIONS:
                 raise ProtocolError(
                     f"protocol version mismatch: coordinator speaks "
-                    f"{welcome.get('version')}, worker speaks {PROTOCOL_VERSION}"
+                    f"{welcome.get('version')}, worker supports "
+                    f"{SUPPORTED_VERSIONS}"
                 )
             self.name = welcome.get("worker") or self.name
             interval = float(welcome.get("heartbeat_interval_s") or 1.0)
@@ -214,27 +217,43 @@ class FleetWorker:
 
     def _serve_batch(self, message: dict[str, Any], executor) -> None:
         tasks = message.get("tasks") or []
+        # Batch receipt time anchors each task's queue wait (time between
+        # the batch landing and that task's execution starting) — protocol
+        # v2 timing that v1 coordinators simply ignore.
+        received_at = DEFAULT_CLOCK()
         if executor is not None:
-            results = list(executor.map(self._run_task, tasks))
+            results = list(
+                executor.map(lambda t: self._run_task(t, received_at), tasks)
+            )
         else:
-            results = [self._run_task(task) for task in tasks]
+            results = [self._run_task(task, received_at) for task in tasks]
         self.batches_served += 1
         self.tasks_served += len(results)
+        frame = {
+            "type": "result",
+            "batch": message.get("batch"),
+            "worker": self.name,
+            "results": results,
+        }
+        # Echo the coordinator's span context so its task spans stitch.
+        if message.get("trace") is not None:
+            frame["trace"] = message["trace"]
         try:
-            self._send(
-                {
-                    "type": "result",
-                    "batch": message.get("batch"),
-                    "worker": self.name,
-                    "results": results,
-                }
-            )
+            self._send(frame)
         except OSError:
             # Connection died with results in hand; the coordinator will
             # requeue the batch — never report half a batch.
             self._stop.set()
 
-    def _run_task(self, task: dict[str, Any]) -> dict[str, Any]:
+    def _run_task(
+        self, task: dict[str, Any], received_at: float | None = None
+    ) -> dict[str, Any]:
+        started = DEFAULT_CLOCK()
+        timing = {
+            "queue_s": max(started - received_at, 0.0)
+            if received_at is not None
+            else 0.0,
+        }
         served = self._serving.get(task.get("space"))
         if served is None:
             return {
@@ -244,6 +263,8 @@ class FleetWorker:
                     f"{task.get('space')!r} (serves {sorted(self._serving)})"
                 ),
                 "error_type": "CapabilityError",
+                "exec_s": DEFAULT_CLOCK() - started,
+                **timing,
             }
         if served.fingerprint != task.get("fingerprint"):
             return {
@@ -255,6 +276,8 @@ class FleetWorker:
                     f"{served.fingerprint!r} — dataset versions disagree"
                 ),
                 "error_type": "FingerprintMismatch",
+                "exec_s": DEFAULT_CLOCK() - started,
+                **timing,
             }
         try:
             values = values_from_wire(task.get("values") or [])
@@ -263,5 +286,15 @@ class FleetWorker:
             )
             outcome = served.evaluator.evaluate(genome)
         except Exception as exc:  # noqa: BLE001 — every failure is an outcome
-            return dict(encode_outcome(exc), id=task.get("id"))
-        return dict(encode_outcome(outcome), id=task.get("id"))
+            return dict(
+                encode_outcome(exc),
+                id=task.get("id"),
+                exec_s=DEFAULT_CLOCK() - started,
+                **timing,
+            )
+        return dict(
+            encode_outcome(outcome),
+            id=task.get("id"),
+            exec_s=DEFAULT_CLOCK() - started,
+            **timing,
+        )

@@ -20,6 +20,11 @@ without import cycles. It provides four largely independent pieces:
 * :mod:`repro.obs.logs` / :mod:`repro.obs.htmlreport` — a JSON log
   formatter with campaign-id correlation and a no-dependency HTML
   report renderer for ``nautilus report --html``.
+* :mod:`repro.obs.clock` / :mod:`repro.obs.tracing` — the injectable
+  time source shared by every timed layer, and the span layer: one
+  causal timing tree per run (run → generation → phase → eval-batch →
+  task → dispatch/worker-exec/retry), with phase-budget, straggler,
+  critical-path, and Perfetto trace-event analysis on top.
 
 Everything here is *read-only* with respect to the search: enabling
 observability never consumes RNG draws, so seeded runs stay bit-identical
@@ -27,9 +32,20 @@ with it on or off (enforced by the engine-parity CI job).
 """
 
 from .attribution import BreedingObserver, HintEffectReport, hint_effect_report
+from .clock import DEFAULT_CLOCK, FakeClock
 from .health import population_health, stall_risk
 from .logs import JsonLogFormatter, configure_json_logging
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, parse_prometheus
+from .tracing import (
+    Span,
+    SpanRecorder,
+    critical_path,
+    perfetto_export,
+    phase_budget,
+    span_tree,
+    straggler_report,
+    validate_accounting,
+)
 
 __all__ = [
     "BreedingObserver",
@@ -44,4 +60,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "parse_prometheus",
+    "DEFAULT_CLOCK",
+    "FakeClock",
+    "Span",
+    "SpanRecorder",
+    "span_tree",
+    "validate_accounting",
+    "phase_budget",
+    "straggler_report",
+    "critical_path",
+    "perfetto_export",
 ]

@@ -1,0 +1,48 @@
+"""The one injectable time source every timed layer shares.
+
+Before this module each layer picked its own clock ad hoc — the kernel
+hardcoded ``time.perf_counter``, the fleet coordinator defaulted to
+``time.monotonic`` — which made span/timing tests sleep real wall-clock
+time to observe anything. Every timed component now accepts a ``clock``
+callable defaulting to :data:`DEFAULT_CLOCK`, and tests drive a
+:class:`FakeClock` instead of sleeping.
+
+A clock here is just a zero-argument callable returning seconds as a
+float, monotonic within one process. Only *relative* readings are ever
+compared, so components with different epochs (``perf_counter`` vs
+``monotonic``) still interoperate — span stitching across the fleet uses
+offsets, never absolute timestamps (see :mod:`repro.obs.tracing`).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["DEFAULT_CLOCK", "FakeClock"]
+
+#: The process-wide default clock: highest-resolution monotonic timer.
+DEFAULT_CLOCK = time.perf_counter
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic timing tests.
+
+    Call the instance to read the current time; :meth:`advance` moves it
+    forward. ``tick`` (default 0) is added on *every* read, which gives
+    strictly increasing timestamps to code that takes several readings
+    in a row — spans then have non-zero durations without any sleeps.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0):
+        self._now = float(start)
+        self._tick = float(tick)
+
+    def __call__(self) -> float:
+        self._now += self._tick
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds

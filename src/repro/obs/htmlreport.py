@@ -3,9 +3,12 @@
 ``nautilus report --html <id>`` fetches a campaign's status, curve, and
 hint-effect report over the REST API and renders one static HTML file:
 an inline-SVG best-so-far curve, the health panel, and the per-param /
-per-channel hint-effect table (mean deltas colored by sign). No
-JavaScript, no external assets — the file can be attached to a ticket
-or archived next to the campaign directory.
+per-channel hint-effect table (mean deltas colored by sign). Tracing
+campaigns additionally get a phase-profile section (where each
+generation's wall-clock went, plus the slowest task per eval batch)
+derived from their span tree. No JavaScript, no external assets — the
+file can be attached to a ticket or archived next to the campaign
+directory.
 """
 
 from __future__ import annotations
@@ -123,10 +126,62 @@ def _health_panel(health: Mapping[str, Any] | None) -> str:
     return f'<dl class="kv">{items}</dl>'
 
 
+def _phase_panel(spans: Sequence[Mapping[str, Any]] | None) -> str:
+    if not spans:
+        return (
+            '<p class="muted">No span tree recorded — submit the campaign '
+            "with <code>tracing</code> to profile it.</p>"
+        )
+    from .tracing import phase_budget, straggler_report
+
+    budget = phase_budget(spans)
+    total_wall = budget["wall_time_s"] or 1.0
+    rows = [
+        "<table><tr><th>phase</th><th>seconds</th><th>share</th></tr>"
+    ]
+    for label, seconds in sorted(
+        budget["phases"].items(), key=lambda kv: -kv[1]
+    ):
+        rows.append(
+            f'<tr><td class="name">{html.escape(label)}</td>'
+            f"<td>{seconds:.3f}</td><td>{seconds / total_wall:.1%}</td></tr>"
+        )
+    rows.append("</table>")
+    parts = [
+        f"<p>{len(budget['generations'])} generation(s), "
+        f"{budget['wall_time_s']:.3f}s wall, phase coverage "
+        f"{budget['coverage']:.0%}.</p>",
+        "".join(rows),
+    ]
+    stragglers = straggler_report(spans)
+    if stragglers:
+        rows = [
+            "<table><tr><th>generation</th><th>tasks</th><th>batch s</th>"
+            "<th>slowest worker</th><th>task s</th><th>exec s</th>"
+            "<th>queue s</th><th>retries</th></tr>"
+        ]
+        for entry in stragglers:
+            slow = entry["slowest"]
+            gen = entry["generation"]
+            rows.append(
+                f"<tr><td>{_fmt(gen if gen is not None else '?')}</td>"
+                f"<td>{entry['tasks']}</td>"
+                f"<td>{entry['wall_time_s']:.3f}</td>"
+                f'<td class="name">{html.escape(slow["worker"])}</td>'
+                f"<td>{slow['total_s']:.3f}</td><td>{slow['exec_s']:.3f}</td>"
+                f"<td>{slow['queue_s']:.3f}</td><td>{slow['retries']}</td></tr>"
+            )
+        rows.append("</table>")
+        parts.append("<h3>Slowest task per eval batch</h3>")
+        parts.append("".join(rows))
+    return "".join(parts)
+
+
 def render_campaign_html(
     status: Mapping[str, Any],
     curve: Sequence[Mapping[str, Any]] = (),
     hint_report: Mapping[str, Any] | None = None,
+    spans: Sequence[Mapping[str, Any]] | None = None,
     title: str | None = None,
 ) -> str:
     """Render one campaign into a complete standalone HTML document."""
@@ -165,6 +220,8 @@ def render_campaign_html(
 {_curve_svg(curve)}
 <h2>Search health</h2>
 {_health_panel(status.get("health"))}
+<h2>Phase profile</h2>
+{_phase_panel(spans)}
 <h2>Hint effect</h2>
 {_hint_table(hint_report or {})}
 {config_block}

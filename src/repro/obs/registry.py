@@ -54,6 +54,26 @@ def _escape_label_value(value: str) -> str:
     )
 
 
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`_escape_label_value` (exposition-format escaping)."""
+    out, i = [], 0
+    while i < len(value):
+        char = value[i]
+        if char == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
 def _format_value(value: float) -> str:
     if value == _INF:
         return "+Inf"
@@ -99,6 +119,16 @@ class _Family:
                 f"got {tuple(sorted(labels))}"
             )
         return tuple(str(labels[name]) for name in self.labelnames)
+
+    def remove(self, **labels: str) -> None:
+        """Drop one label set (e.g. a worker that left the fleet).
+
+        Long-lived daemons must prune per-worker series when the worker
+        deregisters or expires, or ``/metrics`` grows without bound.
+        Removing a series that was never recorded is a no-op.
+        """
+        with self._lock:
+            self._series.pop(self._key(labels), None)
 
     def _render_header(self) -> list[str]:
         lines = []
@@ -146,11 +176,6 @@ class Gauge(_Family):
         key = self._key(labels)
         with self._lock:
             self._series[key] = self._series.get(key, 0.0) + amount
-
-    def remove(self, **labels: str) -> None:
-        """Drop one label set (e.g. a campaign that left the store)."""
-        with self._lock:
-            self._series.pop(self._key(labels), None)
 
     def value(self, **labels: str) -> float:
         with self._lock:
@@ -318,7 +343,9 @@ def parse_prometheus(text: str) -> dict[str, dict]:
             parsed = []
             for part in _split_labels(label_body):
                 label, _, quoted = part.partition("=")
-                parsed.append((label, quoted.strip('"')))
+                if quoted.startswith('"') and quoted.endswith('"') and len(quoted) >= 2:
+                    quoted = quoted[1:-1]
+                parsed.append((label, _unescape_label_value(quoted)))
             labels = tuple(parsed)
         family_name = sample_name
         for suffix in ("_bucket", "_sum", "_count"):

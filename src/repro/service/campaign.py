@@ -109,6 +109,12 @@ class CampaignSpec:
         trace_max_events: Optional cap on this campaign's persisted event
             log (see :class:`~repro.core.CappedJsonlTraceSink`); overrides
             the service-wide default. ``None`` keeps every event.
+        tracing: Record a span tree for the campaign (see
+            :mod:`repro.obs.tracing`), persisted as ``spans.jsonl`` and
+            served by ``GET /campaigns/<id>/spans`` / ``nautilus
+            profile``. Off by default; spans consume zero RNG draws, so a
+            traced campaign's results are bit-identical to an untraced
+            one.
         label: Free-form tag carried into results.
     """
 
@@ -123,6 +129,7 @@ class CampaignSpec:
     max_evaluations: int | None = None
     workers: int | None = None
     trace_max_events: int | None = None
+    tracing: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -237,6 +244,7 @@ def build_search(
             generations=spec.generations,
             seed=spec.seed,
             max_evaluations=spec.max_evaluations,
+            tracing=spec.tracing,
         )
         if campaign_dir is None:
             from ..core import ParetoSearch
@@ -265,6 +273,7 @@ def build_search(
             budget=spec.budget,
             seed=spec.seed,
             label=spec.label or "random",
+            tracing=spec.tracing,
         )
     hints = None
     if spec.engine == "nautilus":
@@ -276,6 +285,7 @@ def build_search(
         generations=spec.generations,
         seed=spec.seed,
         max_evaluations=spec.max_evaluations,
+        tracing=spec.tracing,
     )
     if campaign_dir is None:
         from ..core import GeneticSearch

@@ -101,6 +101,10 @@ class ServiceClient:
             path += f"?limit={limit}"
         return self._request("GET", path)
 
+    def spans(self, campaign_id: str) -> list[dict[str, Any]]:
+        """A campaign's persisted span tree (empty unless ``tracing``)."""
+        return self._request("GET", f"/campaigns/{campaign_id}/spans")
+
     def hints(self, campaign_id: str) -> dict[str, Any]:
         """Aggregated hint-attribution report for one campaign."""
         return self._request("GET", f"/campaigns/{campaign_id}/hints")

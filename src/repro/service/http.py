@@ -7,6 +7,7 @@ Routes::
     GET    /campaigns/<id>       status: state, progress, best-so-far
     GET    /campaigns/<id>/curve per-generation search curve
     GET    /campaigns/<id>/trace structured RunEvent log (?limit=N for tail)
+    GET    /campaigns/<id>/spans persisted span tree (tracing campaigns)
     GET    /campaigns/<id>/hints aggregated hint-attribution report
     DELETE /campaigns/<id>       request cancellation
     GET    /metrics              live service counters (JSON); add
@@ -158,6 +159,8 @@ class _Handler(BaseHTTPRequestHandler):
                         parts[1], limit=self._query_int("limit", minimum=0)
                     )
                 )
+            elif len(parts) == 3 and parts[:1] == ("campaigns",) and parts[2] == "spans":
+                self._send_json(scheduler.spans(parts[1]))
             elif len(parts) == 3 and parts[:1] == ("campaigns",) and parts[2] == "hints":
                 self._send_json(scheduler.hint_report(parts[1]))
             else:

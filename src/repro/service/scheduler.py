@@ -299,6 +299,7 @@ class Scheduler:
         else:
             record = search.step()
         campaign.generations_done = search.generation
+        self._drain_spans(campaign)
         self.metrics.record_step(
             campaign.id,
             campaign.generations_done,
@@ -313,7 +314,23 @@ class Scheduler:
         else:
             self.store.save_status(campaign)
 
+    def _drain_spans(self, campaign: Campaign) -> None:
+        """Persist the campaign's newly finished spans (tracing campaigns).
+
+        Runs on the scheduler thread only, so the recorder's drain cursor
+        never races a query: :meth:`spans` reads the persisted log and
+        does not touch the live recorder.
+        """
+        search = campaign.search
+        tracer = getattr(search, "tracer", None)
+        if tracer is None:
+            return
+        finished = tracer.drain_finished()
+        if finished:
+            self.store.append_spans(campaign.id, finished)
+
     def _finalize(self, campaign: Campaign, state: str) -> None:
+        self._drain_spans(campaign)
         campaign.state = state
         self.store.save_status(campaign)
         self.store.save_result(campaign)
@@ -338,6 +355,17 @@ class Scheduler:
         """A campaign's persisted RunEvent log (most recent last)."""
         self.get(campaign_id)  # 404 on unknown campaigns
         return self.store.load_events(campaign_id, limit=limit)
+
+    def spans(self, campaign_id: str) -> list[dict[str, Any]]:
+        """A campaign's persisted span tree (tracing campaigns only).
+
+        Spans are drained to ``spans.jsonl`` after every scheduler step
+        and at finalize, so a finished campaign's tree is complete here;
+        a live campaign shows everything up to its last stepped
+        generation. Non-tracing campaigns return an empty list.
+        """
+        self.get(campaign_id)  # 404 on unknown campaigns
+        return self.store.load_spans(campaign_id)
 
     def hint_report(self, campaign_id: str) -> dict[str, Any]:
         """Aggregate hint attribution over a campaign's persisted trace.

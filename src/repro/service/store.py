@@ -8,6 +8,7 @@ Layout, one directory per campaign under the store root::
         status.json      # state machine + progress records (atomic rewrites)
         checkpoint.json  # SearchCheckpoint (GA engines; written by the engine)
         events.jsonl     # structured RunEvent trace, one JSON line per event
+        spans.jsonl      # span tree (tracing campaigns), one span per line
         result.json      # final curve + best design, once terminal
 
 Every write goes through a temp-file + ``rename`` so a killed daemon never
@@ -151,3 +152,45 @@ class CampaignStore:
         if limit is not None and limit >= 0:
             return events[len(events) - limit :] if limit else []
         return events
+
+    # -- span trace ---------------------------------------------------------------
+
+    def spans_path(self, campaign_id: str) -> Path:
+        """The campaign's append-only span log (JSONL, tracing campaigns)."""
+        return self.campaign_dir(campaign_id) / "spans.jsonl"
+
+    def append_spans(
+        self, campaign_id: str, spans: list[dict[str, Any]]
+    ) -> None:
+        """Append finished spans to the campaign's span log.
+
+        Append-only like the event log: the scheduler drains each
+        campaign's :class:`~repro.obs.SpanRecorder` after every step, so a
+        killed daemon loses at most the spans of the generation being
+        stepped. A resumed campaign starts a fresh trace id — the log then
+        holds one span tree per daemon incarnation.
+        """
+        if not spans:
+            return
+        path = self.spans_path(campaign_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as handle:
+            for span in spans:
+                handle.write(json.dumps(span) + "\n")
+            handle.flush()
+
+    def load_spans(self, campaign_id: str) -> list[dict[str, Any]]:
+        """Read a campaign's persisted span log (torn tail lines skipped)."""
+        path = self.spans_path(campaign_id)
+        if not path.exists():
+            return []
+        spans = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        return spans

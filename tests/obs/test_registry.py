@@ -113,3 +113,82 @@ class TestExposition:
 
     def test_empty_registry_renders_empty(self):
         assert parse_prometheus(MetricsRegistry().render()) == {}
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'quo"ted',
+            "back\\slash",
+            "comma,inside",
+            "new\nline",
+            'all\\of,it="together"\n',
+            "",
+        ],
+    )
+    def test_escaped_label_values_round_trip_all_families(self, value):
+        # Satellite: values containing quotes, backslashes, commas and
+        # newlines must survive render -> parse unchanged for counters,
+        # gauges and histograms alike.
+        registry = MetricsRegistry()
+        registry.counter(
+            "nautilus_c_total", "c", labelnames=("name",)
+        ).inc(3, name=value)
+        registry.gauge(
+            "nautilus_g", "g", labelnames=("name",)
+        ).set(7, name=value)
+        registry.histogram(
+            "nautilus_h_seconds", "h", labelnames=("name",), buckets=(1.0,)
+        ).observe(0.5, name=value)
+        parsed = parse_prometheus(registry.render())
+        labels = (("name", value),)
+        assert parsed["nautilus_c_total"]["samples"][
+            ("nautilus_c_total", labels)
+        ] == 3
+        assert parsed["nautilus_g"]["samples"][("nautilus_g", labels)] == 7
+        hist = parsed["nautilus_h_seconds"]["samples"]
+        assert hist[("nautilus_h_seconds_count", labels)] == 1
+        assert hist[("nautilus_h_seconds_sum", labels)] == 0.5
+        bucket_labels = dict(labels)
+        bucket_keys = [
+            key
+            for key in hist
+            if key[0] == "nautilus_h_seconds_bucket"
+            and dict(key[1]).get("name") == value
+        ]
+        assert len(bucket_keys) == 2  # le=1.0 and le=+Inf
+        assert bucket_labels["name"] == value
+
+    def test_two_escaped_values_stay_distinct(self):
+        # 'a\\' + ',b' must not collide with 'a' + '\\,b' after escaping.
+        registry = MetricsRegistry()
+        gauge = registry.gauge("nautilus_g", "g", labelnames=("x", "y"))
+        gauge.set(1, x="a\\", y=",b")
+        gauge.set(2, x="a", y="\\,b")
+        parsed = parse_prometheus(registry.render())["nautilus_g"]["samples"]
+        assert parsed[("nautilus_g", (("x", "a\\"), ("y", ",b")))] == 1
+        assert parsed[("nautilus_g", (("x", "a"), ("y", "\\,b")))] == 2
+
+
+class TestFamilyRemove:
+    def test_remove_prunes_counter_and_histogram_series(self):
+        # Satellite: remove() lives on the family, so per-worker counter
+        # and histogram series can be pruned on deregistration too.
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "nautilus_done_total", "d", labelnames=("worker",)
+        )
+        counter.inc(5, worker="w1")
+        counter.inc(2, worker="w2")
+        histogram = registry.histogram(
+            "nautilus_task_seconds", "t", labelnames=("worker",), buckets=(1.0,)
+        )
+        histogram.observe(0.5, worker="w1")
+        counter.remove(worker="w1")
+        histogram.remove(worker="w1")
+        text = registry.render()
+        assert 'worker="w1"' not in text
+        assert counter.value(worker="w2") == 2
+
+    def test_remove_unknown_series_is_a_no_op(self):
+        gauge = MetricsRegistry().gauge("nautilus_g", "g", labelnames=("a",))
+        gauge.remove(a="never-set")

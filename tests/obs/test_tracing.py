@@ -1,0 +1,275 @@
+"""Span tracing: recorder semantics, accounting invariants, analyses."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FakeClock,
+    SpanRecorder,
+    critical_path,
+    perfetto_export,
+    phase_budget,
+    span_tree,
+    straggler_report,
+    validate_accounting,
+)
+
+
+def _recorder(tick: float = 0.0) -> SpanRecorder:
+    return SpanRecorder(clock=FakeClock(start=100.0, tick=tick))
+
+
+class TestFakeClock:
+    def test_advance_and_tick(self):
+        clock = FakeClock(start=5.0)
+        assert clock() == 5.0
+        clock.advance(2.5)
+        assert clock() == 7.5
+        ticking = FakeClock(start=0.0, tick=0.25)
+        assert ticking() == 0.25
+        assert ticking() == 0.5
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+
+class TestSpanRecorder:
+    def test_begin_end_records_window(self):
+        recorder = _recorder()
+        clock = recorder.clock
+        span = recorder.begin("run", label="x")
+        clock.advance(3.0)
+        recorder.end(span, generations=2)
+        assert span.start_s == 100.0
+        assert span.end_s == 103.0
+        assert span.duration_s == 3.0
+        assert span.attrs == {"label": "x", "generations": 2}
+
+    def test_ids_are_counter_based_and_unique(self):
+        recorder = _recorder()
+        ids = [recorder.begin(f"n{i}").span_id for i in range(5)]
+        assert len(set(ids)) == 5
+        assert all(i.startswith("s") for i in ids)
+        assert recorder.trace_id.startswith("trace-")
+
+    def test_end_is_idempotent_on_time(self):
+        recorder = _recorder()
+        span = recorder.begin("run")
+        recorder.clock.advance(1.0)
+        recorder.end(span)
+        recorder.clock.advance(1.0)
+        recorder.end(span, extra=1)  # merges attrs, keeps first end time
+        assert span.end_s == 101.0
+        assert span.attrs == {"extra": 1}
+
+    def test_end_never_precedes_start(self):
+        recorder = _recorder()
+        span = recorder.begin("run", at=50.0)
+        recorder.end(span, at=10.0)
+        assert span.end_s == span.start_s
+
+    def test_record_floors_negative_durations(self):
+        recorder = _recorder()
+        span = recorder.record("phase", 10.0, 8.0)
+        assert span.end_s == span.start_s == 10.0
+
+    def test_context_manager_closes_on_error(self):
+        recorder = _recorder(tick=0.5)
+        with pytest.raises(RuntimeError):
+            with recorder.span("run"):
+                raise RuntimeError("boom")
+        (span,) = recorder.spans()
+        assert span.end_s is not None
+
+    def test_parent_accepts_span_or_id(self):
+        recorder = _recorder()
+        root = recorder.begin("run")
+        a = recorder.begin("generation", parent=root)
+        b = recorder.begin("generation", parent=root.span_id)
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_drain_finished_returns_only_closed_then_resets(self):
+        recorder = _recorder()
+        open_span = recorder.begin("run")
+        child = recorder.begin("generation", parent=open_span)
+        recorder.clock.advance(1.0)
+        recorder.end(child)
+        first = recorder.drain_finished()
+        assert [s["id"] for s in first] == [child.span_id]
+        assert recorder.drain_finished() == []
+        recorder.end(open_span)
+        second = recorder.drain_finished()
+        assert [s["id"] for s in second] == [open_span.span_id]
+        # Draining never removes spans from the full export.
+        assert len(recorder.export()) == 2
+
+    def test_export_shape_is_json_ready(self):
+        recorder = _recorder()
+        with recorder.span("run", label="x"):
+            pass
+        (row,) = recorder.export()
+        json.dumps(row)
+        assert set(row) == {"id", "parent", "name", "start_s", "end_s", "attrs"}
+
+
+def _tree_recorder():
+    """run -> generation -> phases + eval-batch -> tasks, on a fake clock."""
+    recorder = _recorder()
+    run = recorder.begin("run", at=0.0)
+    gen = recorder.begin("generation", parent=run, at=0.0, generation=0)
+    recorder.record("phase", 0.0, 2.0, parent=gen, phase="select")
+    evaluate = recorder.record("phase", 2.0, 8.0, parent=gen, phase="evaluate")
+    recorder.record("phase", 8.0, 10.0, parent=gen, phase="observe")
+    batch = recorder.record("eval-batch", 2.0, 8.0, parent=evaluate, size=2)
+    t1 = recorder.record("task", 2.0, 5.0, parent=batch, task="aaa", worker="w1")
+    recorder.record("dispatch", 2.0, 2.5, parent=t1)
+    recorder.record("worker-exec", 2.5, 5.0, parent=t1, queue_s=0.5, exec_s=2.5)
+    t2 = recorder.record(
+        "task", 2.0, 8.0, parent=batch, task="bbb", worker="w2",
+        duplicate_results=1,
+    )
+    recorder.record("retry", 2.0, 4.0, parent=t2, reason="worker-died")
+    recorder.record("worker-exec", 4.0, 8.0, parent=t2, queue_s=2.0, exec_s=4.0)
+    recorder.end(gen, at=10.0)
+    recorder.end(run, at=10.0)
+    return recorder
+
+
+class TestSpanTree:
+    def test_indexes_roots_and_children(self):
+        recorder = _tree_recorder()
+        by_id, children = span_tree(recorder.export())
+        assert len(children[None]) == 1
+        (root,) = children[None]
+        assert root["name"] == "run"
+        assert {c["name"] for c in children[root["id"]]} == {"generation"}
+
+    def test_missing_parent_becomes_root(self):
+        rows = [
+            {"id": "a", "parent": "gone", "name": "x", "start_s": 0.0,
+             "end_s": 1.0, "attrs": {}},
+        ]
+        __, children = span_tree(rows)
+        assert [r["id"] for r in children[None]] == ["a"]
+
+
+class TestValidateAccounting:
+    def test_well_formed_tree_passes(self):
+        result = validate_accounting(_tree_recorder().export())
+        assert result["ok"], result["errors"]
+        assert result["task_spans"] == 2
+        assert result["open_spans"] == 0
+
+    def test_child_escaping_parent_is_flagged(self):
+        recorder = _recorder()
+        parent = recorder.record("run", 0.0, 5.0)
+        recorder.record("generation", 1.0, 9.0, parent=parent)
+        result = validate_accounting(recorder.export())
+        assert not result["ok"]
+        assert "escapes parent" in result["errors"][0]
+
+    def test_duplicate_task_ownership_is_flagged(self):
+        recorder = _recorder()
+        batch = recorder.record("eval-batch", 0.0, 5.0)
+        recorder.record("task", 0.0, 1.0, parent=batch, task="same")
+        recorder.record("task", 1.0, 2.0, parent=batch, task="same")
+        result = validate_accounting(recorder.export())
+        assert not result["ok"]
+        assert "owned by 2 spans" in result["errors"][0]
+
+    def test_open_spans_are_counted_not_flagged(self):
+        recorder = _recorder()
+        recorder.begin("run")
+        result = validate_accounting(recorder.export())
+        assert result["ok"]
+        assert result["open_spans"] == 1
+
+
+class TestPhaseBudget:
+    def test_phases_tile_their_generation(self):
+        budget = phase_budget(_tree_recorder().export())
+        (gen,) = budget["generations"]
+        assert gen["generation"] == 0
+        assert gen["wall_time_s"] == pytest.approx(10.0)
+        assert gen["phases"] == pytest.approx(
+            {"select": 2.0, "evaluate": 6.0, "observe": 2.0}
+        )
+        assert gen["coverage"] == pytest.approx(1.0)
+        assert budget["coverage"] == pytest.approx(1.0)
+        assert budget["wall_time_s"] == pytest.approx(10.0)
+
+    def test_empty_input_is_benign(self):
+        budget = phase_budget([])
+        assert budget["generations"] == []
+        assert budget["coverage"] == 1.0
+
+
+class TestStragglerReport:
+    def test_slowest_task_and_queue_exec_split(self):
+        (entry,) = straggler_report(_tree_recorder().export())
+        assert entry["generation"] == 0
+        assert entry["tasks"] == 2
+        assert entry["slowest"]["task"] == "bbb"
+        assert entry["slowest_worker"] == "w2"
+        assert entry["slowest"]["exec_s"] == pytest.approx(4.0)
+        assert entry["slowest"]["queue_s"] == pytest.approx(2.0)
+        assert entry["slowest"]["retries"] == 1
+        assert entry["slowest"]["duplicates"] == 1
+        assert set(entry["workers"]) == {"w1", "w2"}
+
+    def test_batches_without_tasks_are_skipped(self):
+        recorder = _recorder()
+        recorder.record("eval-batch", 0.0, 1.0)
+        assert straggler_report(recorder.export()) == []
+
+
+class TestCriticalPath:
+    def test_follows_latest_ending_child(self):
+        # Phases tile each generation edge-to-edge, so the run-level
+        # critical path always descends into the generation's final phase.
+        path = critical_path(_tree_recorder().export())
+        assert [node["name"] for node in path] == ["run", "generation", "phase"]
+        assert path[-1]["attrs"]["phase"] == "observe"
+
+    def test_explicit_root_restricts_the_walk(self):
+        recorder = _tree_recorder()
+        batch = next(
+            s for s in recorder.spans() if s.name == "eval-batch"
+        )
+        path = critical_path(recorder.export(), root=batch.span_id)
+        assert [node["name"] for node in path] == [
+            "eval-batch", "task", "worker-exec",
+        ]
+        assert path[1]["attrs"]["task"] == "bbb"  # the straggler
+        assert path[-1]["attrs"]["exec_s"] == 4.0
+
+    def test_empty_input(self):
+        assert critical_path([]) == []
+
+
+class TestPerfettoExport:
+    def test_events_are_complete_and_json_serializable(self):
+        doc = perfetto_export(_tree_recorder().export())
+        json.dumps(doc)
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(events) == 12  # every closed span becomes one X event
+        assert all(e["dur"] >= 0 for e in events)
+        assert all(e["ts"] >= 0 for e in events)
+
+    def test_worker_spans_get_their_own_lane(self):
+        doc = perfetto_export(_tree_recorder().export())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        lanes = {}
+        for event in events:
+            lanes.setdefault(event["tid"], set()).add(event["cat"])
+        # search lane holds the structural spans; each worker has a lane.
+        search_tid = next(
+            tid for tid, cats in lanes.items() if "run" in cats
+        )
+        assert {"generation", "phase", "eval-batch"} <= lanes[search_tid]
+        worker_lanes = [t for t in lanes if t != search_tid]
+        assert len(worker_lanes) == 2
+        for tid in worker_lanes:
+            assert lanes[tid] <= {"task", "dispatch", "worker-exec", "retry"}

@@ -1,0 +1,180 @@
+"""Service-level span tracing: spans.jsonl persistence, the spans
+endpoint/client, the profile CLI, and the HTML report's phase section —
+all on the instant tiny dataset."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import phase_budget, validate_accounting
+from repro.service import CampaignSpec, SearchService, ServiceClient, ServiceError
+
+
+@pytest.fixture
+def service(tmp_path, tiny_provider):
+    svc = SearchService(
+        tmp_path / "campaigns", port=0, dataset_provider=tiny_provider
+    )
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(port=service.port)
+
+
+def _traced_campaign(client, **overrides):
+    spec = dict(
+        query="noc-frequency", engine="baseline", generations=4, seed=2,
+        tracing=True,
+    )
+    spec.update(overrides)
+    cid = client.submit(CampaignSpec(**spec))
+    client.wait(cid, timeout=60)
+    return cid
+
+
+class TestSpansEndpoint:
+    def test_traced_campaign_serves_a_closed_tree(self, service, client):
+        cid = _traced_campaign(client)
+        spans = client.spans(cid)
+        names = {span["name"] for span in spans}
+        assert {"run", "generation", "phase", "eval-batch"} <= names
+        report = validate_accounting(spans)
+        assert report["ok"], report["errors"]
+        assert report["open_spans"] == 0
+        assert phase_budget(spans)["coverage"] >= 0.95
+
+    def test_untraced_campaign_serves_empty(self, service, client):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=2, seed=2)
+        )
+        client.wait(cid, timeout=60)
+        assert client.spans(cid) == []
+        assert not service.store.spans_path(cid).exists()
+
+    def test_unknown_campaign_404(self, service, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.spans("c999999")
+        assert excinfo.value.status == 404
+
+    def test_spans_file_matches_endpoint(self, service, client):
+        cid = _traced_campaign(client, seed=3)
+        path = service.store.spans_path(cid)
+        assert path.exists()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines == client.spans(cid)
+
+    def test_tracing_keeps_results_bit_identical(self, service, client):
+        traced = _traced_campaign(client, seed=7)
+        plain = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=4, seed=7)
+        )
+        client.wait(plain, timeout=60)
+        traced_curve = client.curve(traced)
+        plain_curve = client.curve(plain)
+        assert traced_curve == plain_curve
+        assert (
+            client.status(traced)["best_raw"] == client.status(plain)["best_raw"]
+        )
+
+    def test_spec_round_trips_tracing_flag(self):
+        spec = CampaignSpec(query="noc-frequency", tracing=True)
+        assert CampaignSpec.from_json(spec.to_json()).tracing is True
+        assert CampaignSpec.from_json(
+            CampaignSpec(query="noc-frequency").to_json()
+        ).tracing is False
+
+
+class TestProfileCli:
+    def test_profile_prints_budget_and_critical_path(
+        self, service, client, capsys
+    ):
+        cid = _traced_campaign(client)
+        assert main(["profile", cid, "--port", str(service.port)]) == 0
+        out = capsys.readouterr().out
+        assert "phase budget:" in out
+        assert "critical path:" in out
+        assert "evaluate" in out
+
+    def test_profile_json_mode(self, service, client, capsys):
+        cid = _traced_campaign(client)
+        assert main(["profile", cid, "--json", "--port", str(service.port)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["accounting"]["ok"]
+        assert report["phase_budget"]["coverage"] >= 0.95
+        assert report["critical_path"][0]["name"] == "run"
+
+    def test_profile_perfetto_export(self, service, client, tmp_path, capsys):
+        cid = _traced_campaign(client)
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "profile", cid, "--perfetto", str(out_path),
+            "--port", str(service.port),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert {"ph", "ts", "dur"} <= set(
+            next(e for e in doc["traceEvents"] if e.get("ph") == "X")
+        )
+
+    def test_profile_without_tracing_fails_cleanly(
+        self, service, client, capsys
+    ):
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=2, seed=1)
+        )
+        client.wait(cid, timeout=60)
+        assert main(["profile", cid, "--port", str(service.port)]) == 1
+        assert "no spans recorded" in capsys.readouterr().err
+
+    def test_submit_tracing_flag(self, service, client, capsys):
+        code = main([
+            "submit", "noc-frequency", "--engine", "baseline",
+            "--generations", "2", "--seed", "1", "--tracing",
+            "--port", str(service.port), "--wait",
+        ])
+        assert code == 0
+        cid = capsys.readouterr().out.splitlines()[0].strip()
+        assert client.spans(cid)
+
+
+class TestHtmlReportSection:
+    def test_phase_profile_section_renders(self, service, client, tmp_path):
+        from repro.obs.htmlreport import render_campaign_html
+
+        cid = _traced_campaign(client)
+        page = render_campaign_html(
+            client.status(cid), curve=client.curve(cid), spans=client.spans(cid)
+        )
+        assert "Phase profile" in page
+        assert "phase coverage" in page
+
+    def test_report_html_cli_includes_spans(
+        self, service, client, tmp_path, capsys, monkeypatch
+    ):
+        cid = _traced_campaign(client)
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "report", "--html", cid, "--port", str(service.port),
+        ]) == 0
+        page = (tmp_path / f"campaign-{cid}.html").read_text()
+        assert "Phase profile" in page
+        assert "generation(s)" in page
+
+    def test_untraced_report_shows_placeholder(self, service, client):
+        from repro.obs.htmlreport import render_campaign_html
+
+        cid = client.submit(
+            CampaignSpec(query="noc-frequency", engine="baseline",
+                         generations=2, seed=1)
+        )
+        client.wait(cid, timeout=60)
+        page = render_campaign_html(client.status(cid), spans=[])
+        assert "No span tree recorded" in page
