@@ -1,0 +1,19 @@
+"""repro.archive — the cross-campaign design knowledge base.
+
+Every design point any campaign ever evaluated, stored append-only and
+queryable (:class:`DesignArchive`), plus the two feedback paths into new
+searches: hint mining without a sweep (:class:`ArchiveGuidance`,
+:func:`mine_hints`) and warm-started initial populations
+(``GAConfig(warm_start=...)`` fed by
+:meth:`DesignArchive.warm_start_configs`).
+"""
+
+from .guidance import ArchiveGuidance, mine_hints
+from .store import ARCHIVE_SCHEMA_VERSION, DesignArchive
+
+__all__ = [
+    "ARCHIVE_SCHEMA_VERSION",
+    "ArchiveGuidance",
+    "DesignArchive",
+    "mine_hints",
+]

@@ -17,7 +17,14 @@ Subcommands:
 * ``serve`` — run the search-campaign daemon (REST API; see
   ``docs/service.md``). ``--log-json`` switches to structured JSON logs,
   ``--trace-max-events`` caps per-campaign event logs, ``--fleet`` opens
-  a coordinator for distributed evaluation workers.
+  a coordinator for distributed evaluation workers, ``--archive`` records
+  every paid evaluation into the cross-campaign design archive.
+* ``archive`` — inspect the cross-campaign design archive offline:
+  ``stats``, ``query`` (top designs for a named query), ``export-hints``
+  (mine a hints JSON from archived rows), and ``import`` (backfill from
+  a persistent eval cache).
+* ``cache`` — maintain the persistent evaluation cache (``compact``
+  rewrites each space file dropping duplicate and torn rows).
 * ``worker`` — run one evaluation-fleet worker daemon against a
   coordinator (see ``docs/distributed.md``).
 * ``fleet`` — show a daemon's evaluation-fleet status (workers, queue
@@ -287,10 +294,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fleet=args.fleet,
         fleet_host=args.host,
         fleet_port=args.fleet_port,
+        archive=args.archive,
     )
     print(f"nautilus daemon serving on {service.address} (store: {args.dir})")
     if service.eval_cache is not None:
         print(f"persistent eval cache: {service.eval_cache.root}")
+    if service.archive is not None:
+        print(f"design archive: {service.archive.root}")
     if service.fleet is not None:
         print(
             f"evaluation fleet on {service.fleet_address} — connect workers "
@@ -382,6 +392,143 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _archive_objective(query_name: str):
+    """(query, dataset, objective, fingerprint) for an offline archive command."""
+    query = QUERIES[query_name]
+    dataset = load_dataset(query.space)
+    objective = (
+        maximize(query.metric)
+        if query.direction == "max"
+        else minimize(query.metric)
+    )
+    evaluator = DatasetEvaluator(dataset)
+    return query, dataset, objective, evaluator.fingerprint
+
+
+def _cmd_archive_stats(args: argparse.Namespace) -> int:
+    from .archive import DesignArchive
+
+    stats = DesignArchive(args.dir).stats()
+    if args.json:
+        json.dump(stats, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print(
+        f"archive {args.dir}: {stats['rows']} rows in {stats['files']} "
+        f"file(s) ({stats['feasible']} feasible, "
+        f"{stats['infeasible']} infeasible)"
+    )
+    for space, count in sorted(stats["spaces"].items()):
+        print(f"  space {space:12s} {count} rows")
+    for campaign, count in sorted(stats["campaigns"].items()):
+        print(f"  campaign {campaign:20s} {count} rows")
+    return 0
+
+
+def _cmd_archive_query(args: argparse.Namespace) -> int:
+    from .archive import DesignArchive
+
+    query, dataset, objective, fingerprint = _archive_objective(args.query)
+    rows = DesignArchive(args.dir).top_k(
+        dataset.space, fingerprint, objective, k=args.top
+    )
+    if args.json:
+        json.dump(rows, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    if not rows:
+        print(
+            f"no archived designs for {args.query} — run campaigns with "
+            f"'nautilus serve --archive' or backfill with "
+            f"'nautilus archive import'"
+        )
+        return 0
+    print(
+        f"top {len(rows)} archived designs for {args.query} "
+        f"({objective.direction} {objective.name}):"
+    )
+    for rank, row in enumerate(rows, 1):
+        config = " ".join(f"{k}={v}" for k, v in row["config"].items())
+        campaign = f" [{row['campaign']}]" if row.get("campaign") else ""
+        print(f"  {rank:2d}. {row['raw']:.4g}{campaign}  {config}")
+    return 0
+
+
+def _cmd_archive_export_hints(args: argparse.Namespace) -> int:
+    from .archive import DesignArchive, mine_hints
+
+    query, dataset, objective, fingerprint = _archive_objective(args.query)
+    hints, used = mine_hints(
+        DesignArchive(args.dir),
+        dataset.space,
+        objective,
+        fingerprint,
+        confidence=args.confidence,
+        min_rows=args.min_rows,
+    )
+    if not used:
+        raise NautilusError(
+            f"not enough archived rows for {args.query} "
+            f"(need {args.min_rows}); run campaigns with "
+            f"'nautilus serve --archive' or lower --min-rows"
+        )
+    # The miner works on engine-internal (maximized) scores; exported
+    # hints re-enter through StaticHints, which flips bias/ordering for
+    # minimizing objectives — pre-flip so the round trip is neutral.
+    if not objective.maximizing:
+        hints = hints.for_minimization()
+    print(f"archive-mined hints for {args.query} using {used} designs:")
+    for name in dataset.space.param_names:
+        if name in hints.params:
+            h = hints.params[name]
+            target = f" target={h.target}" if h.target is not None else ""
+            print(
+                f"  {name:18s} importance={h.importance:3d} "
+                f"bias={h.bias:+.2f}{target}"
+            )
+        else:
+            print(f"  {name:18s} (no signal)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(hintset_to_json(hints), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"hints written to {args.output} — feed them back with "
+            f"'nautilus optimize {args.query} --hints {args.output}' or "
+            f"'nautilus submit {args.query} --hints {args.output}'"
+        )
+    return 0
+
+
+def _cmd_archive_import(args: argparse.Namespace) -> int:
+    from .archive import DesignArchive
+
+    report = DesignArchive(args.dir).import_cache(
+        args.source, campaign=args.campaign
+    )
+    print(
+        f"imported {report['imported']} row(s) from {report['files']} cache "
+        f"file(s) ({report['skipped']} skipped) into {args.dir}"
+    )
+    return 0
+
+
+def _cmd_cache_compact(args: argparse.Namespace) -> int:
+    from .core.evalstack import PersistentCache
+
+    report = PersistentCache(args.dir).compact()
+    for name, cell in sorted(report["files"].items()):
+        print(
+            f"  {name:24s} {cell['rows']} rows kept, "
+            f"{cell['reclaimed']} reclaimed"
+        )
+    print(
+        f"compacted {args.dir}: {report['rows']} rows kept, "
+        f"{report['reclaimed']} duplicate/torn row(s) reclaimed"
+    )
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from .service import CampaignSpec, ServiceClient
 
@@ -404,6 +551,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     # for hints — not a local traceback).
     if args.workers is not None:
         payload["workers"] = args.workers
+    if args.warm_start is not None:
+        payload["warm_start"] = args.warm_start
     if args.hints is not None:
         payload["hints"] = _read_hints_file(args.hints)
     campaign_id = client.submit(payload)
@@ -831,6 +980,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=8766,
         help="coordinator TCP port (0 picks an ephemeral port)",
     )
+    p.add_argument(
+        "--archive",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="DIR",
+        help="record every paid evaluation into the cross-campaign design "
+        "archive (default location: <store>/archive; pass DIR to place it "
+        "elsewhere); enables warm-started campaigns and GET /archive/*",
+    )
     p.add_argument("--verbose", action="store_true", help="log HTTP requests")
     p.set_defaults(fn=_cmd_serve)
 
@@ -897,6 +1056,15 @@ def build_parser() -> argparse.ArgumentParser:
         "default; validated server-side, must be >= 1)",
     )
     p.add_argument(
+        "--warm-start",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed the initial GA population with the top N archived "
+        "designs (needs a daemon started with --archive; validated "
+        "server-side)",
+    )
+    p.add_argument(
         "--trace-max-events",
         type=int,
         default=None,
@@ -914,6 +1082,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wait", action="store_true", help="block until terminal")
     p.add_argument("--timeout", type=float, default=600.0)
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "archive", help="inspect the cross-campaign design archive"
+    )
+    archive_sub = p.add_subparsers(dest="archive_command", required=True)
+
+    p = archive_sub.add_parser("stats", help="row/feasibility/campaign counts")
+    p.add_argument("--dir", default="campaigns/archive", help="archive directory")
+    p.add_argument("--json", action="store_true", help="dump the raw stats")
+    p.set_defaults(fn=_cmd_archive_stats)
+
+    p = archive_sub.add_parser(
+        "query", help="top archived designs for a named query, best first"
+    )
+    p.add_argument("query", choices=sorted(QUERIES))
+    p.add_argument("--dir", default="campaigns/archive", help="archive directory")
+    p.add_argument(
+        "-k", "--top", type=int, default=10, help="number of designs shown"
+    )
+    p.add_argument("--json", action="store_true", help="dump the raw rows")
+    p.set_defaults(fn=_cmd_archive_query)
+
+    p = archive_sub.add_parser(
+        "export-hints",
+        help="mine a hints JSON from archived rows (no extra evaluations)",
+    )
+    p.add_argument("query", choices=sorted(QUERIES))
+    p.add_argument("--dir", default="campaigns/archive", help="archive directory")
+    p.add_argument(
+        "--confidence",
+        type=float,
+        default=0.5,
+        help="confidence written into the mined hint set",
+    )
+    p.add_argument(
+        "--min-rows",
+        type=int,
+        default=20,
+        help="fewest archived rows worth mining",
+    )
+    p.add_argument(
+        "--output",
+        metavar="HINTS_JSON",
+        default=None,
+        help="write the mined hints as schema-versioned JSON, ready for "
+        "'nautilus optimize --hints' / 'nautilus submit --hints'",
+    )
+    p.set_defaults(fn=_cmd_archive_export_hints)
+
+    p = archive_sub.add_parser(
+        "import", help="backfill the archive from a persistent eval cache"
+    )
+    p.add_argument("--dir", default="campaigns/archive", help="archive directory")
+    p.add_argument(
+        "--from",
+        dest="source",
+        required=True,
+        metavar="CACHE_DIR",
+        help="persistent eval cache directory (e.g. campaigns/evalcache)",
+    )
+    p.add_argument(
+        "--campaign",
+        default="import",
+        help="campaign label recorded on imported rows",
+    )
+    p.set_defaults(fn=_cmd_archive_import)
+
+    p = sub.add_parser(
+        "cache", help="maintain the persistent evaluation cache"
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    p = cache_sub.add_parser(
+        "compact",
+        help="rewrite cache files dropping duplicate and torn rows",
+    )
+    p.add_argument(
+        "--dir", default="campaigns/evalcache", help="cache directory"
+    )
+    p.set_defaults(fn=_cmd_cache_compact)
 
     p = sub.add_parser("status", help="show campaign status (all, or one by id)")
     p.add_argument("id", nargs="?", default=None)

@@ -27,7 +27,7 @@ memo-only stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..obs.attribution import BreedingObserver
 from .errors import InfeasibleDesignError, NautilusError
@@ -115,6 +115,17 @@ class GAConfig:
             event. Off by default. Same guarantee as observability: span
             ids come from counters, not RNG, so seeded curves are
             bit-identical with tracing on or off.
+        warm_start: Known-good configurations (``{param: value}``
+            mappings, best first — typically
+            :meth:`~repro.archive.DesignArchive.warm_start_configs`)
+            injected into the initial population. The full random
+            population is drawn exactly as without seeds and the seeds
+            then *replace* a prefix of it, so RNG consumption is
+            identical either way: an empty tuple is bit-identical to
+            today's engine-parity baseline. Seeds go through the
+            validating codec path; infeasible or duplicate entries are
+            dropped. At most ``population_size`` seeds (leave slack below
+            that to retain random diversity).
 
     Stopping precedence: cutoffs are evaluated between generations, in a
     fixed order — evaluation budget, then generation horizon, then stall
@@ -138,6 +149,7 @@ class GAConfig:
     rng_streams: str = "shared"
     observability: bool = True
     tracing: bool = False
+    warm_start: tuple = ()
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -158,6 +170,21 @@ class GAConfig:
             raise NautilusError("stall_generations must be >= 1")
         if self.rng_streams not in _RNG_STREAM_MODES:
             raise NautilusError(f"unknown rng_streams mode {self.rng_streams!r}")
+        if self.warm_start:
+            seeds = []
+            for entry in self.warm_start:
+                if not isinstance(entry, Mapping):
+                    raise NautilusError(
+                        "warm_start entries must be {param: value} mappings"
+                    )
+                seeds.append(dict(entry))
+            if len(seeds) > self.population_size:
+                raise NautilusError(
+                    "warm_start cannot carry more seeds than population_size"
+                )
+            object.__setattr__(self, "warm_start", tuple(seeds))
+        elif self.warm_start != ():
+            object.__setattr__(self, "warm_start", ())
 
 
 class GeneticSearch(GenerationalEngine):
@@ -228,6 +255,9 @@ class GeneticSearch(GenerationalEngine):
             # author biases (stated w.r.t. the raw metric) for minimization.
             provider.bind(space, objective, self._counter)
         self._guidance = provider
+        #: Archived seeds actually injected into generation 0 (stays 0 on a
+        #: cold start *and* on a checkpoint resume, which never re-seeds).
+        self.warm_start_seeds = 0
         self.operators = GeneticOperators(space, self.config.mutation_rate)
         if self.config.observability:
             self.operators.observer = BreedingObserver()
@@ -285,9 +315,28 @@ class GeneticSearch(GenerationalEngine):
     # -- kernel hooks --------------------------------------------------------------
 
     def _initial_genomes(self) -> list[Genome]:
-        return self.space.random_population(
+        genomes = self.space.random_population(
             self.config.population_size, self.rngs.init
         )
+        # Warm-start seeds replace a prefix *after* the full random draw,
+        # so RNG consumption is identical with or without seeds — an empty
+        # warm_start stays bit-identical to the engine-parity baseline.
+        seeds = self._warm_start_genomes()
+        for position, seed in enumerate(seeds):
+            genomes[position] = seed
+        self.warm_start_seeds = len(seeds)
+        return genomes
+
+    def _warm_start_genomes(self) -> list[Genome]:
+        seeds: list[Genome] = []
+        seen: set[tuple[int, ...]] = set()
+        for config in self.config.warm_start:
+            genome = self.space.genome(config)  # validating codec path
+            if genome.codes in seen or not self.space.is_feasible(genome):
+                continue
+            seen.add(genome.codes)
+            seeds.append(genome)
+        return seeds
 
     def _guidance_feedback(self) -> float | None:
         if not self._population:

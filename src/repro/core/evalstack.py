@@ -12,6 +12,9 @@ pipeline instead of four divergent implementations::
     MemoCache          in-memory key → outcome; revisits are free
         │ misses
         ▼
+    ArchiveTap         optional pure observer feeding the cross-campaign
+        │              design archive (repro.archive) — see every memo miss
+        ▼
     PersistentCache    optional on-disk JSON-lines, shared across
         │ misses       campaigns/processes/daemon restarts
         ▼
@@ -374,6 +377,30 @@ class _PersistentLayer:
         return writes
 
 
+class _ArchiveTap:
+    """Record outcomes flowing past the memo into a cross-campaign archive.
+
+    Sits between the memo cache and the persistent layer, so every memo
+    miss — fresh backend results *and* persistent-cache hits — lands in the
+    archive exactly once per stack. Pure observation: no counters, no RNG,
+    no reordering, so seeded curves are bit-identical with or without a
+    tap (the archive-off engine-parity guarantee).
+    """
+
+    def __init__(self, next_layer, archive, fingerprint: str, campaign: str):
+        self.next = next_layer
+        self.archive = archive
+        self.fingerprint = fingerprint
+        self.campaign = campaign
+
+    def evaluate_many(self, genomes: Sequence[Genome]) -> list[Outcome]:
+        outcomes = self.next.evaluate_many(genomes)
+        self.archive.record_many(
+            zip(genomes, outcomes), self.fingerprint, campaign=self.campaign
+        )
+        return outcomes
+
+
 class _MemoCache:
     """The outermost layer: in-memory memoization and request accounting."""
 
@@ -537,6 +564,67 @@ class PersistentCache:
         with self._lock:
             return len(self._load(space, fingerprint))
 
+    def compact(self) -> dict[str, Any]:
+        """Rewrite every cache file, dropping duplicate and torn rows.
+
+        ``put_many`` dedupes within one process, but several writers
+        appending to the same file (fleet workers, parallel daemons,
+        repeated crash-restart cycles) accrete superseded duplicate rows —
+        the file only ever grows. Compaction keeps the *last* payload per
+        values key (matching ``_load``'s read semantics) in first-appearance
+        order, silently drops unparsable or malformed lines, and rewrites
+        each file atomically (tmp + rename). In-memory maps are invalidated
+        so the next access reloads from the rewritten files.
+
+        Returns ``{"files": {name: {"rows", "reclaimed"}}, "rows", "reclaimed"}``.
+        """
+        report: dict[str, Any] = {"files": {}, "rows": 0, "reclaimed": 0}
+        with self._lock:
+            paths = sorted(self.root.glob("*.jsonl")) if self.root.exists() else []
+            for path in paths:
+                header: dict | None = None
+                rows: dict[tuple, Any] = {}
+                order: list[tuple] = []
+                dropped = 0
+                with open(path, "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        try:
+                            payload = json.loads(line)
+                        except ValueError:
+                            dropped += 1  # torn line from a killed writer
+                            continue
+                        if header is None:
+                            header = payload
+                            continue
+                        try:
+                            key = self._values_key(payload["values"])
+                            payload["metrics"]
+                        except (KeyError, TypeError):
+                            dropped += 1
+                            continue
+                        if key in rows:
+                            dropped += 1  # superseded duplicate
+                        else:
+                            order.append(key)
+                        rows[key] = payload
+                if header is None:
+                    continue  # empty or headerless file; nothing to keep
+                if dropped:
+                    tmp = path.with_suffix(path.suffix + ".tmp")
+                    with open(tmp, "w", encoding="utf-8") as out:
+                        out.write(json.dumps(header) + "\n")
+                        for key in order:
+                            out.write(json.dumps(rows[key]) + "\n")
+                    tmp.replace(path)
+                report["files"][path.name] = {
+                    "rows": len(order),
+                    "reclaimed": dropped,
+                }
+                report["rows"] += len(order)
+                report["reclaimed"] += dropped
+            self._spaces.clear()
+        return report
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PersistentCache({str(self.root)!r})"
 
@@ -632,6 +720,11 @@ class EvaluationStack:
             Duck-typed — the stack never imports :mod:`repro.obs` — and
             purely additive: the :class:`EvalStats` accounting is
             byte-for-byte identical with or without a registry.
+        archive: Optional :class:`repro.archive.DesignArchive` (duck-typed
+            — only ``record_many`` is called); every memo miss is recorded
+            into it under ``campaign``. Pure observation: counters, RNG
+            and seeded curves are identical with or without an archive.
+        campaign: Campaign id stamped onto archived rows.
     """
 
     def __init__(
@@ -646,6 +739,8 @@ class EvaluationStack:
         clock=time.perf_counter,
         registry=None,
         fleet=None,
+        archive=None,
+        campaign: str = "",
     ):
         if backend not in _BACKENDS:
             raise NautilusError(
@@ -657,6 +752,7 @@ class EvaluationStack:
         self.backend_kind = backend
         self.workers = workers
         self.persistent = persistent
+        self.archive = archive
         self.fingerprint = fingerprint or evaluator_fingerprint(inner)
         self._counters = _Counters()
         self._clock = clock
@@ -685,6 +781,8 @@ class EvaluationStack:
                 layer, persistent, self.fingerprint, self._counters, clock=clock
             )
             self._persistent_layer = layer
+        if archive is not None:
+            layer = _ArchiveTap(layer, archive, self.fingerprint, campaign)
         self._memo = _MemoCache(layer, self._counters)
 
     # -- construction helpers ---------------------------------------------------

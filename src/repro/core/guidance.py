@@ -649,7 +649,7 @@ def _param_hints_from_json(
 # Provider specs
 # ---------------------------------------------------------------------------
 
-_PROVIDER_KINDS = ("static", "adaptive", "estimated")
+_PROVIDER_KINDS = ("static", "adaptive", "estimated", "archive")
 
 
 def provider_from_spec(spec: Any) -> GuidanceProvider:
@@ -688,6 +688,17 @@ def provider_from_spec(spec: Any) -> GuidanceProvider:
             backoff=spec.get("backoff", 0.6),
             recovery=spec.get("recovery", 1.15),
             min_confidence=spec.get("min_confidence", 0.05),
+        )
+    if kind == "archive":
+        # Imported lazily: repro.archive depends on this module.
+        from ..archive import ArchiveGuidance
+
+        return ArchiveGuidance(
+            root=spec.get("root"),
+            confidence=spec.get("confidence", 0.5),
+            min_rows=spec.get("min_rows", 20),
+            min_bias=spec.get("min_bias", 0.2),
+            top_fraction=spec.get("top_fraction", 0.25),
         )
     return EstimatedHints(
         budget=spec.get("budget", 80),

@@ -115,6 +115,12 @@ class CampaignSpec:
             profile``. Off by default; spans consume zero RNG draws, so a
             traced campaign's results are bit-identical to an untraced
             one.
+        warm_start: Seed the initial population with this many of the best
+            designs the daemon's cross-campaign archive holds for the
+            query (single-objective GA engines only). Requires the daemon
+            to run with ``--archive`` — validated by the scheduler at
+            submission. At most ``population_size - 1`` seeds are
+            injected, keeping at least one random individual.
         label: Free-form tag carried into results.
     """
 
@@ -130,6 +136,7 @@ class CampaignSpec:
     workers: int | None = None
     trace_max_events: int | None = None
     tracing: bool = False
+    warm_start: int | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -151,6 +158,14 @@ class CampaignSpec:
             raise NautilusError("workers must be >= 1")
         if self.trace_max_events is not None and self.trace_max_events < 4:
             raise NautilusError("trace_max_events must be >= 4")
+        if self.warm_start is not None:
+            if self.warm_start < 1:
+                raise NautilusError("warm_start must be >= 1")
+            if self.engine not in ("nautilus", "baseline"):
+                raise NautilusError(
+                    f"warm_start requires a single-objective GA engine "
+                    f"(nautilus or baseline), not {self.engine!r}"
+                )
         if self.hints is not None:
             if self.engine not in ("nautilus", "pareto"):
                 raise NautilusError(
@@ -194,6 +209,8 @@ def build_search(
     persistent: PersistentCache | None = None,
     registry=None,
     fleet=None,
+    archive=None,
+    campaign_id: str = "",
 ):
     """Instantiate the engine a spec describes, against a shared dataset.
 
@@ -212,6 +229,12 @@ def build_search(
     backend dispatches distinct evaluations to the worker fleet instead of
     a local pool (degrading to inline execution while the fleet is empty).
     A spec's own ``workers`` overrides the daemon-wide default.
+
+    ``archive`` is the daemon's shared
+    :class:`~repro.archive.DesignArchive`: when given, the stack records
+    every evaluation into it under ``campaign_id``, and a spec with
+    ``warm_start`` gets the archive's top designs injected into its
+    initial population (single-objective GA engines only).
     """
     effective_workers = spec.workers or workers
     if fleet is not None:
@@ -227,6 +250,8 @@ def build_search(
         persistent=persistent,
         registry=registry,
         fleet=fleet,
+        archive=archive,
+        campaign=campaign_id or spec.label,
     )
     if spec.engine == "pareto":
         multi = MULTI_QUERIES[spec.query]
@@ -281,11 +306,23 @@ def build_search(
             hints = _inline_hints(spec, dataset)
         else:
             hints = build_hints(hint_kind, spec.confidence)
+    warm_start: tuple = ()
+    if spec.warm_start and archive is not None:
+        # Keep at least one random individual: warm seeds replace a prefix
+        # of the population, never all of it.
+        population_size = GAConfig.__dataclass_fields__["population_size"].default
+        count = min(spec.warm_start, population_size - 1)
+        warm_start = tuple(
+            archive.warm_start_configs(
+                dataset.space, evaluator.fingerprint, objective, count
+            )
+        )
     config = GAConfig(
         generations=spec.generations,
         seed=spec.seed,
         max_evaluations=spec.max_evaluations,
         tracing=spec.tracing,
+        warm_start=warm_start,
     )
     if campaign_dir is None:
         from ..core import GeneticSearch

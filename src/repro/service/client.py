@@ -122,6 +122,17 @@ class ServiceClient:
         """Evaluation-fleet status (``{"enabled": False}`` without one)."""
         return self._request("GET", "/fleet")
 
+    def archive_stats(self) -> dict[str, Any]:
+        """Cross-campaign archive counts (``{"enabled": False}`` without one)."""
+        return self._request("GET", "/archive/stats")
+
+    def archive_query(self, query: str, k: int | None = None) -> dict[str, Any]:
+        """Top archived designs for a named query, best first."""
+        path = f"/archive/query?query={query}"
+        if k is not None:
+            path += f"&k={k}"
+        return self._request("GET", path)
+
     def metrics_prometheus(self) -> str:
         """The Prometheus text exposition of the daemon's registry."""
         request = urllib.request.Request(

@@ -44,12 +44,23 @@ class SearchService:
         fleet_host: str = "127.0.0.1",
         fleet_port: int = 0,
         fleet_policy=None,
+        archive: bool | str | Path = False,
     ):
         """``eval_cache`` enables the shared persistent evaluation cache:
         ``True`` stores it under ``<root>/evalcache``, a path stores it
         there. Off by default — with it on, campaigns over the same space
         share results, so their distinct-evaluation counts depend on what
         ran before (see ``docs/evaluation.md``).
+
+        ``archive`` enables the cross-campaign design archive
+        (:class:`~repro.archive.DesignArchive`): ``True`` stores it under
+        ``<root>/archive``, a path stores it there. With it on, every
+        evaluation any campaign pays for is recorded, ``GET
+        /archive/stats`` / ``GET /archive/query`` serve the knowledge
+        base, and campaigns may warm-start from it
+        (``CampaignSpec.warm_start``). Off by default; seeded campaign
+        curves are unaffected by the archive itself — only an explicit
+        ``warm_start`` changes a search.
 
         ``trace_max_events`` caps every campaign's on-disk event log (a
         spec's own setting overrides it); ``None``, the default, keeps
@@ -78,6 +89,16 @@ class SearchService:
                 else Path(eval_cache)
             )
             self.eval_cache = PersistentCache(cache_root)
+        self.archive = None
+        if archive:
+            from ..archive import DesignArchive
+
+            archive_root = (
+                Path(root) / "archive" if archive is True else Path(archive)
+            )
+            self.archive = DesignArchive(
+                archive_root, registry=self.metrics.registry
+            )
         self.fleet = None
         if fleet:
             from ..distributed import FleetCoordinator
@@ -98,6 +119,7 @@ class SearchService:
             persistent=self.eval_cache,
             trace_max_events=trace_max_events,
             fleet=self.fleet,
+            archive=self.archive,
             **kwargs,
         )
         self.server: ServiceHTTPServer = make_server(

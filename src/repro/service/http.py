@@ -14,6 +14,9 @@ Routes::
                                  ?format=prometheus for text exposition
     GET    /fleet                evaluation-fleet status: workers, queue
                                  depth, dispatch/retry/requeue counters
+    GET    /archive/stats        cross-campaign archive: row/feasibility/
+                                 campaign counts ({"enabled": false} off)
+    GET    /archive/query        top archived designs (?query=<name>&k=N)
     GET    /healthz              liveness probe
 
 Malformed query parameters (a non-integer or negative ``limit``, an
@@ -145,6 +148,16 @@ class _Handler(BaseHTTPRequestHandler):
                     )
             elif parts == ("fleet",):
                 self._send_json(scheduler.fleet_status())
+            elif parts == ("archive", "stats"):
+                self._send_json(scheduler.archive_stats())
+            elif parts == ("archive", "query"):
+                name = self._query_raw("query")
+                if not name:
+                    raise _BadRequest("query parameter 'query' is required")
+                k = self._query_int("k", minimum=1)
+                self._send_json(
+                    scheduler.archive_query(name, k=10 if k is None else k)
+                )
             elif parts == ("campaigns",):
                 self._send_json(
                     [c.status_payload() for c in scheduler.list_campaigns()]

@@ -78,6 +78,12 @@ class Scheduler:
             distinct evaluations to the worker fleet (degrading to local
             inline execution while the fleet is empty). The scheduler does
             not own the coordinator's lifecycle — the daemon does.
+        archive: Optional :class:`~repro.archive.DesignArchive` shared by
+            every campaign: live evaluations are recorded through each
+            stack's archive tap, completed campaigns are drained into it
+            at finalize (catching checkpoint-resumed rows the tap never
+            saw), and specs with ``warm_start`` seed their initial
+            population from its best designs.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class Scheduler:
         persistent=None,
         trace_max_events: int | None = None,
         fleet=None,
+        archive=None,
     ):
         if workers < 1:
             raise NautilusError("workers must be >= 1")
@@ -102,6 +109,13 @@ class Scheduler:
         self.persistent = persistent
         self.trace_max_events = trace_max_events
         self.fleet = fleet
+        self.archive = archive
+        self._prom_warm_seeds = None
+        if archive is not None:
+            self._prom_warm_seeds = self.metrics.registry.counter(
+                "nautilus_warm_start_seeds_total",
+                "Archived designs injected into initial GA populations.",
+            )
         self._dataset_provider = dataset_provider
         self._datasets: dict[str, Any] = {}
         self._campaigns: dict[str, Campaign] = {}
@@ -139,6 +153,11 @@ class Scheduler:
         if spec.hints is not None:
             dataset = self._dataset(query_space(spec))
             hintset_from_json(spec.hints, dataset.space)
+        if spec.warm_start is not None and self.archive is None:
+            raise NautilusError(
+                "warm_start requires the cross-campaign archive; start the "
+                "daemon with --archive"
+            )
 
     def submit(self, spec: CampaignSpec) -> Campaign:
         """Persist and enqueue a new campaign; wakes the scheduler thread."""
@@ -255,6 +274,8 @@ class Scheduler:
             persistent=self.persistent,
             registry=self.metrics.registry,
             fleet=self.fleet,
+            archive=self.archive,
+            campaign_id=campaign.id,
         )
         checkpoint = self.store.checkpoint_path(campaign.id)
         resumable = (CheckpointedSearch, CheckpointedParetoSearch)
@@ -292,6 +313,11 @@ class Scheduler:
         before = stack.stats()
         if not search.started:
             search.start()
+            # Counts only genuinely injected seeds: a checkpoint resume
+            # restores its population instead of re-seeding and reports 0.
+            seeds = getattr(search, "warm_start_seeds", 0)
+            if seeds and self._prom_warm_seeds is not None:
+                self._prom_warm_seeds.inc(seeds)
             if campaign.state != CampaignState.RUNNING:
                 campaign.state = CampaignState.RUNNING
                 self.metrics.record_state(campaign.id, campaign.state)
@@ -329,7 +355,38 @@ class Scheduler:
         if finished:
             self.store.append_spans(campaign.id, finished)
 
+    def _drain_archive(self, campaign: Campaign) -> None:
+        """Flush a finished campaign's memoized outcomes into the archive.
+
+        The live tap records everything flowing past the memo, but a
+        checkpoint-resumed campaign preloads its memo directly — those rows
+        never cross the tap. Draining at finalize catches them; the archive
+        dedupes, so double-recording the tapped rows costs nothing.
+        """
+        if self.archive is None or campaign.search is None:
+            return
+        stack = getattr(campaign.search, "stack", None)
+        if stack is None:
+            return
+        try:
+            space = self._dataset(query_space(campaign.spec)).space
+        except NautilusError:
+            return
+        pairs = []
+        for key, outcome in stack.memo_items():
+            __, values = key
+            try:
+                genome = space.genome(dict(zip(space.param_names, values)))
+            except NautilusError:
+                continue  # space drifted since the rows were paid for
+            pairs.append((genome, outcome))
+        if pairs:
+            self.archive.record_many(
+                pairs, stack.fingerprint, campaign=campaign.id
+            )
+
     def _finalize(self, campaign: Campaign, state: str) -> None:
+        self._drain_archive(campaign)
         self._drain_spans(campaign)
         campaign.state = state
         self.store.save_status(campaign)
@@ -385,6 +442,44 @@ class Scheduler:
         if self.fleet is None:
             return {"enabled": False}
         return self.fleet.status()
+
+    # -- archive ----------------------------------------------------------------
+
+    def archive_stats(self) -> dict[str, Any]:
+        """The archive snapshot behind ``GET /archive/stats``."""
+        if self.archive is None:
+            return {"enabled": False}
+        payload = self.archive.stats()
+        payload["enabled"] = True
+        payload["root"] = str(self.archive.root)
+        return payload
+
+    def archive_query(self, query_name: str, k: int = 10) -> dict[str, Any]:
+        """Top archived designs for a named query — ``GET /archive/query``."""
+        if self.archive is None:
+            raise NautilusError(
+                "archive disabled; start the daemon with --archive"
+            )
+        from ..core import DatasetEvaluator, evaluator_fingerprint
+        from ..queries import QUERIES, resolve_objective
+
+        if query_name not in QUERIES:
+            raise NautilusError(
+                f"unknown query {query_name!r}; choose from {sorted(QUERIES)}"
+            )
+        query = QUERIES[query_name]
+        dataset = self._dataset(query.space)
+        objective, __ = resolve_objective(query)
+        fingerprint = evaluator_fingerprint(DatasetEvaluator(dataset))
+        rows = self.archive.top_k(dataset.space, fingerprint, objective, k)
+        return {
+            "query": query_name,
+            "space": dataset.space.name,
+            "metric": objective.name,
+            "direction": objective.direction,
+            "count": len(rows),
+            "rows": rows,
+        }
 
     # -- thread lifecycle -------------------------------------------------------
 

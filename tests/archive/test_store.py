@@ -1,0 +1,286 @@
+"""Tests for the cross-campaign design archive store."""
+
+import json
+
+import pytest
+
+from repro.archive import DesignArchive
+from repro.core import (
+    ChoiceParam,
+    DesignSpace,
+    InfeasibleDesignError,
+    IntParam,
+    NautilusError,
+    OrderedParam,
+    maximize,
+)
+from repro.core.evalstack import PersistentCache
+
+FP = "fp-test-1"
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(
+        "arc",
+        [
+            IntParam("a", 0, 3),
+            OrderedParam("o", ("lo", "mid", "hi")),
+            ChoiceParam("c", ("p", "q")),
+        ],
+    )
+
+
+def metrics_for(genome):
+    bonus = {"lo": 0.0, "mid": 2.0, "hi": 1.0}[genome["o"]]
+    return {
+        "m": 10.0 * genome["a"] + bonus,
+        "n": 10.0 - genome["a"],
+    }
+
+
+def fill(archive, space, campaign="c1"):
+    """Archive every design in the space; returns the row count."""
+    genomes = [
+        space.genome({"a": a, "o": o, "c": c})
+        for a in range(4)
+        for o in ("lo", "mid", "hi")
+        for c in ("p", "q")
+    ]
+    outcomes = [(g, metrics_for(g)) for g in genomes]
+    return archive.record_many(outcomes, FP, campaign=campaign)
+
+
+class TestRecording:
+    def test_record_and_count(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        assert fill(archive, space) == 24
+        assert archive.entries(space, FP) == 24
+
+    def test_rerecord_is_deduplicated(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        assert fill(archive, space, campaign="c2") == 0
+        assert archive.entries(space, FP) == 24
+
+    def test_first_writer_wins(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        g = space.genome({"a": 1, "o": "lo", "c": "p"})
+        assert archive.record(g, {"m": 1.0}, FP, campaign="first")
+        assert not archive.record(g, {"m": 99.0}, FP, campaign="second")
+        (row,) = archive.top_k(space, FP, maximize("m"), k=1)
+        assert row["metrics"]["m"] == 1.0
+        assert row["campaign"] == "first"
+
+    def test_infeasible_recorded_transient_skipped(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        bad = space.genome({"a": 0, "o": "lo", "c": "p"})
+        flaky = space.genome({"a": 1, "o": "lo", "c": "p"})
+        written = archive.record_many(
+            [
+                (bad, InfeasibleDesignError("no route")),
+                (flaky, RuntimeError("license server down")),
+            ],
+            FP,
+        )
+        assert written == 1
+        stats = archive.stats()
+        assert stats["rows"] == 1
+        assert stats["infeasible"] == 1
+        # Infeasible rows never reach score-ranked retrieval.
+        assert archive.top_k(space, FP, maximize("m")) == []
+
+    def test_rows_survive_reload(self, tmp_path, space):
+        fill(DesignArchive(tmp_path), space)
+        fresh = DesignArchive(tmp_path)
+        assert fresh.entries(space, FP) == 24
+
+    def test_torn_trailing_line_skipped(self, tmp_path, space):
+        fill(DesignArchive(tmp_path), space)
+        (path,) = tmp_path.glob("*.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"values": ["trunc')  # killed mid-write
+        fresh = DesignArchive(tmp_path)
+        assert fresh.entries(space, FP) == 24
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        # Masquerade the fp-test-1 file as another fingerprint's.
+        other = DesignArchive(tmp_path)
+        src = archive._path(space.name, FP)
+        dst = other._path(space.name, "fp-other")
+        dst.write_text(src.read_text())
+        with pytest.raises(NautilusError):
+            other.entries(space, "fp-other")
+
+    def test_counter_increments(self, tmp_path, space):
+        class Counter:
+            value = 0
+
+            def inc(self, n=1):
+                Counter.value += n
+
+        class Registry:
+            def counter(self, name, help):  # noqa: A002
+                assert name == "nautilus_archive_rows_total"
+                return Counter()
+
+        archive = DesignArchive(tmp_path, registry=Registry())
+        fill(archive, space)
+        assert Counter.value == 24
+
+
+class TestImport:
+    def test_import_from_persistent_cache(self, tmp_path, space):
+        cache = PersistentCache(tmp_path / "cache")
+        genomes = [
+            space.genome({"a": a, "o": "lo", "c": "p"}) for a in range(4)
+        ]
+        cache.put_many(
+            [(g, metrics_for(g)) for g in genomes[:3]]
+            + [(genomes[3], InfeasibleDesignError("x"))],
+            FP,
+        )
+        archive = DesignArchive(tmp_path / "archive")
+        report = archive.import_cache(tmp_path / "cache")
+        assert report == {"files": 1, "imported": 4, "skipped": 0}
+        stats = archive.stats()
+        assert stats["rows"] == 4
+        assert stats["infeasible"] == 1
+        assert stats["campaigns"] == {"import": 4}
+        # Idempotent: a second import skips everything.
+        again = archive.import_cache(tmp_path / "cache")
+        assert again == {"files": 1, "imported": 0, "skipped": 4}
+
+    def test_import_ignores_archive_files(self, tmp_path, space):
+        first = DesignArchive(tmp_path / "archive")
+        fill(first, space)
+        second = DesignArchive(tmp_path / "other")
+        # Pointing the importer at an archive dir must not double-ingest.
+        assert second.import_cache(tmp_path / "archive")["files"] == 0
+
+    def test_import_missing_dir(self, tmp_path):
+        archive = DesignArchive(tmp_path / "archive")
+        assert archive.import_cache(tmp_path / "nope")["files"] == 0
+
+
+class TestRetrieval:
+    def test_top_k_best_first(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        rows = archive.top_k(space, FP, maximize("m"), k=3)
+        assert [row["raw"] for row in rows] == [32.0, 32.0, 31.0]
+        assert rows[0]["config"]["a"] == 3
+        assert rows[0]["config"]["o"] == "mid"
+
+    def test_top_k_deterministic_ties(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        first = archive.top_k(space, FP, maximize("m"), k=10)
+        again = DesignArchive(tmp_path).top_k(space, FP, maximize("m"), k=10)
+        assert first == again
+
+    def test_warm_start_configs(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        configs = archive.warm_start_configs(space, FP, maximize("m"), 2)
+        assert len(configs) == 2
+        assert all(space.is_feasible(space.genome(c)) for c in configs)
+        assert configs[0]["a"] == 3
+
+    def test_nearest_in_code_space(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        probe = {"a": 2, "o": "mid", "c": "p"}
+        rows = archive.nearest(space, FP, probe, k=3)
+        assert rows[0]["distance"] == 0
+        assert rows[0]["config"] == probe
+        assert rows[1]["distance"] == 1
+
+    def test_marginals(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        marginals = archive.marginals(space, FP, maximize("m"))
+        assert marginals["a"]["codes_observed"] == 4
+        assert marginals["a"]["correlation"] > 0.9  # m grows with a
+        assert marginals["a"]["best_value"] == 3
+        assert marginals["o"]["best_value"] == "mid"
+        assert marginals["c"]["spread"] == 0.0  # c never moves the score
+
+    def test_pareto_front(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        front = archive.pareto_front(space, FP, ("m", "n"), ("max", "max"))
+        # m wants a=3, n wants a=0: every a survives, always at o=mid
+        # (which dominates lo/hi). c never moves a metric, so the two tied
+        # points per a are mutually non-dominating and both stay.
+        assert sorted({row["config"]["a"] for row in front}) == [0, 1, 2, 3]
+        assert all(row["config"]["o"] == "mid" for row in front)
+        assert len(front) == 8
+
+    def test_pareto_front_validates_directions(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        with pytest.raises(NautilusError):
+            archive.pareto_front(space, FP, ("m", "n"), ("max",))
+
+    def test_stale_rows_excluded_from_queries(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        # The generator evolved: "hi" no longer exists. Its rows stay on
+        # disk but must never reach a retrieval consumer.
+        shrunk = DesignSpace(
+            "arc",
+            [
+                IntParam("a", 0, 3),
+                OrderedParam("o", ("lo", "mid")),
+                ChoiceParam("c", ("p", "q")),
+            ],
+        )
+        rows = DesignArchive(tmp_path).top_k(shrunk, FP, maximize("m"), k=100)
+        assert len(rows) == 16
+        assert all(row["config"]["o"] in ("lo", "mid") for row in rows)
+
+    def test_metric_missing_rows_skipped(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        g = space.genome({"a": 1, "o": "lo", "c": "p"})
+        archive.record(g, {"other": 1.0}, FP)
+        fill(archive, space)
+        # The row predating metric "m" is simply not comparable.
+        rows = archive.top_k(space, FP, maximize("m"), k=100)
+        assert len(rows) == 23
+
+
+class TestStats:
+    def test_empty(self, tmp_path):
+        assert DesignArchive(tmp_path / "nothing").stats() == {
+            "rows": 0,
+            "feasible": 0,
+            "infeasible": 0,
+            "files": 0,
+            "spaces": {},
+            "campaigns": {},
+        }
+
+    def test_counts_by_space_and_campaign(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space, campaign="alpha")
+        other = DesignSpace("brc", [IntParam("z", 0, 1)])
+        archive.record_many(
+            [(other.genome({"z": z}), {"m": float(z)}) for z in (0, 1)],
+            "fp-b",
+            campaign="beta",
+        )
+        stats = archive.stats()
+        assert stats["rows"] == 26
+        assert stats["files"] == 2
+        assert stats["spaces"] == {"arc": 24, "brc": 2}
+        assert stats["campaigns"] == {"alpha": 24, "beta": 2}
+
+    def test_non_archive_files_ignored(self, tmp_path, space):
+        archive = DesignArchive(tmp_path)
+        fill(archive, space)
+        (tmp_path / "notes.jsonl").write_text(
+            json.dumps({"space": "arc"}) + "\n"
+        )
+        assert archive.stats()["files"] == 1

@@ -1,0 +1,156 @@
+"""Service-level tests for the cross-campaign archive and warm starts."""
+
+import pytest
+
+from repro.service import (
+    CampaignSpec,
+    SearchService,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.metrics import ServiceMetrics
+
+SPEC = CampaignSpec(query="noc-frequency", engine="baseline", generations=4, seed=7)
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "campaigns"
+
+
+@pytest.fixture
+def service(root, tiny_provider):
+    svc = SearchService(
+        root, port=0, dataset_provider=tiny_provider, archive=True
+    ).start()
+    try:
+        yield svc
+    finally:
+        svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(port=service.port)
+
+
+class TestCampaignSpec:
+    def test_warm_start_round_trips(self):
+        spec = CampaignSpec(query="noc-frequency", warm_start=3)
+        assert CampaignSpec.from_json(spec.to_json()).warm_start == 3
+
+    def test_warm_start_validated(self):
+        with pytest.raises(Exception):
+            CampaignSpec(query="noc-frequency", warm_start=0)
+        with pytest.raises(Exception):
+            CampaignSpec(
+                query="noc-frequency", engine="random", warm_start=2
+            )
+
+
+class TestArchiveEndpoints:
+    def test_disabled_daemon_reports_and_rejects(self, root, tiny_provider):
+        svc = SearchService(root, port=0, dataset_provider=tiny_provider).start()
+        try:
+            client = ServiceClient(port=svc.port)
+            assert client.archive_stats() == {"enabled": False}
+            with pytest.raises(ServiceError) as err:
+                client.submit(
+                    CampaignSpec(query="noc-frequency", warm_start=2)
+                )
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                client.archive_query("noc-frequency")
+            assert err.value.status == 404
+        finally:
+            svc.stop()
+
+    def test_campaign_rows_drain_into_archive(self, root, service, client):
+        status = client.wait(client.submit(SPEC), timeout=120)
+        assert status["state"] == "done"
+        stats = client.archive_stats()
+        assert stats["enabled"]
+        assert stats["rows"] > 0
+        assert status["id"] in stats["campaigns"]
+        assert list((root / "archive").glob("*.jsonl"))
+
+    def test_archive_query_serves_top_designs(self, service, client):
+        client.wait(client.submit(SPEC), timeout=120)
+        payload = client.archive_query("noc-frequency", k=3)
+        assert payload["query"] == "noc-frequency"
+        assert payload["direction"] == "max"
+        assert 1 <= payload["count"] <= 3
+        raws = [row["raw"] for row in payload["rows"]]
+        assert raws == sorted(raws, reverse=True)
+
+    def test_archive_query_validation(self, service, client):
+        with pytest.raises(ServiceError) as err:
+            client.archive_query("not-a-query")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/archive/query")
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/archive/query?query=noc-frequency&k=zero")
+        assert err.value.status == 400
+
+    def test_prometheus_families_exported(self, service, client):
+        client.wait(client.submit(SPEC), timeout=120)
+        text = client.metrics_prometheus()
+        assert "nautilus_archive_rows_total" in text
+        assert "nautilus_warm_start_seeds_total" in text
+
+
+class TestWarmStartedCampaigns:
+    def test_second_campaign_warm_starts_from_the_first(self, service, client):
+        first = client.wait(client.submit(SPEC), timeout=120)
+        spec = CampaignSpec(
+            query="noc-frequency",
+            engine="baseline",
+            generations=4,
+            seed=8,
+            warm_start=4,
+        )
+        second = client.wait(client.submit(spec), timeout=120)
+        assert second["state"] == "done"
+        # The tiny space's optimum is archived by campaign one; the seeded
+        # population starts at least as good as campaign one ended.
+        assert second["best_raw"] >= first["best_raw"]
+        curve = client.curve(second["id"])
+        assert curve[0]["best_raw"] >= first["best_raw"]
+        text = client.metrics_prometheus()
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("nautilus_warm_start_seeds_total ")
+        )
+        assert float(line.split()[-1]) > 0
+
+    def test_warm_start_against_empty_archive_is_harmless(
+        self, service, client
+    ):
+        spec = CampaignSpec(
+            query="noc-frequency",
+            engine="baseline",
+            generations=3,
+            seed=1,
+            warm_start=5,
+        )
+        status = client.wait(client.submit(spec), timeout=120)
+        assert status["state"] == "done"
+
+
+class TestServiceMetricsEmpty:
+    """A daemon that never ran a campaign must answer with finite rates."""
+
+    def test_empty_snapshot_rates(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["cache_hit_rate"] == 0.0
+        assert snapshot["persistent_cache_hit_rate"] == 0.0
+        assert snapshot["evaluations_per_sec"] == 0.0
+        assert snapshot["evaluations_total"] == 0
+        assert snapshot["queue_depth"] == 0
+
+    def test_empty_daemon_metrics_endpoint(self, service, client):
+        metrics = client.metrics()
+        assert metrics["cache_hit_rate"] == 0.0
+        assert metrics["evaluations_total"] == 0
